@@ -1,0 +1,87 @@
+"""ABL3 — feasibility rate vs authorization density.
+
+How much sharing a policy must grant before collaborative queries
+become executable: over synthetic systems with growing grant
+probabilities, the fraction of random queries admitting a safe
+assignment, with and without the chase closure.  The series should be
+monotone in density, and closure should never reduce it.
+"""
+
+import pytest
+
+from repro.algebra.builder import build_plan
+from repro.analysis.reporting import ascii_table
+from repro.core.closure import close_policy
+from repro.core.planner import SafePlanner
+from repro.exceptions import InfeasiblePlanError, ReproError
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadConfig
+
+DENSITIES = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+SYSTEMS_PER_DENSITY = 6
+QUERIES_PER_SYSTEM = 4
+
+
+def feasibility_at(density, use_closure):
+    feasible = 0
+    total = 0
+    for seed in range(SYSTEMS_PER_DENSITY):
+        workload = SyntheticWorkload(
+            seed=seed * 1000 + int(density * 10),
+            config=WorkloadConfig(
+                servers=3,
+                relations=5,
+                grant_probability=density,
+                join_grant_probability=density,
+                path_grant_probability=density / 2,
+            ),
+        )
+        policy = workload.policy
+        if use_closure:
+            policy = close_policy(policy, workload.catalog)
+        planner = SafePlanner(policy)
+        for query_index in range(QUERIES_PER_SYSTEM):
+            try:
+                spec = workload.random_query(relations=3)
+            except ReproError:
+                continue
+            plan = build_plan(workload.catalog, spec)
+            total += 1
+            try:
+                planner.plan(plan)
+                feasible += 1
+            except InfeasiblePlanError:
+                pass
+    return feasible, total
+
+
+def test_abl3_feasibility_vs_density(benchmark):
+    def sweep():
+        series = []
+        for density in DENSITIES:
+            plain = feasibility_at(density, use_closure=False)
+            closed = feasibility_at(density, use_closure=True)
+            series.append((density, plain, closed))
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for density, (plain_ok, plain_total), (closed_ok, closed_total) in series:
+        rows.append(
+            [
+                f"{density:.1f}",
+                f"{plain_ok}/{plain_total} ({plain_ok / max(1, plain_total):.0%})",
+                f"{closed_ok}/{closed_total} ({closed_ok / max(1, closed_total):.0%})",
+            ]
+        )
+    print()
+    print(ascii_table(["grant density", "feasible (explicit)", "feasible (closed)"], rows))
+
+    # Shape assertions: zero sharing -> (almost) nothing feasible beyond
+    # colocated queries; full sharing -> everything feasible; closure
+    # never hurts.
+    first_density = series[0]
+    last_density = series[-1]
+    assert last_density[1][0] == last_density[1][1], "full density must be 100% feasible"
+    assert first_density[1][0] <= last_density[1][0]
+    for _, (plain_ok, _), (closed_ok, _) in series:
+        assert closed_ok >= plain_ok

@@ -1,0 +1,107 @@
+"""ABL5 — third-party rescue rate (footnote 3).
+
+Over random synthetic systems with sparse policies, how many infeasible
+queries become feasible once a trusted third-party coordinator is
+available, as a function of how much the third party is trusted with.
+Also measures the proxy analysis on individual blocked joins.
+"""
+
+import pytest
+
+from repro.algebra.builder import build_plan
+from repro.algebra.joins import JoinPath
+from repro.analysis.reporting import ascii_table
+from repro.core.authorization import Authorization, Policy
+from repro.core.planner import SafePlanner
+from repro.core.profile import RelationProfile
+from repro.core.thirdparty import ThirdPartyPlanner, proxy_options
+from repro.exceptions import InfeasiblePlanError, ReproError
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadConfig
+
+THIRD_PARTY = "S_audit"
+
+
+def with_third_party_grants(workload, trust_fraction):
+    """Grant the third party each base relation with probability
+    ``trust_fraction`` (deterministically by index)."""
+    policy = workload.policy.copy()
+    relations = workload.catalog.relations()
+    step = max(1, round(1 / trust_fraction)) if trust_fraction else None
+    for index, relation in enumerate(relations):
+        if step is not None and index % step == 0:
+            policy.add(
+                Authorization(relation.attribute_set, JoinPath.empty(), THIRD_PARTY)
+            )
+    return policy
+
+
+def rescue_series():
+    rows = []
+    for trust in (0.0, 0.5, 1.0):
+        blocked = 0
+        rescued = 0
+        for seed in range(8):
+            workload = SyntheticWorkload(
+                seed=seed,
+                config=WorkloadConfig(
+                    servers=4,
+                    relations=5,
+                    grant_probability=0.15,
+                    join_grant_probability=0.1,
+                ),
+            )
+            try:
+                spec = workload.random_query(relations=3)
+            except ReproError:
+                continue
+            plan = build_plan(workload.catalog, spec)
+            base_planner = SafePlanner(workload.policy)
+            try:
+                base_planner.plan(plan)
+                continue  # already feasible; not a rescue case
+            except InfeasiblePlanError:
+                blocked += 1
+            policy = (
+                with_third_party_grants(workload, trust)
+                if trust
+                else workload.policy
+            )
+            planner = ThirdPartyPlanner(policy, [THIRD_PARTY])
+            try:
+                assignment, _ = planner.plan(plan)
+                rescued += 1
+            except InfeasiblePlanError:
+                pass
+        rows.append([f"{trust:.0%}", blocked, rescued])
+    return rows
+
+
+def test_abl5_coordinator_rescue_rate(benchmark):
+    rows = benchmark.pedantic(rescue_series, rounds=1, iterations=1)
+    print()
+    print(ascii_table(["third-party trust", "blocked queries", "rescued"], rows))
+    no_trust = rows[0]
+    full_trust = rows[-1]
+    assert no_trust[2] == 0, "an untrusted third party rescues nothing"
+    assert full_trust[2] >= no_trust[2]
+    assert full_trust[1] > 0, "sparse policies must actually block queries"
+    assert full_trust[2] > 0, "a fully trusted coordinator must rescue some"
+
+
+def test_abl5_proxy_analysis(benchmark):
+    """Proxy options on a single blocked join, across trust levels."""
+    left = RelationProfile({"a", "b"})
+    right = RelationProfile({"c", "d"})
+    path = JoinPath.of(("a", "c"))
+    policy = Policy(
+        [
+            Authorization({"a", "b"}, None, THIRD_PARTY),
+            Authorization({"c"}, None, THIRD_PARTY),
+            Authorization({"a", "b", "c", "d"}, path, "S2"),
+        ]
+    )
+    options = benchmark(
+        proxy_options, policy, left, right, "S1", "S2", path, [THIRD_PARTY]
+    )
+    print(f"\nproxy arrangements found: {[repr(o) for o in options]}")
+    assert options

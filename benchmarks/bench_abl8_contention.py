@@ -1,0 +1,153 @@
+"""ABL8 — load concentration under concurrency (principle ii, stressed).
+
+The Figure 6 planner prefers "the server involved in a higher number of
+join operations", concentrating work.  Whether that hurts depends on
+where the bottleneck is; this bench measures both regimes with the
+discrete-event simulator:
+
+* **symmetric, compute-bound** — a two-server system where two safe
+  strategies mirror each other (join at either side, same bytes) and
+  servers are slow relative to the wire.  Round-robin spreading halves
+  each server's queue: the spread must win at high concurrency.  This
+  is the cost of concentration the paper's principle ii does not model.
+* **real policy, transfer-bound** — the coalition inspection query,
+  whose two safe strategies have *asymmetric* costs (the alternative is
+  a dearer semi-join).  Replicating the planner's cheapest strategy
+  wins at every concurrency level: concentration is harmless when links
+  dominate and the policy's alternative strategies cost more.
+"""
+
+import pytest
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.analysis.reporting import ascii_table
+from repro.baselines.exhaustive import enumerate_safe_assignments
+from repro.core.authorization import Authorization, Policy
+from repro.core.planner import SafePlanner
+from repro.distributed.network import NetworkModel
+from repro.distributed.simulation import MultiQuerySimulator
+from repro.engine.data import Table
+from repro.engine.executor import DistributedExecutor
+from repro.workloads.coalition import (
+    coalition_catalog,
+    coalition_policy,
+    generate_coalition_instances,
+    inspection_query,
+)
+
+
+def _executed_safe_strategies(catalog, policy, spec, tables):
+    plan = build_plan(catalog, spec)
+    planner_assignment, _ = SafePlanner(policy).plan(plan)
+    planner_run = (
+        planner_assignment,
+        DistributedExecutor(planner_assignment, tables).run().transfers,
+    )
+    safe_runs = []
+    for assignment in enumerate_safe_assignments(policy, plan):
+        result = DistributedExecutor(assignment, tables).run()
+        safe_runs.append((assignment, result.transfers))
+    return planner_run, safe_runs
+
+
+@pytest.fixture(scope="module")
+def symmetric_case():
+    """R@S1 |x| T@S2 with mutual full grants: two mirror strategies."""
+    catalog = Catalog()
+    catalog.add_relation(RelationSchema("R", ["a", "b"], server="S1"))
+    catalog.add_relation(RelationSchema("T", ["c", "d"], server="S2"))
+    catalog.add_join_edge("a", "c")
+    policy = Policy(
+        [
+            Authorization({"a", "b"}, None, "S2"),
+            Authorization({"c", "d"}, None, "S1"),
+        ]
+    )
+    rows = [(f"k{i % 40}", f"pay-{'x' * 20}-{i}") for i in range(200)]
+    tables = {
+        "R": Table(["a", "b"], rows),
+        "T": Table(["c", "d"], rows),
+    }
+    spec = QuerySpec(
+        ["R", "T"], [JoinPath.of(("a", "c"))], frozenset({"a", "b", "c", "d"})
+    )
+    return _executed_safe_strategies(catalog, policy, spec, tables)
+
+
+@pytest.mark.parametrize("copies", [1, 4, 16])
+def test_abl8_symmetric_compute_bound(benchmark, copies, symmetric_case):
+    planner_run, safe_runs = symmetric_case
+    regulars = [r for r in safe_runs if r[0].executor(2).slave is None]
+    assert len(regulars) == 2, "expected the two mirror regular strategies"
+    # Compute-bound: fast wire, slow servers.
+    simulator = MultiQuerySimulator(
+        compute_rate=10.0, network=NetworkModel(default_bandwidth=10_000.0)
+    )
+
+    def run_both():
+        concentrated = simulator.run([planner_run] * copies)
+        spread = simulator.run([regulars[i % 2] for i in range(copies)])
+        return concentrated, spread
+
+    concentrated, spread = benchmark(run_both)
+    rows = [
+        ["planner (concentrated)", f"{concentrated.makespan:.0f}",
+         str(concentrated.max_busy_server())],
+        ["round-robin spread", f"{spread.makespan:.0f}",
+         str(spread.max_busy_server())],
+    ]
+    print()
+    print(f"copies={copies} (compute-bound)")
+    print(ascii_table(["strategy", "makespan", "busiest server"], rows))
+    if copies == 1:
+        assert concentrated.makespan <= spread.makespan * 1.01
+    else:
+        # Spreading over the two mirror strategies must beat funnelling
+        # every copy through one master.
+        assert spread.makespan < concentrated.makespan
+    if copies == 16:
+        # The win approaches 2x as the queue dominates.
+        assert spread.makespan < concentrated.makespan * 0.75
+
+
+@pytest.fixture(scope="module")
+def coalition_case():
+    catalog = coalition_catalog()
+    policy = coalition_policy()
+    instances = generate_coalition_instances(seed=23, vessels=120, clients=60)
+    tables = {
+        name: Table.from_rows(catalog.relation(name).attributes, rows)
+        for name, rows in instances.items()
+    }
+    return _executed_safe_strategies(catalog, policy, inspection_query(), tables)
+
+
+@pytest.mark.parametrize("copies", [1, 4, 16])
+def test_abl8_coalition_transfer_bound(benchmark, copies, coalition_case):
+    planner_run, safe_runs = coalition_case
+    assert len(safe_runs) >= 2
+    simulator = MultiQuerySimulator(compute_rate=50.0)
+
+    def run_both():
+        concentrated = simulator.run([planner_run] * copies)
+        spread = simulator.run(
+            [safe_runs[i % len(safe_runs)] for i in range(copies)]
+        )
+        return concentrated, spread
+
+    concentrated, spread = benchmark(run_both)
+    rows = [
+        ["planner (concentrated)", f"{concentrated.makespan:.0f}",
+         f"{concentrated.mean_completion():.0f}"],
+        ["round-robin spread", f"{spread.makespan:.0f}",
+         f"{spread.mean_completion():.0f}"],
+    ]
+    print()
+    print(f"copies={copies} (transfer-bound, asymmetric strategies)")
+    print(ascii_table(["strategy", "makespan", "mean completion"], rows))
+    # Here concentration is harmless: links are uncontended and the
+    # alternative strategy is intrinsically dearer, so replicating the
+    # planner's choice is never worse.
+    assert concentrated.makespan <= spread.makespan

@@ -1,0 +1,26 @@
+"""FIG1 — the Figure 1 distributed schema.
+
+Regenerates the medical catalog (four relations at four servers, four
+join edges) and benchmarks catalog construction plus policy validation
+against it.
+"""
+
+from repro.workloads.medical import medical_catalog, medical_policy
+
+
+def test_fig1_schema_reproduction(benchmark):
+    catalog = benchmark(medical_catalog)
+    assert catalog.relation_names() == [
+        "Disease_list",
+        "Hospital",
+        "Insurance",
+        "Nat_registry",
+    ]
+    assert catalog.servers() == ["S_D", "S_H", "S_I", "S_N"]
+    assert len(catalog.join_edges()) == 4
+    print()
+    print(catalog.describe())
+
+
+def test_fig1_policy_validates_against_schema(benchmark, catalog, policy):
+    benchmark(policy.validate_against, catalog)

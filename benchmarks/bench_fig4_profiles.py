@@ -1,0 +1,50 @@
+"""FIG4 — the profile composition rules.
+
+Benchmarks the three Figure 4 composition operations and regenerates
+the table's semantics on the paper's own relations (asserting each
+component of the resulting profiles).
+"""
+
+from repro.algebra.joins import JoinPath
+from repro.core.profile import RelationProfile
+
+INSURANCE = RelationProfile({"Holder", "Plan"})
+HOSPITAL = RelationProfile({"Patient", "Disease", "Physician"})
+PATH = JoinPath.of(("Holder", "Patient"))
+
+
+def test_fig4_projection_rule(benchmark):
+    result = benchmark(INSURANCE.project, {"Holder"})
+    assert result.attributes == frozenset({"Holder"})
+    assert result.join_path.is_empty()
+    assert result.selection_attributes == frozenset()
+
+
+def test_fig4_selection_rule(benchmark):
+    result = benchmark(INSURANCE.select, {"Plan"})
+    assert result.attributes == frozenset({"Holder", "Plan"})
+    assert result.selection_attributes == frozenset({"Plan"})
+
+
+def test_fig4_join_rule(benchmark):
+    result = benchmark(INSURANCE.join, HOSPITAL, PATH)
+    assert result.attributes == INSURANCE.attributes | HOSPITAL.attributes
+    assert result.join_path == PATH
+    assert result.selection_attributes == frozenset()
+
+
+def test_fig4_composed_pipeline(benchmark):
+    """A full pi(sigma(join)) composition, as a query tree would apply."""
+
+    def pipeline():
+        joined = INSURANCE.join(HOSPITAL, PATH)
+        selected = joined.select({"Disease"})
+        return selected.project({"Holder", "Plan", "Physician"})
+
+    result = benchmark(pipeline)
+    assert result.attributes == frozenset({"Holder", "Plan", "Physician"})
+    assert result.selection_attributes == frozenset({"Disease"})
+    assert result.join_path == PATH
+    assert result.exposed_attributes == frozenset(
+        {"Holder", "Plan", "Physician", "Disease"}
+    )

@@ -1,0 +1,67 @@
+"""FIG7 — the worked algorithm execution of Example 5.1.
+
+Runs the full two-pass algorithm on the Figure 2 plan under the Figure 3
+policy, prints the trace in the paper's table layout, and asserts the
+exact candidates, slave, executors and Assign_ex call order of Figure 7.
+"""
+
+from repro.analysis.reporting import render_trace_table
+from repro.core.safety import verify_assignment
+
+#: paper node name -> post-order id (see tests/test_paper_examples.py).
+PAPER_LABELS = {6: "n_0", 5: "n_1", 2: "n_2", 4: "n_3", 0: "n_4", 1: "n_5", 3: "n_6"}
+
+
+def test_fig7_full_trace(benchmark, planner, plan, policy):
+    assignment, trace = benchmark(planner.plan, plan)
+    print()
+    print(render_trace_table(trace, PAPER_LABELS))
+
+    # Candidates column of Figure 7.
+    expected_candidates = {
+        0: ("S_I", "-", 0),
+        1: ("S_N", "-", 0),
+        2: ("S_N", "right", 1),
+        3: ("S_H", "-", 0),
+        4: ("S_H", "left", 0),
+        5: ("S_H", "right", 1),
+        6: ("S_H", "left", 1),
+    }
+    for node_id, (server, from_child, count) in expected_candidates.items():
+        (candidate,) = list(trace.decision(node_id).candidates)
+        assert (candidate.server, candidate.from_child, candidate.count) == (
+            server,
+            from_child,
+            count,
+        )
+
+    # Executor column of Figure 7.
+    expected_executors = {
+        6: "[S_H, NULL]",
+        5: "[S_H, S_N]",
+        2: "[S_N, NULL]",
+        0: "[S_I, NULL]",
+        1: "[S_N, NULL]",
+        4: "[S_H, NULL]",
+        3: "[S_H, NULL]",
+    }
+    for node_id, expected in expected_executors.items():
+        assert str(assignment.executor(node_id)) == expected
+
+    # Calls column of Figure 7 (pre-order with pushed servers).
+    assert trace.assign_order == [
+        (6, None),
+        (5, "S_H"),
+        (2, "S_N"),
+        (0, None),
+        (1, "S_N"),
+        (4, "S_H"),
+        (3, "S_H"),
+    ]
+    verify_assignment(policy, assignment)
+
+
+def test_fig7_verification_overhead(benchmark, planner, plan, policy):
+    """Cost of the independent Definition 4.2 re-verification."""
+    assignment, _ = planner.plan(plan)
+    benchmark(verify_assignment, policy, assignment)

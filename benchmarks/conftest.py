@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench module regenerates one paper artifact (figure) or one
+ablation series; see DESIGN.md section 3 for the experiment index and
+EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.closure import close_policy
+from repro.core.planner import SafePlanner
+from repro.engine.data import Table
+from repro.workloads.medical import (
+    generate_instances,
+    medical_catalog,
+    medical_policy,
+    paper_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return medical_catalog()
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return medical_policy()
+
+
+@pytest.fixture(scope="module")
+def closed_policy(catalog, policy):
+    return close_policy(policy, catalog)
+
+
+@pytest.fixture(scope="module")
+def plan(catalog):
+    return paper_plan(catalog)
+
+
+@pytest.fixture(scope="module")
+def planner(policy):
+    return SafePlanner(policy)
+
+
+@pytest.fixture(scope="module")
+def tables(catalog):
+    instances = generate_instances(seed=7, citizens=300)
+    return {
+        name: Table.from_rows(catalog.relation(name).attributes, rows)
+        for name, rows in instances.items()
+    }

@@ -1,0 +1,121 @@
+"""Third-party coordination: a federated audit hub (footnote 3).
+
+Two competing organizations — an insurer and a hospital chain — must
+answer a joint regulatory query, but neither trusts the other with its
+relation.  A regulator-operated audit server ``S_audit`` is trusted with
+both.  The base algorithm correctly refuses every direct strategy; the
+third-party planner routes both operands to the hub, which computes the
+join (and is the only party ever seeing the association).
+
+Also demonstrates the *proxy* analysis: arrangements where the hub
+stands in for one operand instead of coordinating both.
+
+Run:  python examples/federated_audit_hub.py
+"""
+
+from repro import (
+    Authorization,
+    DistributedSystem,
+    InfeasiblePlanError,
+    Policy,
+)
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.core.profile import RelationProfile
+from repro.core.thirdparty import proxy_options
+
+AUDIT_HUB = "S_audit"
+
+QUERY = (
+    "SELECT Plan, Procedure_code FROM Contracts "
+    "JOIN Admissions ON Member = Admitted"
+)
+
+
+def build_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.add_relation(
+        RelationSchema("Contracts", ["Member", "Plan"], server="S_insurer")
+    )
+    catalog.add_relation(
+        RelationSchema(
+            "Admissions", ["Admitted", "Procedure_code"], server="S_hospital"
+        )
+    )
+    catalog.add_join_edge("Member", "Admitted")
+    return catalog
+
+
+def build_policy() -> Policy:
+    # Mutually distrustful operators: no cross grants at all.  Only the
+    # audit hub may receive each side's relation.
+    return Policy(
+        [
+            Authorization({"Member", "Plan"}, None, AUDIT_HUB),
+            Authorization({"Admitted", "Procedure_code"}, None, AUDIT_HUB),
+        ]
+    )
+
+
+def main() -> None:
+    catalog = build_catalog()
+    policy = build_policy()
+
+    print("=== Without the hub: the query is infeasible ===")
+    closed_system = DistributedSystem(catalog, policy)
+    try:
+        closed_system.plan(QUERY)
+    except InfeasiblePlanError as error:
+        print(f"planner refuses: {error}")
+
+    print("\n=== With the audit hub as third-party coordinator ===")
+    system = DistributedSystem(catalog, policy, third_parties=[AUDIT_HUB])
+    system.load_instances(
+        {
+            "Contracts": [
+                {"Member": f"m{i}", "Plan": plan}
+                for i, plan in enumerate(["gold", "silver", "gold", "bronze"] * 25)
+            ],
+            "Admissions": [
+                {"Admitted": f"m{i * 3}", "Procedure_code": f"p{i % 7}"}
+                for i in range(30)
+            ],
+        }
+    )
+    tree, assignment, _ = system.plan(QUERY)
+    print(assignment.describe())
+    join = tree.joins()[0]
+    print(f"coordinator of the join: {assignment.coordinator(join.node_id)}")
+
+    result = system.execute(QUERY)
+    print(f"\nresult: {len(result.table)} rows, held by {result.result_server}")
+    print(result.transfers.describe())
+    print(result.audit.summary())
+
+    print("\n=== Proxy analysis: what if the hub held only one side? ===")
+    contracts = RelationProfile({"Member", "Plan"})
+    admissions = RelationProfile({"Admitted", "Procedure_code"})
+    path = JoinPath.of(("Member", "Admitted"))
+    # Give the hospital the right to see the *joined* view (but still
+    # not the raw Contracts relation): now a proxy arrangement works
+    # with the hub merely relaying the insurer's side.
+    richer = build_policy()
+    richer.add(
+        Authorization(
+            {"Member", "Plan", "Admitted", "Procedure_code"}, path, "S_hospital"
+        )
+    )
+    richer.add(Authorization({"Admitted"}, None, AUDIT_HUB))
+    options = proxy_options(
+        richer, contracts, admissions, "S_insurer", "S_hospital", path, [AUDIT_HUB]
+    )
+    if not options:
+        print("no proxy arrangement is safe under this policy")
+    for option in options:
+        print(f"- {option}")
+        for flow in option.flows:
+            print(f"    {flow.sender} -> {flow.receiver}: {flow.profile}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Policy engineering: finding the minimal grants that unlock a query.
+
+A policy author wants a collaborative query to run, but wants to grant
+as little as possible.  This example shows the debugging loop the
+library supports:
+
+1. try to plan — the planner reports the exact node with no candidate;
+2. inspect the views that failed with ``explain_denial``;
+3. add the narrowest covering rule and repeat;
+4. compare the resulting closed policy with the open-policy
+   (denial-based) formulation of the same intent.
+
+Run:  python examples/policy_design.py
+"""
+
+from repro import (
+    Authorization,
+    DistributedSystem,
+    InfeasiblePlanError,
+    Policy,
+)
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.core.access import explain_denial
+from repro.core.openpolicy import Denial, OpenPolicy
+from repro.core.planner import SafePlanner
+from repro.core.profile import RelationProfile
+from repro.core.safety import verify_assignment
+from repro.workloads import medical_catalog
+
+QUERY = (
+    "SELECT Physician, HealthAid FROM Hospital "
+    "JOIN Nat_registry ON Patient = Citizen"
+)
+
+
+def iterate_policy() -> Policy:
+    catalog = medical_catalog()
+    path = JoinPath.of(("Patient", "Citizen"))
+    policy = Policy()
+    attempt = 0
+    print("=== Iterating toward the minimal policy ===")
+    while True:
+        attempt += 1
+        system = DistributedSystem(catalog, policy, apply_closure=False)
+        try:
+            tree, assignment, _ = system.plan(QUERY)
+            print(f"\nattempt {attempt}: feasible!")
+            print(assignment.describe())
+            return policy
+        except InfeasiblePlanError as error:
+            print(f"\nattempt {attempt}: {error}")
+        if attempt == 1:
+            # The probe view a semi-join slave would need.
+            probe = RelationProfile({"Patient"})
+            print(explain_denial(policy, probe, "S_N"))
+            print("-> grant S_N the probe view (Patient values only)")
+            policy.add(Authorization({"Patient"}, None, "S_N"))
+        elif attempt == 2:
+            # The master's return view: the join of Hospital's
+            # projection with Nat_registry.
+            master_view = RelationProfile(
+                {"Patient", "Physician", "Citizen", "HealthAid"},
+                JoinPath.of(("Patient", "Citizen")),
+            )
+            print(explain_denial(policy, master_view, "S_H"))
+            print("-> grant S_H the semi-join master view")
+            policy.add(
+                Authorization(
+                    {"Patient", "Physician", "Citizen", "HealthAid"},
+                    JoinPath.of(("Patient", "Citizen")),
+                    "S_H",
+                )
+            )
+        else:
+            raise SystemExit("unexpected: more grants needed")
+
+
+def compare_with_open_policy(closed: Policy) -> None:
+    print("\n=== The same intent as an open policy ===")
+    catalog = medical_catalog()
+    # Default-allow, with denials protecting exactly what the closed
+    # policy withheld: raw Disease data and Insurance data for everyone.
+    open_policy = OpenPolicy(
+        [
+            Denial({"Disease"}, None, "S_N"),
+            Denial({"Disease"}, None, "S_I"),
+            Denial({"Holder", "Plan"}, None, "S_H"),
+        ]
+    )
+    from repro.algebra.builder import build_plan
+    from repro.sql import parse_query
+
+    plan = build_plan(catalog, parse_query(QUERY, catalog))
+    planner = SafePlanner(open_policy)
+    assignment, _ = planner.plan(plan)
+    verify_assignment(open_policy, assignment)
+    print("open-policy plan:")
+    print(assignment.describe())
+    print(
+        "\nNote the trade-off: the closed policy names exactly what may "
+        "flow; the open policy permits everything not named — the same "
+        "query runs, but so would many others."
+    )
+
+
+def main() -> None:
+    policy = iterate_policy()
+    print("\nfinal closed policy:")
+    print(policy.describe())
+    compare_with_open_policy(policy)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Attribute names and attribute sets.
+
+The paper (Section 2) assumes all attributes across all relations carry
+distinct names; name collisions are resolved with the usual dot notation
+``relation.attribute``.  We follow the same convention: an attribute is a
+plain string, globally unique within a :class:`~repro.algebra.schema.Catalog`,
+optionally of the dotted form.
+
+Attribute *sets* appear everywhere in the model — the ``Attributes``
+component of an authorization, and the :math:`R^\\pi` / :math:`R^\\sigma`
+components of a relation profile — so we expose a canonical immutable
+representation (:class:`AttributeSet`, a ``frozenset`` of strings) together
+with constructors and validation helpers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable
+
+from repro.exceptions import SchemaError
+
+#: Canonical immutable attribute-set type used across the library.
+AttributeSet = FrozenSet[str]
+
+#: Empty attribute set singleton, shared for readability.
+EMPTY_ATTRIBUTES: AttributeSet = frozenset()
+
+_NAME_PART = r"[A-Za-z_][A-Za-z0-9_]*"
+_NAME_RE = re.compile(rf"^{_NAME_PART}(\.{_NAME_PART}){{0,2}}$")
+
+
+def validate_attribute_name(name: str) -> str:
+    """Validate and return an attribute name.
+
+    Accepts bare identifiers (``Holder``) and dotted qualifications with up
+    to two prefixes (``Insurance.Holder``, ``S_I.Insurance.Holder``), per
+    the paper's ``server.relation.attribute`` convention.
+
+    Raises:
+        SchemaError: if ``name`` is not a valid attribute name.
+    """
+    if not isinstance(name, str):
+        raise SchemaError(f"attribute name must be a string, got {type(name).__name__}")
+    if not _NAME_RE.match(name):
+        raise SchemaError(f"invalid attribute name: {name!r}")
+    return name
+
+
+def attribute_set(attributes: Iterable[str]) -> AttributeSet:
+    """Build a validated :data:`AttributeSet` from an iterable of names.
+
+    >>> sorted(attribute_set(["Holder", "Plan"]))
+    ['Holder', 'Plan']
+    """
+    return frozenset(validate_attribute_name(a) for a in attributes)
+
+
+def unqualified_name(attribute: str) -> str:
+    """Return the final (unqualified) component of a dotted attribute name.
+
+    >>> unqualified_name("Insurance.Holder")
+    'Holder'
+    >>> unqualified_name("Holder")
+    'Holder'
+    """
+    return attribute.rsplit(".", 1)[-1]
+
+
+def qualify(relation: str, attribute: str) -> str:
+    """Qualify ``attribute`` with ``relation`` using dot notation.
+
+    Already-qualified names are returned unchanged.
+    """
+    if "." in attribute:
+        return attribute
+    return f"{relation}.{attribute}"
+
+
+def format_attribute_set(attributes: AttributeSet) -> str:
+    """Render an attribute set in the paper's ``{A, B, C}`` notation,
+    sorted for determinism.
+
+    >>> format_attribute_set(frozenset({"Plan", "Holder"}))
+    '{Holder, Plan}'
+    """
+    return "{" + ", ".join(sorted(attributes)) + "}"

@@ -1,0 +1,269 @@
+"""Logical relational-algebra expressions.
+
+The paper considers queries of the algebraic form
+:math:`\\pi_A(\\sigma_C(R_1 \\bowtie_{JC_1} \\dots \\bowtie_{JC_n} R_{n+1}))`.
+This module models such expressions as an immutable AST with four node
+kinds — base relation, projection, selection and (equi-)join — together
+with schema inference, so that an expression always knows which
+attributes its result carries.
+
+Expressions are the *logical* layer: they say what is computed, not
+where.  The executable, server-annotated counterpart is the query tree
+plan of :mod:`repro.algebra.tree`; :func:`Expression.to_plan_node`
+converts between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.algebra.attributes import AttributeSet, attribute_set, format_attribute_set
+from repro.algebra.joins import JoinPath
+from repro.algebra.predicates import Predicate
+from repro.algebra.schema import RelationSchema
+from repro.exceptions import ExpressionError
+
+
+class Expression:
+    """Abstract base class of logical algebra expressions."""
+
+    __slots__ = ()
+
+    @property
+    def schema(self) -> AttributeSet:
+        """Attributes carried by the expression's result."""
+        raise NotImplementedError
+
+    def base_relations(self) -> List[RelationSchema]:
+        """All base relations referenced, left-to-right, with duplicates."""
+        raise NotImplementedError
+
+    def project(self, attributes: Iterable[str]) -> "ProjectionExpression":
+        """Wrap this expression in a projection."""
+        return ProjectionExpression(self, attribute_set(attributes))
+
+    def select(self, predicate: Predicate) -> "SelectionExpression":
+        """Wrap this expression in a selection."""
+        return SelectionExpression(self, predicate)
+
+    def join(self, other: "Expression", path: JoinPath) -> "JoinExpression":
+        """Join this expression with ``other`` on ``path``."""
+        return JoinExpression(self, other, path)
+
+
+class BaseRelation(Expression):
+    """A leaf expression: a stored base relation."""
+
+    __slots__ = ("_relation",)
+
+    def __init__(self, relation: RelationSchema) -> None:
+        if not isinstance(relation, RelationSchema):
+            raise ExpressionError(
+                f"BaseRelation requires a RelationSchema, got {type(relation).__name__}"
+            )
+        self._relation = relation
+
+    @property
+    def relation(self) -> RelationSchema:
+        """The underlying schema."""
+        return self._relation
+
+    @property
+    def schema(self) -> AttributeSet:
+        return self._relation.attribute_set
+
+    def base_relations(self) -> List[RelationSchema]:
+        return [self._relation]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BaseRelation):
+            return NotImplemented
+        return self._relation == other._relation
+
+    def __hash__(self) -> int:
+        return hash(("base", self._relation))
+
+    def __repr__(self) -> str:
+        return self._relation.name
+
+    __str__ = __repr__
+
+
+class ProjectionExpression(Expression):
+    """:math:`\\pi_X(E)` — keep only attributes ``X`` of the operand."""
+
+    __slots__ = ("_operand", "_attributes")
+
+    def __init__(self, operand: Expression, attributes: AttributeSet) -> None:
+        if not isinstance(operand, Expression):
+            raise ExpressionError("projection operand must be an Expression")
+        attributes = frozenset(attributes)
+        if not attributes:
+            raise ExpressionError("projection must keep at least one attribute")
+        missing = attributes - operand.schema
+        if missing:
+            raise ExpressionError(
+                f"projection on attributes absent from operand schema: {sorted(missing)}"
+            )
+        self._operand = operand
+        self._attributes = attributes
+
+    @property
+    def operand(self) -> Expression:
+        """The projected expression."""
+        return self._operand
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """The retained attributes ``X``."""
+        return self._attributes
+
+    @property
+    def schema(self) -> AttributeSet:
+        return self._attributes
+
+    def base_relations(self) -> List[RelationSchema]:
+        return self._operand.base_relations()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProjectionExpression):
+            return NotImplemented
+        return self._operand == other._operand and self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(("pi", self._operand, self._attributes))
+
+    def __repr__(self) -> str:
+        return f"π{format_attribute_set(self._attributes)}({self._operand!r})"
+
+    __str__ = __repr__
+
+
+class SelectionExpression(Expression):
+    """:math:`\\sigma_C(E)` — keep only tuples satisfying predicate ``C``."""
+
+    __slots__ = ("_operand", "_predicate")
+
+    def __init__(self, operand: Expression, predicate: Predicate) -> None:
+        if not isinstance(operand, Expression):
+            raise ExpressionError("selection operand must be an Expression")
+        if not isinstance(predicate, Predicate):
+            raise ExpressionError("selection requires a Predicate")
+        missing = predicate.attributes - operand.schema
+        if missing:
+            raise ExpressionError(
+                f"selection predicate references attributes absent from operand "
+                f"schema: {sorted(missing)}"
+            )
+        self._operand = operand
+        self._predicate = predicate
+
+    @property
+    def operand(self) -> Expression:
+        """The filtered expression."""
+        return self._operand
+
+    @property
+    def predicate(self) -> Predicate:
+        """The selection condition ``C``."""
+        return self._predicate
+
+    @property
+    def schema(self) -> AttributeSet:
+        return self._operand.schema
+
+    def base_relations(self) -> List[RelationSchema]:
+        return self._operand.base_relations()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SelectionExpression):
+            return NotImplemented
+        return self._operand == other._operand and self._predicate == other._predicate
+
+    def __hash__(self) -> int:
+        return hash(("sigma", self._operand, self._predicate))
+
+    def __repr__(self) -> str:
+        return f"σ[{self._predicate}]({self._operand!r})"
+
+    __str__ = __repr__
+
+
+class JoinExpression(Expression):
+    """:math:`E_l \\bowtie_j E_r` — equi-join of two expressions.
+
+    Every condition of ``path`` must reference exactly one attribute from
+    each operand's schema; this is what makes the join an *equi-join
+    between the operands* rather than a stray selection.
+    """
+
+    __slots__ = ("_left", "_right", "_path")
+
+    def __init__(self, left: Expression, right: Expression, path: JoinPath) -> None:
+        if not isinstance(left, Expression) or not isinstance(right, Expression):
+            raise ExpressionError("join operands must be Expressions")
+        if not isinstance(path, JoinPath) or path.is_empty():
+            raise ExpressionError("join requires a non-empty JoinPath")
+        overlap = left.schema & right.schema
+        if overlap:
+            raise ExpressionError(
+                f"join operands share attributes {sorted(overlap)}; the paper "
+                "assumes globally distinct attribute names"
+            )
+        for condition in path:
+            in_left = condition.first in left.schema or condition.second in left.schema
+            in_right = condition.first in right.schema or condition.second in right.schema
+            if not (in_left and in_right):
+                raise ExpressionError(
+                    f"join condition {condition} does not bridge the two operands"
+                )
+        self._left = left
+        self._right = right
+        self._path = path
+
+    @property
+    def left(self) -> Expression:
+        """Left operand :math:`E_l`."""
+        return self._left
+
+    @property
+    def right(self) -> Expression:
+        """Right operand :math:`E_r`."""
+        return self._right
+
+    @property
+    def path(self) -> JoinPath:
+        """The join's own conditions ``j`` (not the cumulative path)."""
+        return self._path
+
+    @property
+    def schema(self) -> AttributeSet:
+        return self._left.schema | self._right.schema
+
+    def base_relations(self) -> List[RelationSchema]:
+        return self._left.base_relations() + self._right.base_relations()
+
+    def left_join_attributes(self) -> AttributeSet:
+        """The :math:`J_l` of the join: condition attributes on the left."""
+        return self._path.attributes & self._left.schema
+
+    def right_join_attributes(self) -> AttributeSet:
+        """The :math:`J_r` of the join: condition attributes on the right."""
+        return self._path.attributes & self._right.schema
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JoinExpression):
+            return NotImplemented
+        return (
+            self._left == other._left
+            and self._right == other._right
+            and self._path == other._path
+        )
+
+    def __hash__(self) -> int:
+        return hash(("join", self._left, self._right, self._path))
+
+    def __repr__(self) -> str:
+        return f"({self._left!r} ⋈{self._path} {self._right!r})"
+
+    __str__ = __repr__

@@ -1,0 +1,231 @@
+"""Equi-join conditions and join paths (Definition 2.1).
+
+The paper denotes a conjunction of equi-join conditions as a pair
+``<J_l, J_r>`` of attribute lists paired positionally, and a *join path*
+as the set of such pairs accumulated along a sequence of joins.
+
+Two requirements drive the representation chosen here:
+
+* **Order insensitivity.**  Figure 3 writes the same semantic condition in
+  both orders (authorization 2 uses ``(Holder, Patient)`` for server
+  ``S_I`` while authorization 5 uses ``(Patient, Holder)`` for ``S_H``),
+  and the worked example of Figure 7 requires the query's
+  ``Citizen=Patient`` to match authorization 7's ``(Patient, Citizen)``.
+  A join condition ``A = B`` is therefore normalized so that
+  ``JoinCondition("A", "B") == JoinCondition("B", "A")``.
+
+* **Exact path equality.**  Definition 3.3 compares join paths with
+  equality, *not* containment: an extra join condition always adds
+  information (which tuples have matches elsewhere), so a superset path is
+  never implied.  Representing a join path as a frozenset of normalized
+  atomic conditions makes this comparison canonical.
+
+A ``<J_l, J_r>`` conjunction with ``len(J_l) == len(J_r) == k`` decomposes
+into ``k`` atomic :class:`JoinCondition` objects; :meth:`JoinPath.of_pairs`
+performs the decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Sequence, Tuple
+
+from repro.algebra.attributes import AttributeSet, validate_attribute_name
+from repro.exceptions import JoinPathError
+
+
+class JoinCondition:
+    """A single normalized equi-join condition ``A = B``.
+
+    Instances are immutable, hashable, and order-insensitive in their two
+    attributes.  The two attributes must be distinct: ``A = A`` carries no
+    join semantics and almost certainly indicates a naming bug under the
+    paper's globally-unique-attribute-names assumption.
+    """
+
+    __slots__ = ("_first", "_second")
+
+    def __init__(self, left: str, right: str) -> None:
+        left = validate_attribute_name(left)
+        right = validate_attribute_name(right)
+        if left == right:
+            raise JoinPathError(
+                f"join condition must relate two distinct attributes, got {left!r} = {right!r}"
+            )
+        # Canonical order: lexicographic, so (A, B) and (B, A) coincide.
+        if left <= right:
+            self._first, self._second = left, right
+        else:
+            self._first, self._second = right, left
+
+    @property
+    def first(self) -> str:
+        """Lexicographically smaller attribute of the condition."""
+        return self._first
+
+    @property
+    def second(self) -> str:
+        """Lexicographically larger attribute of the condition."""
+        return self._second
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """The two attributes equated by this condition."""
+        return frozenset((self._first, self._second))
+
+    def mentions(self, attribute: str) -> bool:
+        """Whether ``attribute`` participates in this condition."""
+        return attribute == self._first or attribute == self._second
+
+    def other(self, attribute: str) -> str:
+        """Return the attribute equated with ``attribute``.
+
+        Raises:
+            JoinPathError: if ``attribute`` is not part of the condition.
+        """
+        if attribute == self._first:
+            return self._second
+        if attribute == self._second:
+            return self._first
+        raise JoinPathError(f"{attribute!r} does not appear in {self}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JoinCondition):
+            return NotImplemented
+        return self._first == other._first and self._second == other._second
+
+    def __hash__(self) -> int:
+        return hash((self._first, self._second))
+
+    def __lt__(self, other: "JoinCondition") -> bool:
+        if not isinstance(other, JoinCondition):
+            return NotImplemented
+        return (self._first, self._second) < (other._first, other._second)
+
+    def __repr__(self) -> str:
+        return f"JoinCondition({self._first!r}, {self._second!r})"
+
+    def __str__(self) -> str:
+        return f"({self._first}, {self._second})"
+
+
+class JoinPath:
+    """An immutable set of :class:`JoinCondition` objects (Definition 2.1).
+
+    The empty join path (``JoinPath.empty()``) is the profile of any base
+    relation.  Join paths form a commutative, idempotent monoid under
+    :meth:`union`, which is exactly what the Figure 4 composition rules
+    require (:math:`R^\\bowtie = R_l^\\bowtie \\cup R_r^\\bowtie \\cup j`).
+    """
+
+    __slots__ = ("_conditions",)
+
+    _EMPTY: "JoinPath" = None  # type: ignore[assignment]
+
+    def __init__(self, conditions: Iterable[JoinCondition] = ()) -> None:
+        conds = frozenset(conditions)
+        for cond in conds:
+            if not isinstance(cond, JoinCondition):
+                raise JoinPathError(
+                    f"join path elements must be JoinCondition, got {type(cond).__name__}"
+                )
+        self._conditions = conds
+
+    @classmethod
+    def empty(cls) -> "JoinPath":
+        """The empty join path (shared singleton)."""
+        if cls._EMPTY is None:
+            cls._EMPTY = cls(())
+        return cls._EMPTY
+
+    @classmethod
+    def of(cls, *pairs: Tuple[str, str]) -> "JoinPath":
+        """Build a join path from ``(left, right)`` attribute-name pairs.
+
+        >>> JoinPath.of(("Holder", "Patient")) == JoinPath.of(("Patient", "Holder"))
+        True
+        """
+        return cls(JoinCondition(left, right) for left, right in pairs)
+
+    @classmethod
+    def of_pairs(cls, pairs: Iterable[Tuple[Sequence[str], Sequence[str]]]) -> "JoinPath":
+        """Build a join path from the paper's ``<J_l, J_r>`` list pairs.
+
+        Each pair consists of two equal-length attribute lists matched
+        positionally; every position contributes one atomic condition.
+
+        Raises:
+            JoinPathError: if a pair's lists differ in length or are empty.
+        """
+        conditions = []
+        for j_left, j_right in pairs:
+            if len(j_left) != len(j_right):
+                raise JoinPathError(
+                    f"join pair lists must have equal length, got {list(j_left)!r} and {list(j_right)!r}"
+                )
+            if not j_left:
+                raise JoinPathError("join pair lists must be non-empty")
+            for left, right in zip(j_left, j_right):
+                conditions.append(JoinCondition(left, right))
+        return cls(conditions)
+
+    @property
+    def conditions(self) -> FrozenSet[JoinCondition]:
+        """The atomic conditions of the path."""
+        return self._conditions
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """All attributes mentioned anywhere in the path."""
+        result: set = set()
+        for cond in self._conditions:
+            result.update(cond.attributes)
+        return frozenset(result)
+
+    def union(self, *others: "JoinPath") -> "JoinPath":
+        """Set-union of this path with ``others`` (Figure 4 join rule)."""
+        conditions = set(self._conditions)
+        for other in others:
+            conditions.update(other._conditions)
+        return JoinPath(conditions)
+
+    def with_condition(self, condition: JoinCondition) -> "JoinPath":
+        """Return a new path extended with one atomic condition."""
+        return JoinPath(self._conditions | {condition})
+
+    def is_empty(self) -> bool:
+        """Whether the path contains no conditions."""
+        return not self._conditions
+
+    def issubset(self, other: "JoinPath") -> bool:
+        """Whether every condition of this path appears in ``other``."""
+        return self._conditions <= other._conditions
+
+    def sorted_conditions(self) -> Tuple[JoinCondition, ...]:
+        """The conditions in deterministic (lexicographic) order."""
+        return tuple(sorted(self._conditions))
+
+    def __iter__(self) -> Iterator[JoinCondition]:
+        return iter(self.sorted_conditions())
+
+    def __len__(self) -> int:
+        return len(self._conditions)
+
+    def __contains__(self, condition: object) -> bool:
+        return condition in self._conditions
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JoinPath):
+            return NotImplemented
+        return self._conditions == other._conditions
+
+    def __hash__(self) -> int:
+        return hash(self._conditions)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(c) for c in self.sorted_conditions())
+        return f"JoinPath({{{inner}}})"
+
+    def __str__(self) -> str:
+        if self.is_empty():
+            return "-"
+        return "{" + ", ".join(str(c) for c in self.sorted_conditions()) + "}"

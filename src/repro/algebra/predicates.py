@@ -1,0 +1,222 @@
+"""Selection predicates.
+
+The paper's queries are select-from-where with a selection condition
+``C``; at the model level only the *set of attributes involved in the
+condition* matters (it feeds :math:`R^\\sigma` of the profile, Figure 4),
+but the tuple engine needs to actually evaluate conditions.  This module
+provides both: symbolic attribute extraction and concrete evaluation.
+
+A :class:`Predicate` is a conjunction of :class:`Comparison` atoms, each
+comparing an attribute against a literal or against another attribute
+with one of the standard operators.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, Iterable, Mapping, Sequence, Tuple, Union
+
+from repro.algebra.attributes import AttributeSet, validate_attribute_name
+from repro.exceptions import PredicateError
+
+#: Values a comparison literal may take in the tuple engine.
+Literal = Union[str, int, float, bool, None]
+
+_OPERATORS: Dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Comparison:
+    """A single comparison atom ``attribute op operand``.
+
+    ``operand`` is either a literal value or another attribute name.  Use
+    :meth:`attr_vs_attr` to build attribute/attribute comparisons
+    explicitly — a bare string operand is always treated as a literal.
+    """
+
+    __slots__ = ("_attribute", "_op", "_operand", "_operand_is_attribute")
+
+    def __init__(
+        self,
+        attribute: str,
+        op: str,
+        operand: Literal,
+        operand_is_attribute: bool = False,
+    ) -> None:
+        self._attribute = validate_attribute_name(attribute)
+        if op not in _OPERATORS:
+            raise PredicateError(f"unsupported comparison operator: {op!r}")
+        self._op = op
+        if operand_is_attribute:
+            if not isinstance(operand, str):
+                raise PredicateError("attribute operand must be a string name")
+            operand = validate_attribute_name(operand)
+        self._operand = operand
+        self._operand_is_attribute = operand_is_attribute
+
+    @classmethod
+    def attr_vs_attr(cls, left: str, op: str, right: str) -> "Comparison":
+        """Build a comparison between two attributes of the same relation."""
+        return cls(left, op, right, operand_is_attribute=True)
+
+    @property
+    def attribute(self) -> str:
+        """Left-hand attribute name."""
+        return self._attribute
+
+    @property
+    def op(self) -> str:
+        """Operator symbol."""
+        return self._op
+
+    @property
+    def operand(self) -> Literal:
+        """Right-hand operand (literal or attribute name)."""
+        return self._operand
+
+    @property
+    def operand_is_attribute(self) -> bool:
+        """Whether the operand is an attribute rather than a literal."""
+        return self._operand_is_attribute
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """All attributes mentioned — what feeds :math:`R^\\sigma`."""
+        if self._operand_is_attribute:
+            return frozenset((self._attribute, self._operand))  # type: ignore[arg-type]
+        return frozenset((self._attribute,))
+
+    def evaluate(self, row: Mapping[str, Literal]) -> bool:
+        """Evaluate the comparison against a row (attribute -> value).
+
+        ``None`` values follow SQL-ish semantics: any comparison with
+        ``None`` on either side is false.
+
+        Raises:
+            PredicateError: if a referenced attribute is missing from the
+                row or the value types are not comparable.
+        """
+        if self._attribute not in row:
+            raise PredicateError(f"row has no attribute {self._attribute!r}")
+        left_value = row[self._attribute]
+        if self._operand_is_attribute:
+            if self._operand not in row:
+                raise PredicateError(f"row has no attribute {self._operand!r}")
+            right_value = row[self._operand]  # type: ignore[index]
+        else:
+            right_value = self._operand
+        if left_value is None or right_value is None:
+            return False
+        try:
+            return _OPERATORS[self._op](left_value, right_value)
+        except TypeError as exc:
+            raise PredicateError(
+                f"cannot compare {left_value!r} {self._op} {right_value!r}"
+            ) from exc
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Comparison):
+            return NotImplemented
+        return (
+            self._attribute == other._attribute
+            and self._op == other._op
+            and self._operand == other._operand
+            and self._operand_is_attribute == other._operand_is_attribute
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._attribute, self._op, self._operand, self._operand_is_attribute))
+
+    def __repr__(self) -> str:
+        rhs = self._operand if self._operand_is_attribute else repr(self._operand)
+        return f"Comparison({self._attribute} {self._op} {rhs})"
+
+    def __str__(self) -> str:
+        if self._operand_is_attribute:
+            return f"{self._attribute}{self._op}{self._operand}"
+        if isinstance(self._operand, str):
+            return f"{self._attribute}{self._op}'{self._operand}'"
+        return f"{self._attribute}{self._op}{self._operand}"
+
+
+class Predicate:
+    """A conjunction of :class:`Comparison` atoms.
+
+    The empty predicate is vacuously true (useful as a neutral element
+    when composing WHERE clauses).
+    """
+
+    __slots__ = ("_comparisons",)
+
+    def __init__(self, comparisons: Iterable[Comparison] = ()) -> None:
+        comps = tuple(comparisons)
+        for comp in comps:
+            if not isinstance(comp, Comparison):
+                raise PredicateError(
+                    f"predicate atoms must be Comparison, got {type(comp).__name__}"
+                )
+        self._comparisons = comps
+
+    @classmethod
+    def true(cls) -> "Predicate":
+        """The empty (always-true) predicate."""
+        return cls(())
+
+    @property
+    def comparisons(self) -> Tuple[Comparison, ...]:
+        """The conjunct atoms, in construction order."""
+        return self._comparisons
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """Union of the attributes of every atom — the :math:`X` of
+        :math:`\\sigma_X` in Figure 4."""
+        result: set = set()
+        for comp in self._comparisons:
+            result.update(comp.attributes)
+        return frozenset(result)
+
+    def evaluate(self, row: Mapping[str, Literal]) -> bool:
+        """Whether every atom holds on ``row``."""
+        return all(comp.evaluate(row) for comp in self._comparisons)
+
+    def conjoin(self, other: "Predicate") -> "Predicate":
+        """Conjunction of two predicates."""
+        return Predicate(self._comparisons + other._comparisons)
+
+    def is_true(self) -> bool:
+        """Whether the predicate is the empty conjunction."""
+        return not self._comparisons
+
+    def restrict_to(self, attributes: AttributeSet) -> Tuple["Predicate", "Predicate"]:
+        """Split into (atoms referencing only ``attributes``, the rest).
+
+        Used by the plan builder to push selections down to the subtree
+        that owns their attributes.
+        """
+        inside = [c for c in self._comparisons if c.attributes <= attributes]
+        outside = [c for c in self._comparisons if not (c.attributes <= attributes)]
+        return Predicate(inside), Predicate(outside)
+
+    def __len__(self) -> int:
+        return len(self._comparisons)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Predicate):
+            return NotImplemented
+        return frozenset(self._comparisons) == frozenset(other._comparisons)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._comparisons))
+
+    def __repr__(self) -> str:
+        return f"Predicate({' AND '.join(str(c) for c in self._comparisons) or 'TRUE'})"
+
+    def __str__(self) -> str:
+        return " AND ".join(str(c) for c in self._comparisons) or "TRUE"

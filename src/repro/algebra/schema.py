@@ -1,0 +1,302 @@
+"""Relation schemas and the distributed catalog.
+
+A :class:`RelationSchema` is the paper's ``R(A_1, ..., A_n)`` with an
+optional primary key and the name of the server storing the relation
+(Figure 1 places each relation at exactly one server).
+
+A :class:`Catalog` collects the schemas of a distributed system, enforces
+the paper's globally-distinct-attribute-names assumption, and records the
+*join edges* — the "lines" of Figure 1 — i.e. the attribute pairs over
+which joins are considered meaningful.  Join edges bound the chase closure
+(:mod:`repro.core.closure`) and drive the synthetic workload generator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algebra.attributes import AttributeSet, validate_attribute_name
+from repro.algebra.joins import JoinCondition, JoinPath
+from repro.exceptions import SchemaError, UnknownAttributeError, UnknownRelationError
+
+
+class RelationSchema:
+    """Schema of a single relation: name, ordered attributes, key, server.
+
+    Args:
+        name: relation name, unique within a catalog.
+        attributes: ordered attribute names (order is cosmetic; the model
+            works on sets, but ordered schemas render nicely and drive the
+            tuple engine's column order).
+        primary_key: subset of ``attributes`` uniquely identifying tuples;
+            defaults to the first attribute.
+        server: name of the server storing the relation, if placed.
+    """
+
+    __slots__ = ("_name", "_attributes", "_primary_key", "_server")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        primary_key: Optional[Sequence[str]] = None,
+        server: Optional[str] = None,
+    ) -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"invalid relation name: {name!r}")
+        attrs = tuple(validate_attribute_name(a) for a in attributes)
+        if not attrs:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"relation {name!r} has duplicate attributes: {attrs}")
+        if primary_key is None:
+            key = (attrs[0],)
+        else:
+            key = tuple(primary_key)
+            unknown = [a for a in key if a not in attrs]
+            if unknown:
+                raise SchemaError(
+                    f"primary key of {name!r} references unknown attributes: {unknown}"
+                )
+            if not key:
+                raise SchemaError(f"primary key of {name!r} must be non-empty")
+        self._name = name
+        self._attributes = attrs
+        self._primary_key = key
+        self._server = server
+
+    @property
+    def name(self) -> str:
+        """Relation name."""
+        return self._name
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Ordered attribute names."""
+        return self._attributes
+
+    @property
+    def attribute_set(self) -> AttributeSet:
+        """The schema as an (unordered) attribute set — the base profile's
+        :math:`R^\\pi`."""
+        return frozenset(self._attributes)
+
+    @property
+    def primary_key(self) -> Tuple[str, ...]:
+        """Primary-key attributes."""
+        return self._primary_key
+
+    @property
+    def server(self) -> Optional[str]:
+        """Name of the storing server, or ``None`` if unplaced."""
+        return self._server
+
+    def placed_at(self, server: str) -> "RelationSchema":
+        """Return a copy of this schema placed at ``server``."""
+        return RelationSchema(self._name, self._attributes, self._primary_key, server)
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._attributes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and self._attributes == other._attributes
+            and self._primary_key == other._primary_key
+            and self._server == other._server
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._attributes, self._primary_key, self._server))
+
+    def __repr__(self) -> str:
+        key = ", ".join(self._primary_key)
+        at = f" @ {self._server}" if self._server else ""
+        return f"{self._name}({', '.join(self._attributes)}; key={key}){at}"
+
+
+class Catalog:
+    """The schemas and join edges of a distributed system.
+
+    The catalog enforces the paper's simplifying assumption that relation
+    and attribute names are globally distinct (Section 2): adding a
+    relation whose attributes collide with an existing relation raises
+    :class:`~repro.exceptions.SchemaError` unless the caller qualified the
+    names with dot notation.
+    """
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()) -> None:
+        self._relations: Dict[str, RelationSchema] = {}
+        self._attribute_owner: Dict[str, str] = {}
+        self._join_edges: set = set()
+        for relation in relations:
+            self.add_relation(relation)
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+
+    def add_relation(self, relation: RelationSchema) -> None:
+        """Register a relation schema.
+
+        Raises:
+            SchemaError: on duplicate relation names or attribute-name
+                collisions across relations.
+        """
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation name: {relation.name!r}")
+        for attribute in relation.attributes:
+            owner = self._attribute_owner.get(attribute)
+            if owner is not None:
+                raise SchemaError(
+                    f"attribute {attribute!r} of {relation.name!r} collides with "
+                    f"relation {owner!r}; qualify it as {owner}.{attribute} / "
+                    f"{relation.name}.{attribute}"
+                )
+        self._relations[relation.name] = relation
+        for attribute in relation.attributes:
+            self._attribute_owner[attribute] = relation.name
+
+    def relation(self, name: str) -> RelationSchema:
+        """Look up a relation schema by name.
+
+        Raises:
+            UnknownRelationError: if no such relation exists.
+        """
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def relations(self) -> List[RelationSchema]:
+        """All relation schemas, sorted by name for determinism."""
+        return [self._relations[name] for name in sorted(self._relations)]
+
+    def relation_names(self) -> List[str]:
+        """All relation names, sorted."""
+        return sorted(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations())
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+
+    def owner_of(self, attribute: str) -> RelationSchema:
+        """Return the relation owning ``attribute``.
+
+        Raises:
+            UnknownAttributeError: if the attribute belongs to no relation.
+        """
+        owner = self._attribute_owner.get(attribute)
+        if owner is None:
+            raise UnknownAttributeError(attribute, "catalog")
+        return self._relations[owner]
+
+    def has_attribute(self, attribute: str) -> bool:
+        """Whether any relation owns ``attribute``."""
+        return attribute in self._attribute_owner
+
+    def all_attributes(self) -> AttributeSet:
+        """Every attribute of every relation."""
+        return frozenset(self._attribute_owner)
+
+    def relations_of(self, attributes: Iterable[str]) -> List[str]:
+        """Names of the relations owning ``attributes``, sorted, deduplicated.
+
+        Raises:
+            UnknownAttributeError: for attributes owned by no relation.
+        """
+        names = {self.owner_of(a).name for a in attributes}
+        return sorted(names)
+
+    # ------------------------------------------------------------------
+    # Join edges (the "lines" of Figure 1)
+    # ------------------------------------------------------------------
+
+    def add_join_edge(self, left: str, right: str) -> JoinCondition:
+        """Declare that joining on ``left = right`` is meaningful.
+
+        Both attributes must already belong to catalog relations.  Returns
+        the normalized :class:`JoinCondition`.
+        """
+        for attribute in (left, right):
+            if not self.has_attribute(attribute):
+                raise UnknownAttributeError(attribute, "join edge")
+        condition = JoinCondition(left, right)
+        self._join_edges.add(condition)
+        return condition
+
+    def join_edges(self) -> Tuple[JoinCondition, ...]:
+        """All declared join edges, deterministically ordered."""
+        return tuple(sorted(self._join_edges))
+
+    def is_join_edge(self, condition: JoinCondition) -> bool:
+        """Whether ``condition`` was declared as a join edge."""
+        return condition in self._join_edges
+
+    def join_edges_between(self, left_relation: str, right_relation: str) -> List[JoinCondition]:
+        """Join edges connecting two given relations (either orientation)."""
+        left_attrs = self.relation(left_relation).attribute_set
+        right_attrs = self.relation(right_relation).attribute_set
+        edges = []
+        for condition in self.join_edges():
+            a, b = condition.first, condition.second
+            if (a in left_attrs and b in right_attrs) or (a in right_attrs and b in left_attrs):
+                edges.append(condition)
+        return edges
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def server_of(self, relation_name: str) -> str:
+        """Return the server storing ``relation_name``.
+
+        Raises:
+            SchemaError: if the relation is not placed at any server.
+        """
+        relation = self.relation(relation_name)
+        if relation.server is None:
+            raise SchemaError(f"relation {relation_name!r} is not placed at any server")
+        return relation.server
+
+    def servers(self) -> List[str]:
+        """All distinct server names hosting at least one relation, sorted."""
+        return sorted({r.server for r in self._relations.values() if r.server is not None})
+
+    def relations_at(self, server: str) -> List[RelationSchema]:
+        """Relations stored at ``server``, sorted by name."""
+        return [r for r in self.relations() if r.server == server]
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+
+    def validate_join_path(self, path: JoinPath) -> None:
+        """Check that every attribute of ``path`` exists in the catalog.
+
+        Raises:
+            UnknownAttributeError: on the first unresolved attribute.
+        """
+        for attribute in sorted(path.attributes):
+            if not self.has_attribute(attribute):
+                raise UnknownAttributeError(attribute, "join path")
+
+    def describe(self) -> str:
+        """Human-readable catalog summary (Figure 1 style)."""
+        lines = []
+        for relation in self.relations():
+            lines.append(repr(relation))
+        if self._join_edges:
+            lines.append("join edges: " + ", ".join(str(e) for e in self.join_edges()))
+        return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Reporting, exposure and what-if analysis helpers."""
+
+from repro.analysis.reporting import (
+    ascii_table,
+    render_policy_table,
+    render_trace_table,
+)
+from repro.analysis.exposure import (
+    ExposureReport,
+    ServerExposure,
+    compare_exposure,
+    exposure_of_assignment,
+)
+from repro.analysis.whatif import (
+    ModeRepair,
+    RepairPlan,
+    missing_grants_for_join,
+    suggest_repair,
+)
+from repro.analysis.compliance import PolicyUsageReport, RuleUsage, usage_report
+from repro.analysis.explain import (
+    JoinExplanation,
+    ViewCheck,
+    explain_planning,
+    render_explanation,
+)
+from repro.analysis.revocation import (
+    RuleImpact,
+    revocation_impact,
+    safe_revocations,
+)
+
+__all__ = [
+    "ascii_table",
+    "render_trace_table",
+    "render_policy_table",
+    "ExposureReport",
+    "ServerExposure",
+    "exposure_of_assignment",
+    "compare_exposure",
+    "ModeRepair",
+    "RepairPlan",
+    "missing_grants_for_join",
+    "suggest_repair",
+    "PolicyUsageReport",
+    "RuleUsage",
+    "usage_report",
+    "JoinExplanation",
+    "ViewCheck",
+    "explain_planning",
+    "render_explanation",
+    "RuleImpact",
+    "revocation_impact",
+    "safe_revocations",
+]

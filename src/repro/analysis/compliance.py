@@ -1,0 +1,155 @@
+"""Policy hygiene: which rules a query workload actually exercises.
+
+Authorization policies rot: rules accumulate for queries long retired,
+and every unused grant is standing exposure.  This module folds the
+audit trails of executed queries into a :class:`PolicyUsageReport` —
+per rule, how many transfers it covered, over which links — and lists
+the rules no execution ever needed, ranked by how much they grant.
+
+The accounting hangs off the ``authorized_by`` stamp the audit layer
+attaches to every permitted transfer, so it reflects what actually
+flowed, not what the planner considered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.reporting import ascii_table
+from repro.core.authorization import Authorization, Policy
+from repro.engine.executor import ExecutionResult
+from repro.engine.transfers import Transfer
+from repro.exceptions import ReproError
+
+
+class RuleUsage:
+    """Usage statistics of one authorization.
+
+    Attributes:
+        rule: the authorization.
+        transfer_count: transfers this rule covered.
+        byte_total: payload bytes released under it.
+        links: distinct (sender, receiver) pairs it covered.
+    """
+
+    __slots__ = ("rule", "transfer_count", "byte_total", "links")
+
+    def __init__(self, rule: Authorization) -> None:
+        self.rule = rule
+        self.transfer_count = 0
+        self.byte_total = 0
+        self.links: Set[Tuple[str, str]] = set()
+
+    def record(self, transfer: Transfer) -> None:
+        """Account one covered transfer."""
+        self.transfer_count += 1
+        self.byte_total += transfer.byte_size
+        self.links.add((transfer.sender, transfer.receiver))
+
+    def __repr__(self) -> str:
+        return (
+            f"RuleUsage({self.rule}: {self.transfer_count} transfers, "
+            f"{self.byte_total} B)"
+        )
+
+
+class PolicyUsageReport:
+    """Aggregated rule usage over a set of executions.
+
+    Args:
+        policy: the policy whose rules are being tracked; rules outside
+            it (e.g. from a different closure) are rejected, catching
+            mixed-up audit trails early.
+    """
+
+    def __init__(self, policy: Policy) -> None:
+        self._policy = policy
+        self._usage: Dict[Authorization, RuleUsage] = {}
+        self._executions = 0
+        self._uncovered_local = 0
+
+    def record_execution(self, result: ExecutionResult) -> None:
+        """Fold one audited execution into the report.
+
+        Raises:
+            ReproError: if the execution was not audited, or a transfer
+                was covered by a rule outside the tracked policy.
+        """
+        if result.audit is None:
+            raise ReproError(
+                "cannot build a usage report from an unaudited execution"
+            )
+        self._executions += 1
+        for transfer in result.transfers:
+            rule = transfer.authorized_by
+            if rule is None:
+                # Local hand-offs and duck-typed policies carry no rule.
+                self._uncovered_local += 1
+                continue
+            if rule not in self._policy:
+                raise ReproError(
+                    f"transfer covered by a rule outside the tracked policy: {rule}"
+                )
+            self._usage.setdefault(rule, RuleUsage(rule)).record(transfer)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def executions_recorded(self) -> int:
+        """How many executions were folded in."""
+        return self._executions
+
+    def usage_of(self, rule: Authorization) -> RuleUsage:
+        """Usage of one rule (zeroed if never exercised)."""
+        return self._usage.get(rule, RuleUsage(rule))
+
+    def exercised_rules(self) -> List[RuleUsage]:
+        """Rules that covered at least one transfer, busiest first."""
+        return sorted(
+            self._usage.values(),
+            key=lambda u: (-u.transfer_count, -u.byte_total, str(u.rule)),
+        )
+
+    def unused_rules(self) -> List[Authorization]:
+        """Rules never exercised, widest grants first — the review
+        queue for a least-privilege pass."""
+        unused = [rule for rule in self._policy if rule not in self._usage]
+        return sorted(
+            unused, key=lambda r: (-len(r.attributes), str(r))
+        )
+
+    def coverage_fraction(self) -> float:
+        """Exercised rules / total rules (0.0 on an empty policy)."""
+        if not len(self._policy):
+            return 0.0
+        return len(self._usage) / len(self._policy)
+
+    def describe(self) -> str:
+        """Usage table plus the unused-rule review queue."""
+        rows = [
+            [str(u.rule), u.transfer_count, u.byte_total, len(u.links)]
+            for u in self.exercised_rules()
+        ]
+        lines = [
+            f"{self._executions} executions, "
+            f"{len(self._usage)}/{len(self._policy)} rules exercised "
+            f"({self.coverage_fraction():.0%})",
+            ascii_table(["rule", "transfers", "bytes", "links"], rows),
+        ]
+        unused = self.unused_rules()
+        if unused:
+            lines.append("never exercised:")
+            lines.extend(f"  {rule}" for rule in unused)
+        return "\n".join(lines)
+
+
+def usage_report(
+    policy: Policy, results: Iterable[ExecutionResult]
+) -> PolicyUsageReport:
+    """Build a report over several executions in one call."""
+    report = PolicyUsageReport(policy)
+    for result in results:
+        report.record_execution(result)
+    return report

@@ -1,0 +1,154 @@
+"""Exposure analysis: what does each server *learn* from an execution?
+
+Safety (Definition 4.2) is a yes/no question; policy authors also want
+the quantitative view: for a given strategy, the union of everything
+each party is shown.  This module folds an assignment's flows (or an
+actual execution's transfers) into a per-server :class:`ExposureReport`
+— which attributes each server receives, under which join paths, from
+whom — and compares strategies by exposure, not just by cost.
+
+The unit of accounting is the *received view*: one (profile, sender)
+pair per flow.  Attributes a server already stores are reported
+separately from attributes it learns from others.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.algebra.attributes import AttributeSet, format_attribute_set
+from repro.algebra.schema import Catalog
+from repro.core.assignment import Assignment
+from repro.core.flows import Flow
+from repro.core.profile import RelationProfile
+from repro.core.safety import enumerate_assignment_flows
+
+
+class ServerExposure:
+    """Everything one server is shown by a strategy.
+
+    Attributes:
+        server: the party.
+        received: the (sender, profile) pairs of inbound releases, in
+            flow order.
+    """
+
+    __slots__ = ("server", "received")
+
+    def __init__(self, server: str) -> None:
+        self.server = server
+        self.received: List[Tuple[str, RelationProfile]] = []
+
+    def attributes_seen(self) -> AttributeSet:
+        """Union of attributes across every received view (including
+        selection attributes, which Definition 3.3 counts as exposed)."""
+        seen: Set[str] = set()
+        for _, profile in self.received:
+            seen |= profile.exposed_attributes
+        return frozenset(seen)
+
+    def associations_seen(self) -> Set:
+        """Every join condition embodied by some received view —
+        the associations (not just values) the server learns."""
+        conditions: Set = set()
+        for _, profile in self.received:
+            conditions |= set(profile.join_path.conditions)
+        return conditions
+
+    def senders(self) -> List[str]:
+        """Distinct counterparties that released data to this server."""
+        return sorted({sender for sender, _ in self.received})
+
+    def __repr__(self) -> str:
+        return (
+            f"ServerExposure({self.server}: {len(self.received)} views, "
+            f"{len(self.attributes_seen())} attributes)"
+        )
+
+
+class ExposureReport:
+    """Per-server exposure of one strategy."""
+
+    def __init__(self, catalog: Optional[Catalog] = None) -> None:
+        self._catalog = catalog
+        self._by_server: Dict[str, ServerExposure] = {}
+
+    def record(self, flow: Flow) -> None:
+        """Account one release flow (local hand-offs are ignored)."""
+        if not flow.is_release:
+            return
+        exposure = self._by_server.setdefault(
+            flow.receiver, ServerExposure(flow.receiver)
+        )
+        exposure.received.append((flow.sender, flow.profile))
+
+    def exposure_of(self, server: str) -> ServerExposure:
+        """The exposure of one server (empty if it received nothing)."""
+        return self._by_server.get(server, ServerExposure(server))
+
+    def servers(self) -> List[str]:
+        """Servers that received at least one view, sorted."""
+        return sorted(self._by_server)
+
+    def foreign_attributes_of(self, server: str) -> AttributeSet:
+        """Attributes ``server`` learned that it does not itself store
+        (requires a catalog at construction)."""
+        seen = self.exposure_of(server).attributes_seen()
+        if self._catalog is None:
+            return seen
+        own: Set[str] = set()
+        if server in {r.server for r in self._catalog.relations()}:
+            for relation in self._catalog.relations_at(server):
+                own |= relation.attribute_set
+        return frozenset(seen - own)
+
+    def total_exposure_score(self) -> int:
+        """A simple comparable scalar: the sum over servers of foreign
+        attributes learned.  Lower is better; zero means the strategy
+        shows nobody anything they do not already store."""
+        return sum(
+            len(self.foreign_attributes_of(server)) for server in self.servers()
+        )
+
+    def describe(self) -> str:
+        """One block per exposed server."""
+        lines = []
+        for server in self.servers():
+            exposure = self.exposure_of(server)
+            lines.append(
+                f"{server} learns {format_attribute_set(self.foreign_attributes_of(server))} "
+                f"from {', '.join(exposure.senders())}"
+            )
+            for sender, profile in exposure.received:
+                lines.append(f"  {sender}: {profile}")
+        return "\n".join(lines) if lines else "(no server receives anything)"
+
+
+def exposure_of_assignment(
+    assignment: Assignment,
+    catalog: Optional[Catalog] = None,
+    recipient: Optional[str] = None,
+) -> ExposureReport:
+    """Exposure report for a planned strategy (symbolic flows)."""
+    report = ExposureReport(catalog)
+    for flow in enumerate_assignment_flows(assignment, recipient=recipient):
+        report.record(flow)
+    return report
+
+
+def compare_exposure(
+    first: ExposureReport, second: ExposureReport
+) -> Dict[str, Tuple[AttributeSet, AttributeSet]]:
+    """Per-server exposure difference between two strategies.
+
+    Returns, for each server exposed by either strategy, the pair
+    ``(only in first, only in second)`` of foreign attributes.  Servers
+    with identical exposure are omitted.
+    """
+    deltas: Dict[str, Tuple[AttributeSet, AttributeSet]] = {}
+    for server in sorted(set(first.servers()) | set(second.servers())):
+        in_first = first.foreign_attributes_of(server)
+        in_second = second.foreign_attributes_of(server)
+        if in_first != in_second:
+            deltas[server] = (in_first - in_second, in_second - in_first)
+    return deltas

@@ -1,0 +1,86 @@
+"""Rendering helpers: Figure 7 style traces, Figure 3 style policies,
+and the plain ASCII tables used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.algebra.attributes import format_attribute_set
+from repro.core.authorization import Policy
+from repro.core.planner import PlannerTrace
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A minimal fixed-width table with a header separator.
+
+    >>> print(ascii_table(["a", "b"], [[1, "x"]]))
+    a | b
+    --+--
+    1 | x
+    """
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    header = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths)).rstrip()
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_trace_table(trace: PlannerTrace, labels: Optional[dict] = None) -> str:
+    """Render a planning trace in the layout of the paper's Figure 7.
+
+    Left block: ``Find_candidates`` visit order with the candidate list
+    and the recorded slave (as in the paper, only a slave actually
+    recorded for a semi-join admission is shown).  Right block:
+    ``Assign_ex`` order with the committed executor.
+
+    Args:
+        trace: a trace from :meth:`repro.core.planner.SafePlanner.plan`.
+        labels: optional mapping ``node_id -> display name`` (e.g. to
+            match the paper's ``n_0..n_6`` numbering).
+    """
+    labels = labels or {}
+
+    def name(node_id: int) -> str:
+        return labels.get(node_id, f"n{node_id}")
+
+    find_rows: List[List[str]] = []
+    for node_id in trace.find_order:
+        decision = trace.decision(node_id)
+        candidates = ", ".join(repr(c) for c in decision.candidates)
+        slaves = []
+        if decision.left_slave is not None:
+            slaves.append(decision.left_slave.server)
+        if decision.right_slave is not None:
+            slaves.append(decision.right_slave.server)
+        find_rows.append([name(node_id), candidates, "/".join(slaves)])
+    assign_rows: List[List[str]] = []
+    for node_id, pushed in trace.assign_order:
+        decision = trace.decision(node_id)
+        executor = str(decision.executor) if decision.executor else "?"
+        assign_rows.append([name(node_id), executor, pushed or "NULL"])
+    return (
+        "Find_candidates\n"
+        + ascii_table(["Node", "Candidates", "Slave"], find_rows)
+        + "\n\nAssign_ex\n"
+        + ascii_table(["Node", "Executor", "Pushed"], assign_rows)
+    )
+
+
+def render_policy_table(policy: Policy) -> str:
+    """Render a policy in the layout of the paper's Figure 3."""
+    rows = []
+    for index, rule in enumerate(policy, start=1):
+        rows.append(
+            [
+                index,
+                format_attribute_set(rule.attributes),
+                str(rule.join_path),
+                rule.server,
+            ]
+        )
+    return ascii_table(["#", "Attributes", "Join Path", "Server"], rows)

@@ -1,0 +1,25 @@
+"""Comparison baselines for the paper's planner.
+
+* :mod:`repro.baselines.exhaustive` — enumerate *every* structurally
+  valid executor assignment (Definition 4.1), keep the safe ones
+  (Definition 4.2), and rank them by estimated communication cost: the
+  optimum the Figure 6 heuristic approximates.
+* :mod:`repro.baselines.centralized` — the classical warehouse strategy:
+  ship every base relation to one site and evaluate there; fast to
+  reason about, expensive on the wire, and usually unsafe under
+  realistic policies.
+"""
+
+from repro.baselines.exhaustive import (
+    enumerate_safe_assignments,
+    enumerate_structural_assignments,
+    optimal_safe_assignment,
+)
+from repro.baselines.centralized import CentralizedBaseline
+
+__all__ = [
+    "enumerate_safe_assignments",
+    "enumerate_structural_assignments",
+    "optimal_safe_assignment",
+    "CentralizedBaseline",
+]

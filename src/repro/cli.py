@@ -1,0 +1,255 @@
+"""Command-line interface.
+
+Five subcommands over a workload (the built-in medical scenario or
+JSON catalog/policy files, see :mod:`repro.io`):
+
+* ``describe`` — the catalog and the policy (Figure 3 layout);
+* ``plan``     — minimized tree, Figure 7 style trace, executor
+  assignment and per-server exposure for a SQL query;
+* ``execute``  — run the query tuple-level and report every audited
+  transfer (medical workload generates instances; JSON workloads take
+  ``--instances``);
+* ``suggest``  — for an infeasible query, the smallest grants that
+  would unlock it (what-if analysis);
+* ``check``    — a single CanView question: may SERVER see these
+  attributes under this join path?
+
+Examples::
+
+    python -m repro.cli describe
+    python -m repro.cli plan --sql "SELECT Plan, HealthAid FROM Insurance \
+        JOIN Nat_registry ON Holder = Citizen"
+    python -m repro.cli execute --sql "..." --citizens 200
+    python -m repro.cli suggest --sql "SELECT Physician, Treatment FROM \
+        Disease_list JOIN Hospital ON Illness = Disease"
+    python -m repro.cli check --server S_I --attributes Holder Plan
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.algebra.builder import build_plan
+from repro.algebra.joins import JoinPath
+from repro.analysis.exposure import exposure_of_assignment
+from repro.analysis.reporting import render_policy_table, render_trace_table
+from repro.analysis.whatif import suggest_repair
+from repro.core.access import can_view, explain_denial
+from repro.core.profile import RelationProfile
+from repro.distributed.system import DistributedSystem
+from repro.exceptions import InfeasiblePlanError, ReproError
+from repro.io import catalog_from_dict, load_json, policy_from_dict
+from repro.sql import parse_query
+from repro.workloads.medical import generate_instances, medical_catalog, medical_policy
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Controlled information sharing in collaborative "
+        "distributed query processing (ICDCS 2008 reproduction).",
+    )
+    parser.add_argument(
+        "--catalog", help="JSON catalog file (default: built-in medical workload)"
+    )
+    parser.add_argument(
+        "--policy", help="JSON policy file (default: built-in Figure 3 policy)"
+    )
+    parser.add_argument(
+        "--no-closure",
+        action="store_true",
+        help="do not close the policy under the chase before planning",
+    )
+    parser.add_argument(
+        "--third-party",
+        action="append",
+        default=[],
+        metavar="SERVER",
+        help="server usable as a join coordinator (repeatable)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("describe", help="print the catalog and the policy")
+
+    plan_cmd = commands.add_parser("plan", help="plan a SQL query safely")
+    plan_cmd.add_argument("--sql", required=True)
+    plan_cmd.add_argument(
+        "--search-orders",
+        action="store_true",
+        help="try alternative join orders when the given one is infeasible",
+    )
+
+    execute_cmd = commands.add_parser("execute", help="plan and run a SQL query")
+    execute_cmd.add_argument("--sql", required=True)
+    execute_cmd.add_argument("--recipient", help="deliver the result to this party")
+    execute_cmd.add_argument(
+        "--instances", help="JSON instances file (relation -> rows)"
+    )
+    execute_cmd.add_argument("--seed", type=int, default=7)
+    execute_cmd.add_argument("--citizens", type=int, default=100)
+
+    suggest_cmd = commands.add_parser(
+        "suggest", help="suggest minimal grants for an infeasible query"
+    )
+    suggest_cmd.add_argument("--sql", required=True)
+
+    explain_cmd = commands.add_parser(
+        "explain", help="explain every CanView decision of a query's planning"
+    )
+    explain_cmd.add_argument("--sql", required=True)
+
+    check_cmd = commands.add_parser("check", help="one CanView question")
+    check_cmd.add_argument("--server", required=True)
+    check_cmd.add_argument("--attributes", nargs="+", required=True)
+    check_cmd.add_argument(
+        "--join",
+        action="append",
+        default=[],
+        metavar="A=B",
+        help="join condition of the view's path (repeatable)",
+    )
+    return parser
+
+
+def _load_system(args: argparse.Namespace) -> DistributedSystem:
+    if args.catalog:
+        catalog = catalog_from_dict(load_json(args.catalog))
+    else:
+        catalog = medical_catalog()
+    if args.policy:
+        policy = policy_from_dict(load_json(args.policy))
+    else:
+        policy = medical_policy()
+    return DistributedSystem(
+        catalog,
+        policy,
+        apply_closure=not args.no_closure,
+        third_parties=args.third_party,
+    )
+
+
+def _cmd_describe(system: DistributedSystem, args, out) -> int:
+    print(system.catalog.describe(), file=out)
+    print(file=out)
+    print(render_policy_table(system.explicit_policy), file=out)
+    print(
+        f"\n({len(system.explicit_policy)} explicit rules, "
+        f"{len(system.policy)} after closure)",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_plan(system: DistributedSystem, args, out) -> int:
+    try:
+        tree, assignment, trace = system.plan(
+            args.sql, search_join_orders=args.search_orders
+        )
+    except InfeasiblePlanError as error:
+        print(f"infeasible: {error}", file=out)
+        return 2
+    print(tree.render(), file=out)
+    print(file=out)
+    print(render_trace_table(trace), file=out)
+    print("\nassignment:", file=out)
+    print(assignment.describe(), file=out)
+    print("\nexposure:", file=out)
+    print(exposure_of_assignment(assignment, system.catalog).describe(), file=out)
+    return 0
+
+
+def _cmd_execute(system: DistributedSystem, args, out) -> int:
+    if args.instances:
+        system.load_instances(load_json(args.instances))
+    elif not args.catalog:
+        system.load_instances(
+            generate_instances(seed=args.seed, citizens=args.citizens)
+        )
+    else:
+        print("error: --instances is required for JSON workloads", file=out)
+        return 2
+    try:
+        result = system.execute(args.sql, recipient=args.recipient)
+    except InfeasiblePlanError as error:
+        print(f"infeasible: {error}", file=out)
+        return 2
+    print(
+        f"result: {len(result.table)} rows at {result.result_server}", file=out
+    )
+    print(result.transfers.describe(), file=out)
+    if result.audit is not None:
+        print(result.audit.summary(), file=out)
+    return 0
+
+
+def _cmd_suggest(system: DistributedSystem, args, out) -> int:
+    spec = parse_query(args.sql, system.catalog)
+    tree = build_plan(system.catalog, spec)
+    repair = suggest_repair(system.policy, tree)
+    print(repair.describe(), file=out)
+    if repair.is_already_feasible:
+        return 0
+    augmented = repair.augmented_policy(system.policy)
+    from repro.core.planner import SafePlanner
+
+    SafePlanner(augmented).plan(tree)
+    print("\n(the plan is feasible under the augmented policy)", file=out)
+    return 0
+
+
+def _cmd_explain(system: DistributedSystem, args, out) -> int:
+    from repro.analysis.explain import explain_planning, render_explanation
+
+    spec = parse_query(args.sql, system.catalog)
+    tree = build_plan(system.catalog, spec)
+    explanations, feasible = explain_planning(system.policy, tree)
+    print(tree.render(), file=out)
+    print(file=out)
+    print(render_explanation(system.policy, tree, explanations), file=out)
+    print(f"\nfeasible: {feasible}", file=out)
+    return 0 if feasible else 2
+
+
+def _cmd_check(system: DistributedSystem, args, out) -> int:
+    pairs = []
+    for condition in args.join:
+        if "=" not in condition:
+            print(f"error: bad join condition {condition!r}; use A=B", file=out)
+            return 2
+        left, right = condition.split("=", 1)
+        pairs.append((left.strip(), right.strip()))
+    profile = RelationProfile(args.attributes, JoinPath.of(*pairs))
+    allowed = can_view(system.policy, profile, args.server)
+    print(f"{args.server} may view {profile}: {allowed}", file=out)
+    if not allowed:
+        print(explain_denial(system.policy, profile, args.server), file=out)
+    return 0 if allowed else 1
+
+
+_COMMANDS = {
+    "describe": _cmd_describe,
+    "plan": _cmd_plan,
+    "execute": _cmd_execute,
+    "suggest": _cmd_suggest,
+    "explain": _cmd_explain,
+    "check": _cmd_check,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        system = _load_system(args)
+        return _COMMANDS[args.command](system, args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Authorized-view evaluation (Definition 3.3) — the paper's ``CanView``.
+
+A server ``S`` is authorized to view a relation with profile
+:math:`[R^\\pi, R^\\bowtie, R^\\sigma]` iff some authorization
+``[A, J] -> S`` satisfies **both**:
+
+1. :math:`R^\\pi \\cup R^\\sigma \\subseteq A` — the rule grants every
+   attribute the relation exposes, including those consumed by selection
+   conditions along its construction; and
+2. :math:`R^\\bowtie = J` — the join paths are *equal*.
+
+Condition 2 is deliberately not a containment: a relation built with an
+extra join condition carries extra information (which of its tuples have
+matches in the joined relation), so an authorization whose join path is
+a subset of the profile's does **not** imply the release — this is the
+Disease_list counterexample of Section 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.authorization import Authorization, Policy
+from repro.core.profile import RelationProfile
+
+
+def authorization_covers(authorization: Authorization, profile: RelationProfile) -> bool:
+    """Whether one rule covers one profile (both Definition 3.3 clauses)."""
+    if not profile.exposed_attributes <= authorization.attributes:
+        return False
+    return profile.join_path == authorization.join_path
+
+
+def can_view(policy, profile: RelationProfile, server: str) -> bool:
+    """The paper's ``CanView(profile, S)``: whether ``server`` may be
+    released a relation with ``profile`` under ``policy``.
+
+    ``policy`` is normally a closed :class:`Policy`; any object exposing
+    a ``permits(profile, server)`` method (e.g. the open-policy variant
+    of :class:`repro.core.openpolicy.OpenPolicy`) is also accepted, so the
+    planner and verifier work under both regimes.
+    """
+    permits = getattr(policy, "permits", None)
+    if permits is not None:
+        return bool(permits(profile, server))
+    if isinstance(policy, Policy):
+        # Clause 2 of Definition 3.3 is join-path *equality*, so only the
+        # exact-path bucket of the index can match.
+        exposed = profile.exposed_attributes
+        return any(
+            exposed <= rule.attributes
+            for rule in policy.rules_for_path(server, profile.join_path)
+        )
+    return any(
+        authorization_covers(rule, profile) for rule in policy.rules_for(server)
+    )
+
+
+def covering_authorizations(
+    policy: Policy, profile: RelationProfile, server: str
+) -> List[Authorization]:
+    """All rules of ``server`` covering ``profile`` (for explanations,
+    audit records and tests)."""
+    return [
+        rule for rule in policy.rules_for(server) if authorization_covers(rule, profile)
+    ]
+
+
+def first_covering_authorization(
+    policy: Policy, profile: RelationProfile, server: str
+) -> Optional[Authorization]:
+    """The first covering rule in policy order, or ``None``.
+
+    The runtime audit attaches this rule to every permitted transfer so
+    that each release is accountable to a specific grant.
+    """
+    for rule in policy.rules_for(server):
+        if authorization_covers(rule, profile):
+            return rule
+    return None
+
+
+def explain_denial(policy: Policy, profile: RelationProfile, server: str) -> str:
+    """Human-readable explanation of why ``server`` cannot view ``profile``.
+
+    For each of the server's rules, reports which Definition 3.3 clause
+    fails.  Returns an empty string when access is actually granted.
+    """
+    if can_view(policy, profile, server):
+        return ""
+    if not isinstance(policy, Policy):
+        return f"{server} cannot view {profile} under {policy!r}"
+    rules = policy.rules_for(server)
+    if not rules:
+        return f"{server} holds no authorizations at all"
+    lines = [f"{server} cannot view {profile}:"]
+    for rule in rules:
+        missing = sorted(profile.exposed_attributes - rule.attributes)
+        reasons = []
+        if missing:
+            reasons.append(f"attributes not granted: {missing}")
+        if profile.join_path != rule.join_path:
+            reasons.append(
+                f"join path mismatch: profile has {profile.join_path}, rule has "
+                f"{rule.join_path}"
+            )
+        lines.append(f"  {rule}: " + "; ".join(reasons))
+    return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""Authorizations and policies (Definition 3.1, Figure 3).
+
+An authorization is a rule ``[Attributes, JoinPath] -> Server``:
+
+1. ``Attributes`` is a set of attributes from one or more relations;
+2. ``JoinPath`` is a join path including (at least) every relation
+   contributing attributes — it may be empty when all attributes belong
+   to a single relation, and it may mention *additional* relations for
+   connectivity constraints or instance-based restrictions;
+3. ``Server`` is the grantee.
+
+The paper assumes a closed policy: anything not explicitly (or
+derivably, see :mod:`repro.core.closure`) authorized is forbidden.
+A :class:`Policy` is the set of authorizations of a distributed system,
+indexed by grantee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.algebra.attributes import AttributeSet, attribute_set, format_attribute_set
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import Catalog
+from repro.exceptions import AuthorizationError, PolicyError
+
+
+class Authorization:
+    """A rule ``[Attributes, JoinPath] -> Server``.
+
+    Instances are immutable and hashable; two rules are equal when their
+    three components are equal (join-path equality is order-insensitive
+    at the atomic-condition level, see :class:`~repro.algebra.joins.JoinPath`).
+    """
+
+    __slots__ = ("_attributes", "_join_path", "_server")
+
+    def __init__(
+        self,
+        attributes: Iterable[str],
+        join_path: Optional[JoinPath],
+        server: str,
+    ) -> None:
+        self._attributes = attribute_set(attributes)
+        if not self._attributes:
+            raise AuthorizationError("an authorization must grant at least one attribute")
+        self._join_path = join_path if join_path is not None else JoinPath.empty()
+        if not isinstance(self._join_path, JoinPath):
+            raise AuthorizationError("join_path must be a JoinPath")
+        if not server or not isinstance(server, str):
+            raise AuthorizationError(f"invalid server name: {server!r}")
+        self._server = server
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """The granted ``Attributes`` component."""
+        return self._attributes
+
+    @property
+    def join_path(self) -> JoinPath:
+        """The ``JoinPath`` component."""
+        return self._join_path
+
+    @property
+    def server(self) -> str:
+        """The grantee server."""
+        return self._server
+
+    def validate_against(self, catalog: Catalog) -> None:
+        """Check the rule's well-formedness w.r.t. a catalog.
+
+        Definition 3.1 requires the join path to include (at least) all
+        relations owning granted attributes: whenever the attributes span
+        more than one relation, the join path must connect *all* of them
+        (mention at least one attribute of each), and with an empty join
+        path all attributes must belong to a single relation.
+
+        Raises:
+            AuthorizationError: if the rule violates Definition 3.1 or
+                references unknown attributes.
+        """
+        granted_relations = set(catalog.relations_of(self._attributes))
+        catalog.validate_join_path(self._join_path)
+        if self._join_path.is_empty():
+            if len(granted_relations) > 1:
+                raise AuthorizationError(
+                    f"attributes of {self} span relations {sorted(granted_relations)} "
+                    "but the join path is empty"
+                )
+            return
+        path_relations = set(catalog.relations_of(self._join_path.attributes))
+        uncovered = granted_relations - path_relations
+        # A single-relation grant with a join path is fine (instance-based
+        # restriction) as long as that relation participates in the path.
+        if uncovered:
+            raise AuthorizationError(
+                f"join path of {self} does not include relations {sorted(uncovered)} "
+                "whose attributes are granted"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Authorization):
+            return NotImplemented
+        return (
+            self._attributes == other._attributes
+            and self._join_path == other._join_path
+            and self._server == other._server
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._attributes, self._join_path, self._server))
+
+    def __repr__(self) -> str:
+        return (
+            f"[{format_attribute_set(self._attributes)}, {self._join_path}] -> "
+            f"{self._server}"
+        )
+
+    __str__ = __repr__
+
+
+class Policy:
+    """A set of authorizations indexed by grantee server.
+
+    Iteration order and :meth:`rules_for` order are deterministic
+    (insertion order per server); duplicates are rejected.
+    """
+
+    def __init__(self, authorizations: Iterable[Authorization] = ()) -> None:
+        self._by_server: Dict[str, List[Authorization]] = {}
+        # Exact-path index: Definition 3.3 compares join paths with
+        # equality, so a CanView check only ever needs the rules whose
+        # path equals the profile's — one dictionary probe instead of a
+        # scan of the grantee's whole rule list.
+        self._by_server_path: Dict[Tuple[str, JoinPath], List[Authorization]] = {}
+        self._all: set = set()
+        for authorization in authorizations:
+            self.add(authorization)
+
+    def add(self, authorization: Authorization) -> None:
+        """Add one rule.
+
+        Raises:
+            PolicyError: if the exact rule is already present.
+        """
+        if not isinstance(authorization, Authorization):
+            raise PolicyError("policies contain Authorization objects")
+        if authorization in self._all:
+            raise PolicyError(f"duplicate authorization: {authorization}")
+        self._all.add(authorization)
+        self._by_server.setdefault(authorization.server, []).append(authorization)
+        key = (authorization.server, authorization.join_path)
+        self._by_server_path.setdefault(key, []).append(authorization)
+
+    def add_all(self, authorizations: Iterable[Authorization]) -> None:
+        """Add several rules (duplicates rejected as in :meth:`add`)."""
+        for authorization in authorizations:
+            self.add(authorization)
+
+    def extend_ignoring_duplicates(self, authorizations: Iterable[Authorization]) -> int:
+        """Add rules, silently skipping exact duplicates.
+
+        Returns the number of rules actually added.  Used by the chase
+        closure, which naturally re-derives existing rules.
+        """
+        added = 0
+        for authorization in authorizations:
+            if authorization not in self._all:
+                self.add(authorization)
+                added += 1
+        return added
+
+    def rules_for(self, server: str) -> Tuple[Authorization, ...]:
+        """All rules granted to ``server`` (the paper's ``view(S)``)."""
+        return tuple(self._by_server.get(server, ()))
+
+    def rules_for_path(self, server: str, join_path: JoinPath) -> Tuple[Authorization, ...]:
+        """The rules of ``server`` whose join path equals ``join_path``.
+
+        This is the only bucket a Definition 3.3 check can match (clause
+        2 is an equality), so ``CanView`` runs on it directly.
+        """
+        return tuple(self._by_server_path.get((server, join_path), ()))
+
+    def servers(self) -> List[str]:
+        """All grantee servers, sorted."""
+        return sorted(self._by_server)
+
+    def validate_against(self, catalog: Catalog) -> None:
+        """Validate every rule against ``catalog`` (Definition 3.1)."""
+        for authorization in self:
+            authorization.validate_against(catalog)
+
+    def copy(self) -> "Policy":
+        """An independent shallow copy (rules are immutable)."""
+        clone = Policy()
+        for authorization in self:
+            clone.add(authorization)
+        return clone
+
+    def __contains__(self, authorization: object) -> bool:
+        return authorization in self._all
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __iter__(self) -> Iterator[Authorization]:
+        for server in sorted(self._by_server):
+            yield from self._by_server[server]
+
+    def __repr__(self) -> str:
+        return f"Policy({len(self._all)} rules, servers={self.servers()})"
+
+    def describe(self) -> str:
+        """Figure 3 style rendering, one rule per line."""
+        return "\n".join(str(a) for a in self)

@@ -1,0 +1,139 @@
+"""Chase-based closure of a policy (Section 3.2).
+
+The paper observes that a server should be allowed to view a relation
+even without an explicit authorization whenever it holds authorizations
+for all the underlying relations and could therefore compute the view by
+itself, and assumes policies are closed under such derivations "by means
+of a chase procedure [Aho-Beeri-Ullman]" without spelling it out.
+
+We implement the derivation the observation licenses, bounded by the
+catalog's declared join edges (the "lines" of Figure 1):
+
+    **Join derivation.**  From two rules of the same server,
+    ``[A1, J1] -> S`` and ``[A2, J2] -> S``, and a join edge ``a = b``
+    with ``a in A1`` and ``b in A2``, derive
+    ``[A1 ∪ A2, J1 ∪ J2 ∪ {a=b}] -> S``.
+
+The rule is *sound*: ``S`` can materialize the two authorized views and
+join them locally on attributes it is allowed to see, so the derived
+view discloses nothing new to ``S``.  Projections need no derivation
+(Definition 3.3 already compares attributes with ``⊆``) and neither do
+selections (selection attributes are drawn from the visible ones).
+
+The fixpoint is finite — attribute sets and join paths are subsets of
+finite universes — but can be exponential in adversarial policies, so
+:func:`close_policy` takes a ``max_rules`` safety valve.
+
+:func:`minimize_policy` is the inverse housekeeping step: it drops rules
+*dominated* by another rule of the same server (same join path, subset
+attributes), which never changes any ``CanView`` answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.algebra.joins import JoinCondition
+from repro.algebra.schema import Catalog
+from repro.core.authorization import Authorization, Policy
+from repro.exceptions import PolicyError
+
+
+def derive_joined_authorizations(
+    first: Authorization,
+    second: Authorization,
+    join_edges: Iterable[JoinCondition],
+) -> List[Authorization]:
+    """All single-edge join derivations combining two rules.
+
+    Both rules must belong to the same server; each applicable edge — one
+    endpoint granted by ``first``, the other by ``second`` — yields one
+    derived rule.  Returns an empty list when the servers differ or no
+    edge applies.
+    """
+    if first.server != second.server:
+        return []
+    derived = []
+    for edge in join_edges:
+        a, b = edge.first, edge.second
+        bridges = (a in first.attributes and b in second.attributes) or (
+            b in first.attributes and a in second.attributes
+        )
+        if not bridges:
+            continue
+        derived.append(
+            Authorization(
+                first.attributes | second.attributes,
+                first.join_path.union(second.join_path).with_condition(edge),
+                first.server,
+            )
+        )
+    return derived
+
+
+def close_policy(
+    policy: Policy,
+    catalog: Catalog,
+    max_rules: int = 10_000,
+) -> Policy:
+    """Close ``policy`` under the join derivation, to a fixpoint.
+
+    Args:
+        policy: the explicitly specified rules (left untouched; a new
+            policy is returned).
+        catalog: supplies the join edges bounding the derivation.
+        max_rules: safety valve; exceeding it raises
+            :class:`~repro.exceptions.PolicyError` rather than silently
+            truncating the closure.
+
+    Returns:
+        A new :class:`Policy` containing the original rules plus every
+        derivable one.
+    """
+    edges = catalog.join_edges()
+    closed = policy.copy()
+    # Work queue of rules whose pairings have not been explored yet.
+    frontier: List[Authorization] = list(closed)
+    while frontier:
+        rule = frontier.pop()
+        peers = list(closed.rules_for(rule.server))
+        for peer in peers:
+            for derived in derive_joined_authorizations(rule, peer, edges):
+                if derived in closed:
+                    continue
+                if len(closed) >= max_rules:
+                    raise PolicyError(
+                        f"policy closure exceeded max_rules={max_rules}; "
+                        "the policy's derivable views blow up — raise the "
+                        "limit or restrict the catalog's join edges"
+                    )
+                closed.add(derived)
+                frontier.append(derived)
+    return closed
+
+
+def minimize_policy(policy: Policy) -> Policy:
+    """Drop dominated rules.
+
+    A rule ``[A, J] -> S`` is dominated when another rule
+    ``[A', J] -> S`` with ``A ⊂ A'`` exists (same server, same join
+    path, strictly larger attribute set).  Domination never changes a
+    ``CanView`` answer, so minimization is safe to apply after closure.
+    """
+    minimized = Policy()
+    for server in policy.servers():
+        rules = policy.rules_for(server)
+        by_path: Dict[object, List[Authorization]] = {}
+        for rule in rules:
+            by_path.setdefault(rule.join_path, []).append(rule)
+        for _, group in sorted(by_path.items(), key=lambda kv: str(kv[0])):
+            keep: List[Authorization] = []
+            # Largest attribute sets first so dominated rules are filtered
+            # in one pass.
+            for rule in sorted(group, key=lambda r: (-len(r.attributes), sorted(r.attributes))):
+                if any(rule.attributes <= kept.attributes for kept in keep):
+                    continue
+                keep.append(rule)
+            for rule in keep:
+                minimized.add(rule)
+    return minimized

@@ -1,0 +1,167 @@
+"""Cost-aware safe planning — the two-step optimization of Section 5.
+
+The paper closes by noting that distributed query optimization usually
+runs in two steps — pick a good plan, then assign operations to servers
+— and that its algorithm "nicely fits" the second step.  This module
+supplies the missing first step and the glue: search the connected
+left-deep join orders of a query, find a safe assignment for each
+(either the Figure 6 heuristic or the exhaustive optimum), price every
+candidate with the static communication estimator, and return the
+cheapest safe strategy overall.
+
+This subsumes the plain planner in capability (never worse, given the
+same search budget) at the price of enumeration; use it when queries
+are small and policies are tight, and the plain
+:class:`~repro.core.planner.SafePlanner` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.optimizer import enumerate_join_orders
+from repro.algebra.schema import Catalog
+from repro.algebra.tree import QueryTreePlan
+from repro.core.assignment import Assignment
+from repro.core.planner import SafePlanner
+from repro.exceptions import InfeasiblePlanError, PlanError
+
+#: Assignment-search strategies.
+HEURISTIC = "heuristic"
+EXHAUSTIVE = "exhaustive"
+
+
+class CostAwarePlan:
+    """Outcome of a cost-aware planning run.
+
+    Attributes:
+        plan: the chosen query tree plan (possibly a reordering of the
+            user's FROM clause).
+        assignment: the chosen safe executor assignment.
+        estimated_cost: its predicted communication cost.
+        orders_considered: join orders enumerated.
+        orders_feasible: join orders admitting at least one safe
+            assignment.
+    """
+
+    __slots__ = (
+        "plan",
+        "assignment",
+        "estimated_cost",
+        "orders_considered",
+        "orders_feasible",
+    )
+
+    def __init__(
+        self,
+        plan: QueryTreePlan,
+        assignment: Assignment,
+        estimated_cost: float,
+        orders_considered: int,
+        orders_feasible: int,
+    ) -> None:
+        self.plan = plan
+        self.assignment = assignment
+        self.estimated_cost = estimated_cost
+        self.orders_considered = orders_considered
+        self.orders_feasible = orders_feasible
+
+    def __repr__(self) -> str:
+        return (
+            f"CostAwarePlan(cost={self.estimated_cost:.0f}, "
+            f"{self.orders_feasible}/{self.orders_considered} orders feasible)"
+        )
+
+
+class CostAwareSafePlanner:
+    """Join-order search x safe-assignment search x cost estimation.
+
+    Args:
+        policy: the authorization policy (closed, ideally).
+        base_stats: per-relation :class:`~repro.engine.coster.TableStats`
+            driving the estimator.
+        cost_model: optional :class:`~repro.engine.coster.CostModel`
+            (e.g. wrapping a :class:`~repro.distributed.network.NetworkModel`).
+        assignment_search: :data:`HEURISTIC` (Figure 6 per order, fast)
+            or :data:`EXHAUSTIVE` (optimal per order, ``O(4^joins)``).
+        search_join_orders: enumerate alternative connected orders; when
+            false only the user's order is considered.
+    """
+
+    def __init__(
+        self,
+        policy,
+        base_stats: Mapping[str, "TableStats"],
+        cost_model=None,
+        assignment_search: str = HEURISTIC,
+        search_join_orders: bool = True,
+    ) -> None:
+        if assignment_search not in (HEURISTIC, EXHAUSTIVE):
+            raise PlanError(
+                f"unknown assignment search strategy: {assignment_search!r}"
+            )
+        self._policy = policy
+        self._base_stats = base_stats
+        self._cost_model = cost_model
+        self._assignment_search = assignment_search
+        self._search_join_orders = search_join_orders
+        self._heuristic = SafePlanner(policy)
+
+    def plan(self, catalog: Catalog, spec: QuerySpec) -> CostAwarePlan:
+        """Find the cheapest safe strategy for ``spec``.
+
+        Raises:
+            InfeasiblePlanError: when no considered order admits a safe
+                assignment.
+        """
+        from repro.engine.coster import estimate_assignment_cost
+
+        if self._search_join_orders:
+            candidates = enumerate_join_orders(catalog, spec)
+        else:
+            candidates = iter([spec])
+        best: Optional[Tuple[QueryTreePlan, Assignment, float]] = None
+        considered = 0
+        feasible = 0
+        for candidate in candidates:
+            considered += 1
+            try:
+                tree = build_plan(catalog, candidate)
+            except PlanError:
+                continue
+            found = self._best_assignment_for(tree)
+            if found is None:
+                continue
+            feasible += 1
+            assignment, cost = found
+            if cost is None:
+                cost = estimate_assignment_cost(
+                    assignment, self._base_stats, self._cost_model
+                )
+            if best is None or cost < best[2]:
+                best = (tree, assignment, cost)
+        if best is None:
+            raise InfeasiblePlanError(
+                f"no safe assignment exists for any of the {considered} "
+                "considered join orders"
+            )
+        return CostAwarePlan(best[0], best[1], best[2], considered, feasible)
+
+    def _best_assignment_for(
+        self, tree: QueryTreePlan
+    ) -> Optional[Tuple[Assignment, Optional[float]]]:
+        if self._assignment_search == HEURISTIC:
+            try:
+                assignment, _ = self._heuristic.plan(tree)
+            except InfeasiblePlanError:
+                return None
+            return assignment, None
+        from repro.baselines.exhaustive import optimal_safe_assignment
+
+        best = optimal_safe_assignment(
+            self._policy, tree, self._base_stats, self._cost_model
+        )
+        if best is None:
+            return None
+        return best

@@ -1,0 +1,266 @@
+"""Join execution modes and the views they expose (Figure 5).
+
+A join :math:`R_l \\bowtie_{J_{lr}} R_r`, with the left operand held by
+server ``S_l`` and the right by ``S_r``, can execute in four modes,
+written ``[master, slave]``:
+
+* ``[S_l, NULL]`` — *regular join at the left server*: ``S_r`` ships its
+  whole relation to ``S_l``; ``S_l`` must be authorized to view
+  :math:`[R_r^\\pi, R_r^\\bowtie, R_r^\\sigma]`.
+* ``[S_r, NULL]`` — symmetric regular join at the right server.
+* ``[S_l, S_r]`` — *semi-join with the left server as master* (5 steps):
+  ``S_l`` sends :math:`\\pi_{J_l}(R_l)` to ``S_r`` (exposing
+  :math:`[J_l, R_l^\\bowtie, R_l^\\sigma]`); ``S_r`` joins it with
+  :math:`R_r` and ships the result back (exposing
+  :math:`[J_l \\cup R_r^\\pi,\\;R_l^\\bowtie \\cup R_r^\\bowtie \\cup J_{lr},\\;
+  R_l^\\sigma \\cup R_r^\\sigma]`); ``S_l`` finishes with a natural join.
+* ``[S_r, S_l]`` — symmetric semi-join mastered by the right server.
+
+This module computes, for each mode, the data *flows* (sender, receiver,
+exposed profile) that query execution entails.  The planner checks these
+profiles with ``CanView`` before admitting a mode; the independent
+verifier and the tuple-level engine re-derive the very same flows.
+
+As the paper notes, semi-joins both cost less (only matching tuples
+travel) and expose less (the slave sees only join-attribute values), so
+the planner prefers them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.algebra.attributes import AttributeSet
+from repro.algebra.joins import JoinPath
+from repro.core.profile import RelationProfile
+from repro.exceptions import PlanError
+
+#: Mode tags (the ``[master, slave]`` pairs of Figure 5).
+REGULAR_LEFT = "[S_l, NULL]"
+REGULAR_RIGHT = "[S_r, NULL]"
+SEMI_LEFT_MASTER = "[S_l, S_r]"
+SEMI_RIGHT_MASTER = "[S_r, S_l]"
+
+#: All modes, in the paper's Figure 5 row order.
+ALL_MODES = (REGULAR_LEFT, REGULAR_RIGHT, SEMI_LEFT_MASTER, SEMI_RIGHT_MASTER)
+
+
+class ExecutionMode:
+    """Descriptor of one Figure 5 execution mode.
+
+    Attributes:
+        tag: one of the four mode constants.
+        is_semi_join: whether the mode is a semi-join.
+        master_is_left: whether the left operand's server is the master.
+    """
+
+    __slots__ = ("tag", "is_semi_join", "master_is_left")
+
+    def __init__(self, tag: str) -> None:
+        if tag not in ALL_MODES:
+            raise PlanError(f"unknown execution mode: {tag!r}")
+        self.tag = tag
+        self.is_semi_join = tag in (SEMI_LEFT_MASTER, SEMI_RIGHT_MASTER)
+        self.master_is_left = tag in (REGULAR_LEFT, SEMI_LEFT_MASTER)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExecutionMode):
+            return NotImplemented
+        return self.tag == other.tag
+
+    def __hash__(self) -> int:
+        return hash(self.tag)
+
+    def __repr__(self) -> str:
+        return f"ExecutionMode({self.tag})"
+
+
+class Flow:
+    """A single data communication: ``sender`` releases ``profile`` to
+    ``receiver``.
+
+    A flow whose sender equals its receiver is a local hand-off, entails
+    no release, and never needs authorization.
+    """
+
+    __slots__ = ("sender", "receiver", "profile", "description")
+
+    def __init__(
+        self, sender: str, receiver: str, profile: RelationProfile, description: str
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.profile = profile
+        self.description = description
+
+    @property
+    def is_release(self) -> bool:
+        """Whether data actually crosses a server boundary."""
+        return self.sender != self.receiver
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Flow):
+            return NotImplemented
+        return (
+            self.sender == other.sender
+            and self.receiver == other.receiver
+            and self.profile == other.profile
+            and self.description == other.description
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.sender, self.receiver, self.profile, self.description))
+
+    def __repr__(self) -> str:
+        return f"Flow({self.sender} -> {self.receiver}: {self.profile} ({self.description}))"
+
+
+class JoinExecution:
+    """One concrete way of executing one join: a mode plus its flows.
+
+    Attributes:
+        mode: the :class:`ExecutionMode`.
+        master: server computing the join (holds the result afterwards).
+        slave: cooperating server for semi-joins, else ``None``.
+        flows: the communications the mode entails, in execution order.
+    """
+
+    __slots__ = ("mode", "master", "slave", "flows")
+
+    def __init__(
+        self,
+        mode: ExecutionMode,
+        master: str,
+        slave: Optional[str],
+        flows: Tuple[Flow, ...],
+    ) -> None:
+        self.mode = mode
+        self.master = master
+        self.slave = slave
+        self.flows = flows
+
+    def required_views(self) -> List[Tuple[str, RelationProfile]]:
+        """The ``(receiver, profile)`` pairs that must be authorized —
+        flows that are actual releases."""
+        return [(f.receiver, f.profile) for f in self.flows if f.is_release]
+
+    def __repr__(self) -> str:
+        return f"JoinExecution({self.mode.tag}, master={self.master}, slave={self.slave})"
+
+
+def semi_join_probe_profile(
+    operand_profile: RelationProfile, join_attributes: AttributeSet
+) -> RelationProfile:
+    """Profile of the projection of an operand on its join attributes —
+    what the master sends to the slave in a semi-join
+    (:math:`[J_l, R_l^\\bowtie, R_l^\\sigma]`)."""
+    return operand_profile.project(join_attributes)
+
+
+def semi_join_result_profile(
+    master_operand: RelationProfile,
+    slave_operand: RelationProfile,
+    master_join_attributes: AttributeSet,
+    conditions: JoinPath,
+) -> RelationProfile:
+    """Profile of what the slave ships back in a semi-join:
+    :math:`[J_m \\cup R_s^\\pi,\\;R_m^\\bowtie \\cup R_s^\\bowtie \\cup j,\\;
+    R_m^\\sigma \\cup R_s^\\sigma]`."""
+    probe = semi_join_probe_profile(master_operand, master_join_attributes)
+    return probe.join(slave_operand, conditions)
+
+
+def join_executions(
+    left_profile: RelationProfile,
+    right_profile: RelationProfile,
+    left_server: str,
+    right_server: str,
+    conditions: JoinPath,
+) -> List[JoinExecution]:
+    """All four Figure 5 executions of one join, in Figure 5 row order.
+
+    Args:
+        left_profile: profile of the left operand :math:`R_l`.
+        right_profile: profile of the right operand :math:`R_r`.
+        left_server: server holding the left operand (``S_l``).
+        right_server: server holding the right operand (``S_r``).
+        conditions: the join's own conditions :math:`J_{lr}`.
+
+    The join attributes :math:`J_l` / :math:`J_r` are derived by
+    intersecting the condition attributes with each operand's attributes.
+
+    Raises:
+        PlanError: if a condition attribute belongs to neither operand.
+    """
+    condition_attributes = conditions.attributes
+    j_left = condition_attributes & left_profile.attributes
+    j_right = condition_attributes & right_profile.attributes
+    stray = condition_attributes - (left_profile.attributes | right_profile.attributes)
+    if stray:
+        raise PlanError(
+            f"join conditions reference attributes of neither operand: {sorted(stray)}"
+        )
+
+    executions = []
+
+    # [S_l, NULL]: S_r ships R_r to S_l.
+    executions.append(
+        JoinExecution(
+            ExecutionMode(REGULAR_LEFT),
+            master=left_server,
+            slave=None,
+            flows=(
+                Flow(right_server, left_server, right_profile, "R_r -> master"),
+            ),
+        )
+    )
+
+    # [S_r, NULL]: S_l ships R_l to S_r.
+    executions.append(
+        JoinExecution(
+            ExecutionMode(REGULAR_RIGHT),
+            master=right_server,
+            slave=None,
+            flows=(
+                Flow(left_server, right_server, left_profile, "R_l -> master"),
+            ),
+        )
+    )
+
+    # [S_l, S_r]: semi-join mastered by the left server.
+    if j_left:
+        probe = semi_join_probe_profile(left_profile, j_left)
+        shipped_back = semi_join_result_profile(
+            left_profile, right_profile, j_left, conditions
+        )
+        executions.append(
+            JoinExecution(
+                ExecutionMode(SEMI_LEFT_MASTER),
+                master=left_server,
+                slave=right_server,
+                flows=(
+                    Flow(left_server, right_server, probe, "pi_Jl(R_l) -> slave"),
+                    Flow(right_server, left_server, shipped_back, "R_Jlr -> master"),
+                ),
+            )
+        )
+
+    # [S_r, S_l]: semi-join mastered by the right server.
+    if j_right:
+        probe = semi_join_probe_profile(right_profile, j_right)
+        shipped_back = semi_join_result_profile(
+            right_profile, left_profile, j_right, conditions
+        )
+        executions.append(
+            JoinExecution(
+                ExecutionMode(SEMI_RIGHT_MASTER),
+                master=right_server,
+                slave=left_server,
+                flows=(
+                    Flow(right_server, left_server, probe, "pi_Jr(R_r) -> slave"),
+                    Flow(left_server, right_server, shipped_back, "R_lJr -> master"),
+                ),
+            )
+        )
+
+    return executions

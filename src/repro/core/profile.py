@@ -1,0 +1,179 @@
+"""Relation profiles (Definition 3.2) and their composition (Figure 4).
+
+A relation profile is the triple :math:`[R^\\pi, R^\\bowtie, R^\\sigma]`
+describing the information content of a (base or computed) relation:
+
+* :math:`R^\\pi` — the attributes of the relation (its schema);
+* :math:`R^\\bowtie` — the join path used in its construction;
+* :math:`R^\\sigma` — the attributes involved in selection conditions in
+  its construction.
+
+The three relational operators compose profiles per Figure 4:
+
+========================  =====================  ==================================  ============================
+Operation                 :math:`R^\\pi`          :math:`R^\\bowtie`                   :math:`R^\\sigma`
+========================  =====================  ==================================  ============================
+:math:`\\pi_X(R_l)`        :math:`X`              :math:`R_l^\\bowtie`                 :math:`R_l^\\sigma`
+:math:`\\sigma_X(R_l)`     :math:`R_l^\\pi`        :math:`R_l^\\bowtie`                 :math:`R_l^\\sigma \\cup X`
+:math:`R_l \\bowtie_j R_r`  :math:`R_l^\\pi \\cup R_r^\\pi`  :math:`R_l^\\bowtie \\cup R_r^\\bowtie \\cup j`  :math:`R_l^\\sigma \\cup R_r^\\sigma`
+========================  =====================  ==================================  ============================
+
+Profiles are immutable value objects; composition returns new profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.algebra.attributes import AttributeSet, attribute_set, format_attribute_set
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import RelationSchema
+from repro.exceptions import ExpressionError
+
+
+class RelationProfile:
+    """The information-content profile :math:`[R^\\pi, R^\\bowtie, R^\\sigma]`.
+
+    Args:
+        attributes: the visible attributes :math:`R^\\pi`.
+        join_path: the join path :math:`R^\\bowtie` of the construction;
+            defaults to the empty path.
+        selection_attributes: the selection attributes :math:`R^\\sigma`;
+            defaults to the empty set.
+    """
+
+    __slots__ = ("_attributes", "_join_path", "_selection_attributes")
+
+    def __init__(
+        self,
+        attributes: Iterable[str],
+        join_path: Optional[JoinPath] = None,
+        selection_attributes: Iterable[str] = (),
+    ) -> None:
+        self._attributes = attribute_set(attributes)
+        self._join_path = join_path if join_path is not None else JoinPath.empty()
+        if not isinstance(self._join_path, JoinPath):
+            raise ExpressionError("join_path must be a JoinPath")
+        self._selection_attributes = attribute_set(selection_attributes)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of_base_relation(cls, relation: RelationSchema) -> "RelationProfile":
+        """Profile of a stored base relation:
+        :math:`[\\{A_1, ..., A_n\\}, \\emptyset, \\emptyset]`."""
+        return cls(relation.attribute_set)
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """:math:`R^\\pi` — the visible attributes."""
+        return self._attributes
+
+    @property
+    def join_path(self) -> JoinPath:
+        """:math:`R^\\bowtie` — the construction join path."""
+        return self._join_path
+
+    @property
+    def selection_attributes(self) -> AttributeSet:
+        """:math:`R^\\sigma` — attributes used in selection conditions."""
+        return self._selection_attributes
+
+    @property
+    def exposed_attributes(self) -> AttributeSet:
+        """:math:`R^\\pi \\cup R^\\sigma` — everything an authorization's
+        ``Attributes`` component must cover (Definition 3.3)."""
+        return self._attributes | self._selection_attributes
+
+    # ------------------------------------------------------------------
+    # Composition (Figure 4)
+    # ------------------------------------------------------------------
+
+    def project(self, attributes: Iterable[str]) -> "RelationProfile":
+        """Profile of :math:`\\pi_X(R)`.
+
+        Raises:
+            ExpressionError: if ``attributes`` is not a subset of
+                :math:`R^\\pi` (a projection cannot invent attributes).
+        """
+        retained = attribute_set(attributes)
+        missing = retained - self._attributes
+        if missing:
+            raise ExpressionError(
+                f"cannot project on attributes outside the profile: {sorted(missing)}"
+            )
+        if not retained:
+            raise ExpressionError("projection must retain at least one attribute")
+        return RelationProfile(retained, self._join_path, self._selection_attributes)
+
+    def select(self, attributes: Iterable[str]) -> "RelationProfile":
+        """Profile of :math:`\\sigma_X(R)` where ``X`` is the set of
+        attributes appearing in the selection condition.
+
+        Raises:
+            ExpressionError: if the condition references attributes the
+                relation does not carry.
+        """
+        condition_attributes = attribute_set(attributes)
+        missing = condition_attributes - self._attributes
+        if missing:
+            raise ExpressionError(
+                f"selection references attributes outside the profile: {sorted(missing)}"
+            )
+        return RelationProfile(
+            self._attributes,
+            self._join_path,
+            self._selection_attributes | condition_attributes,
+        )
+
+    def join(self, other: "RelationProfile", conditions: JoinPath) -> "RelationProfile":
+        """Profile of :math:`R_l \\bowtie_j R_r`.
+
+        The result captures both operands and their association:
+        attributes and selection attributes are unioned, and the join path
+        is the union of the operand paths with the operation's own
+        conditions ``j``.
+        """
+        if not isinstance(other, RelationProfile):
+            raise ExpressionError("join operand must be a RelationProfile")
+        if not isinstance(conditions, JoinPath) or conditions.is_empty():
+            raise ExpressionError("join requires a non-empty JoinPath")
+        return RelationProfile(
+            self._attributes | other._attributes,
+            self._join_path.union(other._join_path, conditions),
+            self._selection_attributes | other._selection_attributes,
+        )
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationProfile):
+            return NotImplemented
+        return (
+            self._attributes == other._attributes
+            and self._join_path == other._join_path
+            and self._selection_attributes == other._selection_attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._attributes, self._join_path, self._selection_attributes))
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationProfile({format_attribute_set(self._attributes)}, "
+            f"{self._join_path}, {format_attribute_set(self._selection_attributes)})"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"[{format_attribute_set(self._attributes)}, {self._join_path}, "
+            f"{format_attribute_set(self._selection_attributes)}]"
+        )

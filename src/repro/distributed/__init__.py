@@ -1,0 +1,21 @@
+"""Distributed-system substrate: servers, network model, system facade."""
+
+from repro.distributed.server import Server
+from repro.distributed.network import NetworkModel
+from repro.distributed.system import DistributedSystem
+from repro.distributed.simulation import (
+    MultiQuerySimulator,
+    SimulationResult,
+    Task,
+    build_query_tasks,
+)
+
+__all__ = [
+    "Server",
+    "NetworkModel",
+    "DistributedSystem",
+    "MultiQuerySimulator",
+    "SimulationResult",
+    "Task",
+    "build_query_tasks",
+]

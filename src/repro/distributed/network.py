@@ -1,0 +1,76 @@
+"""Network cost model.
+
+The paper's cost discussion (Section 5) is qualitative — minimize data
+exchanges, prefer semi-joins, prefer busy servers — so the benchmarks
+need a way to turn bytes-on-a-link into comparable costs.  A
+:class:`NetworkModel` provides per-link latency and bandwidth with a
+uniform default, yielding the classic cost of one shipment::
+
+    cost(sender, receiver, bytes) = latency + bytes / bandwidth
+
+Link parameters are directional; declare both directions for symmetric
+links (or use :meth:`set_symmetric_link`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.exceptions import ExecutionError
+
+
+class NetworkModel:
+    """Per-link latency/bandwidth with uniform defaults.
+
+    Args:
+        default_latency: fixed per-shipment cost (abstract units).
+        default_bandwidth: bytes per cost unit; larger is faster.
+    """
+
+    def __init__(self, default_latency: float = 0.0, default_bandwidth: float = 1.0) -> None:
+        if default_bandwidth <= 0:
+            raise ExecutionError("bandwidth must be positive")
+        if default_latency < 0:
+            raise ExecutionError("latency cannot be negative")
+        self._default_latency = default_latency
+        self._default_bandwidth = default_bandwidth
+        self._links: Dict[Tuple[str, str], Tuple[float, float]] = {}
+
+    def set_link(
+        self, sender: str, receiver: str, latency: float, bandwidth: float
+    ) -> None:
+        """Override one directed link's parameters."""
+        if bandwidth <= 0:
+            raise ExecutionError("bandwidth must be positive")
+        if latency < 0:
+            raise ExecutionError("latency cannot be negative")
+        self._links[(sender, receiver)] = (latency, bandwidth)
+
+    def set_symmetric_link(
+        self, a: str, b: str, latency: float, bandwidth: float
+    ) -> None:
+        """Override both directions of a link."""
+        self.set_link(a, b, latency, bandwidth)
+        self.set_link(b, a, latency, bandwidth)
+
+    def link(self, sender: str, receiver: str) -> Tuple[float, float]:
+        """(latency, bandwidth) of a directed link."""
+        return self._links.get(
+            (sender, receiver), (self._default_latency, self._default_bandwidth)
+        )
+
+    def transfer_cost(self, sender: str, receiver: str, byte_size: float) -> float:
+        """Cost of shipping ``byte_size`` bytes over one link.
+
+        Local hand-offs (sender == receiver) are free.
+        """
+        if sender == receiver:
+            return 0.0
+        latency, bandwidth = self.link(sender, receiver)
+        return latency + float(byte_size) / bandwidth
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkModel(latency={self._default_latency}, "
+            f"bandwidth={self._default_bandwidth}, overrides={len(self._links)})"
+        )

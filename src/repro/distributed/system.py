@@ -1,0 +1,280 @@
+"""The :class:`DistributedSystem` facade — the library's front door.
+
+Ties every layer together: catalog + policy + servers + instances in,
+safe plans and audited executions out.  A typical session::
+
+    from repro.distributed import DistributedSystem
+    from repro.workloads import medical_catalog, medical_policy, generate_instances
+
+    system = DistributedSystem(medical_catalog(), medical_policy())
+    system.load_instances(generate_instances(seed=7))
+    result = system.execute(
+        "SELECT Patient, Physician, Plan, HealthAid "
+        "FROM Insurance JOIN Nat_registry ON Holder = Citizen "
+        "JOIN Hospital ON Citizen = Patient"
+    )
+    print(result.table, result.transfers.describe())
+
+Queries are accepted as SQL text or as pre-bound
+:class:`~repro.algebra.builder.QuerySpec` objects.  Planning uses the
+paper's Figure 6 algorithm on the (optionally chase-closed) policy; when
+the user's join order is infeasible, :meth:`plan` can search alternative
+orders (the two-step optimization note of Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.optimizer import enumerate_join_orders
+from repro.algebra.schema import Catalog
+from repro.algebra.tree import QueryTreePlan
+from repro.core.assignment import Assignment
+from repro.core.authorization import Policy
+from repro.core.closure import close_policy
+from repro.core.planner import PlannerTrace, SafePlanner
+from repro.core.safety import verify_assignment
+from repro.core.thirdparty import ThirdPartyPlanner
+from repro.distributed.server import Server
+from repro.engine.data import Table
+from repro.engine.executor import DistributedExecutor, ExecutionResult
+from repro.exceptions import ExecutionError, InfeasiblePlanError
+
+Query = Union[str, QuerySpec]
+
+
+class DistributedSystem:
+    """A set of cooperating servers under one authorization policy.
+
+    Args:
+        catalog: schemas, placement and join edges of the system.
+        policy: the explicit authorizations.
+        apply_closure: close the policy under the chase (Section 3.2)
+            before planning; on by default, as the paper assumes.
+        third_parties: optional servers usable as join coordinators
+            (enables the footnote 3 fallback).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        policy: Policy,
+        apply_closure: bool = True,
+        third_parties: Sequence[str] = (),
+    ) -> None:
+        policy.validate_against(catalog)
+        self._catalog = catalog
+        self._explicit_policy = policy
+        self._policy = close_policy(policy, catalog) if apply_closure else policy
+        self._third_parties = tuple(third_parties)
+        if self._third_parties:
+            self._planner: SafePlanner = ThirdPartyPlanner(self._policy, self._third_parties)
+        else:
+            self._planner = SafePlanner(self._policy)
+        self._servers: Dict[str, Server] = {}
+        for schema in catalog.relations():
+            if schema.server is None:
+                raise ExecutionError(
+                    f"relation {schema.name!r} is not placed at any server"
+                )
+            server = self._servers.setdefault(schema.server, Server(schema.server))
+            server.host_relation(schema)
+        for name in self._third_parties:
+            self._servers.setdefault(name, Server(name))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def catalog(self) -> Catalog:
+        """The schema catalog."""
+        return self._catalog
+
+    @property
+    def policy(self) -> Policy:
+        """The effective (possibly chase-closed) policy."""
+        return self._policy
+
+    @property
+    def explicit_policy(self) -> Policy:
+        """The policy as specified, before closure."""
+        return self._explicit_policy
+
+    def server(self, name: str) -> Server:
+        """A server by name."""
+        if name not in self._servers:
+            raise ExecutionError(f"unknown server: {name!r}")
+        return self._servers[name]
+
+    def servers(self) -> List[Server]:
+        """All servers, sorted by name."""
+        return [self._servers[name] for name in sorted(self._servers)]
+
+    # ------------------------------------------------------------------
+    # Instances
+    # ------------------------------------------------------------------
+
+    def load_instances(
+        self, instances: Mapping[str, Sequence[Mapping[str, object]]]
+    ) -> None:
+        """Load row-dict instances (``relation name -> rows``) onto the
+        servers hosting each relation."""
+        for relation_name, rows in instances.items():
+            schema = self._catalog.relation(relation_name)
+            table = Table.from_rows(schema.attributes, rows)
+            self._servers[schema.server].load_table(relation_name, table)
+
+    def tables(self) -> Dict[str, Table]:
+        """Every loaded instance, keyed by relation name."""
+        result: Dict[str, Table] = {}
+        for server in self.servers():
+            for name, table in server.tables():
+                result[name] = table
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def parse(self, query: Query) -> QuerySpec:
+        """SQL text (or a pre-bound spec, returned as-is) to a QuerySpec."""
+        if isinstance(query, QuerySpec):
+            return query
+        from repro.sql import parse_query  # deferred: sql depends on algebra only
+
+        return parse_query(query, self._catalog)
+
+    def plan(
+        self,
+        query: Query,
+        search_join_orders: bool = False,
+    ) -> Tuple[QueryTreePlan, Assignment, PlannerTrace]:
+        """Build a minimized plan and a safe executor assignment.
+
+        Args:
+            query: SQL text or bound spec.
+            search_join_orders: when the given order is infeasible, try
+                the other connected left-deep orders before giving up.
+
+        Raises:
+            InfeasiblePlanError: when no considered plan admits a safe
+                assignment.
+        """
+        if isinstance(query, str):
+            from repro.sql import bind_plan, parse
+
+            parsed = parse(query)
+            if not parsed.is_left_deep:
+                # Parenthesized (bushy) FROM: the shape is the user's
+                # explicit choice — plan it as written (no order search).
+                tree = bind_plan(parsed, self._catalog)
+                assignment, trace = self._planner.plan(tree)
+                return tree, assignment, trace
+        spec = self.parse(query)
+        tree = build_plan(self._catalog, spec)
+        try:
+            assignment, trace = self._planner.plan(tree)
+            return tree, assignment, trace
+        except InfeasiblePlanError:
+            if not search_join_orders:
+                raise
+        last_error: Optional[InfeasiblePlanError] = None
+        for candidate in enumerate_join_orders(self._catalog, spec):
+            if candidate.relations == spec.relations:
+                continue
+            tree = build_plan(self._catalog, candidate)
+            try:
+                assignment, trace = self._planner.plan(tree)
+                return tree, assignment, trace
+            except InfeasiblePlanError as error:
+                last_error = error
+        raise InfeasiblePlanError(
+            "no join order of the query admits a safe assignment"
+        ) from last_error
+
+    def is_feasible(self, query: Query) -> bool:
+        """Whether the query's plan admits a safe assignment (Def. 4.3)."""
+        try:
+            self.plan(query)
+        except InfeasiblePlanError:
+            return False
+        return True
+
+    def execute(
+        self,
+        query: Query,
+        recipient: Optional[str] = None,
+        search_join_orders: bool = False,
+        verify: bool = True,
+    ) -> ExecutionResult:
+        """Plan and run a query end-to-end, audited.
+
+        Args:
+            query: SQL text or bound spec.
+            recipient: optional final consumer of the result; the closing
+                delivery is audited like every other transfer.
+            search_join_orders: see :meth:`plan`.
+            verify: re-check the assignment with the independent verifier
+                before running (defense in depth; on by default).
+
+        Raises:
+            InfeasiblePlanError: when no safe assignment exists.
+            UnsafeAssignmentError: if verification fails (planner bug).
+            AuditViolationError: if a runtime transfer escapes the policy
+                (engine bug — verification should have caught it).
+        """
+        tree, assignment, _ = self.plan(query, search_join_orders=search_join_orders)
+        if verify:
+            verify_assignment(self._policy, assignment, recipient=recipient)
+        executor = DistributedExecutor(
+            assignment, self.tables(), policy=self._policy, enforce=True
+        )
+        return executor.run(recipient=recipient)
+
+    def simulate_concurrent(
+        self,
+        queries: Sequence[Query],
+        compute_rate: float = 100.0,
+        network=None,
+        arrival_times: Optional[Sequence[float]] = None,
+    ):
+        """Plan, execute and then simulate ``queries`` running together.
+
+        Each query is planned and executed individually (audited) to
+        obtain its real transfer volumes, then the discrete-event
+        simulator schedules all of them over the shared servers.
+
+        Args:
+            queries: SQL texts or bound specs.
+            compute_rate: bytes a server processes per time unit.
+            network: optional :class:`~repro.distributed.network.NetworkModel`.
+            arrival_times: per-query submission times (default all 0).
+
+        Returns:
+            A :class:`~repro.distributed.simulation.SimulationResult`.
+
+        Raises:
+            InfeasiblePlanError: if any query has no safe assignment.
+        """
+        from repro.distributed.simulation import MultiQuerySimulator
+        from repro.engine.executor import DistributedExecutor
+
+        runs = []
+        for query in queries:
+            _, assignment, _ = self.plan(query)
+            result = DistributedExecutor(
+                assignment, self.tables(), policy=self._policy
+            ).run()
+            runs.append((assignment, result.transfers))
+        simulator = MultiQuerySimulator(compute_rate=compute_rate, network=network)
+        return simulator.run(runs, arrival_times=arrival_times)
+
+    def describe(self) -> str:
+        """Human-readable system summary: catalog plus policy sizes."""
+        return (
+            self._catalog.describe()
+            + f"\nexplicit rules: {len(self._explicit_policy)}"
+            + f"\nclosed rules: {len(self._policy)}"
+        )

@@ -1,0 +1,43 @@
+"""Tuple-level distributed execution engine.
+
+The paper's model is symbolic, but its claims are operational: a safe
+assignment's execution must expose each server only to authorized views,
+and semi-joins must move fewer bytes than regular joins.  This package
+makes both claims executable:
+
+* :mod:`repro.engine.data` — immutable set-semantics tables and the
+  relational operators;
+* :mod:`repro.engine.operators` — centralized plan evaluation (the
+  correctness oracle);
+* :mod:`repro.engine.transfers` — transfer records and logs;
+* :mod:`repro.engine.audit` — runtime authorization enforcement on every
+  transfer;
+* :mod:`repro.engine.executor` — distributed execution of an assigned
+  plan following the Figure 5 flows;
+* :mod:`repro.engine.coster` — communication cost accounting and static
+  cost estimation.
+"""
+
+from repro.engine.data import Table
+from repro.engine.operators import evaluate_plan
+from repro.engine.transfers import Transfer, TransferLog
+from repro.engine.audit import AuditLog
+from repro.engine.executor import DistributedExecutor, ExecutionResult
+from repro.engine.coster import CostModel, TableStats, estimate_assignment_cost
+from repro.engine.timeline import Timeline, TimelineEvent, simulate_timeline
+
+__all__ = [
+    "Timeline",
+    "TimelineEvent",
+    "simulate_timeline",
+    "Table",
+    "evaluate_plan",
+    "Transfer",
+    "TransferLog",
+    "AuditLog",
+    "DistributedExecutor",
+    "ExecutionResult",
+    "CostModel",
+    "TableStats",
+    "estimate_assignment_cost",
+]

@@ -1,0 +1,98 @@
+"""Runtime authorization enforcement.
+
+The planner proves an assignment safe *symbolically*; the audit layer
+enforces the same property *operationally*: every transfer the executor
+is about to perform is checked against the policy at the moment it
+happens, and permitted transfers are stamped with the covering
+authorization.  This defense-in-depth catches any divergence between
+the symbolic flows and what the engine actually ships (and makes
+``enforce=False`` runs useful for measuring how often an unsafe strategy
+*would* have violated the policy).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.access import can_view, explain_denial, first_covering_authorization
+from repro.core.authorization import Authorization, Policy
+from repro.core.profile import RelationProfile
+from repro.engine.transfers import Transfer
+from repro.exceptions import AuditViolationError
+
+
+class AuditLog:
+    """Decision log of an audited execution.
+
+    Args:
+        policy: the policy to enforce (a closed :class:`Policy` or any
+            object with ``permits``; see :func:`repro.core.access.can_view`).
+        enforce: when true (default), an unauthorized transfer raises
+            :class:`~repro.exceptions.AuditViolationError`; when false it
+            is recorded as a violation and execution continues.
+    """
+
+    def __init__(self, policy, enforce: bool = True) -> None:
+        self._policy = policy
+        self._enforce = enforce
+        self._checked: List[Transfer] = []
+        self._violations: List[Transfer] = []
+
+    @property
+    def policy(self):
+        """The enforced policy."""
+        return self._policy
+
+    def check(
+        self, sender: str, receiver: str, profile: RelationProfile
+    ) -> Optional[Authorization]:
+        """Authorize (or reject) one release before it happens.
+
+        Returns the covering authorization (``None`` for local hand-offs
+        or non-:class:`Policy` policies, which carry no rule objects).
+
+        Raises:
+            AuditViolationError: when enforcement is on and no rule
+                covers the release.
+        """
+        if sender == receiver:
+            return None
+        if can_view(self._policy, profile, receiver):
+            if isinstance(self._policy, Policy):
+                return first_covering_authorization(self._policy, profile, receiver)
+            return None
+        if self._enforce:
+            raise AuditViolationError(
+                f"unauthorized transfer {sender} -> {receiver} of {profile}\n"
+                + explain_denial(self._policy, profile, receiver),
+                sender=sender,
+                receiver=receiver,
+            )
+        return None
+
+    def record(self, transfer: Transfer, violation: bool = False) -> None:
+        """Log a performed transfer (flagging policy violations)."""
+        self._checked.append(transfer)
+        if violation:
+            self._violations.append(transfer)
+
+    @property
+    def checked(self) -> Tuple[Transfer, ...]:
+        """Every audited transfer, in order."""
+        return tuple(self._checked)
+
+    @property
+    def violations(self) -> Tuple[Transfer, ...]:
+        """Transfers that violated the policy (non-enforcing runs only)."""
+        return tuple(self._violations)
+
+    def all_authorized(self) -> bool:
+        """Whether no violation was recorded."""
+        return not self._violations
+
+    def summary(self) -> str:
+        """Counts of audited transfers and violations."""
+        return (
+            f"{len(self._checked)} transfers audited, "
+            f"{len(self._violations)} violations"
+        )

@@ -1,0 +1,230 @@
+"""Communication cost accounting and static estimation.
+
+Two complementary tools:
+
+* **Measured cost** — :meth:`CostModel.log_cost` prices a
+  :class:`~repro.engine.transfers.TransferLog` after an actual run,
+  optionally through a network model with per-link latency/bandwidth
+  (see :class:`repro.distributed.network.NetworkModel`).
+
+* **Estimated cost** — :func:`estimate_assignment_cost` predicts the
+  bytes an assignment will ship *before* running it, from per-relation
+  :class:`TableStats`, using textbook System-R style estimates
+  (join output cardinality ``|L|·|R| / max(V(L,a), V(R,b))``).  The
+  join-order optimizer and the exhaustive baseline rank safe
+  assignments with this estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.algebra.tree import (
+    PROJECT,
+    JoinNode,
+    LeafNode,
+    PlanNode,
+    UnaryNode,
+)
+from repro.core.assignment import Assignment
+from repro.engine.data import Table
+from repro.engine.transfers import TransferLog
+from repro.exceptions import ExecutionError
+
+#: Default selectivity of one selection predicate atom.
+DEFAULT_SELECTIVITY = 0.1
+
+#: Default per-attribute width (characters) when stats carry no widths.
+DEFAULT_WIDTH = 8.0
+
+
+class TableStats:
+    """Cardinality statistics of one (base or derived) relation.
+
+    Attributes:
+        rows: tuple count.
+        distinct: per-attribute distinct-value counts.
+        widths: per-attribute average value widths (characters).
+    """
+
+    __slots__ = ("rows", "distinct", "widths")
+
+    def __init__(
+        self,
+        rows: float,
+        distinct: Mapping[str, float],
+        widths: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.rows = max(0.0, float(rows))
+        self.distinct = dict(distinct)
+        self.widths = dict(widths) if widths is not None else {}
+
+    @classmethod
+    def of_table(cls, table: Table) -> "TableStats":
+        """Exact statistics of a concrete table."""
+        distinct = {a: float(table.distinct_count(a)) for a in table.attributes}
+        widths: Dict[str, float] = {}
+        if len(table):
+            for attribute in table.attributes:
+                values = table.column(attribute)
+                widths[attribute] = sum(len(str(v)) for v in values) / len(values)
+        return cls(float(len(table)), distinct, widths)
+
+    def width_of(self, attribute: str) -> float:
+        """Average width of one attribute."""
+        return self.widths.get(attribute, DEFAULT_WIDTH)
+
+    def distinct_of(self, attribute: str) -> float:
+        """Distinct count of one attribute (bounded by the row count)."""
+        return min(self.distinct.get(attribute, self.rows), self.rows) or 1.0
+
+    def row_width(self, attributes) -> float:
+        """Average width of a row restricted to ``attributes``."""
+        return sum(self.width_of(a) for a in attributes)
+
+    def bytes_for(self, attributes) -> float:
+        """Estimated payload of shipping the relation's ``attributes``."""
+        return self.rows * self.row_width(attributes)
+
+    def __repr__(self) -> str:
+        return f"TableStats(rows={self.rows:.0f}, attrs={sorted(self.distinct)})"
+
+
+class CostModel:
+    """Prices transfers, optionally through a network model.
+
+    Args:
+        network: object exposing ``transfer_cost(sender, receiver,
+            byte_size)``; ``None`` means cost = bytes (uniform network).
+    """
+
+    def __init__(self, network=None) -> None:
+        self._network = network
+
+    def transfer_cost(self, sender: str, receiver: str, byte_size: float) -> float:
+        """Cost of one shipment."""
+        if self._network is None:
+            return float(byte_size)
+        return float(self._network.transfer_cost(sender, receiver, byte_size))
+
+    def log_cost(self, log: TransferLog) -> float:
+        """Total cost of an execution's transfer log."""
+        return sum(
+            self.transfer_cost(t.sender, t.receiver, t.byte_size) for t in log
+        )
+
+
+def _node_stats(
+    node: PlanNode, base_stats: Mapping[str, TableStats]
+) -> TableStats:
+    """Estimated statistics of one plan node's output."""
+    if isinstance(node, LeafNode):
+        name = node.relation.name
+        if name not in base_stats:
+            raise ExecutionError(f"no statistics provided for relation {name!r}")
+        return base_stats[name]
+    if isinstance(node, UnaryNode):
+        child = _node_stats(node.left, base_stats)
+        if node.operator == PROJECT:
+            kept = node.projection_attributes
+            return TableStats(
+                child.rows,
+                {a: child.distinct_of(a) for a in kept},
+                {a: child.width_of(a) for a in kept},
+            )
+        atoms = max(1, len(node.predicate.comparisons))
+        factor = DEFAULT_SELECTIVITY ** atoms
+        rows = max(1.0, child.rows * factor)
+        return TableStats(
+            rows,
+            {a: min(d, rows) for a, d in child.distinct.items()},
+            child.widths,
+        )
+    if isinstance(node, JoinNode):
+        left = _node_stats(node.left, base_stats)
+        right = _node_stats(node.right, base_stats)
+        rows = left.rows * right.rows
+        for condition in node.path:
+            if condition.first in left.distinct or condition.second in left.distinct:
+                left_attr = condition.first if condition.first in left.distinct else condition.second
+                right_attr = condition.other(left_attr)
+            else:
+                left_attr, right_attr = condition.first, condition.second
+            rows /= max(left.distinct_of(left_attr), right.distinct_of(right_attr))
+        rows = max(1.0, rows)
+        distinct = {a: min(d, rows) for a, d in {**left.distinct, **right.distinct}.items()}
+        widths = {**left.widths, **right.widths}
+        return TableStats(rows, distinct, widths)
+    raise ExecutionError(f"unknown node kind: {type(node).__name__}")
+
+
+def estimate_assignment_cost(
+    assignment: Assignment,
+    base_stats: Mapping[str, TableStats],
+    cost_model: Optional[CostModel] = None,
+) -> float:
+    """Predicted communication cost of executing ``assignment``.
+
+    Walks the plan estimating each node's output statistics, then prices
+    every flow the assignment entails: full-operand shipments for regular
+    joins, probe + reduced-result shipments for semi-joins, and two
+    operand shipments for coordinator joins.  Local flows cost nothing.
+    """
+    model = cost_model or CostModel()
+    plan = assignment.plan
+    stats: Dict[int, TableStats] = {}
+    for node in plan:
+        stats[node.node_id] = _node_stats(node, base_stats)
+    total = 0.0
+    for node in plan:
+        if not isinstance(node, JoinNode):
+            continue
+        left_id = node.left.node_id
+        right_id = node.right.node_id
+        left_server = assignment.master(left_id)
+        right_server = assignment.master(right_id)
+        executor = assignment.executor(node.node_id)
+        left_stats, right_stats = stats[left_id], stats[right_id]
+        left_attrs = assignment.profile(left_id).attributes
+        right_attrs = assignment.profile(right_id).attributes
+
+        coordinator = assignment.coordinator(node.node_id)
+        if coordinator is not None:
+            total += model.transfer_cost(
+                left_server, coordinator, left_stats.bytes_for(left_attrs)
+            )
+            total += model.transfer_cost(
+                right_server, coordinator, right_stats.bytes_for(right_attrs)
+            )
+            continue
+        if executor.slave is None:
+            if executor.master == left_server:
+                total += model.transfer_cost(
+                    right_server, left_server, right_stats.bytes_for(right_attrs)
+                )
+            else:
+                total += model.transfer_cost(
+                    left_server, right_server, left_stats.bytes_for(left_attrs)
+                )
+            continue
+        # Semi-join: probe with the master operand's join attributes,
+        # return the slave-side join restricted to probe ∪ slave columns.
+        if executor.master == left_server:
+            master_stats, slave_stats = left_stats, right_stats
+            master_attrs, slave_attrs = left_attrs, right_attrs
+        else:
+            master_stats, slave_stats = right_stats, left_stats
+            master_attrs, slave_attrs = right_attrs, left_attrs
+        join_attrs = sorted(node.path.attributes & master_attrs)
+        probe_rows = min(
+            master_stats.rows,
+            max(master_stats.distinct_of(a) for a in join_attrs) if join_attrs else master_stats.rows,
+        )
+        probe_bytes = probe_rows * master_stats.row_width(join_attrs)
+        total += model.transfer_cost(executor.master, executor.slave, probe_bytes)
+        back_stats = stats[node.node_id]
+        back_bytes = back_stats.rows * (
+            master_stats.row_width(join_attrs) + slave_stats.row_width(slave_attrs)
+        )
+        total += model.transfer_cost(executor.slave, executor.master, back_bytes)
+    return total

@@ -1,0 +1,267 @@
+"""Immutable in-memory tables with set semantics.
+
+The relational model of the paper (and of its reference [2]) is
+set-based: a relation is a *set* of tuples.  :class:`Table` therefore
+deduplicates rows, and every operator returns a new table.  Attribute
+names are globally distinct (Section 2), which makes natural joins on
+shared column names unambiguous — the semi-join recombination step
+relies on this.
+
+Row values must be hashable scalars (``str``, ``int``, ``float``,
+``bool`` or ``None``); this keeps rows hashable for set semantics and
+byte accounting honest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algebra.joins import JoinPath
+from repro.algebra.predicates import Predicate
+from repro.exceptions import ExecutionError
+
+#: Allowed scalar types for cell values.
+_SCALARS = (str, int, float, bool)
+
+Row = Tuple[object, ...]
+
+
+def _check_value(value: object) -> object:
+    if value is None or isinstance(value, _SCALARS):
+        return value
+    raise ExecutionError(
+        f"cell values must be scalars (str/int/float/bool/None), got "
+        f"{type(value).__name__}"
+    )
+
+
+class Table:
+    """An immutable relation instance.
+
+    Args:
+        attributes: ordered column names.
+        rows: iterable of value tuples aligned with ``attributes`` (or
+            use :meth:`from_rows` for dict-shaped input).  Duplicates are
+            removed; row order is canonicalized, so two tables with the
+            same content compare equal.
+    """
+
+    __slots__ = ("_attributes", "_index", "_rows")
+
+    def __init__(self, attributes: Sequence[str], rows: Iterable[Row] = ()) -> None:
+        attrs = tuple(attributes)
+        if len(set(attrs)) != len(attrs):
+            raise ExecutionError(f"duplicate column names: {attrs}")
+        if not attrs:
+            raise ExecutionError("a table needs at least one column")
+        self._attributes = attrs
+        self._index = {name: i for i, name in enumerate(attrs)}
+        unique = set()
+        for row in rows:
+            row = tuple(_check_value(v) for v in row)
+            if len(row) != len(attrs):
+                raise ExecutionError(
+                    f"row arity {len(row)} does not match schema arity {len(attrs)}"
+                )
+            unique.add(row)
+        self._rows: Tuple[Row, ...] = tuple(
+            sorted(unique, key=lambda r: tuple((v is None, str(type(v)), str(v)) for v in r))
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, attributes: Sequence[str], rows: Iterable[Mapping[str, object]]
+    ) -> "Table":
+        """Build from dict-shaped rows (missing keys become ``None``)."""
+        attrs = tuple(attributes)
+        return cls(attrs, (tuple(row.get(a) for a in attrs) for row in rows))
+
+    @classmethod
+    def empty(cls, attributes: Sequence[str]) -> "Table":
+        """An empty table with the given columns."""
+        return cls(attributes, ())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Ordered column names."""
+        return self._attributes
+
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        """Canonically ordered, deduplicated rows."""
+        return self._rows
+
+    def row_dicts(self) -> List[Dict[str, object]]:
+        """Rows as dictionaries (for predicates and display)."""
+        return [dict(zip(self._attributes, row)) for row in self._rows]
+
+    def column(self, attribute: str) -> List[object]:
+        """All values of one column, in row order."""
+        index = self._column_index(attribute)
+        return [row[index] for row in self._rows]
+
+    def distinct_count(self, attribute: str) -> int:
+        """Number of distinct values in a column."""
+        index = self._column_index(attribute)
+        return len({row[index] for row in self._rows})
+
+    def byte_size(self) -> int:
+        """Rough payload size: total characters of the string rendering
+        of every cell (deterministic and good enough for relative
+        communication-cost comparisons)."""
+        return sum(len(str(v)) for row in self._rows for v in row)
+
+    def _column_index(self, attribute: str) -> int:
+        try:
+            return self._index[attribute]
+        except KeyError:
+            raise ExecutionError(
+                f"table has no column {attribute!r}; columns: {self._attributes}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return (
+            frozenset(self._attributes) == frozenset(other._attributes)
+            and self._row_set() == other._row_set()
+        )
+
+    def _row_set(self) -> FrozenSet[FrozenSet[Tuple[str, object]]]:
+        return frozenset(
+            frozenset(zip(self._attributes, row)) for row in self._rows
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._attributes), self._row_set()))
+
+    def __repr__(self) -> str:
+        return f"Table({list(self._attributes)}, {len(self._rows)} rows)"
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+
+    def project(self, attributes: Iterable[str]) -> "Table":
+        """:math:`\\pi_X` with set semantics (duplicates collapse)."""
+        attrs = [a for a in self._attributes if a in set(attributes)]
+        missing = set(attributes) - set(self._attributes)
+        if missing:
+            raise ExecutionError(f"cannot project on missing columns: {sorted(missing)}")
+        indices = [self._index[a] for a in attrs]
+        return Table(attrs, (tuple(row[i] for i in indices) for row in self._rows))
+
+    def select(self, predicate: Predicate) -> "Table":
+        """:math:`\\sigma_C` — keep rows satisfying the predicate."""
+        kept = [
+            row
+            for row, as_dict in zip(self._rows, self.row_dicts())
+            if predicate.evaluate(as_dict)
+        ]
+        return Table(self._attributes, kept)
+
+    def equi_join(self, other: "Table", conditions: JoinPath) -> "Table":
+        """Hash equi-join on a join path's conditions.
+
+        Every condition must have one attribute in each table.  The
+        result's columns are this table's followed by the other's.
+        """
+        pairs: List[Tuple[int, int]] = []
+        for condition in conditions:
+            if condition.first in self._index and condition.second in other._index:
+                pairs.append((self._index[condition.first], other._index[condition.second]))
+            elif condition.second in self._index and condition.first in other._index:
+                pairs.append((self._index[condition.second], other._index[condition.first]))
+            else:
+                raise ExecutionError(
+                    f"join condition {condition} does not bridge the tables"
+                )
+        overlap = set(self._attributes) & set(other._attributes)
+        if overlap:
+            raise ExecutionError(
+                f"equi-join operands share columns {sorted(overlap)}; use "
+                "natural_join for recombination joins"
+            )
+        buckets: Dict[Tuple[object, ...], List[Row]] = {}
+        for row in other._rows:
+            key = tuple(row[j] for _, j in pairs)
+            if any(v is None for v in key):
+                continue
+            buckets.setdefault(key, []).append(row)
+        joined = []
+        for row in self._rows:
+            key = tuple(row[i] for i, _ in pairs)
+            if any(v is None for v in key):
+                continue
+            for match in buckets.get(key, ()):
+                joined.append(row + match)
+        return Table(self._attributes + other._attributes, joined)
+
+    def natural_join(self, other: "Table") -> "Table":
+        """Join on all shared column names (used by the semi-join's final
+        recombination step, Figure 5 step 5).
+
+        Raises:
+            ExecutionError: if the tables share no columns (that would be
+                a cartesian product, which the model never produces).
+        """
+        shared = [a for a in self._attributes if a in other._index]
+        if not shared:
+            raise ExecutionError("natural join requires at least one shared column")
+        other_extra = [a for a in other._attributes if a not in self._index]
+        self_idx = [self._index[a] for a in shared]
+        other_idx = [other._index[a] for a in shared]
+        extra_idx = [other._index[a] for a in other_extra]
+        buckets: Dict[Tuple[object, ...], List[Row]] = {}
+        for row in other._rows:
+            key = tuple(row[j] for j in other_idx)
+            if any(v is None for v in key):
+                continue
+            buckets.setdefault(key, []).append(tuple(row[j] for j in extra_idx))
+        joined = []
+        for row in self._rows:
+            key = tuple(row[i] for i in self_idx)
+            if any(v is None for v in key):
+                continue
+            for extra in buckets.get(key, ()):
+                joined.append(row + extra)
+        return Table(self._attributes + tuple(other_extra), joined)
+
+    def semi_join_filter(self, probe: "Table") -> "Table":
+        """Rows of this table matching the probe on its shared columns —
+        classic semi-join reduction (kept for cost experiments)."""
+        shared = [a for a in self._attributes if a in probe._index]
+        if not shared:
+            raise ExecutionError("semi-join filter requires shared columns")
+        probe_keys = {
+            tuple(row[probe._index[a]] for a in shared) for row in probe._rows
+        }
+        self_idx = [self._index[a] for a in shared]
+        kept = [
+            row
+            for row in self._rows
+            if tuple(row[i] for i in self_idx) in probe_keys
+        ]
+        return Table(self._attributes, kept)
+
+    def union(self, other: "Table") -> "Table":
+        """Set union of two same-schema tables."""
+        if frozenset(self._attributes) != frozenset(other._attributes):
+            raise ExecutionError("union requires identical column sets")
+        indices = [other._index[a] for a in self._attributes]
+        aligned = tuple(tuple(row[i] for i in indices) for row in other._rows)
+        return Table(self._attributes, self._rows + aligned)

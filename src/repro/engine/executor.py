@@ -1,0 +1,260 @@
+"""Distributed execution of an assigned query plan.
+
+Executes a query tree plan *as the assignment dictates*: every operation
+runs at its executor's master, joins follow the Figure 5 flows exactly
+(regular shipments, semi-join probe/return round-trips, or third-party
+coordinator shipments), and every cross-server transfer is measured and
+— when a policy is supplied — audited before it happens.
+
+The executor is a faithful simulator rather than a network service: the
+"servers" are table namespaces, and shipping a table means recording a
+:class:`~repro.engine.transfers.Transfer` with the table's real row and
+byte volume.  This is exactly the level of abstraction at which the
+paper's cost and safety claims live.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.algebra.tree import (
+    PROJECT,
+    JoinNode,
+    LeafNode,
+    PlanNode,
+    UnaryNode,
+)
+from repro.core.assignment import Assignment
+from repro.core.flows import semi_join_probe_profile, semi_join_result_profile
+from repro.core.profile import RelationProfile
+from repro.engine.audit import AuditLog
+from repro.engine.data import Table
+from repro.engine.transfers import Transfer, TransferLog
+from repro.exceptions import ExecutionError
+
+
+class ExecutionResult:
+    """Outcome of one distributed execution.
+
+    Attributes:
+        table: the query result.
+        result_server: server holding the result (root master, or the
+            recipient when one was given).
+        transfers: every cross-server shipment performed.
+        audit: the audit log (``None`` for unaudited runs).
+    """
+
+    __slots__ = ("table", "result_server", "transfers", "audit")
+
+    def __init__(
+        self,
+        table: Table,
+        result_server: str,
+        transfers: TransferLog,
+        audit: Optional[AuditLog],
+    ) -> None:
+        self.table = table
+        self.result_server = result_server
+        self.transfers = transfers
+        self.audit = audit
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionResult({len(self.table)} rows at {self.result_server}, "
+            f"{len(self.transfers)} transfers)"
+        )
+
+
+class DistributedExecutor:
+    """Executes one assignment over concrete base tables.
+
+    Args:
+        assignment: a complete executor assignment (with profiles), e.g.
+            from :class:`~repro.core.planner.SafePlanner`.
+        tables: base tables keyed by relation name.
+        policy: when given, every transfer is audited against it.
+        enforce: forwarded to :class:`~repro.engine.audit.AuditLog`;
+            with ``enforce=False`` violations are recorded, not raised
+            (useful to measure what an unsafe strategy would leak).
+    """
+
+    def __init__(
+        self,
+        assignment: Assignment,
+        tables: Mapping[str, Table],
+        policy=None,
+        enforce: bool = True,
+    ) -> None:
+        assignment.validate_structure()
+        self._assignment = assignment
+        self._tables = dict(tables)
+        self._log = TransferLog()
+        self._audit = AuditLog(policy, enforce=enforce) if policy is not None else None
+
+    def run(self, recipient: Optional[str] = None) -> ExecutionResult:
+        """Execute the plan; optionally deliver the result to ``recipient``.
+
+        Raises:
+            AuditViolationError: on an unauthorized transfer (audited,
+                enforcing runs).
+            ExecutionError: on missing instances or operator failures.
+        """
+        root = self._assignment.plan.root
+        table = self._execute(root)
+        result_server = self._assignment.master(root.node_id)
+        if recipient is not None:
+            table = self._ship(
+                table,
+                self._assignment.profile(root.node_id),
+                sender=result_server,
+                receiver=recipient,
+                description="result -> recipient",
+                node_id=root.node_id,
+            )
+            result_server = recipient
+        return ExecutionResult(table, result_server, self._log, self._audit)
+
+    # ------------------------------------------------------------------
+    # Node execution
+    # ------------------------------------------------------------------
+
+    def _execute(self, node: PlanNode) -> Table:
+        if isinstance(node, LeafNode):
+            name = node.relation.name
+            if name not in self._tables:
+                raise ExecutionError(f"no instance provided for base relation {name!r}")
+            return self._tables[name]
+        if isinstance(node, UnaryNode):
+            child = self._execute(node.left)
+            if node.operator == PROJECT:
+                return child.project(sorted(node.projection_attributes))
+            return child.select(node.predicate)
+        if isinstance(node, JoinNode):
+            return self._execute_join(node)
+        raise ExecutionError(f"unknown node kind: {type(node).__name__}")
+
+    def _execute_join(self, node: JoinNode) -> Table:
+        assignment = self._assignment
+        left_table = self._execute(node.left)
+        right_table = self._execute(node.right)
+        left_server = assignment.master(node.left.node_id)
+        right_server = assignment.master(node.right.node_id)
+        left_profile = assignment.profile(node.left.node_id)
+        right_profile = assignment.profile(node.right.node_id)
+        executor = assignment.executor(node.node_id)
+        where = f"join n{node.node_id}"
+
+        coordinator = assignment.coordinator(node.node_id)
+        if coordinator is not None:
+            shipped_left = self._ship(
+                left_table, left_profile, left_server, coordinator,
+                f"{where}: R_l -> coordinator", node.node_id,
+            )
+            shipped_right = self._ship(
+                right_table, right_profile, right_server, coordinator,
+                f"{where}: R_r -> coordinator", node.node_id,
+            )
+            return shipped_left.equi_join(shipped_right, node.path)
+
+        if executor.slave is None:
+            # Regular join at the master (local when both operands are
+            # already there — then the shipment below is a no-op).
+            if executor.master == left_server:
+                shipped = self._ship(
+                    right_table, right_profile, right_server, executor.master,
+                    f"{where}: R_r -> master", node.node_id,
+                )
+                return left_table.equi_join(shipped, node.path)
+            if executor.master == right_server:
+                shipped = self._ship(
+                    left_table, left_profile, left_server, executor.master,
+                    f"{where}: R_l -> master", node.node_id,
+                )
+                return shipped.equi_join(right_table, node.path)
+            raise ExecutionError(
+                f"{where}: master {executor.master} holds neither operand"
+            )
+
+        # Semi-join (Figure 5 five-step sequence).
+        if executor.master == left_server and executor.slave == right_server:
+            master_table, master_profile = left_table, left_profile
+            slave_table = right_table
+            master_is_left = True
+        elif executor.master == right_server and executor.slave == left_server:
+            master_table, master_profile = right_table, right_profile
+            slave_table = left_table
+            master_is_left = False
+        else:
+            raise ExecutionError(
+                f"{where}: executor {executor} does not match operand servers "
+                f"({left_server}, {right_server})"
+            )
+        join_attributes = sorted(node.path.attributes & frozenset(master_table.attributes))
+        if not join_attributes:
+            raise ExecutionError(f"{where}: master operand carries no join attributes")
+
+        # Step 1-2: project the master operand on its join attributes and
+        # ship the probe to the slave.
+        probe = master_table.project(join_attributes)
+        probe_profile = semi_join_probe_profile(master_profile, frozenset(join_attributes))
+        probe = self._ship(
+            probe, probe_profile, executor.master, executor.slave,
+            f"{where}: probe -> slave", node.node_id,
+        )
+        # Step 3-4: the slave joins the probe with its operand and ships
+        # the (reduced) result back.
+        slave_join = probe.equi_join(slave_table, node.path)
+        slave_operand_profile = right_profile if master_is_left else left_profile
+        back_profile = semi_join_result_profile(
+            master_profile, slave_operand_profile, frozenset(join_attributes), node.path
+        )
+        slave_join = self._ship(
+            slave_join, back_profile, executor.slave, executor.master,
+            f"{where}: join -> master", node.node_id,
+        )
+        # Step 5: recombine with the full master operand (natural join on
+        # the probe columns).
+        return master_table.natural_join(slave_join)
+
+    # ------------------------------------------------------------------
+    # Shipping
+    # ------------------------------------------------------------------
+
+    def _ship(
+        self,
+        table: Table,
+        profile: RelationProfile,
+        sender: str,
+        receiver: str,
+        description: str,
+        node_id: int,
+    ) -> Table:
+        """Move a table across servers: audit, then record the transfer."""
+        if sender == receiver:
+            return table
+        authorized_by = None
+        violation = False
+        if self._audit is not None:
+            from repro.core.access import can_view  # local import: avoids cycle
+
+            if can_view(self._audit.policy, profile, receiver):
+                authorized_by = self._audit.check(sender, receiver, profile)
+            else:
+                # Either raises (enforcing) or falls through as a recorded
+                # violation (measure-only runs).
+                self._audit.check(sender, receiver, profile)
+                violation = True
+        transfer = Transfer(
+            sender=sender,
+            receiver=receiver,
+            profile=profile,
+            row_count=len(table),
+            byte_size=table.byte_size(),
+            description=description,
+            node_id=node_id,
+            authorized_by=authorized_by,
+        )
+        self._log.record(transfer)
+        if self._audit is not None:
+            self._audit.record(transfer, violation=violation)
+        return table

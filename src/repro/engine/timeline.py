@@ -1,0 +1,208 @@
+"""Latency timeline simulation.
+
+Byte counts rank strategies by bandwidth; *latency* ranks them by
+round trips — and the two disagree exactly where the classic semi-join
+literature says they do: a semi-join serializes two transfers (probe
+out, reduced result back) where a regular join needs one, so on
+high-latency links with small relations the regular join responds
+faster even though it ships more bytes.
+
+This module schedules an executed plan's transfers over a
+:class:`~repro.distributed.network.NetworkModel` and computes each
+node's *ready time* and the query **makespan**:
+
+* a leaf is ready at time 0 (local scan; computation is free in this
+  model — the paper's cost discussion is communication-only);
+* a unary node is ready when its operand is;
+* a regular join is ready when the master's operand is ready and the
+  shipped operand has arrived;
+* a semi-join serializes probe and return: the probe leaves when the
+  master operand is ready, the slave joins when probe and its operand
+  are both there, the return leg completes the node;
+* a coordinator join is ready when the later of the two inbound
+  shipments arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.tree import JoinNode, LeafNode, PlanNode, UnaryNode
+from repro.core.assignment import Assignment
+from repro.distributed.network import NetworkModel
+from repro.engine.transfers import Transfer, TransferLog
+from repro.exceptions import ExecutionError
+
+
+class TimelineEvent:
+    """One scheduled communication.
+
+    Attributes:
+        transfer: the underlying transfer record.
+        start: departure time.
+        finish: arrival time (start + network cost of the payload).
+    """
+
+    __slots__ = ("transfer", "start", "finish")
+
+    def __init__(self, transfer: Transfer, start: float, finish: float) -> None:
+        self.transfer = transfer
+        self.start = start
+        self.finish = finish
+
+    def __repr__(self) -> str:
+        return (
+            f"TimelineEvent({self.transfer.sender} -> {self.transfer.receiver} "
+            f"[{self.start:.2f}, {self.finish:.2f}])"
+        )
+
+
+class Timeline:
+    """The schedule of one execution.
+
+    Attributes:
+        events: all communications in start-time order.
+        ready: per-node completion times.
+        makespan: completion time of the whole query (including the
+            recipient delivery when one was simulated).
+    """
+
+    __slots__ = ("events", "ready", "makespan")
+
+    def __init__(
+        self, events: List[TimelineEvent], ready: Dict[int, float], makespan: float
+    ) -> None:
+        self.events = sorted(events, key=lambda e: (e.start, e.finish))
+        self.ready = ready
+        self.makespan = makespan
+
+    def describe(self) -> str:
+        """One line per event plus the makespan."""
+        lines = [
+            f"t={event.start:8.2f} .. {event.finish:8.2f}  "
+            f"{event.transfer.sender} -> {event.transfer.receiver}  "
+            f"({event.transfer.description})"
+            for event in self.events
+        ]
+        lines.append(f"makespan: {self.makespan:.2f}")
+        return "\n".join(lines)
+
+
+def simulate_timeline(
+    assignment: Assignment,
+    transfers: TransferLog,
+    network: Optional[NetworkModel] = None,
+) -> Timeline:
+    """Schedule an executed plan's transfers and compute the makespan.
+
+    Args:
+        assignment: the executed assignment (for structure and modes).
+        transfers: the transfer log of the actual run (for volumes).
+        network: link model; defaults to a uniform unit-bandwidth,
+            zero-latency network (makespan == bytes on the critical path).
+
+    Raises:
+        ExecutionError: if the log does not contain the transfers the
+            assignment's structure implies (e.g. a log from a different
+            run).
+    """
+    network = network or NetworkModel()
+    by_node: Dict[int, List[Transfer]] = {}
+    delivery: Optional[Transfer] = None
+    for transfer in transfers:
+        if transfer.description.startswith("result"):
+            delivery = transfer
+            continue
+        by_node.setdefault(transfer.node_id, []).append(transfer)
+
+    events: List[TimelineEvent] = []
+    ready: Dict[int, float] = {}
+
+    def cost(transfer: Transfer) -> float:
+        return network.transfer_cost(
+            transfer.sender, transfer.receiver, transfer.byte_size
+        )
+
+    def pick(node_id: int, fragment: str) -> Optional[Transfer]:
+        for transfer in by_node.get(node_id, ()):
+            if fragment in transfer.description:
+                return transfer
+        return None
+
+    plan = assignment.plan
+    for node in plan:
+        if isinstance(node, LeafNode):
+            ready[node.node_id] = 0.0
+        elif isinstance(node, UnaryNode):
+            ready[node.node_id] = ready[node.left.node_id]
+        elif isinstance(node, JoinNode):
+            ready[node.node_id] = _schedule_join(
+                assignment, node, ready, by_node, pick, cost, events
+            )
+        else:  # pragma: no cover - closed node kinds
+            raise ExecutionError(f"unknown node kind: {type(node).__name__}")
+
+    makespan = ready[plan.root.node_id]
+    if delivery is not None:
+        event = TimelineEvent(delivery, makespan, makespan + cost(delivery))
+        events.append(event)
+        makespan = event.finish
+    return Timeline(events, ready, makespan)
+
+
+def _schedule_join(assignment, node, ready, by_node, pick, cost, events) -> float:
+    left_ready = ready[node.left.node_id]
+    right_ready = ready[node.right.node_id]
+    left_master = assignment.master(node.left.node_id)
+    right_master = assignment.master(node.right.node_id)
+    executor = assignment.executor(node.node_id)
+    node_id = node.node_id
+
+    coordinator = assignment.coordinator(node_id)
+    if coordinator is not None:
+        finishes = []
+        for fragment, child_ready in (
+            ("R_l -> coordinator", left_ready),
+            ("R_r -> coordinator", right_ready),
+        ):
+            transfer = pick(node_id, fragment)
+            if transfer is None:
+                raise ExecutionError(
+                    f"log lacks the {fragment!r} transfer of join n{node_id}"
+                )
+            event = TimelineEvent(transfer, child_ready, child_ready + cost(transfer))
+            events.append(event)
+            finishes.append(event.finish)
+        return max(finishes)
+
+    if executor.slave is None:
+        # Regular (possibly local) join at the master.
+        if executor.master == left_master:
+            shipped_ready, master_ready = right_ready, left_ready
+        else:
+            shipped_ready, master_ready = left_ready, right_ready
+        transfer = pick(node_id, "-> master")
+        if transfer is None:
+            # Fully local join: no communication, ready when both are.
+            return max(left_ready, right_ready)
+        event = TimelineEvent(transfer, shipped_ready, shipped_ready + cost(transfer))
+        events.append(event)
+        return max(event.finish, master_ready)
+
+    # Semi-join: probe leg then return leg, serialized.
+    if executor.master == left_master:
+        master_ready, slave_ready = left_ready, right_ready
+    else:
+        master_ready, slave_ready = right_ready, left_ready
+    probe = pick(node_id, "probe -> slave")
+    back = pick(node_id, "join -> master")
+    if probe is None or back is None:
+        raise ExecutionError(
+            f"log lacks the semi-join transfers of join n{node_id}"
+        )
+    probe_event = TimelineEvent(probe, master_ready, master_ready + cost(probe))
+    events.append(probe_event)
+    slave_start = max(probe_event.finish, slave_ready)
+    back_event = TimelineEvent(back, slave_start, slave_start + cost(back))
+    events.append(back_event)
+    return back_event.finish

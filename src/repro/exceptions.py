@@ -1,0 +1,126 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The hierarchy mirrors the package
+layout: schema/catalog errors, SQL front-end errors, planning errors and
+runtime (execution/audit) errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema or catalog is malformed or inconsistent.
+
+    Raised, for instance, when two relations share a name, when an
+    attribute name collides across relations without qualification, or
+    when a primary key references an unknown attribute.
+    """
+
+
+class UnknownRelationError(SchemaError):
+    """A referenced relation does not exist in the catalog."""
+
+    def __init__(self, relation: str) -> None:
+        super().__init__(f"unknown relation: {relation!r}")
+        self.relation = relation
+
+
+class UnknownAttributeError(SchemaError):
+    """A referenced attribute does not exist in the catalog / relation."""
+
+    def __init__(self, attribute: str, context: str = "") -> None:
+        suffix = f" in {context}" if context else ""
+        super().__init__(f"unknown attribute: {attribute!r}{suffix}")
+        self.attribute = attribute
+        self.context = context
+
+
+class JoinPathError(ReproError):
+    """A join path or join condition is malformed.
+
+    Examples: pairing attribute lists of different lengths in a
+    ``<J_l, J_r>`` conjunction, or a join condition equating an attribute
+    with itself.
+    """
+
+
+class PredicateError(ReproError):
+    """A selection predicate is malformed or cannot be evaluated."""
+
+
+class ExpressionError(ReproError):
+    """A relational-algebra expression is structurally invalid."""
+
+
+class PlanError(ReproError):
+    """A query tree plan is structurally invalid (e.g. wrong arity)."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        if position >= 0:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class BindingError(SqlError):
+    """A parsed query references names that do not resolve in the catalog."""
+
+
+class AuthorizationError(ReproError):
+    """An authorization rule is malformed.
+
+    Definition 3.1 requires the join path to include (at least) every
+    relation contributing attributes to the rule; violations raise this
+    error at construction time.
+    """
+
+
+class PolicyError(ReproError):
+    """A policy operation failed (unknown server, duplicate rule, ...)."""
+
+
+class InfeasiblePlanError(PlanError):
+    """No safe executor assignment exists for the query plan.
+
+    Carries the node at which candidate search failed, mirroring the
+    ``exit(n)`` of the paper's Figure 6 pseudocode.
+    """
+
+    def __init__(self, message: str, node_id: int = -1) -> None:
+        super().__init__(message)
+        self.node_id = node_id
+
+
+class UnsafeAssignmentError(PlanError):
+    """An executor assignment was found to violate the policy.
+
+    Raised by the independent safety verifier (Definition 4.2) and by the
+    runtime audit when a transfer without a covering authorization is
+    attempted.
+    """
+
+
+class ExecutionError(ReproError):
+    """Tuple-level execution failed (missing data, bad operator input)."""
+
+
+class AuditViolationError(ExecutionError):
+    """A runtime data transfer was not covered by any authorization."""
+
+    def __init__(self, message: str, sender: str = "", receiver: str = "") -> None:
+        super().__init__(message)
+        self.sender = sender
+        self.receiver = receiver

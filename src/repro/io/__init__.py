@@ -1,0 +1,27 @@
+"""JSON (de)serialization of catalogs, policies and queries."""
+
+from repro.io.serialize import (
+    catalog_from_dict,
+    catalog_to_dict,
+    load_json,
+    open_policy_from_dict,
+    open_policy_to_dict,
+    policy_from_dict,
+    policy_to_dict,
+    save_json,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "catalog_to_dict",
+    "catalog_from_dict",
+    "policy_to_dict",
+    "policy_from_dict",
+    "open_policy_to_dict",
+    "open_policy_from_dict",
+    "spec_to_dict",
+    "spec_from_dict",
+    "save_json",
+    "load_json",
+]

@@ -1,0 +1,210 @@
+"""JSON-friendly dictionaries for the model's value objects.
+
+Catalogs, policies (closed and open), and bound query specs round-trip
+through plain dictionaries — the interchange format of the CLI
+(:mod:`repro.cli`) and the natural way to version policies in a
+repository.  All encodings are deterministic: sets are emitted sorted,
+join paths as sorted condition pairs, so serialized policies diff
+cleanly.
+
+Schema sketch::
+
+    catalog: {"relations": [{"name", "attributes", "primary_key",
+                             "server"}], "join_edges": [[a, b], ...]}
+    policy:  {"authorizations": [{"attributes": [...],
+                                  "join_path": [[a, b], ...],
+                                  "server": ...}]}
+    open policy: {"denials": [... same rule shape ...]}
+    spec:    {"relations": [...], "join_steps": [[[a, b], ...], ...],
+              "select": [...], "where": [{"attribute", "op", "operand",
+                                          "operand_is_attribute"}]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.algebra.builder import QuerySpec
+from repro.algebra.joins import JoinPath
+from repro.algebra.predicates import Comparison, Predicate
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.core.authorization import Authorization, Policy
+from repro.core.openpolicy import Denial, OpenPolicy
+from repro.exceptions import ReproError
+
+
+def _path_pairs(path: JoinPath) -> List[List[str]]:
+    return [[c.first, c.second] for c in path.sorted_conditions()]
+
+
+def _path_from_pairs(pairs: Any) -> JoinPath:
+    if not isinstance(pairs, list):
+        raise ReproError(f"join path must be a list of pairs, got {type(pairs).__name__}")
+    return JoinPath.of(*[tuple(pair) for pair in pairs])
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+def catalog_to_dict(catalog: Catalog) -> Dict[str, Any]:
+    """Encode a catalog (relations sorted by name, edges sorted)."""
+    return {
+        "relations": [
+            {
+                "name": relation.name,
+                "attributes": list(relation.attributes),
+                "primary_key": list(relation.primary_key),
+                "server": relation.server,
+            }
+            for relation in catalog.relations()
+        ],
+        "join_edges": [[edge.first, edge.second] for edge in catalog.join_edges()],
+    }
+
+
+def catalog_from_dict(data: Dict[str, Any]) -> Catalog:
+    """Decode a catalog.
+
+    Raises:
+        ReproError: on missing keys; schema errors propagate as
+            :class:`~repro.exceptions.SchemaError`.
+    """
+    if "relations" not in data:
+        raise ReproError("catalog dictionary lacks 'relations'")
+    catalog = Catalog()
+    for entry in data["relations"]:
+        catalog.add_relation(
+            RelationSchema(
+                entry["name"],
+                entry["attributes"],
+                primary_key=entry.get("primary_key"),
+                server=entry.get("server"),
+            )
+        )
+    for left, right in data.get("join_edges", []):
+        catalog.add_join_edge(left, right)
+    return catalog
+
+
+# ---------------------------------------------------------------------------
+# Policies
+# ---------------------------------------------------------------------------
+
+def _rule_to_dict(rule: Authorization) -> Dict[str, Any]:
+    return {
+        "attributes": sorted(rule.attributes),
+        "join_path": _path_pairs(rule.join_path),
+        "server": rule.server,
+    }
+
+
+def policy_to_dict(policy: Policy) -> Dict[str, Any]:
+    """Encode a closed policy (rules in policy iteration order)."""
+    return {"authorizations": [_rule_to_dict(rule) for rule in policy]}
+
+
+def policy_from_dict(data: Dict[str, Any]) -> Policy:
+    """Decode a closed policy."""
+    if "authorizations" not in data:
+        raise ReproError("policy dictionary lacks 'authorizations'")
+    policy = Policy()
+    for entry in data["authorizations"]:
+        policy.add(
+            Authorization(
+                entry["attributes"],
+                _path_from_pairs(entry.get("join_path", [])),
+                entry["server"],
+            )
+        )
+    return policy
+
+
+def open_policy_to_dict(policy: OpenPolicy) -> Dict[str, Any]:
+    """Encode an open policy's denials."""
+    return {"denials": [_rule_to_dict(denial) for denial in policy]}
+
+
+def open_policy_from_dict(data: Dict[str, Any]) -> OpenPolicy:
+    """Decode an open policy."""
+    if "denials" not in data:
+        raise ReproError("open policy dictionary lacks 'denials'")
+    policy = OpenPolicy()
+    for entry in data["denials"]:
+        policy.deny(
+            Denial(
+                entry["attributes"],
+                _path_from_pairs(entry.get("join_path", [])),
+                entry["server"],
+            )
+        )
+    return policy
+
+
+# ---------------------------------------------------------------------------
+# Query specs
+# ---------------------------------------------------------------------------
+
+def spec_to_dict(spec: QuerySpec) -> Dict[str, Any]:
+    """Encode a bound query spec."""
+    return {
+        "relations": list(spec.relations),
+        "join_steps": [_path_pairs(path) for path in spec.join_paths],
+        "select": sorted(spec.select),
+        "where": [
+            {
+                "attribute": comparison.attribute,
+                "op": comparison.op,
+                "operand": comparison.operand,
+                "operand_is_attribute": comparison.operand_is_attribute,
+            }
+            for comparison in spec.where.comparisons
+        ],
+    }
+
+
+def spec_from_dict(data: Dict[str, Any]) -> QuerySpec:
+    """Decode a bound query spec."""
+    for key in ("relations", "join_steps", "select"):
+        if key not in data:
+            raise ReproError(f"query spec dictionary lacks {key!r}")
+    comparisons = [
+        Comparison(
+            entry["attribute"],
+            entry["op"],
+            entry["operand"],
+            operand_is_attribute=entry.get("operand_is_attribute", False),
+        )
+        for entry in data.get("where", [])
+    ]
+    return QuerySpec(
+        data["relations"],
+        [_path_from_pairs(step) for step in data["join_steps"]],
+        frozenset(data["select"]),
+        Predicate(comparisons),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Files
+# ---------------------------------------------------------------------------
+
+def save_json(data: Dict[str, Any], path: str) -> None:
+    """Write a dictionary as pretty, key-stable JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    """Read a JSON dictionary.
+
+    Raises:
+        ReproError: when the file does not contain a JSON object.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ReproError(f"{path} does not contain a JSON object")
+    return data

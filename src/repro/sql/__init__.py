@@ -1,0 +1,30 @@
+"""SQL front-end for the paper's query class.
+
+The paper considers simple select-from-where queries::
+
+    SELECT A FROM R1 JOIN R2 ON ... JOIN R3 ON ... WHERE C
+
+This package provides a hand-written lexer, a recursive-descent parser
+producing a small AST, and a binder resolving names against a
+:class:`~repro.algebra.schema.Catalog` into a bound
+:class:`~repro.algebra.builder.QuerySpec`.
+"""
+
+from repro.sql.lexer import Token, tokenize
+from repro.sql.ast import FromJoin, FromRelation, RawCondition, SelectQuery
+from repro.sql.parser import parse
+from repro.sql.binder import bind, bind_plan, parse_query, parse_query_plan
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "RawCondition",
+    "SelectQuery",
+    "FromRelation",
+    "FromJoin",
+    "parse",
+    "bind",
+    "bind_plan",
+    "parse_query",
+    "parse_query_plan",
+]

@@ -1,0 +1,126 @@
+"""SQL tokenizer.
+
+Produces a flat token stream from query text.  Token kinds:
+
+* ``KEYWORD`` — ``SELECT``, ``FROM``, ``JOIN``, ``ON``, ``WHERE``,
+  ``AND`` (case-insensitive in the input, upper-cased in the token);
+* ``IDENT`` — identifiers, optionally dotted (``Insurance.Holder``);
+* ``NUMBER`` — integer or decimal literals (value converted);
+* ``STRING`` — single-quoted literals with ``''`` escaping;
+* ``SYMBOL`` — ``, ( ) ; * = != < <= > >=``;
+* ``EOF`` — end of input.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.exceptions import SqlSyntaxError
+
+#: Recognized keywords (upper-case canonical form).
+KEYWORDS = frozenset({"SELECT", "FROM", "JOIN", "ON", "WHERE", "AND"})
+
+#: Multi- and single-character symbols, longest first.
+_SYMBOLS = ("!=", "<=", ">=", "<", ">", "=", ",", "(", ")", ";", "*")
+
+
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: ``KEYWORD`` / ``IDENT`` / ``NUMBER`` / ``STRING`` /
+            ``SYMBOL`` / ``EOF``.
+        value: canonical token value (keywords upper-cased, numbers
+            converted to ``int``/``float``).
+        position: character offset in the input, for error messages.
+    """
+
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: Union[str, int, float], position: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def matches(self, kind: str, value: object = None) -> bool:
+        """Whether the token has the given kind (and value, if given)."""
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, @{self.position})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch in "_."
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text.
+
+    Raises:
+        SqlSyntaxError: on unterminated strings or unexpected characters.
+    """
+    tokens: List[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if ch == "'":
+            end = index + 1
+            pieces = []
+            while True:
+                if end >= length:
+                    raise SqlSyntaxError("unterminated string literal", index)
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        pieces.append("'")
+                        end += 2
+                        continue
+                    break
+                pieces.append(text[end])
+                end += 1
+            tokens.append(Token("STRING", "".join(pieces), index))
+            index = end + 1
+            continue
+        if ch.isdigit():
+            end = index
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            raw = text[index:end]
+            value: Union[int, float] = float(raw) if seen_dot else int(raw)
+            tokens.append(Token("NUMBER", value, index))
+            index = end
+            continue
+        if _is_ident_start(ch):
+            end = index
+            while end < length and _is_ident_part(text[end]):
+                end += 1
+            word = text[index:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, index))
+            else:
+                tokens.append(Token("IDENT", word, index))
+            index = end
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, index):
+                tokens.append(Token("SYMBOL", symbol, index))
+                index += len(symbol)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {ch!r}", index)
+    tokens.append(Token("EOF", "", length))
+    return tokens

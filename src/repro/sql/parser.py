@@ -1,0 +1,159 @@
+"""Recursive-descent parser for the paper's query class.
+
+Grammar (keywords case-insensitive)::
+
+    query      := SELECT select_list FROM relation join* where? ';'? EOF
+    select_list:= '*' | ident (',' ident)*
+    join       := JOIN relation ON equality (AND equality)*
+    equality   := ident '=' ident
+    where      := WHERE condition (AND condition)*
+    condition  := ident op (literal | ident)
+    op         := '=' | '!=' | '<' | '<=' | '>' | '>='
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.exceptions import SqlSyntaxError
+from repro.sql.ast import RawCondition, SelectQuery
+from repro.sql.lexer import Token, tokenize
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    """Token-stream cursor with the usual expect/accept helpers."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def accept(self, kind: str, value: object = None) -> bool:
+        if self.current.matches(kind, value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: str, value: object = None) -> Token:
+        if not self.current.matches(kind, value):
+            wanted = value if value is not None else kind
+            raise SqlSyntaxError(
+                f"expected {wanted}, found {self.current.value!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def expect_identifier(self, what: str) -> str:
+        token = self.current
+        if token.kind != "IDENT":
+            raise SqlSyntaxError(
+                f"expected {what}, found {token.value!r}", token.position
+            )
+        self.advance()
+        return str(token.value)
+
+
+def parse(text: str) -> SelectQuery:
+    """Parse SQL text into an unbound :class:`SelectQuery`.
+
+    Raises:
+        SqlSyntaxError: on any lexical or grammatical error.
+    """
+    parser = _Parser(tokenize(text))
+    parser.expect("KEYWORD", "SELECT")
+
+    select: List[str] = []
+    select_star = False
+    if parser.accept("SYMBOL", "*"):
+        select_star = True
+    else:
+        select.append(parser.expect_identifier("a projected attribute"))
+        while parser.accept("SYMBOL", ","):
+            select.append(parser.expect_identifier("a projected attribute"))
+
+    parser.expect("KEYWORD", "FROM")
+    from_tree = _parse_table_expression(parser)
+
+    where: List[RawCondition] = []
+    if parser.accept("KEYWORD", "WHERE"):
+        where.append(_parse_condition(parser))
+        while parser.accept("KEYWORD", "AND"):
+            where.append(_parse_condition(parser))
+
+    parser.accept("SYMBOL", ";")
+    if parser.current.kind != "EOF":
+        raise SqlSyntaxError(
+            f"unexpected trailing input: {parser.current.value!r}",
+            parser.current.position,
+        )
+    return SelectQuery(
+        None if select_star else select, where=where, from_tree=from_tree
+    )
+
+
+def _parse_table_expression(parser: _Parser):
+    """``table_primary (JOIN table_primary ON eq (AND eq)*)*`` —
+    left-associative, so unparenthesized chains stay left-deep."""
+    from repro.sql.ast import FromJoin
+
+    tree = _parse_table_primary(parser)
+    while parser.accept("KEYWORD", "JOIN"):
+        right = _parse_table_primary(parser)
+        parser.expect("KEYWORD", "ON")
+        step: List[Tuple[str, str]] = [_parse_equality(parser)]
+        while parser.accept("KEYWORD", "AND"):
+            step.append(_parse_equality(parser))
+        tree = FromJoin(tree, right, step)
+    return tree
+
+
+def _parse_table_primary(parser: _Parser):
+    """``ident | '(' table_expression ')'`` — parentheses shape the
+    join tree (bushy FROM clauses)."""
+    from repro.sql.ast import FromRelation
+
+    if parser.accept("SYMBOL", "("):
+        inner = _parse_table_expression(parser)
+        parser.expect("SYMBOL", ")")
+        return inner
+    return FromRelation(parser.expect_identifier("a relation name"))
+
+
+def _parse_equality(parser: _Parser) -> Tuple[str, str]:
+    left = parser.expect_identifier("a join attribute")
+    parser.expect("SYMBOL", "=")
+    right = parser.expect_identifier("a join attribute")
+    return left, right
+
+
+def _parse_condition(parser: _Parser) -> RawCondition:
+    left = parser.expect_identifier("a WHERE attribute")
+    token = parser.current
+    if token.kind != "SYMBOL" or token.value not in _COMPARISON_OPS:
+        raise SqlSyntaxError(
+            f"expected a comparison operator, found {token.value!r}", token.position
+        )
+    parser.advance()
+    op = str(token.value)
+    value_token = parser.current
+    if value_token.kind == "IDENT":
+        parser.advance()
+        return RawCondition(left, op, str(value_token.value), True)
+    if value_token.kind in ("NUMBER", "STRING"):
+        parser.advance()
+        return RawCondition(left, op, value_token.value, False)
+    raise SqlSyntaxError(
+        f"expected a literal or attribute, found {value_token.value!r}",
+        value_token.position,
+    )

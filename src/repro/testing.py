@@ -1,0 +1,122 @@
+"""Compact builders for tests and experiments.
+
+Setting up a distributed system takes a screenful of constructor calls;
+these helpers compress the common cases into one-liners, for this
+repository's own tests and for downstream users writing theirs::
+
+    from repro.testing import grant, quick_catalog
+
+    catalog = quick_catalog("R(a, b) @ S1", "T(c, d) @ S2", edges=["a = c"])
+    policy = Policy([
+        grant("S2", "a b"),            # [{a, b}, -] -> S2
+        grant("S1", "a c d", "a = c"), # [{a, c, d}, {(a, c)}] -> S1
+    ])
+
+The mini-grammar is deliberately tiny: relations are
+``Name(attr, attr, ...) [@ Server]`` (primary key defaults to the first
+attribute), grants take space- or comma-separated attributes and an
+optional join path of ``A = B`` conditions separated by commas.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence
+
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.core.authorization import Authorization
+from repro.exceptions import ReproError
+
+_RELATION_RE = re.compile(
+    r"^\s*(?P<name>\w+)\s*\(\s*(?P<attrs>[^)]+?)\s*\)\s*(?:@\s*(?P<server>\w+)\s*)?$"
+)
+
+
+def _split_names(text: str) -> List[str]:
+    return [part for part in re.split(r"[\s,]+", text.strip()) if part]
+
+
+def quick_relation(spec: str) -> RelationSchema:
+    """Parse ``"Name(a, b, c) @ Server"`` into a schema.
+
+    The server is optional; the primary key is the first attribute.
+
+    Raises:
+        ReproError: on a malformed spec.
+    """
+    match = _RELATION_RE.match(spec)
+    if match is None:
+        raise ReproError(
+            f"bad relation spec {spec!r}; expected 'Name(a, b) @ Server'"
+        )
+    attributes = _split_names(match.group("attrs"))
+    return RelationSchema(
+        match.group("name"), attributes, server=match.group("server")
+    )
+
+
+def quick_catalog(*relation_specs: str, edges: Sequence[str] = ()) -> Catalog:
+    """Build a catalog from relation specs plus ``"A = B"`` join edges.
+
+    >>> catalog = quick_catalog("R(a, b) @ S1", "T(c, d) @ S2", edges=["a = c"])
+    >>> catalog.server_of("T")
+    'S2'
+    >>> len(catalog.join_edges())
+    1
+    """
+    catalog = Catalog()
+    for spec in relation_specs:
+        catalog.add_relation(quick_relation(spec))
+    for edge in edges:
+        left, right = _parse_condition(edge)
+        catalog.add_join_edge(left, right)
+    return catalog
+
+
+def _parse_condition(text: str) -> tuple:
+    if "=" not in text:
+        raise ReproError(f"bad join condition {text!r}; expected 'A = B'")
+    left, right = text.split("=", 1)
+    left, right = left.strip(), right.strip()
+    if not left or not right:
+        raise ReproError(f"bad join condition {text!r}; expected 'A = B'")
+    return left, right
+
+
+def quick_path(conditions: str) -> JoinPath:
+    """Parse ``"A = B, C = D"`` into a :class:`JoinPath` (empty input
+    gives the empty path).
+
+    >>> quick_path("Holder = Citizen") == JoinPath.of(("Citizen", "Holder"))
+    True
+    >>> quick_path("").is_empty()
+    True
+    """
+    conditions = conditions.strip()
+    if not conditions:
+        return JoinPath.empty()
+    pairs = [_parse_condition(part) for part in conditions.split(",")]
+    return JoinPath.of(*pairs)
+
+
+def grant(server: str, attributes: str, path: str = "") -> Authorization:
+    """Build an authorization from compact strings.
+
+    >>> grant("S2", "a b")
+    [{a, b}, -] -> S2
+    >>> grant("S1", "a, c, d", "a = c")
+    [{a, c, d}, {(a, c)}] -> S1
+    """
+    return Authorization(_split_names(attributes), quick_path(path), server)
+
+
+def deny(server: str, attributes: str, path: str = ""):
+    """The :func:`grant` counterpart for open policies.
+
+    >>> deny("S1", "Disease")
+    [{Disease}, -] -x-> S1
+    """
+    from repro.core.openpolicy import Denial
+
+    return Denial(_split_names(attributes), quick_path(path), server)

@@ -1,0 +1,28 @@
+"""Workloads: the paper's running example and synthetic generators."""
+
+from repro.workloads.medical import (
+    example_query_spec,
+    generate_instances,
+    medical_catalog,
+    medical_policy,
+    paper_plan,
+)
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadConfig
+from repro.workloads.coalition import (
+    coalition_catalog,
+    coalition_policy,
+    generate_coalition_instances,
+)
+
+__all__ = [
+    "medical_catalog",
+    "medical_policy",
+    "example_query_spec",
+    "paper_plan",
+    "generate_instances",
+    "SyntheticWorkload",
+    "WorkloadConfig",
+    "coalition_catalog",
+    "coalition_policy",
+    "generate_coalition_instances",
+]

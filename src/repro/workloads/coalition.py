@@ -1,0 +1,310 @@
+"""A second full scenario: a trade-coalition of independent parties.
+
+The paper's introduction motivates the model with "dynamic coalitions
+and virtual communities, where independent parties may need to
+selectively share part of their knowledge towards the completion of
+common goals".  This workload realizes one: four organizations
+cooperating on cross-border freight, each owning data the others must
+see only selectively.
+
+Parties and relations (each relation at its owner):
+
+* ``S_port`` (port authority) — ``Arrivals(Vessel, Berth, Eta)``;
+* ``S_customs`` (customs agency) —
+  ``Declarations(Decl_id, Decl_vessel, Cargo_class, Duty)``;
+* ``S_carrier`` (shipping line) —
+  ``Manifests(Manifest_id, Ship, Container_count, Client)``;
+* ``S_insurer`` (freight insurer) —
+  ``Cover(Covered_client, Premium, Risk_band)``.
+
+Join edges: ``Vessel = Decl_vessel`` (arrivals to declarations),
+``Vessel = Ship`` and ``Decl_vessel = Ship`` (to manifests), and
+``Client = Covered_client`` (manifests to cover).
+
+The policy (:data:`COALITION_AUTHORIZATION_TABLE`) exercises every rule
+shape of the paper:
+
+* plain base-relation grants (customs sees arrivals wholesale —
+  rule 2);
+* **instance-based restrictions** (the insurer sees container counts
+  only for manifests of clients it actually covers — rule 10; the
+  carrier sees berth/ETA only for its own ships — rule 6);
+* **connectivity constraints** (the insurer may learn the cargo class
+  reaching its clients through the vessel linkage without seeing
+  vessel identities — rule 11's path routes through ``Manifests``
+  and ``Declarations`` while granting neither's keys... see table);
+* deliberate gaps making natural queries infeasible (the carrier can
+  never see duties; nobody but customs may combine duty with cargo
+  class), so the third-party and what-if tooling has real work here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.algebra.builder import QuerySpec
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.core.authorization import Authorization, Policy
+
+#: Server names.
+S_PORT = "S_port"
+S_CUSTOMS = "S_customs"
+S_CARRIER = "S_carrier"
+S_INSURER = "S_insurer"
+
+
+def coalition_catalog() -> Catalog:
+    """The coalition's four relations and their join edges."""
+    catalog = Catalog()
+    catalog.add_relation(
+        RelationSchema("Arrivals", ["Vessel", "Berth", "Eta"], server=S_PORT)
+    )
+    catalog.add_relation(
+        RelationSchema(
+            "Declarations",
+            ["Decl_id", "Decl_vessel", "Cargo_class", "Duty"],
+            server=S_CUSTOMS,
+        )
+    )
+    catalog.add_relation(
+        RelationSchema(
+            "Manifests",
+            ["Manifest_id", "Ship", "Container_count", "Client"],
+            server=S_CARRIER,
+        )
+    )
+    catalog.add_relation(
+        RelationSchema(
+            "Cover", ["Covered_client", "Premium", "Risk_band"], server=S_INSURER
+        )
+    )
+    catalog.add_join_edge("Vessel", "Decl_vessel")
+    catalog.add_join_edge("Vessel", "Ship")
+    catalog.add_join_edge("Decl_vessel", "Ship")
+    catalog.add_join_edge("Client", "Covered_client")
+    return catalog
+
+
+#: ``number -> (attributes, join path pairs, server)``, Figure 3 style.
+COALITION_AUTHORIZATION_TABLE: Dict[
+    int, Tuple[Tuple[str, ...], Tuple[Tuple[str, str], ...], str]
+] = {
+    # --- port authority ---
+    1: (("Vessel", "Berth", "Eta"), (), S_PORT),
+    # The port may see which arriving vessels carry declarations (to
+    # schedule inspections) but not duties: instance restriction via the
+    # vessel linkage.  Decl_vessel is included because any semi-join
+    # return view echoes the matched join attribute back.
+    2: (
+        ("Vessel", "Decl_vessel", "Berth", "Eta", "Cargo_class"),
+        (("Vessel", "Decl_vessel"),),
+        S_PORT,
+    ),
+    # --- customs agency ---
+    3: (("Decl_id", "Decl_vessel", "Cargo_class", "Duty"), (), S_CUSTOMS),
+    4: (("Vessel", "Berth", "Eta"), (), S_CUSTOMS),
+    5: (("Manifest_id", "Ship", "Container_count", "Client"), (), S_CUSTOMS),
+    # --- shipping line ---
+    6: (
+        # Carrier sees berth/ETA only for its own ships.
+        ("Ship", "Manifest_id", "Container_count", "Client", "Berth", "Eta"),
+        (("Vessel", "Ship"),),
+        S_CARRIER,
+    ),
+    7: (("Manifest_id", "Ship", "Container_count", "Client"), (), S_CARRIER),
+    # Carrier may learn the risk band of its clients (to price slots)
+    # but not premiums: attribute subset with an instance restriction.
+    8: (
+        ("Manifest_id", "Ship", "Container_count", "Client", "Risk_band"),
+        (("Client", "Covered_client"),),
+        S_CARRIER,
+    ),
+    # --- freight insurer ---
+    9: (("Covered_client", "Premium", "Risk_band"), (), S_INSURER),
+    # Insurer sees manifest volumes and routing only for clients it
+    # covers (instance restriction via the coverage linkage).
+    10: (
+        (
+            "Covered_client",
+            "Premium",
+            "Risk_band",
+            "Client",
+            "Container_count",
+            "Ship",
+        ),
+        (("Client", "Covered_client"),),
+        S_INSURER,
+    ),
+    # Connectivity-constrained analytics: the insurer may learn which
+    # cargo classes reach its covered clients.  Declarations appears in
+    # the path and contributes only Cargo_class — Duty and Decl_id are
+    # never granted, and Cargo_class only in this two-edge association.
+    11: (
+        (
+            "Covered_client",
+            "Risk_band",
+            "Client",
+            "Container_count",
+            "Ship",
+            "Decl_vessel",
+            "Cargo_class",
+        ),
+        (("Client", "Covered_client"), ("Decl_vessel", "Ship")),
+        S_INSURER,
+    ),
+    # The probe views semi-join slaves need.
+    12: (("Covered_client",), (), S_CARRIER),
+    13: (("Ship",), (), S_INSURER),
+    # Customs may see which ships carry insured manifests (the probe of
+    # the insurer's cargo-risk semi-join).
+    14: (("Ship",), (("Client", "Covered_client"),), S_CUSTOMS),
+    # Customs may see arriving vessel ids alone (the probe of the
+    # port-mastered inspection semi-join) — narrower than rule 4, so
+    # revoking rule 4 degrades the inspection query to the semi-join
+    # strategy instead of breaking it.
+    15: (("Vessel",), (), S_CUSTOMS),
+}
+
+
+def coalition_authorization(number: int) -> Authorization:
+    """Rule ``number`` of the coalition policy (1-based)."""
+    attributes, pairs, server = COALITION_AUTHORIZATION_TABLE[number]
+    return Authorization(attributes, JoinPath.of(*pairs), server)
+
+
+def coalition_policy() -> Policy:
+    """The full coalition policy."""
+    return Policy(
+        coalition_authorization(number)
+        for number in sorted(COALITION_AUTHORIZATION_TABLE)
+    )
+
+
+def inspection_query() -> QuerySpec:
+    """Port scheduling: berth and cargo class of arriving declared
+    vessels — feasible (rules 2/4 give two strategies)."""
+    return QuerySpec(
+        relations=["Arrivals", "Declarations"],
+        join_paths=[JoinPath.of(("Vessel", "Decl_vessel"))],
+        select=frozenset({"Vessel", "Berth", "Cargo_class"}),
+    )
+
+
+def exposure_query() -> QuerySpec:
+    """Insurer exposure: risk band against container volumes of covered
+    clients — feasible via a semi-join (rules 10 and 12)."""
+    return QuerySpec(
+        relations=["Cover", "Manifests"],
+        join_paths=[JoinPath.of(("Covered_client", "Client"))],
+        select=frozenset({"Covered_client", "Risk_band", "Container_count"}),
+    )
+
+
+def premium_query() -> QuerySpec:
+    """Premiums against container volumes.  Plannable — but only with
+    the result materializing at the insurer: no rule ever releases
+    Premium to another party, so delivering the answer to, say, the
+    carrier fails verification (see the workload tests)."""
+    return QuerySpec(
+        relations=["Manifests", "Cover"],
+        join_paths=[JoinPath.of(("Client", "Covered_client"))],
+        select=frozenset({"Client", "Container_count", "Premium"}),
+    )
+
+
+def duty_query() -> QuerySpec:
+    """Duties against container volumes.  Like :func:`premium_query`,
+    plannable but confined: rule 5 lets customs absorb manifests, so the
+    answer materializes at customs and may not leave (Duty is never
+    granted to anyone else)."""
+    return QuerySpec(
+        relations=["Manifests", "Declarations"],
+        join_paths=[JoinPath.of(("Ship", "Decl_vessel"))],
+        select=frozenset({"Ship", "Container_count", "Duty"}),
+    )
+
+
+def berth_client_query() -> QuerySpec:
+    """Which client's cargo sits at which berth — **infeasible**: the
+    port holds no manifest grant, the carrier's berth grant (rule 6)
+    does not cover vessel identities, and neither side can act as a
+    semi-join slave, so no safe assignment exists at all.  (A trusted
+    third party rescues it; see the workload tests.)"""
+    return QuerySpec(
+        relations=["Arrivals", "Manifests"],
+        join_paths=[JoinPath.of(("Vessel", "Ship"))],
+        select=frozenset({"Berth", "Client"}),
+    )
+
+
+def cargo_risk_query() -> QuerySpec:
+    """Insurer's three-way analytics: cargo classes reaching covered
+    clients — exercises rule 11's two-edge path."""
+    return QuerySpec(
+        relations=["Cover", "Manifests", "Declarations"],
+        join_paths=[
+            JoinPath.of(("Covered_client", "Client")),
+            JoinPath.of(("Ship", "Decl_vessel")),
+        ],
+        select=frozenset({"Covered_client", "Risk_band", "Cargo_class"}),
+    )
+
+
+def generate_coalition_instances(
+    seed: int = 23,
+    vessels: int = 40,
+    clients: int = 25,
+) -> Dict[str, List[Dict[str, object]]]:
+    """Deterministic instances respecting every join edge.
+
+    Each vessel arrives once; ~80% carry a declaration; each vessel
+    sails one or two manifests for random clients; ~70% of clients hold
+    cover.
+    """
+    rng = random.Random(seed)
+    vessel_ids = [f"v{i:03d}" for i in range(vessels)]
+    client_ids = [f"c{i:03d}" for i in range(clients)]
+    arrivals = [
+        {"Vessel": v, "Berth": f"b{rng.randrange(8)}", "Eta": f"day{rng.randrange(30)}"}
+        for v in vessel_ids
+    ]
+    declarations = [
+        {
+            "Decl_id": f"d{i:03d}",
+            "Decl_vessel": v,
+            "Cargo_class": rng.choice(["bulk", "reefer", "hazmat", "container"]),
+            "Duty": rng.randrange(100, 5000),
+        }
+        for i, v in enumerate(vessel_ids)
+        if rng.random() < 0.8
+    ]
+    manifests = []
+    counter = 0
+    for v in vessel_ids:
+        for _ in range(rng.choice([1, 1, 2])):
+            manifests.append(
+                {
+                    "Manifest_id": f"m{counter:04d}",
+                    "Ship": v,
+                    "Container_count": rng.randrange(1, 200),
+                    "Client": rng.choice(client_ids),
+                }
+            )
+            counter += 1
+    cover = [
+        {
+            "Covered_client": c,
+            "Premium": rng.randrange(500, 20_000),
+            "Risk_band": rng.choice(["A", "B", "C"]),
+        }
+        for c in client_ids
+        if rng.random() < 0.7
+    ]
+    return {
+        "Arrivals": arrivals,
+        "Declarations": declarations,
+        "Manifests": manifests,
+        "Cover": cover,
+    }

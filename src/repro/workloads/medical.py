@@ -1,0 +1,203 @@
+"""The paper's running example: the medical distributed system.
+
+Reproduces, faithfully:
+
+* **Figure 1** — the distributed schema: ``Insurance(Holder, Plan)`` at
+  ``S_I``, ``Hospital(Patient, Disease, Physician)`` at ``S_H``,
+  ``Nat_registry(Citizen, HealthAid)`` at ``S_N`` and
+  ``Disease_list(Illness, Treatment)`` at ``S_D``, with join edges
+  ``Holder=Citizen``, ``Citizen=Patient``, ``Holder=Patient`` and
+  ``Disease=Illness``;
+* **Figure 3** — the fifteen authorizations, numbered as in the paper;
+* **Example 2.2 / Figure 2** — the patient-physician-plan-healthaid
+  query and its minimized tree;
+* plus a seeded instance generator (the paper's model is purely
+  symbolic, so any instance respecting the join edges exercises the same
+  code paths; the generator makes tuple-level experiments deterministic).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.algebra.tree import QueryTreePlan
+from repro.core.authorization import Authorization, Policy
+
+#: Server names of Figure 1.
+S_I = "S_I"
+S_H = "S_H"
+S_N = "S_N"
+S_D = "S_D"
+
+
+def medical_catalog() -> Catalog:
+    """The Figure 1 catalog: four relations, four servers, four join edges."""
+    catalog = Catalog()
+    catalog.add_relation(
+        RelationSchema("Insurance", ["Holder", "Plan"], primary_key=["Holder"], server=S_I)
+    )
+    catalog.add_relation(
+        RelationSchema(
+            "Hospital",
+            ["Patient", "Disease", "Physician"],
+            primary_key=["Patient", "Disease"],
+            server=S_H,
+        )
+    )
+    catalog.add_relation(
+        RelationSchema(
+            "Nat_registry", ["Citizen", "HealthAid"], primary_key=["Citizen"], server=S_N
+        )
+    )
+    catalog.add_relation(
+        RelationSchema(
+            "Disease_list", ["Illness", "Treatment"], primary_key=["Illness"], server=S_D
+        )
+    )
+    catalog.add_join_edge("Holder", "Citizen")
+    catalog.add_join_edge("Citizen", "Patient")
+    catalog.add_join_edge("Holder", "Patient")
+    catalog.add_join_edge("Disease", "Illness")
+    return catalog
+
+
+#: The Figure 3 table: ``number -> (attributes, join path pairs, server)``.
+#: Join conditions are written exactly as in the paper (order of a pair is
+#: immaterial — see :class:`repro.algebra.joins.JoinCondition`).
+AUTHORIZATION_TABLE: Dict[int, Tuple[Tuple[str, ...], Tuple[Tuple[str, str], ...], str]] = {
+    1: (("Holder", "Plan"), (), S_I),
+    2: (("Holder", "Plan", "Patient", "Physician"), (("Holder", "Patient"),), S_I),
+    3: (
+        ("Holder", "Plan", "Treatment"),
+        (("Holder", "Patient"), ("Disease", "Illness")),
+        S_I,
+    ),
+    4: (("Patient", "Disease", "Physician"), (), S_H),
+    5: (
+        ("Patient", "Disease", "Physician", "Holder", "Plan"),
+        (("Patient", "Holder"),),
+        S_H,
+    ),
+    6: (
+        ("Patient", "Disease", "Physician", "Citizen", "HealthAid"),
+        (("Patient", "Citizen"),),
+        S_H,
+    ),
+    7: (
+        ("Patient", "Disease", "Physician", "Holder", "Plan", "Citizen", "HealthAid"),
+        (("Patient", "Citizen"), ("Citizen", "Holder")),
+        S_H,
+    ),
+    8: (("Citizen", "HealthAid"), (), S_N),
+    9: (("Holder", "Plan"), (), S_N),
+    10: (("Patient", "Disease"), (), S_N),
+    11: (
+        ("Citizen", "HealthAid", "Patient", "Disease"),
+        (("Citizen", "Patient"),),
+        S_N,
+    ),
+    12: (
+        ("Citizen", "HealthAid", "Holder", "Plan"),
+        (("Citizen", "Holder"),),
+        S_N,
+    ),
+    13: (
+        ("Patient", "Disease", "Holder", "Plan"),
+        (("Patient", "Holder"),),
+        S_N,
+    ),
+    14: (
+        ("Citizen", "HealthAid", "Patient", "Disease", "Holder", "Plan"),
+        (("Citizen", "Patient"), ("Citizen", "Holder")),
+        S_N,
+    ),
+    15: (("Illness", "Treatment"), (), S_D),
+}
+
+
+def authorization(number: int) -> Authorization:
+    """Authorization ``number`` of Figure 3 (1-based, as in the paper)."""
+    attributes, pairs, server = AUTHORIZATION_TABLE[number]
+    return Authorization(attributes, JoinPath.of(*pairs), server)
+
+
+def medical_policy() -> Policy:
+    """The full Figure 3 policy (all fifteen rules, paper order)."""
+    return Policy(authorization(number) for number in sorted(AUTHORIZATION_TABLE))
+
+
+def example_query_spec() -> QuerySpec:
+    """Example 2.2: retrieve patient, physician, insurance plan and
+    health aid by joining Insurance, Nat_registry and Hospital."""
+    return QuerySpec(
+        relations=["Insurance", "Nat_registry", "Hospital"],
+        join_paths=[
+            JoinPath.of(("Holder", "Citizen")),
+            JoinPath.of(("Citizen", "Patient")),
+        ],
+        select=frozenset({"Patient", "Physician", "Plan", "HealthAid"}),
+    )
+
+
+def paper_plan(catalog: Catalog = None) -> QueryTreePlan:
+    """The Figure 2 query tree plan (projection pushed onto Hospital)."""
+    if catalog is None:
+        catalog = medical_catalog()
+    return build_plan(catalog, example_query_spec())
+
+
+def generate_instances(
+    seed: int = 7,
+    citizens: int = 100,
+    insured_fraction: float = 0.7,
+    hospitalized_fraction: float = 0.4,
+    diseases: int = 12,
+) -> Dict[str, List[Dict[str, object]]]:
+    """Deterministic synthetic instances for the Figure 1 schema.
+
+    Every citizen appears in ``Nat_registry``; a fraction holds an
+    insurance (``Holder`` drawn from citizen ids, satisfying the
+    ``Holder=Citizen`` edge); a fraction is hospitalized with one or two
+    diseases drawn from ``Disease_list`` (satisfying ``Disease=Illness``
+    and ``Patient=Citizen``).
+
+    Returns:
+        ``relation name -> list of rows`` (plain dicts keyed by
+        attribute name), suitable for
+        :class:`repro.engine.data.Table.from_rows`.
+    """
+    rng = random.Random(seed)
+    citizen_ids = [f"c{i:04d}" for i in range(citizens)]
+    disease_ids = [f"d{i:02d}" for i in range(diseases)]
+
+    nat_registry = [
+        {"Citizen": c, "HealthAid": rng.choice(["none", "basic", "full"])}
+        for c in citizen_ids
+    ]
+    insurance = [
+        {"Holder": c, "Plan": rng.choice(["bronze", "silver", "gold", "platinum"])}
+        for c in citizen_ids
+        if rng.random() < insured_fraction
+    ]
+    hospital = []
+    physicians = [f"dr{i:02d}" for i in range(max(3, citizens // 10))]
+    for c in citizen_ids:
+        if rng.random() >= hospitalized_fraction:
+            continue
+        for disease in rng.sample(disease_ids, rng.choice([1, 1, 2])):
+            hospital.append(
+                {"Patient": c, "Disease": disease, "Physician": rng.choice(physicians)}
+            )
+    disease_list = [
+        {"Illness": d, "Treatment": f"treatment-{d}"} for d in disease_ids
+    ]
+    return {
+        "Insurance": insurance,
+        "Hospital": hospital,
+        "Nat_registry": nat_registry,
+        "Disease_list": disease_list,
+    }

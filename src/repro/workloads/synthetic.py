@@ -1,0 +1,311 @@
+"""Seeded synthetic workloads.
+
+The paper evaluates its model on one worked example; the scaling and
+ablation benchmarks need arbitrarily large, statistically controlled
+inputs.  This module generates — deterministically from a seed —
+
+* a distributed **catalog**: relations with random attribute counts,
+  placed on a configurable number of servers, connected by a random
+  *connected* join-edge graph (spanning tree plus extra edges);
+* a **policy** with controlled density: every server is granted its own
+  relations (the paper assumes as much), plus base-relation grants on
+  remote relations with probability ``grant_probability`` and join-view
+  grants along random edge paths with probability ``join_grant_probability``;
+* **queries**: connected subsets of relations turned into
+  :class:`~repro.algebra.builder.QuerySpec` objects with valid left-deep
+  join steps;
+* **instances**: rows whose join-edge attributes draw from shared value
+  pools (attributes equated by some edge share a domain, so joins
+  actually match).
+
+All randomness flows through one ``random.Random(seed)``; equal seeds
+give byte-identical workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.builder import QuerySpec
+from repro.algebra.joins import JoinCondition, JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.core.authorization import Authorization, Policy
+from repro.exceptions import ReproError
+
+
+class WorkloadConfig:
+    """Tunable knobs of the synthetic generator.
+
+    Args:
+        servers: number of servers.
+        relations: number of relations (>= servers is typical; placement
+            is round-robin so every server hosts at least one relation
+            when ``relations >= servers``).
+        attributes_per_relation: inclusive ``(min, max)`` attribute count.
+        extra_join_edges: join edges added on top of the connecting
+            spanning tree.
+        grant_probability: probability that a server is granted a remote
+            base relation in full.
+        join_grant_probability: probability, per server per join edge,
+            of a grant covering the two relations joined by that edge.
+        path_grant_probability: probability, per server, of one grant
+            covering a random two-edge path (three relations).
+        rows_per_relation: instance size for tuple-level runs.
+        join_domain_size: value-pool size shared by equated attributes —
+            smaller pools mean more join matches.
+    """
+
+    def __init__(
+        self,
+        servers: int = 4,
+        relations: int = 6,
+        attributes_per_relation: Tuple[int, int] = (2, 4),
+        extra_join_edges: int = 2,
+        grant_probability: float = 0.3,
+        join_grant_probability: float = 0.25,
+        path_grant_probability: float = 0.15,
+        rows_per_relation: int = 50,
+        join_domain_size: int = 20,
+    ) -> None:
+        if servers < 1 or relations < 1:
+            raise ReproError("need at least one server and one relation")
+        if attributes_per_relation[0] < 1 or attributes_per_relation[0] > attributes_per_relation[1]:
+            raise ReproError("invalid attributes_per_relation range")
+        self.servers = servers
+        self.relations = relations
+        self.attributes_per_relation = attributes_per_relation
+        self.extra_join_edges = extra_join_edges
+        self.grant_probability = grant_probability
+        self.join_grant_probability = join_grant_probability
+        self.path_grant_probability = path_grant_probability
+        self.rows_per_relation = rows_per_relation
+        self.join_domain_size = join_domain_size
+
+
+class SyntheticWorkload:
+    """One deterministic synthetic workload.
+
+    Attributes:
+        catalog: the generated :class:`~repro.algebra.schema.Catalog`.
+        policy: the generated :class:`~repro.core.authorization.Policy`.
+    """
+
+    def __init__(self, seed: int = 0, config: Optional[WorkloadConfig] = None) -> None:
+        self._config = config or WorkloadConfig()
+        self._rng = random.Random(seed)
+        self.catalog = self._build_catalog()
+        self.policy = self._build_policy()
+
+    @property
+    def config(self) -> WorkloadConfig:
+        """The generator configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+
+    def _build_catalog(self) -> Catalog:
+        cfg = self._config
+        catalog = Catalog()
+        lo, hi = cfg.attributes_per_relation
+        for index in range(cfg.relations):
+            server = f"S{index % cfg.servers}"
+            count = self._rng.randint(lo, hi)
+            attributes = [f"R{index}_A{k}" for k in range(count)]
+            catalog.add_relation(
+                RelationSchema(f"R{index}", attributes, server=server)
+            )
+        relations = catalog.relations()
+        # Connect with a random spanning tree, then sprinkle extra edges.
+        order = list(range(len(relations)))
+        self._rng.shuffle(order)
+        for position in range(1, len(order)):
+            left = relations[order[self._rng.randrange(position)]]
+            right = relations[order[position]]
+            catalog.add_join_edge(
+                self._rng.choice(left.attributes), self._rng.choice(right.attributes)
+            )
+        added = 0
+        attempts = 0
+        while added < cfg.extra_join_edges and attempts < 50 * (cfg.extra_join_edges + 1):
+            attempts += 1
+            left, right = self._rng.sample(relations, 2) if len(relations) > 1 else (None, None)
+            if left is None:
+                break
+            a = self._rng.choice(left.attributes)
+            b = self._rng.choice(right.attributes)
+            if catalog.is_join_edge(JoinCondition(a, b)):
+                continue
+            catalog.add_join_edge(a, b)
+            added += 1
+        return catalog
+
+    # ------------------------------------------------------------------
+    # Policy
+    # ------------------------------------------------------------------
+
+    def _server_names(self) -> List[str]:
+        return [f"S{i}" for i in range(self._config.servers)]
+
+    def _build_policy(self) -> Policy:
+        cfg = self._config
+        policy = Policy()
+        edges = self.catalog.join_edges()
+        for server in self._server_names():
+            # Own relations: always granted in full.
+            for relation in self.catalog.relations_at(server):
+                self._grant(policy, relation.attribute_set, JoinPath.empty(), server)
+            # Remote base relations.
+            for relation in self.catalog.relations():
+                if relation.server == server:
+                    continue
+                if self._rng.random() < cfg.grant_probability:
+                    self._grant(policy, relation.attribute_set, JoinPath.empty(), server)
+            # Join-view grants along single edges.
+            for edge in edges:
+                if self._rng.random() >= cfg.join_grant_probability:
+                    continue
+                left = self.catalog.owner_of(edge.first)
+                right = self.catalog.owner_of(edge.second)
+                if left.name == right.name:
+                    continue
+                attributes = left.attribute_set | right.attribute_set
+                self._grant(policy, attributes, JoinPath((edge,)), server)
+            # One longer (two-edge) path grant, occasionally.
+            if len(edges) >= 2 and self._rng.random() < cfg.path_grant_probability:
+                pair = self._random_edge_path(edges)
+                if pair is not None:
+                    first, second = pair
+                    relations = {
+                        self.catalog.owner_of(a).name
+                        for a in (first.first, first.second, second.first, second.second)
+                    }
+                    attributes: Set[str] = set()
+                    for name in relations:
+                        attributes |= self.catalog.relation(name).attribute_set
+                    self._grant(
+                        policy, frozenset(attributes), JoinPath((first, second)), server
+                    )
+        return policy
+
+    def _grant(self, policy: Policy, attributes, path: JoinPath, server: str) -> None:
+        rule = Authorization(attributes, path, server)
+        if rule not in policy:
+            policy.add(rule)
+
+    def _random_edge_path(
+        self, edges: Sequence[JoinCondition]
+    ) -> Optional[Tuple[JoinCondition, JoinCondition]]:
+        """Two distinct edges sharing a relation (a two-step path)."""
+        for _ in range(20):
+            first, second = self._rng.sample(list(edges), 2)
+            first_rels = {self.catalog.owner_of(first.first).name,
+                          self.catalog.owner_of(first.second).name}
+            second_rels = {self.catalog.owner_of(second.first).name,
+                           self.catalog.owner_of(second.second).name}
+            if first_rels & second_rels and first_rels != second_rels:
+                return first, second
+        return None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def random_query(self, relations: int = 3) -> QuerySpec:
+        """A connected random query over ``relations`` relations.
+
+        Grows a connected relation set by walking join edges, orders it
+        by discovery, derives the left-deep join steps, and selects a
+        random non-empty attribute subset of the result.
+
+        Raises:
+            ReproError: if the catalog cannot supply a connected set of
+                the requested size (after bounded retries).
+        """
+        edges = self.catalog.join_edges()
+        for _ in range(100):
+            order, steps = self._grow_connected(relations, edges)
+            if order is None:
+                continue
+            all_attributes: List[str] = []
+            for name in order:
+                all_attributes.extend(self.catalog.relation(name).attributes)
+            size = self._rng.randint(1, min(4, len(all_attributes)))
+            select = frozenset(self._rng.sample(all_attributes, size))
+            return QuerySpec(order, steps, select)
+        raise ReproError(
+            f"could not grow a connected query over {relations} relations; "
+            "the join-edge graph is too sparse"
+        )
+
+    def _grow_connected(
+        self, target: int, edges: Sequence[JoinCondition]
+    ) -> Tuple[Optional[List[str]], List[JoinPath]]:
+        start = self._rng.choice(self.catalog.relation_names())
+        order = [start]
+        attributes = set(self.catalog.relation(start).attribute_set)
+        steps: List[JoinPath] = []
+        while len(order) < target:
+            bridges: Dict[str, List[JoinCondition]] = {}
+            for edge in edges:
+                for inside, outside in ((edge.first, edge.second), (edge.second, edge.first)):
+                    if inside in attributes:
+                        owner = self.catalog.owner_of(outside).name
+                        if owner not in order and outside not in attributes:
+                            bridges.setdefault(owner, []).append(edge)
+            if not bridges:
+                return None, []
+            name = self._rng.choice(sorted(bridges))
+            order.append(name)
+            steps.append(JoinPath(set(bridges[name])))
+            attributes |= self.catalog.relation(name).attribute_set
+        return order, steps
+
+    # ------------------------------------------------------------------
+    # Instances
+    # ------------------------------------------------------------------
+
+    def generate_instances(self) -> Dict[str, List[Dict[str, object]]]:
+        """Rows for every relation, with shared pools on equated attributes."""
+        pools = self._join_value_pools()
+        instances: Dict[str, List[Dict[str, object]]] = {}
+        for relation in self.catalog.relations():
+            rows = []
+            for row_index in range(self._config.rows_per_relation):
+                row: Dict[str, object] = {}
+                for attribute in relation.attributes:
+                    pool = pools.get(attribute)
+                    if pool is not None:
+                        row[attribute] = self._rng.choice(pool)
+                    else:
+                        row[attribute] = f"{attribute}_v{self._rng.randrange(10_000)}"
+                rows.append(row)
+            instances[relation.name] = rows
+        return instances
+
+    def _join_value_pools(self) -> Dict[str, List[str]]:
+        """Union-find over join edges: equated attributes share a pool."""
+        parent: Dict[str, str] = {}
+
+        def find(a: str) -> str:
+            parent.setdefault(a, a)
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        for edge in self.catalog.join_edges():
+            ra, rb = find(edge.first), find(edge.second)
+            if ra != rb:
+                parent[ra] = rb
+        pools: Dict[str, List[str]] = {}
+        classes: Dict[str, List[str]] = {}
+        for attribute in sorted(parent):
+            classes.setdefault(find(attribute), []).append(attribute)
+        for root, members in sorted(classes.items()):
+            pool = [f"{root}_j{i}" for i in range(self._config.join_domain_size)]
+            for member in members:
+                pools[member] = pool
+        return pools

@@ -1,0 +1,52 @@
+"""Shared fixtures: the paper's medical system and synthetic workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.schema import Catalog
+from repro.core.authorization import Policy
+from repro.core.planner import SafePlanner
+from repro.workloads.medical import (
+    example_query_spec,
+    generate_instances,
+    medical_catalog,
+    medical_policy,
+    paper_plan,
+)
+
+
+@pytest.fixture()
+def catalog() -> Catalog:
+    """The Figure 1 catalog."""
+    return medical_catalog()
+
+
+@pytest.fixture()
+def policy() -> Policy:
+    """The Figure 3 policy (explicit rules only)."""
+    return medical_policy()
+
+
+@pytest.fixture()
+def plan(catalog):
+    """The Figure 2 query tree plan."""
+    return paper_plan(catalog)
+
+
+@pytest.fixture()
+def planner(policy) -> SafePlanner:
+    """A safe planner over the explicit Figure 3 policy."""
+    return SafePlanner(policy)
+
+
+@pytest.fixture()
+def spec():
+    """The Example 2.2 query spec."""
+    return example_query_spec()
+
+
+@pytest.fixture()
+def instances():
+    """Small deterministic instances of the medical schema."""
+    return generate_instances(seed=11, citizens=40)

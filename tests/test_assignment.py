@@ -1,0 +1,154 @@
+"""Unit tests for executor assignments (Definition 4.1)."""
+
+import pytest
+
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import RelationSchema
+from repro.algebra.tree import JoinNode, LeafNode, QueryTreePlan
+from repro.core.assignment import Assignment, Executor
+from repro.core.profile import RelationProfile
+from repro.exceptions import PlanError
+
+
+def small_plan():
+    left = LeafNode(RelationSchema("R", ["a", "b"], server="S1"))
+    right = LeafNode(RelationSchema("T", ["c", "d"], server="S2"))
+    return QueryTreePlan(JoinNode(left, right, JoinPath.of(("a", "c"))))
+
+
+def assignment_for(plan, join_executor):
+    assignment = Assignment(plan)
+    left, right, join = plan.node(0), plan.node(1), plan.node(2)
+    lp = RelationProfile.of_base_relation(left.relation)
+    rp = RelationProfile.of_base_relation(right.relation)
+    assignment.set_profile(0, lp)
+    assignment.set_profile(1, rp)
+    assignment.set_profile(2, lp.join(rp, join.path))
+    assignment.set_executor(0, Executor("S1"))
+    assignment.set_executor(1, Executor("S2"))
+    assignment.set_executor(2, join_executor)
+    return assignment
+
+
+class TestExecutor:
+    def test_regular(self):
+        executor = Executor("S1")
+        assert executor.master == "S1"
+        assert executor.slave is None
+        assert not executor.is_semi_join
+
+    def test_semi(self):
+        executor = Executor("S1", "S2")
+        assert executor.is_semi_join
+
+    def test_master_slave_must_differ(self):
+        with pytest.raises(PlanError):
+            Executor("S1", "S1")
+
+    def test_needs_master(self):
+        with pytest.raises(PlanError):
+            Executor("")
+
+    def test_repr(self):
+        assert str(Executor("S1")) == "[S1, NULL]"
+        assert str(Executor("S1", "S2")) == "[S1, S2]"
+
+    def test_equality(self):
+        assert Executor("S1") == Executor("S1")
+        assert Executor("S1") != Executor("S1", "S2")
+
+
+class TestAssignment:
+    def test_complete_assignment_validates(self):
+        plan = small_plan()
+        assignment = assignment_for(plan, Executor("S1"))
+        assignment.validate_structure()
+        assert assignment.is_complete()
+        assert assignment.result_server() == "S1"
+
+    def test_semi_join_executor_validates(self):
+        assignment = assignment_for(small_plan(), Executor("S2", "S1"))
+        assignment.validate_structure()
+
+    def test_incomplete_detected(self):
+        plan = small_plan()
+        assignment = Assignment(plan)
+        assert not assignment.is_complete()
+        with pytest.raises(PlanError):
+            assignment.validate_structure()
+
+    def test_missing_executor_lookup(self):
+        assignment = Assignment(small_plan())
+        with pytest.raises(PlanError):
+            assignment.executor(0)
+
+    def test_missing_profile_lookup(self):
+        assignment = Assignment(small_plan())
+        with pytest.raises(PlanError):
+            assignment.profile(0)
+
+    def test_leaf_must_run_at_storing_server(self):
+        plan = small_plan()
+        assignment = assignment_for(plan, Executor("S1"))
+        assignment.set_executor(0, Executor("S2"))
+        with pytest.raises(PlanError):
+            assignment.validate_structure()
+
+    def test_join_master_must_hold_an_operand(self):
+        assignment = assignment_for(small_plan(), Executor("S9"))
+        with pytest.raises(PlanError):
+            assignment.validate_structure()
+
+    def test_join_slave_must_hold_an_operand(self):
+        assignment = assignment_for(small_plan(), Executor("S1", "S9"))
+        with pytest.raises(PlanError):
+            assignment.validate_structure()
+
+    def test_unary_must_follow_operand(self, catalog, policy, plan):
+        from repro.core.planner import SafePlanner
+
+        assignment, _ = SafePlanner(policy).plan(plan)
+        # Corrupt the root projection's executor.
+        assignment.set_executor(plan.root.node_id, Executor("S_I"))
+        with pytest.raises(PlanError):
+            assignment.validate_structure()
+
+    def test_describe(self):
+        assignment = assignment_for(small_plan(), Executor("S1"))
+        text = assignment.describe()
+        assert "[S1, NULL]" in text and "[S2, NULL]" in text
+
+
+class TestCoordinator:
+    def test_coordinator_validates(self):
+        plan = small_plan()
+        assignment = assignment_for(plan, Executor("S9"))
+        assignment.set_coordinator(2, "S9")
+        assignment.validate_structure()
+        assert assignment.uses_third_party()
+        assert assignment.coordinator(2) == "S9"
+
+    def test_coordinator_must_match_master(self):
+        plan = small_plan()
+        assignment = assignment_for(plan, Executor("S1"))
+        assignment.set_coordinator(2, "S9")
+        with pytest.raises(PlanError):
+            assignment.validate_structure()
+
+    def test_coordinator_must_not_hold_operand(self):
+        plan = small_plan()
+        assignment = assignment_for(plan, Executor("S1"))
+        assignment.set_coordinator(2, "S1")
+        with pytest.raises(PlanError):
+            assignment.validate_structure()
+
+    def test_coordinator_only_on_joins(self):
+        plan = small_plan()
+        assignment = Assignment(plan)
+        with pytest.raises(PlanError):
+            assignment.set_coordinator(0, "S9")
+
+    def test_no_coordinator_by_default(self):
+        assignment = assignment_for(small_plan(), Executor("S1"))
+        assert assignment.coordinator(2) is None
+        assert not assignment.uses_third_party()

@@ -1,0 +1,90 @@
+"""Unit tests for attribute names and attribute sets."""
+
+import pytest
+
+from repro.algebra.attributes import (
+    attribute_set,
+    format_attribute_set,
+    qualify,
+    unqualified_name,
+    validate_attribute_name,
+)
+from repro.exceptions import SchemaError
+
+
+class TestValidateAttributeName:
+    def test_accepts_bare_identifier(self):
+        assert validate_attribute_name("Holder") == "Holder"
+
+    def test_accepts_underscores_and_digits(self):
+        assert validate_attribute_name("Health_Aid2") == "Health_Aid2"
+
+    def test_accepts_leading_underscore(self):
+        assert validate_attribute_name("_hidden") == "_hidden"
+
+    def test_accepts_relation_qualified(self):
+        assert validate_attribute_name("Insurance.Holder") == "Insurance.Holder"
+
+    def test_accepts_server_relation_qualified(self):
+        assert validate_attribute_name("S_I.Insurance.Holder") == "S_I.Insurance.Holder"
+
+    def test_rejects_three_dots(self):
+        with pytest.raises(SchemaError):
+            validate_attribute_name("a.b.c.d")
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            validate_attribute_name("")
+
+    def test_rejects_leading_digit(self):
+        with pytest.raises(SchemaError):
+            validate_attribute_name("1abc")
+
+    def test_rejects_spaces(self):
+        with pytest.raises(SchemaError):
+            validate_attribute_name("two words")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(SchemaError):
+            validate_attribute_name(42)  # type: ignore[arg-type]
+
+    def test_rejects_trailing_dot(self):
+        with pytest.raises(SchemaError):
+            validate_attribute_name("Insurance.")
+
+
+class TestAttributeSet:
+    def test_builds_frozenset(self):
+        result = attribute_set(["Holder", "Plan"])
+        assert result == frozenset({"Holder", "Plan"})
+        assert isinstance(result, frozenset)
+
+    def test_deduplicates(self):
+        assert len(attribute_set(["A", "A", "B"])) == 2
+
+    def test_empty_iterable_gives_empty_set(self):
+        assert attribute_set([]) == frozenset()
+
+    def test_validates_members(self):
+        with pytest.raises(SchemaError):
+            attribute_set(["ok", "not ok"])
+
+
+class TestHelpers:
+    def test_unqualified_name_strips_prefix(self):
+        assert unqualified_name("Insurance.Holder") == "Holder"
+
+    def test_unqualified_name_identity_on_bare(self):
+        assert unqualified_name("Holder") == "Holder"
+
+    def test_qualify_adds_prefix(self):
+        assert qualify("Insurance", "Holder") == "Insurance.Holder"
+
+    def test_qualify_keeps_existing_prefix(self):
+        assert qualify("Other", "Insurance.Holder") == "Insurance.Holder"
+
+    def test_format_is_sorted(self):
+        assert format_attribute_set(frozenset({"b", "a"})) == "{a, b}"
+
+    def test_format_empty(self):
+        assert format_attribute_set(frozenset()) == "{}"

@@ -1,0 +1,159 @@
+"""Unit tests for authorizations and policies (Definition 3.1, Figure 3)."""
+
+import pytest
+
+from repro.algebra.joins import JoinPath
+from repro.core.authorization import Authorization, Policy
+from repro.exceptions import AuthorizationError, PolicyError
+from repro.workloads.medical import AUTHORIZATION_TABLE, medical_policy
+
+
+class TestAuthorization:
+    def test_basic_rule(self):
+        rule = Authorization({"Holder", "Plan"}, JoinPath.empty(), "S_I")
+        assert rule.attributes == frozenset({"Holder", "Plan"})
+        assert rule.join_path.is_empty()
+        assert rule.server == "S_I"
+
+    def test_none_join_path_means_empty(self):
+        assert Authorization({"a"}, None, "S").join_path.is_empty()
+
+    def test_rejects_empty_attributes(self):
+        with pytest.raises(AuthorizationError):
+            Authorization(set(), JoinPath.empty(), "S")
+
+    def test_rejects_bad_server(self):
+        with pytest.raises(AuthorizationError):
+            Authorization({"a"}, JoinPath.empty(), "")
+
+    def test_rejects_non_joinpath(self):
+        with pytest.raises(AuthorizationError):
+            Authorization({"a"}, [("a", "b")], "S")  # type: ignore[arg-type]
+
+    def test_equality_order_insensitive(self):
+        first = Authorization({"a", "b"}, JoinPath.of(("a", "c")), "S")
+        second = Authorization({"b", "a"}, JoinPath.of(("c", "a")), "S")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality_on_server(self):
+        assert Authorization({"a"}, None, "S1") != Authorization({"a"}, None, "S2")
+
+    def test_repr_matches_paper_shape(self):
+        rule = Authorization({"Plan", "Holder"}, JoinPath.empty(), "S_I")
+        assert repr(rule) == "[{Holder, Plan}, -] -> S_I"
+
+
+class TestValidation:
+    def test_single_relation_empty_path_ok(self, catalog):
+        authorization({"Holder", "Plan"}, catalog)
+
+    def test_multi_relation_requires_path(self, catalog):
+        rule = Authorization({"Holder", "Patient"}, JoinPath.empty(), "S_I")
+        with pytest.raises(AuthorizationError):
+            rule.validate_against(catalog)
+
+    def test_path_must_cover_granted_relations(self, catalog):
+        # Attributes span Insurance and Hospital but the path only
+        # touches Nat_registry and Hospital.
+        rule = Authorization(
+            {"Holder", "Patient"}, JoinPath.of(("Citizen", "Patient")), "S_I"
+        )
+        with pytest.raises(AuthorizationError):
+            rule.validate_against(catalog)
+
+    def test_connectivity_relations_allowed(self, catalog):
+        # Figure 3 rule 3: join path passes through Hospital although no
+        # Hospital attribute is granted.
+        authorization({"Holder", "Plan", "Treatment"}, catalog, number=3)
+
+    def test_instance_based_restriction_allowed(self, catalog):
+        # Figure 3 rule 5: grant on a single relation pair restricted by
+        # a join with the grantee's own relation.
+        authorization(None, catalog, number=5)
+
+    def test_unknown_attribute_rejected(self, catalog):
+        rule = Authorization({"Nope"}, JoinPath.empty(), "S_I")
+        with pytest.raises(Exception):
+            rule.validate_against(catalog)
+
+    def test_all_figure3_rules_valid(self, catalog):
+        medical_policy().validate_against(catalog)
+
+
+def authorization(attributes, catalog, number=None):
+    """Helper: build/fetch a rule and validate it against the catalog."""
+    from repro.workloads import medical
+
+    if number is not None:
+        rule = medical.authorization(number)
+    else:
+        rule = Authorization(attributes, JoinPath.empty(), "S_I")
+    rule.validate_against(catalog)
+    return rule
+
+
+class TestPolicy:
+    def test_figure3_policy_size(self):
+        assert len(medical_policy()) == 15
+
+    def test_rules_for(self):
+        policy = medical_policy()
+        assert len(policy.rules_for("S_I")) == 3
+        assert len(policy.rules_for("S_H")) == 4
+        assert len(policy.rules_for("S_N")) == 7
+        assert len(policy.rules_for("S_D")) == 1
+
+    def test_rules_for_unknown_server_is_empty(self):
+        assert medical_policy().rules_for("S_X") == ()
+
+    def test_servers_sorted(self):
+        assert medical_policy().servers() == ["S_D", "S_H", "S_I", "S_N"]
+
+    def test_duplicate_rejected(self):
+        policy = medical_policy()
+        with pytest.raises(PolicyError):
+            policy.add(policy.rules_for("S_I")[0])
+
+    def test_extend_ignoring_duplicates(self):
+        policy = medical_policy()
+        added = policy.extend_ignoring_duplicates(policy.rules_for("S_I"))
+        assert added == 0
+        assert len(policy) == 15
+
+    def test_contains(self):
+        policy = medical_policy()
+        rule = policy.rules_for("S_D")[0]
+        assert rule in policy
+
+    def test_copy_is_independent(self):
+        policy = medical_policy()
+        clone = policy.copy()
+        clone.add(Authorization({"Illness"}, None, "S_I"))
+        assert len(policy) == 15
+        assert len(clone) == 16
+
+    def test_iteration_grouped_by_server(self):
+        servers = [rule.server for rule in medical_policy()]
+        assert servers == sorted(servers)
+
+    def test_rejects_non_authorization(self):
+        with pytest.raises(PolicyError):
+            Policy().add("not a rule")  # type: ignore[arg-type]
+
+    def test_describe_lists_every_rule(self):
+        text = medical_policy().describe()
+        assert text.count("->") == 15
+
+
+class TestAuthorizationTable:
+    """The Figure 3 table as data (used by the FIG3 bench)."""
+
+    def test_numbering_complete(self):
+        assert sorted(AUTHORIZATION_TABLE) == list(range(1, 16))
+
+    @pytest.mark.parametrize("number", sorted(AUTHORIZATION_TABLE))
+    def test_each_rule_constructs_and_validates(self, number, catalog):
+        from repro.workloads.medical import authorization as fetch
+
+        fetch(number).validate_against(catalog)

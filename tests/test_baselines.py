@@ -1,0 +1,174 @@
+"""Unit tests for the exhaustive and centralized baselines."""
+
+import pytest
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.joins import JoinPath
+from repro.core.authorization import Authorization, Policy
+from repro.core.planner import SafePlanner
+from repro.core.safety import is_safe
+from repro.baselines.centralized import CentralizedBaseline
+from repro.baselines.exhaustive import (
+    enumerate_safe_assignments,
+    enumerate_structural_assignments,
+    optimal_safe_assignment,
+)
+from repro.engine.coster import TableStats, estimate_assignment_cost
+from repro.engine.data import Table
+from repro.exceptions import AuditViolationError
+from repro.workloads.medical import generate_instances
+
+
+@pytest.fixture()
+def stats(instances, catalog):
+    return {
+        name: TableStats.of_table(
+            Table.from_rows(catalog.relation(name).attributes, rows)
+        )
+        for name, rows in instances.items()
+    }
+
+
+class TestStructuralEnumeration:
+    def test_two_relation_count(self, catalog):
+        """One join over distinct servers: 2 regular + 2 semi modes."""
+        spec = QuerySpec(
+            ["Insurance", "Nat_registry"],
+            [JoinPath.of(("Holder", "Citizen"))],
+            frozenset({"Holder", "Plan", "Citizen", "HealthAid"}),
+        )
+        plan = build_plan(catalog, spec)
+        assignments = list(enumerate_structural_assignments(plan))
+        assert len(assignments) == 4
+
+    def test_paper_plan_count(self, plan):
+        """Two joins -> 4 x 4 = 16 structural assignments."""
+        assert len(list(enumerate_structural_assignments(plan))) == 16
+
+    def test_all_structurally_valid(self, plan):
+        for assignment in enumerate_structural_assignments(plan):
+            assignment.validate_structure()
+
+
+class TestSafeEnumeration:
+    def test_safe_subset_of_structural(self, policy, plan):
+        structural = list(enumerate_structural_assignments(plan))
+        safe = list(enumerate_safe_assignments(policy, plan))
+        assert 0 < len(safe) <= len(structural)
+        for assignment in safe:
+            assert is_safe(policy, assignment)
+
+    def test_planner_output_among_safe_set(self, policy, planner, plan):
+        planned, _ = planner.plan(plan)
+        safe_keys = {
+            tuple(str(a.executor(n.node_id)) for n in plan)
+            for a in enumerate_safe_assignments(policy, plan)
+        }
+        planned_key = tuple(str(planned.executor(n.node_id)) for n in plan)
+        assert planned_key in safe_keys
+
+    def test_empty_policy_nothing_safe(self, plan):
+        assert list(enumerate_safe_assignments(Policy(), plan)) == []
+
+    def test_colocated_join_always_safe(self):
+        from repro.algebra.schema import Catalog, RelationSchema
+
+        catalog = Catalog()
+        catalog.add_relation(RelationSchema("R", ["a", "b"], server="S1"))
+        catalog.add_relation(RelationSchema("T", ["c", "d"], server="S1"))
+        catalog.add_join_edge("a", "c")
+        spec = QuerySpec(
+            ["R", "T"], [JoinPath.of(("a", "c"))], frozenset({"b", "d"})
+        )
+        plan = build_plan(catalog, spec)
+        safe = list(enumerate_safe_assignments(Policy(), plan))
+        assert len(safe) == 1
+        join = plan.joins()[0]
+        assert safe[0].master(join.node_id) == "S1"
+
+
+class TestOptimal:
+    def test_optimal_found(self, policy, plan, stats):
+        best = optimal_safe_assignment(policy, plan, stats)
+        assert best is not None
+        assignment, cost = best
+        assert cost >= 0
+        assert is_safe(policy, assignment)
+
+    def test_optimal_not_worse_than_heuristic(self, policy, planner, plan, stats):
+        heuristic, _ = planner.plan(plan)
+        heuristic_cost = estimate_assignment_cost(heuristic, stats)
+        _, optimal_cost = optimal_safe_assignment(policy, plan, stats)
+        assert optimal_cost <= heuristic_cost
+
+    def test_infeasible_returns_none(self, plan, stats):
+        assert optimal_safe_assignment(Policy(), plan, stats) is None
+
+
+class TestCentralizedBaseline:
+    def test_unsafe_under_figure3(self, policy, plan):
+        baseline = CentralizedBaseline(policy)
+        # No server of the system may absorb all three relations.
+        assert baseline.safe_sites(plan, ["S_I", "S_H", "S_N", "S_D"]) == []
+
+    def test_safe_with_warehouse_grants(self, plan):
+        policy = Policy(
+            [
+                Authorization({"Holder", "Plan"}, None, "W"),
+                Authorization({"Patient", "Disease", "Physician"}, None, "W"),
+                Authorization({"Citizen", "HealthAid"}, None, "W"),
+            ]
+        )
+        baseline = CentralizedBaseline(policy)
+        assert baseline.is_safe(plan, "W")
+        assert baseline.unauthorized(plan, "W") == []
+
+    def test_flows_one_per_leaf(self, policy, plan):
+        flows = CentralizedBaseline(policy).flows(plan, "W")
+        assert len(flows) == len(plan.leaves())
+
+    def test_estimated_cost_positive(self, policy, plan, stats):
+        cost = CentralizedBaseline(policy).estimated_cost(plan, "W", stats)
+        assert cost > 0
+
+    def test_execute_enforcing_blocks(self, policy, plan, instances, catalog):
+        tables = {
+            name: Table.from_rows(catalog.relation(name).attributes, rows)
+            for name, rows in instances.items()
+        }
+        baseline = CentralizedBaseline(policy)
+        with pytest.raises(AuditViolationError):
+            baseline.execute(plan, "S_H", tables)
+
+    def test_execute_unenforced_matches_oracle(self, policy, plan, instances, catalog):
+        from repro.engine.operators import evaluate_plan
+
+        tables = {
+            name: Table.from_rows(catalog.relation(name).attributes, rows)
+            for name, rows in instances.items()
+        }
+        baseline = CentralizedBaseline(policy)
+        result, log = baseline.execute(plan, "S_H", tables, enforce=False)
+        assert result == evaluate_plan(plan, tables)
+        # Hospital is already at S_H: two shipments remain.
+        assert len(log) == 2
+
+    def test_centralized_ships_more_than_safe_plan(
+        self, policy, planner, plan, instances, catalog
+    ):
+        """ABL1's headline: the safe distributed strategy moves fewer
+        bytes than warehousing everything."""
+        from repro.engine.executor import DistributedExecutor
+
+        tables = {
+            name: Table.from_rows(catalog.relation(name).attributes, rows)
+            for name, rows in instances.items()
+        }
+        assignment, _ = planner.plan(plan)
+        distributed = DistributedExecutor(assignment, tables).run()
+        # A neutral warehouse must receive all three base relations; the
+        # safe strategy ships one relation plus a semi-join round trip.
+        _, central_log = CentralizedBaseline(policy).execute(
+            plan, "W", tables, enforce=False
+        )
+        assert distributed.transfers.total_bytes() < central_log.total_bytes()

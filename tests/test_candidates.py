@@ -1,0 +1,94 @@
+"""Unit tests for planner candidate bookkeeping."""
+
+import pytest
+
+from repro.core.candidates import (
+    FROM_LEAF,
+    FROM_LEFT,
+    FROM_RIGHT,
+    MODE_LEAF,
+    MODE_REGULAR,
+    MODE_SEMI,
+    Candidate,
+    CandidateList,
+)
+from repro.exceptions import PlanError
+
+
+class TestCandidate:
+    def test_construction(self):
+        candidate = Candidate("S_H", FROM_RIGHT, 1, MODE_SEMI)
+        assert candidate.server == "S_H"
+        assert candidate.from_child == FROM_RIGHT
+        assert candidate.count == 1
+        assert candidate.mode == MODE_SEMI
+
+    def test_invalid_fromchild(self):
+        with pytest.raises(PlanError):
+            Candidate("S", "middle", 0, MODE_LEAF)
+
+    def test_invalid_mode(self):
+        with pytest.raises(PlanError):
+            Candidate("S", FROM_LEAF, 0, "magic")
+
+    def test_negative_count(self):
+        with pytest.raises(PlanError):
+            Candidate("S", FROM_LEAF, -1, MODE_LEAF)
+
+    def test_propagated(self):
+        base = Candidate("S", FROM_LEAF, 0, MODE_LEAF)
+        up = base.propagated(FROM_LEFT, 1, MODE_REGULAR)
+        assert up.server == "S"
+        assert up.from_child == FROM_LEFT
+        assert up.count == 1
+
+    def test_repr_matches_paper(self):
+        assert repr(Candidate("S_N", FROM_RIGHT, 1, MODE_SEMI)) == "[S_N, right, 1]"
+
+
+class TestCandidateList:
+    def test_get_first_highest_count(self):
+        candidates = CandidateList()
+        candidates.add(Candidate("A", FROM_LEFT, 0, MODE_REGULAR))
+        candidates.add(Candidate("B", FROM_LEFT, 2, MODE_REGULAR))
+        candidates.add(Candidate("C", FROM_LEFT, 1, MODE_REGULAR))
+        assert candidates.get_first().server == "B"
+
+    def test_stable_within_equal_counts(self):
+        candidates = CandidateList()
+        candidates.add(Candidate("A", FROM_LEFT, 1, MODE_REGULAR))
+        candidates.add(Candidate("B", FROM_LEFT, 1, MODE_REGULAR))
+        assert candidates.servers() == ["A", "B"]
+
+    def test_insertion_keeps_descending_order(self):
+        candidates = CandidateList()
+        for server, count in [("A", 0), ("B", 3), ("C", 2), ("D", 3)]:
+            candidates.add(Candidate(server, FROM_LEFT, count, MODE_REGULAR))
+        assert [c.count for c in candidates] == [3, 3, 2, 0]
+        assert candidates.servers() == ["B", "D", "C", "A"]
+
+    def test_get_first_empty(self):
+        assert CandidateList().get_first() is None
+
+    def test_search(self):
+        candidates = CandidateList(
+            [
+                Candidate("A", FROM_LEFT, 0, MODE_REGULAR),
+                Candidate("B", FROM_RIGHT, 1, MODE_SEMI),
+            ]
+        )
+        assert candidates.search("B").from_child == FROM_RIGHT
+        assert candidates.search("Z") is None
+
+    def test_search_prefers_higher_count_duplicate(self):
+        candidates = CandidateList()
+        candidates.add(Candidate("A", FROM_LEFT, 0, MODE_REGULAR))
+        candidates.add(Candidate("A", FROM_RIGHT, 2, MODE_SEMI))
+        assert candidates.search("A").count == 2
+
+    def test_is_empty_and_len(self):
+        candidates = CandidateList()
+        assert candidates.is_empty()
+        candidates.add(Candidate("A", FROM_LEAF, 0, MODE_LEAF))
+        assert not candidates.is_empty()
+        assert len(candidates) == 1

@@ -1,0 +1,231 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.io import catalog_to_dict, policy_to_dict, save_json
+from repro.workloads.medical import generate_instances, medical_catalog, medical_policy
+
+PAPER_SQL = (
+    "SELECT Patient, Physician, Plan, HealthAid "
+    "FROM Insurance JOIN Nat_registry ON Holder = Citizen "
+    "JOIN Hospital ON Citizen = Patient"
+)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestDescribe:
+    def test_describe_medical(self):
+        code, text = run_cli("describe")
+        assert code == 0
+        assert "Insurance(Holder, Plan" in text
+        assert "15 explicit rules" in text
+
+
+class TestPlan:
+    def test_plan_paper_query(self):
+        code, text = run_cli("plan", "--sql", PAPER_SQL)
+        assert code == 0
+        assert "Find_candidates" in text
+        assert "[S_H, S_N]" in text
+        assert "exposure:" in text
+
+    def test_plan_infeasible(self):
+        code, text = run_cli(
+            "plan",
+            "--sql",
+            "SELECT Physician, Treatment FROM Disease_list "
+            "JOIN Hospital ON Illness = Disease",
+        )
+        assert code == 2
+        assert "infeasible" in text
+
+    def test_plan_without_closure(self):
+        code, text = run_cli("--no-closure", "plan", "--sql", PAPER_SQL)
+        assert code == 0
+
+
+class TestExecute:
+    def test_execute_generates_instances(self):
+        code, text = run_cli(
+            "execute", "--sql", PAPER_SQL, "--citizens", "40", "--seed", "3"
+        )
+        assert code == 0
+        assert "rows at S_H" in text
+        assert "0 violations" in text
+
+    def test_execute_with_recipient(self):
+        code, text = run_cli(
+            "execute", "--sql", PAPER_SQL, "--recipient", "S_H", "--citizens", "30"
+        )
+        assert code == 0
+
+    def test_execute_json_workload_needs_instances(self, tmp_path):
+        catalog_path = str(tmp_path / "catalog.json")
+        policy_path = str(tmp_path / "policy.json")
+        save_json(catalog_to_dict(medical_catalog()), catalog_path)
+        save_json(policy_to_dict(medical_policy()), policy_path)
+        code, text = run_cli(
+            "--catalog",
+            catalog_path,
+            "--policy",
+            policy_path,
+            "execute",
+            "--sql",
+            PAPER_SQL,
+        )
+        assert code == 2
+        assert "--instances" in text
+
+    def test_execute_json_workload_with_instances(self, tmp_path):
+        catalog_path = str(tmp_path / "catalog.json")
+        policy_path = str(tmp_path / "policy.json")
+        instances_path = str(tmp_path / "instances.json")
+        save_json(catalog_to_dict(medical_catalog()), catalog_path)
+        save_json(policy_to_dict(medical_policy()), policy_path)
+        save_json(generate_instances(seed=5, citizens=25), instances_path)
+        code, text = run_cli(
+            "--catalog",
+            catalog_path,
+            "--policy",
+            policy_path,
+            "execute",
+            "--sql",
+            PAPER_SQL,
+            "--instances",
+            instances_path,
+        )
+        assert code == 0
+        assert "rows at S_H" in text
+
+
+class TestSuggest:
+    def test_suggest_for_infeasible(self):
+        code, text = run_cli(
+            "suggest",
+            "--sql",
+            "SELECT Physician, Treatment FROM Disease_list "
+            "JOIN Hospital ON Illness = Disease",
+        )
+        assert code == 0
+        assert "grants to add" in text
+        assert "feasible under the augmented policy" in text
+
+    def test_suggest_for_feasible(self):
+        code, text = run_cli("suggest", "--sql", PAPER_SQL)
+        assert code == 0
+        assert "no grants needed" in text
+
+
+class TestExplain:
+    def test_explain_feasible(self):
+        code, text = run_cli("explain", "--sql", PAPER_SQL)
+        assert code == 0
+        assert "ALLOW" in text
+        assert "covered by" in text
+        assert "feasible: True" in text
+
+    def test_explain_infeasible(self):
+        code, text = run_cli(
+            "explain",
+            "--sql",
+            "SELECT Physician, Treatment FROM Disease_list "
+            "JOIN Hospital ON Illness = Disease",
+        )
+        assert code == 2
+        assert "infeasible" in text
+        assert "feasible: False" in text
+
+
+class TestThirdPartyRescueViaJson:
+    def test_coalition_blocked_query_rescued(self, tmp_path):
+        """Full CLI round trip: serialize the coalition workload to
+        JSON, add clearing-house grants, and plan the blocked
+        berth-to-client query with --third-party."""
+        from repro.core.authorization import Authorization
+        from repro.workloads.coalition import (
+            coalition_catalog,
+            coalition_policy,
+        )
+
+        catalog_path = str(tmp_path / "catalog.json")
+        policy_path = str(tmp_path / "policy.json")
+        save_json(catalog_to_dict(coalition_catalog()), catalog_path)
+        policy = coalition_policy().copy()
+        policy.add(Authorization({"Vessel", "Berth", "Eta"}, None, "S_clearing"))
+        policy.add(
+            Authorization(
+                {"Manifest_id", "Ship", "Container_count", "Client"},
+                None,
+                "S_clearing",
+            )
+        )
+        save_json(policy_to_dict(policy), policy_path)
+        sql = "SELECT Berth, Client FROM Arrivals JOIN Manifests ON Vessel = Ship"
+        # Without the third party: infeasible.
+        code, text = run_cli(
+            "--catalog", catalog_path, "--policy", policy_path, "plan", "--sql", sql
+        )
+        assert code == 2
+        # With it: planned, coordinated at the clearing house.
+        code, text = run_cli(
+            "--catalog",
+            catalog_path,
+            "--policy",
+            policy_path,
+            "--third-party",
+            "S_clearing",
+            "plan",
+            "--sql",
+            sql,
+        )
+        assert code == 0
+        assert "S_clearing" in text
+
+
+class TestCheck:
+    def test_check_allowed(self):
+        code, text = run_cli(
+            "check", "--server", "S_I", "--attributes", "Holder", "Plan"
+        )
+        assert code == 0
+        assert "True" in text
+
+    def test_check_denied_with_explanation(self):
+        code, text = run_cli(
+            "check",
+            "--server",
+            "S_D",
+            "--attributes",
+            "Illness",
+            "Treatment",
+            "--join",
+            "Illness=Disease",
+        )
+        assert code == 1
+        assert "join path mismatch" in text
+
+    def test_check_bad_join_syntax(self):
+        code, text = run_cli(
+            "check", "--server", "S_I", "--attributes", "Plan", "--join", "nope"
+        )
+        assert code == 2
+
+    def test_third_party_flag(self):
+        code, text = run_cli(
+            "--third-party",
+            "S_T",
+            "check",
+            "--server",
+            "S_T",
+            "--attributes",
+            "Plan",
+        )
+        assert code == 1  # S_T holds no rules; denied, but system built fine

@@ -1,0 +1,174 @@
+"""Unit tests for the chase-based policy closure (Section 3.2)."""
+
+import pytest
+
+from repro.algebra.joins import JoinCondition, JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.core.access import can_view
+from repro.core.authorization import Authorization, Policy
+from repro.core.closure import (
+    close_policy,
+    derive_joined_authorizations,
+    minimize_policy,
+)
+from repro.core.profile import RelationProfile
+from repro.exceptions import PolicyError
+from repro.workloads.medical import medical_catalog, medical_policy
+
+
+class TestDeriveJoined:
+    def test_basic_derivation(self):
+        first = Authorization({"a", "b"}, None, "S")
+        second = Authorization({"c", "d"}, None, "S")
+        edge = JoinCondition("a", "c")
+        derived = derive_joined_authorizations(first, second, [edge])
+        assert derived == [
+            Authorization({"a", "b", "c", "d"}, JoinPath((edge,)), "S")
+        ]
+
+    def test_requires_same_server(self):
+        first = Authorization({"a"}, None, "S1")
+        second = Authorization({"c"}, None, "S2")
+        assert derive_joined_authorizations(first, second, [JoinCondition("a", "c")]) == []
+
+    def test_requires_bridging_edge(self):
+        first = Authorization({"a"}, None, "S")
+        second = Authorization({"c"}, None, "S")
+        assert derive_joined_authorizations(first, second, [JoinCondition("a", "x")]) == []
+
+    def test_edge_endpoints_may_swap(self):
+        first = Authorization({"c"}, None, "S")
+        second = Authorization({"a"}, None, "S")
+        derived = derive_joined_authorizations(first, second, [JoinCondition("a", "c")])
+        assert len(derived) == 1
+
+    def test_paths_union(self):
+        first = Authorization({"a", "b"}, JoinPath.of(("b", "z")), "S")
+        second = Authorization({"c"}, None, "S")
+        derived = derive_joined_authorizations(first, second, [JoinCondition("a", "c")])
+        assert derived[0].join_path == JoinPath.of(("b", "z"), ("a", "c"))
+
+
+class TestClosePolicy:
+    def test_section32_example(self):
+        """S_D holding both Disease_list and Hospital derives the join."""
+        catalog = medical_catalog()
+        policy = medical_policy().copy()
+        policy.add(Authorization({"Patient", "Disease", "Physician"}, None, "S_D"))
+        closed = close_policy(policy, catalog)
+        joined = RelationProfile(
+            {"Illness", "Treatment"}, JoinPath.of(("Illness", "Disease"))
+        )
+        assert not can_view(policy, joined, "S_D")
+        assert can_view(closed, joined, "S_D")
+
+    def test_closure_is_sound_no_foreign_servers_gain(self):
+        """Closure never grants anything to a server with no rules."""
+        catalog = medical_catalog()
+        closed = close_policy(medical_policy(), catalog)
+        assert closed.rules_for("S_X") == ()
+
+    def test_original_rules_preserved(self):
+        catalog = medical_catalog()
+        policy = medical_policy()
+        closed = close_policy(policy, catalog)
+        for rule in policy:
+            assert rule in closed
+
+    def test_input_policy_untouched(self):
+        catalog = medical_catalog()
+        policy = medical_policy()
+        close_policy(policy, catalog)
+        assert len(policy) == 15
+
+    def test_fixpoint_idempotent(self):
+        catalog = medical_catalog()
+        closed = close_policy(medical_policy(), catalog)
+        again = close_policy(closed, catalog)
+        assert len(again) == len(closed)
+
+    def test_transitive_derivation(self):
+        """Three independently granted relations chain into one view."""
+        catalog = Catalog()
+        catalog.add_relation(RelationSchema("A", ["a1", "a2"], server="S1"))
+        catalog.add_relation(RelationSchema("B", ["b1", "b2"], server="S2"))
+        catalog.add_relation(RelationSchema("C", ["c1"], server="S3"))
+        catalog.add_join_edge("a2", "b1")
+        catalog.add_join_edge("b2", "c1")
+        policy = Policy(
+            [
+                Authorization({"a1", "a2"}, None, "S9"),
+                Authorization({"b1", "b2"}, None, "S9"),
+                Authorization({"c1"}, None, "S9"),
+            ]
+        )
+        closed = close_policy(policy, catalog)
+        full = RelationProfile(
+            {"a1", "a2", "b1", "b2", "c1"},
+            JoinPath.of(("a2", "b1"), ("b2", "c1")),
+        )
+        assert can_view(closed, full, "S9")
+
+    def test_max_rules_guard(self):
+        catalog = medical_catalog()
+        policy = medical_policy().copy()
+        policy.add(Authorization({"Patient", "Disease", "Physician"}, None, "S_N"))
+        with pytest.raises(PolicyError):
+            close_policy(policy, catalog, max_rules=16)
+
+    def test_closure_growth_on_medical_policy(self):
+        catalog = medical_catalog()
+        closed = close_policy(medical_policy(), catalog)
+        assert len(closed) > 15
+
+
+class TestMinimizePolicy:
+    def test_drops_dominated_rule(self):
+        policy = Policy(
+            [
+                Authorization({"a", "b"}, None, "S"),
+                Authorization({"a"}, None, "S"),
+            ]
+        )
+        minimized = minimize_policy(policy)
+        assert len(minimized) == 1
+        assert Authorization({"a", "b"}, None, "S") in minimized
+
+    def test_different_paths_kept(self):
+        policy = Policy(
+            [
+                Authorization({"a"}, None, "S"),
+                Authorization({"a"}, JoinPath.of(("a", "b")), "S"),
+            ]
+        )
+        assert len(minimize_policy(policy)) == 2
+
+    def test_different_servers_kept(self):
+        policy = Policy(
+            [
+                Authorization({"a", "b"}, None, "S1"),
+                Authorization({"a"}, None, "S2"),
+            ]
+        )
+        assert len(minimize_policy(policy)) == 2
+
+    def test_minimization_preserves_can_view(self):
+        catalog = medical_catalog()
+        closed = close_policy(medical_policy(), catalog)
+        minimized = minimize_policy(closed)
+        assert len(minimized) <= len(closed)
+        # Spot-check several profiles across all servers.
+        probes = [
+            RelationProfile({"Holder", "Plan"}),
+            RelationProfile({"Illness", "Treatment"}),
+            RelationProfile({"Patient"}, JoinPath.of(("Citizen", "Patient"))),
+            RelationProfile(
+                {"Holder", "Plan", "Citizen", "HealthAid"},
+                JoinPath.of(("Citizen", "Holder")),
+            ),
+        ]
+        for profile in probes:
+            for server in ("S_I", "S_H", "S_N", "S_D"):
+                assert can_view(closed, profile, server) == can_view(
+                    minimized, profile, server
+                )

@@ -1,0 +1,157 @@
+"""Tests for the coalition workload — the paper's §1 motivation made
+concrete: selective sharing among independent organizations."""
+
+import pytest
+
+from repro.algebra.builder import build_plan
+from repro.core.planner import SafePlanner
+from repro.core.safety import verify_assignment
+from repro.core.thirdparty import ThirdPartyPlanner
+from repro.core.authorization import Authorization, Policy
+from repro.distributed.system import DistributedSystem
+from repro.engine.operators import evaluate_plan
+from repro.exceptions import InfeasiblePlanError, UnsafeAssignmentError
+from repro.workloads.coalition import (
+    COALITION_AUTHORIZATION_TABLE,
+    berth_client_query,
+    cargo_risk_query,
+    coalition_catalog,
+    coalition_policy,
+    duty_query,
+    exposure_query,
+    generate_coalition_instances,
+    inspection_query,
+    premium_query,
+)
+
+
+@pytest.fixture()
+def system():
+    system = DistributedSystem(coalition_catalog(), coalition_policy())
+    system.load_instances(generate_coalition_instances(seed=23))
+    return system
+
+
+class TestWorkloadDefinition:
+    def test_policy_validates(self):
+        coalition_policy().validate_against(coalition_catalog())
+
+    def test_rule_count(self):
+        assert len(coalition_policy()) == len(COALITION_AUTHORIZATION_TABLE) == 15
+
+    def test_instances_deterministic(self):
+        assert generate_coalition_instances(seed=1) == generate_coalition_instances(seed=1)
+
+    def test_referential_consistency(self):
+        instances = generate_coalition_instances(seed=2)
+        vessels = {row["Vessel"] for row in instances["Arrivals"]}
+        assert {row["Decl_vessel"] for row in instances["Declarations"]} <= vessels
+        assert {row["Ship"] for row in instances["Manifests"]} <= vessels
+        clients = {row["Client"] for row in instances["Manifests"]}
+        assert {row["Covered_client"] for row in instances["Cover"]} <= {
+            f"c{i:03d}" for i in range(25)
+        }
+
+
+class TestFeasibleQueries:
+    @pytest.mark.parametrize(
+        "query_factory,expected_holder",
+        [
+            (inspection_query, None),
+            (exposure_query, "S_insurer"),
+            (cargo_risk_query, "S_insurer"),
+        ],
+    )
+    def test_plan_execute_and_match_oracle(self, system, query_factory, expected_holder):
+        spec = query_factory()
+        tree, assignment, _ = system.plan(spec)
+        if expected_holder is not None:
+            assert assignment.result_server() == expected_holder
+        result = system.execute(spec)
+        assert result.table == evaluate_plan(tree, system.tables())
+        assert result.audit.all_authorized()
+
+    def test_exposure_query_runs_as_semi_join(self, system):
+        spec = exposure_query()
+        tree, assignment, _ = system.plan(spec)
+        join = tree.joins()[0]
+        executor = assignment.executor(join.node_id)
+        assert executor.master == "S_insurer"
+        assert executor.slave == "S_carrier"
+
+    def test_cargo_risk_uses_rule_11_path(self, system):
+        """The three-way analytics exposes Cargo_class to the insurer
+        only under the full two-edge association (rule 11)."""
+        spec = cargo_risk_query()
+        tree, assignment, _ = system.plan(spec)
+        root_profile = assignment.profile(tree.root.node_id)
+        assert len(root_profile.join_path) == 2
+        verify_assignment(system.policy, assignment)
+
+    def test_cargo_risk_never_reveals_duty(self, system):
+        from repro.analysis.exposure import exposure_of_assignment
+
+        spec = cargo_risk_query()
+        _, assignment, _ = system.plan(spec)
+        report = exposure_of_assignment(assignment, system.catalog)
+        assert "Duty" not in report.foreign_attributes_of("S_insurer")
+        assert "Decl_id" not in report.foreign_attributes_of("S_insurer")
+
+
+class TestConfinedQueries:
+    """Plannable, but the answer may not leave its computing party."""
+
+    @pytest.mark.parametrize(
+        "query_factory,holder,blocked_recipient",
+        [
+            (premium_query, "S_insurer", "S_carrier"),
+            (duty_query, "S_customs", "S_carrier"),
+        ],
+    )
+    def test_result_confined(self, system, query_factory, holder, blocked_recipient):
+        spec = query_factory()
+        tree, assignment, _ = system.plan(spec)
+        assert assignment.result_server() == holder
+        verify_assignment(system.policy, assignment)  # safe in place
+        with pytest.raises(UnsafeAssignmentError):
+            verify_assignment(system.policy, assignment, recipient=blocked_recipient)
+
+
+class TestInfeasibleQuery:
+    def test_berth_client_is_infeasible(self, system):
+        with pytest.raises(InfeasiblePlanError):
+            system.plan(berth_client_query())
+
+    def test_no_join_order_helps(self, system):
+        with pytest.raises(InfeasiblePlanError):
+            system.plan(berth_client_query(), search_join_orders=True)
+
+    def test_third_party_rescues(self):
+        """A coalition clearing house trusted with arrivals and
+        manifests coordinates the blocked join."""
+        catalog = coalition_catalog()
+        policy = coalition_policy().copy()
+        policy.add(Authorization({"Vessel", "Berth", "Eta"}, None, "S_clearing"))
+        policy.add(
+            Authorization(
+                {"Manifest_id", "Ship", "Container_count", "Client"},
+                None,
+                "S_clearing",
+            )
+        )
+        plan = build_plan(catalog, berth_client_query())
+        planner = ThirdPartyPlanner(policy, ["S_clearing"])
+        assignment, _ = planner.plan(plan)
+        join = plan.joins()[0]
+        assert assignment.coordinator(join.node_id) == "S_clearing"
+        verify_assignment(policy, assignment)
+
+    def test_whatif_suggests_the_missing_grant(self, system):
+        from repro.analysis.whatif import suggest_repair
+
+        plan = build_plan(system.catalog, berth_client_query())
+        repair = suggest_repair(system.policy, plan)
+        assert repair.grants
+        augmented = repair.augmented_policy(system.policy)
+        assignment, _ = SafePlanner(augmented).plan(plan)
+        verify_assignment(augmented, assignment)

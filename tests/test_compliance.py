@@ -1,0 +1,103 @@
+"""Unit tests for the policy-usage (compliance) report."""
+
+import pytest
+
+from repro.analysis.compliance import PolicyUsageReport, usage_report
+from repro.core.authorization import Authorization, Policy
+from repro.distributed.system import DistributedSystem
+from repro.exceptions import ReproError
+from repro.workloads.medical import generate_instances, medical_catalog, medical_policy
+
+PAPER_SQL = (
+    "SELECT Patient, Physician, Plan, HealthAid "
+    "FROM Insurance JOIN Nat_registry ON Holder = Citizen "
+    "JOIN Hospital ON Citizen = Patient"
+)
+
+
+@pytest.fixture()
+def system():
+    system = DistributedSystem(medical_catalog(), medical_policy())
+    system.load_instances(generate_instances(seed=41, citizens=50))
+    return system
+
+
+class TestRecording:
+    def test_paper_query_exercises_three_rules(self, system):
+        result = system.execute(PAPER_SQL)
+        report = usage_report(system.policy, [result])
+        exercised = report.exercised_rules()
+        # Three releases: Insurance -> S_N (rule 9), probe -> S_N
+        # (rule 10 or a closure-derived rule), return -> S_H (rule 7).
+        assert len(exercised) == 3
+        assert all(u.transfer_count == 1 for u in exercised)
+        assert report.executions_recorded == 1
+
+    def test_accumulation_over_executions(self, system):
+        results = [system.execute(PAPER_SQL) for _ in range(3)]
+        report = usage_report(system.policy, results)
+        assert report.executions_recorded == 3
+        assert all(u.transfer_count == 3 for u in report.exercised_rules())
+
+    def test_unaudited_execution_rejected(self, system):
+        from repro.engine.executor import DistributedExecutor
+
+        tree, assignment, _ = system.plan(PAPER_SQL)
+        unaudited = DistributedExecutor(assignment, system.tables()).run()
+        report = PolicyUsageReport(system.policy)
+        with pytest.raises(ReproError):
+            report.record_execution(unaudited)
+
+    def test_foreign_rule_rejected(self, system):
+        result = system.execute(PAPER_SQL)
+        other_policy = Policy([Authorization({"Holder"}, None, "S_N")])
+        report = PolicyUsageReport(other_policy)
+        with pytest.raises(ReproError):
+            report.record_execution(result)
+
+
+class TestHygieneQueries:
+    def test_unused_rules_listed_widest_first(self, system):
+        result = system.execute(PAPER_SQL)
+        report = usage_report(system.policy, [result])
+        unused = report.unused_rules()
+        assert unused
+        widths = [len(rule.attributes) for rule in unused]
+        assert widths == sorted(widths, reverse=True)
+        # Rule 15 (S_D's Disease_list) is untouched by this query.
+        from repro.workloads.medical import authorization
+
+        assert authorization(15) in unused
+
+    def test_coverage_fraction(self, system):
+        result = system.execute(PAPER_SQL)
+        report = usage_report(system.policy, [result])
+        assert report.coverage_fraction() == pytest.approx(
+            3 / len(system.policy)
+        )
+
+    def test_empty_policy_coverage_zero(self):
+        assert PolicyUsageReport(Policy()).coverage_fraction() == 0.0
+
+    def test_usage_of_unexercised_rule_is_zeroed(self, system):
+        from repro.workloads.medical import authorization
+
+        result = system.execute(PAPER_SQL)
+        report = usage_report(system.policy, [result])
+        usage = report.usage_of(authorization(15))
+        assert usage.transfer_count == 0
+        assert usage.byte_total == 0
+
+    def test_links_recorded(self, system):
+        result = system.execute(PAPER_SQL)
+        report = usage_report(system.policy, [result])
+        all_links = set()
+        for usage in report.exercised_rules():
+            all_links |= usage.links
+        assert all_links == {("S_I", "S_N"), ("S_H", "S_N"), ("S_N", "S_H")}
+
+    def test_describe(self, system):
+        result = system.execute(PAPER_SQL)
+        text = usage_report(system.policy, [result]).describe()
+        assert "rules exercised" in text
+        assert "never exercised" in text

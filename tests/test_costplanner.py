@@ -1,0 +1,106 @@
+"""Unit tests for the cost-aware safe planner (two-step optimization)."""
+
+import pytest
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.core.authorization import Authorization, Policy
+from repro.core.costplanner import EXHAUSTIVE, HEURISTIC, CostAwareSafePlanner
+from repro.core.planner import SafePlanner
+from repro.core.safety import verify_assignment
+from repro.engine.coster import TableStats, estimate_assignment_cost
+from repro.exceptions import InfeasiblePlanError, PlanError
+from repro.workloads.medical import example_query_spec
+
+
+@pytest.fixture()
+def stats():
+    return {
+        "Insurance": TableStats(100, {"Holder": 100, "Plan": 4}),
+        "Nat_registry": TableStats(500, {"Citizen": 500, "HealthAid": 3}),
+        "Hospital": TableStats(60, {"Patient": 50, "Disease": 12, "Physician": 8}),
+        "Disease_list": TableStats(12, {"Illness": 12, "Treatment": 12}),
+    }
+
+
+class TestConstruction:
+    def test_unknown_strategy_rejected(self, policy, stats):
+        with pytest.raises(PlanError):
+            CostAwareSafePlanner(policy, stats, assignment_search="magic")
+
+
+class TestPlanning:
+    def test_paper_query_heuristic(self, catalog, policy, stats):
+        planner = CostAwareSafePlanner(policy, stats, assignment_search=HEURISTIC)
+        outcome = planner.plan(catalog, example_query_spec())
+        assert outcome.orders_considered >= 1
+        assert outcome.orders_feasible >= 1
+        verify_assignment(policy, outcome.assignment)
+
+    def test_paper_query_exhaustive(self, catalog, policy, stats):
+        planner = CostAwareSafePlanner(policy, stats, assignment_search=EXHAUSTIVE)
+        outcome = planner.plan(catalog, example_query_spec())
+        verify_assignment(policy, outcome.assignment)
+
+    def test_exhaustive_never_worse_than_heuristic(self, catalog, policy, stats):
+        heuristic = CostAwareSafePlanner(
+            policy, stats, assignment_search=HEURISTIC
+        ).plan(catalog, example_query_spec())
+        exhaustive = CostAwareSafePlanner(
+            policy, stats, assignment_search=EXHAUSTIVE
+        ).plan(catalog, example_query_spec())
+        assert exhaustive.estimated_cost <= heuristic.estimated_cost + 1e-9
+
+    def test_cost_aware_never_worse_than_plain_planner(self, catalog, policy, stats):
+        spec = example_query_spec()
+        plain, _ = SafePlanner(policy).plan(build_plan(catalog, spec))
+        plain_cost = estimate_assignment_cost(plain, stats)
+        aware = CostAwareSafePlanner(policy, stats).plan(catalog, spec)
+        assert aware.estimated_cost <= plain_cost + 1e-9
+
+    def test_order_search_rescues_infeasible_order(self, stats):
+        catalog = Catalog()
+        catalog.add_relation(RelationSchema("A", ["a1", "a2"], server="S1"))
+        catalog.add_relation(RelationSchema("B", ["b1", "b2"], server="S2"))
+        catalog.add_relation(RelationSchema("C", ["c1", "c2"], server="S3"))
+        catalog.add_join_edge("a2", "b1")
+        catalog.add_join_edge("b2", "c1")
+        catalog.add_join_edge("a1", "c2")
+        policy = Policy(
+            [
+                Authorization({"a1", "a2"}, None, "S2"),
+                Authorization(
+                    {"a1", "a2", "b1", "b2"}, JoinPath.of(("a2", "b1")), "S3"
+                ),
+            ]
+        )
+        bad_order = QuerySpec(
+            ["A", "C", "B"],
+            [JoinPath.of(("a1", "c2")), JoinPath.of(("a2", "b1"))],
+            frozenset({"a1", "b1", "c1"}),
+        )
+        local_stats = {
+            name: TableStats(10, {a: 10 for a in catalog.relation(name).attributes})
+            for name in catalog.relation_names()
+        }
+        pinned = CostAwareSafePlanner(
+            policy, local_stats, search_join_orders=False
+        )
+        with pytest.raises(InfeasiblePlanError):
+            pinned.plan(catalog, bad_order)
+        searching = CostAwareSafePlanner(policy, local_stats)
+        outcome = searching.plan(catalog, bad_order)
+        verify_assignment(policy, outcome.assignment)
+        assert outcome.orders_feasible >= 1
+
+    def test_infeasible_everywhere(self, catalog, stats):
+        planner = CostAwareSafePlanner(Policy(), stats)
+        with pytest.raises(InfeasiblePlanError):
+            planner.plan(catalog, example_query_spec())
+
+    def test_repr(self, catalog, policy, stats):
+        outcome = CostAwareSafePlanner(policy, stats).plan(
+            catalog, example_query_spec()
+        )
+        assert "orders feasible" in repr(outcome)

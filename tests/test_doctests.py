@@ -1,0 +1,20 @@
+"""Docstring examples are executable documentation — keep them true."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES_WITH_DOCTESTS = [
+    "repro.algebra.attributes",
+    "repro.algebra.joins",
+    "repro.analysis.reporting",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES_WITH_DOCTESTS)
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+    assert results.attempted > 0, f"expected at least one doctest in {module_name}"

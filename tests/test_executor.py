@@ -1,0 +1,161 @@
+"""Unit tests for the distributed executor."""
+
+import pytest
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.joins import JoinPath
+from repro.core.assignment import Executor
+from repro.core.authorization import Authorization, Policy
+from repro.core.planner import SafePlanner
+from repro.core.thirdparty import ThirdPartyPlanner
+from repro.engine.data import Table
+from repro.engine.executor import DistributedExecutor
+from repro.engine.operators import evaluate_plan
+from repro.exceptions import AuditViolationError, ExecutionError
+from repro.workloads.medical import medical_policy
+
+
+@pytest.fixture()
+def tables(instances, catalog):
+    return {
+        name: Table.from_rows(catalog.relation(name).attributes, rows)
+        for name, rows in instances.items()
+    }
+
+
+@pytest.fixture()
+def assignment(planner, plan):
+    assignment, _ = planner.plan(plan)
+    return assignment
+
+
+class TestExecution:
+    def test_matches_oracle(self, assignment, plan, tables):
+        result = DistributedExecutor(assignment, tables).run()
+        assert result.table == evaluate_plan(plan, tables)
+
+    def test_result_lands_at_root_master(self, assignment, plan, tables):
+        result = DistributedExecutor(assignment, tables).run()
+        assert result.result_server == assignment.master(plan.root.node_id)
+        assert result.result_server == "S_H"
+
+    def test_transfer_routes_match_figure5(self, assignment, tables):
+        result = DistributedExecutor(assignment, tables).run()
+        routes = [(t.sender, t.receiver) for t in result.transfers]
+        assert routes == [("S_I", "S_N"), ("S_H", "S_N"), ("S_N", "S_H")]
+
+    def test_audited_run_records_covering_rules(self, assignment, tables, policy):
+        result = DistributedExecutor(assignment, tables, policy=policy).run()
+        assert result.audit is not None
+        assert result.audit.all_authorized()
+        for transfer in result.transfers:
+            assert transfer.authorized_by is not None
+
+    def test_unaudited_run_has_no_audit(self, assignment, tables):
+        result = DistributedExecutor(assignment, tables).run()
+        assert result.audit is None
+
+    def test_recipient_delivery(self, assignment, tables, policy):
+        result = DistributedExecutor(assignment, tables, policy=policy).run(
+            recipient="S_H"
+        )
+        assert result.result_server == "S_H"
+
+    def test_unauthorized_recipient_blocked(self, assignment, tables, policy):
+        with pytest.raises(AuditViolationError):
+            DistributedExecutor(assignment, tables, policy=policy).run(
+                recipient="S_D"
+            )
+
+    def test_missing_instance(self, assignment, tables):
+        del tables["Insurance"]
+        with pytest.raises(ExecutionError):
+            DistributedExecutor(assignment, tables).run()
+
+    def test_empty_instances_flow_through(self, assignment, plan, catalog, tables):
+        tables["Hospital"] = Table.empty(["Patient", "Disease", "Physician"])
+        result = DistributedExecutor(assignment, tables).run()
+        assert len(result.table) == 0
+
+    def test_transfer_volumes_recorded(self, assignment, tables):
+        result = DistributedExecutor(assignment, tables).run()
+        for transfer in result.transfers:
+            assert transfer.row_count >= 0
+            assert transfer.byte_size >= 0
+        assert result.transfers.total_bytes() == sum(
+            t.byte_size for t in result.transfers
+        )
+
+
+class TestSemiJoinMechanics:
+    def test_semi_join_probe_smaller_than_relation(self, assignment, tables):
+        """The probe ships only join-attribute values."""
+        result = DistributedExecutor(assignment, tables).run()
+        probe = next(t for t in result.transfers if "probe" in t.description)
+        assert probe.profile.attributes == frozenset({"Patient"})
+
+    def test_semi_join_equals_regular_join(self, catalog, policy, tables):
+        """Force both modes on the same join; results must agree."""
+        spec = QuerySpec(
+            ["Insurance", "Nat_registry"],
+            [JoinPath.of(("Holder", "Citizen"))],
+            frozenset({"Holder", "Plan", "Citizen", "HealthAid"}),
+        )
+        plan = build_plan(catalog, spec)
+        from repro.baselines.exhaustive import enumerate_structural_assignments
+
+        results = set()
+        for candidate in enumerate_structural_assignments(plan):
+            outcome = DistributedExecutor(candidate, tables).run()
+            results.add(outcome.table)
+        assert len(results) == 1
+
+
+class TestEnforcement:
+    def test_enforcing_run_raises_on_violation(self, assignment, tables):
+        restricted = Policy(
+            [r for r in medical_policy() if r.server != "S_N"]
+        )
+        with pytest.raises(AuditViolationError):
+            DistributedExecutor(assignment, tables, policy=restricted).run()
+
+    def test_measure_only_run_records_violations(self, assignment, tables):
+        restricted = Policy(
+            [r for r in medical_policy() if r.server != "S_N"]
+        )
+        result = DistributedExecutor(
+            assignment, tables, policy=restricted, enforce=False
+        ).run()
+        assert result.audit is not None
+        assert not result.audit.all_authorized()
+        assert len(result.audit.violations) >= 1
+
+
+class TestThirdPartyExecution:
+    def test_coordinator_execution(self):
+        from repro.algebra.schema import Catalog, RelationSchema
+
+        catalog = Catalog()
+        catalog.add_relation(RelationSchema("R", ["a", "b"], server="S1"))
+        catalog.add_relation(RelationSchema("T", ["c", "d"], server="S2"))
+        catalog.add_join_edge("a", "c")
+        spec = QuerySpec(
+            ["R", "T"], [JoinPath.of(("a", "c"))], frozenset({"a", "b", "c", "d"})
+        )
+        plan = build_plan(catalog, spec)
+        policy = Policy(
+            [
+                Authorization({"a", "b"}, None, "S9"),
+                Authorization({"c", "d"}, None, "S9"),
+            ]
+        )
+        assignment, _ = ThirdPartyPlanner(policy, ["S9"]).plan(plan)
+        tables = {
+            "R": Table(["a", "b"], [(1, "x"), (2, "y")]),
+            "T": Table(["c", "d"], [(1, "z"), (3, "w")]),
+        }
+        result = DistributedExecutor(assignment, tables, policy=policy).run()
+        assert result.table == evaluate_plan(plan, tables)
+        assert result.result_server == "S9"
+        routes = {(t.sender, t.receiver) for t in result.transfers}
+        assert routes == {("S1", "S9"), ("S2", "S9")}

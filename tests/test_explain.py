@@ -1,0 +1,105 @@
+"""Unit tests for planning explanations."""
+
+import pytest
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.joins import JoinPath
+from repro.analysis.explain import (
+    consistent_with_planner,
+    explain_planning,
+    render_explanation,
+)
+from repro.core.authorization import Policy
+from repro.workloads.medical import authorization, medical_policy
+
+
+class TestExplainPaperExample:
+    def test_feasible_and_consistent(self, policy, plan):
+        explanations, feasible = explain_planning(policy, plan)
+        assert feasible
+        assert set(explanations) == {j.node_id for j in plan.joins()}
+        assert consistent_with_planner(policy, plan)
+
+    def test_inner_join_explanation(self, policy, plan):
+        """At the inner join, S_N is admitted as a regular master
+        covered by rule 9, and the slave search fails."""
+        explanations, _ = explain_planning(policy, plan)
+        inner = explanations[plan.joins()[0].node_id]
+        assert inner.admitted == [("S_N", "regular")]
+        covering = [
+            c.covering_rule
+            for c in inner.checks
+            if c.allowed and c.role == "regular master"
+        ]
+        assert covering == [authorization(9)]
+        # S_I can never act as slave here; S_N passes the (unused)
+        # slave check of the other direction via rule 9.
+        slave_checks = [c for c in inner.checks if c.role == "slave"]
+        assert any(c.server == "S_I" and not c.allowed for c in slave_checks)
+        assert any(c.server == "S_N" and c.allowed for c in slave_checks)
+
+    def test_top_join_explanation(self, policy, plan):
+        """At the top join, S_N passes the slave check via rule 10 and
+        S_H the semi-master check via rule 7."""
+        explanations, _ = explain_planning(policy, plan)
+        top = explanations[plan.joins()[1].node_id]
+        assert ("S_H", "semi") in top.admitted
+        slave_passes = [
+            c for c in top.checks if c.role == "slave" and c.allowed
+        ]
+        assert any(c.server == "S_N" for c in slave_passes)
+        assert any(c.covering_rule == authorization(10) for c in slave_passes)
+        master_passes = [
+            c for c in top.checks if c.role == "semi master" and c.allowed
+        ]
+        assert [c.covering_rule for c in master_passes] == [authorization(7)]
+
+    def test_denials_listed(self, policy, plan):
+        explanations, _ = explain_planning(policy, plan)
+        inner = explanations[plan.joins()[0].node_id]
+        assert inner.denials()
+
+    def test_render(self, policy, plan):
+        explanations, _ = explain_planning(policy, plan)
+        text = render_explanation(policy, plan, explanations)
+        assert "ALLOW" in text and "deny" in text
+        assert "covered by" in text
+        assert "candidates:" in text
+
+
+class TestExplainInfeasible:
+    def test_infeasible_reported(self, catalog):
+        spec = QuerySpec(
+            ["Disease_list", "Hospital"],
+            [JoinPath.of(("Illness", "Disease"))],
+            frozenset({"Physician", "Treatment"}),
+        )
+        plan = build_plan(catalog, spec)
+        explanations, feasible = explain_planning(medical_policy(), plan)
+        assert not feasible
+        failing = explanations[plan.joins()[0].node_id]
+        assert failing.admitted == []
+        assert "infeasible" in render_explanation(medical_policy(), plan, explanations)
+        assert consistent_with_planner(medical_policy(), plan)
+
+    def test_empty_policy(self, plan):
+        explanations, feasible = explain_planning(Policy(), plan)
+        assert not feasible
+        assert consistent_with_planner(Policy(), plan)
+
+
+class TestConsistencyProperty:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_synthetic_consistency(self, seed):
+        from repro.workloads.synthetic import SyntheticWorkload, WorkloadConfig
+
+        workload = SyntheticWorkload(
+            seed=seed,
+            config=WorkloadConfig(
+                servers=3, relations=4, grant_probability=0.5,
+                join_grant_probability=0.4,
+            ),
+        )
+        spec = workload.random_query(relations=3)
+        plan = build_plan(workload.catalog, spec)
+        assert consistent_with_planner(workload.policy, plan)

@@ -1,0 +1,129 @@
+"""Unit tests for the exposure analysis."""
+
+import pytest
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.joins import JoinPath
+from repro.analysis.exposure import (
+    ExposureReport,
+    compare_exposure,
+    exposure_of_assignment,
+)
+from repro.core.flows import Flow
+from repro.core.profile import RelationProfile
+
+
+class TestExposureReport:
+    def test_local_flows_ignored(self, catalog):
+        report = ExposureReport(catalog)
+        report.record(Flow("S_I", "S_I", RelationProfile({"Plan"}), "local"))
+        assert report.servers() == []
+
+    def test_release_recorded(self, catalog):
+        report = ExposureReport(catalog)
+        report.record(Flow("S_I", "S_N", RelationProfile({"Holder", "Plan"}), "x"))
+        assert report.servers() == ["S_N"]
+        exposure = report.exposure_of("S_N")
+        assert exposure.attributes_seen() == frozenset({"Holder", "Plan"})
+        assert exposure.senders() == ["S_I"]
+
+    def test_selection_attributes_count_as_seen(self, catalog):
+        report = ExposureReport(catalog)
+        profile = RelationProfile({"Holder", "Plan"}).select({"Plan"}).project({"Holder"})
+        report.record(Flow("S_I", "S_N", profile, "x"))
+        assert "Plan" in report.exposure_of("S_N").attributes_seen()
+
+    def test_associations_seen(self, catalog):
+        report = ExposureReport(catalog)
+        path = JoinPath.of(("Holder", "Citizen"))
+        report.record(Flow("S_I", "S_H", RelationProfile({"Plan"}, path), "x"))
+        assert report.exposure_of("S_H").associations_seen() == set(path.conditions)
+
+    def test_foreign_attributes_exclude_own(self, catalog):
+        report = ExposureReport(catalog)
+        report.record(
+            Flow("S_I", "S_N", RelationProfile({"Holder", "Plan", "Citizen"}), "x")
+        )
+        # Citizen belongs to Nat_registry at S_N, so only Holder/Plan
+        # are foreign knowledge.
+        assert report.foreign_attributes_of("S_N") == frozenset({"Holder", "Plan"})
+
+    def test_without_catalog_everything_is_foreign(self):
+        report = ExposureReport()
+        report.record(Flow("A", "B", RelationProfile({"x"}), "d"))
+        assert report.foreign_attributes_of("B") == frozenset({"x"})
+
+    def test_empty_exposure(self, catalog):
+        report = ExposureReport(catalog)
+        assert report.exposure_of("S_X").attributes_seen() == frozenset()
+        assert report.total_exposure_score() == 0
+        assert "no server receives" in report.describe()
+
+
+class TestAssignmentExposure:
+    def test_paper_example_exposure(self, planner, plan, catalog):
+        assignment, _ = planner.plan(plan)
+        report = exposure_of_assignment(assignment, catalog)
+        # S_N receives Insurance fully and the Patient probe; S_H gets
+        # the semi-join result back.
+        assert set(report.servers()) == {"S_N", "S_H"}
+        assert report.foreign_attributes_of("S_N") == frozenset(
+            {"Holder", "Plan", "Patient"}
+        )
+        assert "Physician" not in report.foreign_attributes_of("S_N")
+        assert report.foreign_attributes_of("S_H") >= frozenset(
+            {"Citizen", "HealthAid", "Plan"}
+        )
+
+    def test_recipient_included(self, planner, plan, catalog):
+        assignment, _ = planner.plan(plan)
+        report = exposure_of_assignment(assignment, catalog, recipient="client")
+        assert "client" in report.servers()
+        assert "Physician" in report.foreign_attributes_of("client")
+
+    def test_exposure_score_positive(self, planner, plan, catalog):
+        assignment, _ = planner.plan(plan)
+        assert exposure_of_assignment(assignment, catalog).total_exposure_score() > 0
+
+    def test_describe_lists_flows(self, planner, plan, catalog):
+        assignment, _ = planner.plan(plan)
+        text = exposure_of_assignment(assignment, catalog).describe()
+        assert "S_N learns" in text and "S_H learns" in text
+
+
+class TestCompareExposure:
+    def test_semi_join_exposes_less_than_regular(self, catalog, policy):
+        """The paper's security argument for semi-joins, quantified: the
+        slave sees only join-attribute values instead of everything."""
+        from repro.baselines.exhaustive import enumerate_structural_assignments
+
+        spec = QuerySpec(
+            ["Insurance", "Hospital"],
+            [JoinPath.of(("Holder", "Patient"))],
+            frozenset({"Holder", "Plan", "Patient", "Disease", "Physician"}),
+        )
+        plan = build_plan(catalog, spec)
+        reports = {}
+        for assignment in enumerate_structural_assignments(plan):
+            join = plan.joins()[0]
+            executor = assignment.executor(join.node_id)
+            reports[str(executor)] = exposure_of_assignment(assignment, catalog)
+        semi = reports["[S_H, S_I]"]  # S_H masters, S_I slave
+        regular = reports["[S_H, NULL]"]  # Insurance shipped in full
+        # Under the semi-join, S_I (the slave) learns only the Patient
+        # probe; under the regular join it learns nothing, but S_H's
+        # exposure is identical — compare the slave-side alternative:
+        # regular at S_I ships Hospital wholesale.
+        regular_at_si = reports["[S_I, NULL]"]
+        semi_at_si = reports["[S_I, S_H]"]
+        assert semi_at_si.foreign_attributes_of("S_H") == frozenset({"Holder"})
+        assert regular_at_si.foreign_attributes_of("S_I") == frozenset(
+            {"Patient", "Disease", "Physician"}
+        )
+        deltas = compare_exposure(semi_at_si, regular_at_si)
+        assert deltas  # the strategies genuinely differ
+
+    def test_identical_reports_no_deltas(self, planner, plan, catalog):
+        assignment, _ = planner.plan(plan)
+        report = exposure_of_assignment(assignment, catalog)
+        assert compare_exposure(report, report) == {}

@@ -1,0 +1,104 @@
+"""Unit tests for logical algebra expressions."""
+
+import pytest
+
+from repro.algebra.expression import (
+    BaseRelation,
+    JoinExpression,
+    ProjectionExpression,
+    SelectionExpression,
+)
+from repro.algebra.joins import JoinPath
+from repro.algebra.predicates import Comparison, Predicate
+from repro.algebra.schema import RelationSchema
+from repro.exceptions import ExpressionError
+
+
+@pytest.fixture()
+def insurance():
+    return BaseRelation(RelationSchema("Insurance", ["Holder", "Plan"], server="S_I"))
+
+
+@pytest.fixture()
+def registry():
+    return BaseRelation(
+        RelationSchema("Nat_registry", ["Citizen", "HealthAid"], server="S_N")
+    )
+
+
+class TestBaseRelation:
+    def test_schema(self, insurance):
+        assert insurance.schema == frozenset({"Holder", "Plan"})
+
+    def test_base_relations(self, insurance):
+        assert [r.name for r in insurance.base_relations()] == ["Insurance"]
+
+    def test_requires_schema(self):
+        with pytest.raises(ExpressionError):
+            BaseRelation("Insurance")  # type: ignore[arg-type]
+
+
+class TestProjection:
+    def test_schema_shrinks(self, insurance):
+        projection = insurance.project(["Plan"])
+        assert projection.schema == frozenset({"Plan"})
+
+    def test_rejects_unknown_attributes(self, insurance):
+        with pytest.raises(ExpressionError):
+            insurance.project(["Citizen"])
+
+    def test_rejects_empty(self, insurance):
+        with pytest.raises(ExpressionError):
+            ProjectionExpression(insurance, frozenset())
+
+    def test_equality(self, insurance):
+        assert insurance.project(["Plan"]) == insurance.project(["Plan"])
+        assert insurance.project(["Plan"]) != insurance.project(["Holder"])
+
+
+class TestSelection:
+    def test_schema_preserved(self, insurance):
+        selection = insurance.select(Predicate([Comparison("Plan", "=", "gold")]))
+        assert selection.schema == insurance.schema
+
+    def test_rejects_foreign_predicate(self, insurance):
+        with pytest.raises(ExpressionError):
+            insurance.select(Predicate([Comparison("Citizen", "=", "x")]))
+
+    def test_requires_predicate_type(self, insurance):
+        with pytest.raises(ExpressionError):
+            SelectionExpression(insurance, "Plan = 'gold'")  # type: ignore[arg-type]
+
+
+class TestJoin:
+    def test_schema_is_union(self, insurance, registry):
+        join = insurance.join(registry, JoinPath.of(("Holder", "Citizen")))
+        assert join.schema == frozenset({"Holder", "Plan", "Citizen", "HealthAid"})
+
+    def test_base_relations_in_order(self, insurance, registry):
+        join = insurance.join(registry, JoinPath.of(("Holder", "Citizen")))
+        assert [r.name for r in join.base_relations()] == ["Insurance", "Nat_registry"]
+
+    def test_join_attributes_split(self, insurance, registry):
+        join = insurance.join(registry, JoinPath.of(("Holder", "Citizen")))
+        assert join.left_join_attributes() == frozenset({"Holder"})
+        assert join.right_join_attributes() == frozenset({"Citizen"})
+
+    def test_rejects_empty_path(self, insurance, registry):
+        with pytest.raises(ExpressionError):
+            JoinExpression(insurance, registry, JoinPath.empty())
+
+    def test_rejects_non_bridging_condition(self, insurance, registry):
+        with pytest.raises(ExpressionError):
+            insurance.join(registry, JoinPath.of(("Holder", "Plan")))
+
+    def test_rejects_overlapping_schemas(self, insurance):
+        clone = BaseRelation(RelationSchema("Clone", ["Holder", "Other"]))
+        with pytest.raises(ExpressionError):
+            insurance.join(clone, JoinPath.of(("Plan", "Other")))
+
+    def test_nested_composition(self, insurance, registry):
+        join = insurance.join(registry, JoinPath.of(("Holder", "Citizen")))
+        projected = join.project(["Plan", "HealthAid"])
+        assert projected.schema == frozenset({"Plan", "HealthAid"})
+        assert len(projected.base_relations()) == 2

@@ -1,0 +1,160 @@
+"""Unit tests for the Figure 5 execution modes and exposed views."""
+
+import pytest
+
+from repro.algebra.joins import JoinPath
+from repro.core.flows import (
+    ALL_MODES,
+    ExecutionMode,
+    Flow,
+    REGULAR_LEFT,
+    REGULAR_RIGHT,
+    SEMI_LEFT_MASTER,
+    SEMI_RIGHT_MASTER,
+    join_executions,
+    semi_join_probe_profile,
+    semi_join_result_profile,
+)
+from repro.core.profile import RelationProfile
+from repro.exceptions import PlanError
+
+
+@pytest.fixture()
+def left_profile():
+    return RelationProfile({"Holder", "Plan"})
+
+
+@pytest.fixture()
+def right_profile():
+    return RelationProfile({"Citizen", "HealthAid"})
+
+
+@pytest.fixture()
+def path():
+    return JoinPath.of(("Holder", "Citizen"))
+
+
+def executions(left_profile, right_profile, path):
+    return {
+        e.mode.tag: e
+        for e in join_executions(left_profile, right_profile, "S_l", "S_r", path)
+    }
+
+
+class TestExecutionMode:
+    def test_all_four_modes(self):
+        assert len(ALL_MODES) == 4
+
+    def test_mode_flags(self):
+        assert not ExecutionMode(REGULAR_LEFT).is_semi_join
+        assert ExecutionMode(REGULAR_LEFT).master_is_left
+        assert ExecutionMode(SEMI_RIGHT_MASTER).is_semi_join
+        assert not ExecutionMode(SEMI_RIGHT_MASTER).master_is_left
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PlanError):
+            ExecutionMode("[S_x, S_y]")
+
+    def test_equality(self):
+        assert ExecutionMode(REGULAR_LEFT) == ExecutionMode(REGULAR_LEFT)
+        assert ExecutionMode(REGULAR_LEFT) != ExecutionMode(REGULAR_RIGHT)
+
+
+class TestFlow:
+    def test_release_detection(self, left_profile):
+        assert Flow("A", "B", left_profile, "x").is_release
+        assert not Flow("A", "A", left_profile, "x").is_release
+
+
+class TestRegularModes:
+    def test_regular_left_ships_right_operand(self, left_profile, right_profile, path):
+        execution = executions(left_profile, right_profile, path)[REGULAR_LEFT]
+        assert execution.master == "S_l"
+        assert execution.slave is None
+        (flow,) = execution.flows
+        assert (flow.sender, flow.receiver) == ("S_r", "S_l")
+        assert flow.profile == right_profile
+
+    def test_regular_right_ships_left_operand(self, left_profile, right_profile, path):
+        execution = executions(left_profile, right_profile, path)[REGULAR_RIGHT]
+        assert execution.master == "S_r"
+        (flow,) = execution.flows
+        assert (flow.sender, flow.receiver) == ("S_l", "S_r")
+        assert flow.profile == left_profile
+
+
+class TestSemiJoinModes:
+    def test_left_master_probe_and_return(self, left_profile, right_profile, path):
+        execution = executions(left_profile, right_profile, path)[SEMI_LEFT_MASTER]
+        assert execution.master == "S_l"
+        assert execution.slave == "S_r"
+        probe, back = execution.flows
+        # Step 2: S_l ships pi_Jl(R_l) = [{Holder}, -, {}] to S_r.
+        assert (probe.sender, probe.receiver) == ("S_l", "S_r")
+        assert probe.profile == RelationProfile({"Holder"})
+        # Step 4: S_r ships back [{Holder} ∪ R_r^pi, j, {}].
+        assert (back.sender, back.receiver) == ("S_r", "S_l")
+        assert back.profile == RelationProfile(
+            {"Holder", "Citizen", "HealthAid"}, path
+        )
+
+    def test_right_master_symmetric(self, left_profile, right_profile, path):
+        execution = executions(left_profile, right_profile, path)[SEMI_RIGHT_MASTER]
+        assert execution.master == "S_r"
+        assert execution.slave == "S_l"
+        probe, back = execution.flows
+        assert probe.profile == RelationProfile({"Citizen"})
+        assert back.profile == RelationProfile(
+            {"Citizen", "Holder", "Plan"}, path
+        )
+
+    def test_probe_carries_operand_history(self, path):
+        """The probe keeps the operand's join path and sigma (Fig. 5)."""
+        history = JoinPath.of(("Plan", "X_other"))
+        left = RelationProfile({"Holder", "Plan"}, history, {"Plan"})
+        right = RelationProfile({"Citizen"})
+        execution = {
+            e.mode.tag: e
+            for e in join_executions(left, right, "S_l", "S_r", path)
+        }[SEMI_LEFT_MASTER]
+        probe = execution.flows[0]
+        assert probe.profile == RelationProfile({"Holder"}, history, {"Plan"})
+
+    def test_required_views_skip_local(self, left_profile, right_profile, path):
+        execution = join_executions(
+            left_profile, right_profile, "S_same", "S_same", path
+        )[0]
+        assert execution.required_views() == []
+
+
+class TestHelpers:
+    def test_probe_profile(self, left_profile):
+        probe = semi_join_probe_profile(left_profile, frozenset({"Holder"}))
+        assert probe == RelationProfile({"Holder"})
+
+    def test_result_profile(self, left_profile, right_profile, path):
+        result = semi_join_result_profile(
+            left_profile, right_profile, frozenset({"Holder"}), path
+        )
+        assert result.attributes == frozenset({"Holder", "Citizen", "HealthAid"})
+        assert result.join_path == path
+
+    def test_stray_condition_rejected(self, left_profile, right_profile):
+        with pytest.raises(PlanError):
+            join_executions(
+                left_profile,
+                right_profile,
+                "S_l",
+                "S_r",
+                JoinPath.of(("Nope1", "Nope2")),
+            )
+
+    def test_multi_condition_join(self):
+        left = RelationProfile({"a1", "a2", "a3"})
+        right = RelationProfile({"b1", "b2"})
+        path = JoinPath.of(("a1", "b1"), ("a2", "b2"))
+        modes = {
+            e.mode.tag: e for e in join_executions(left, right, "L", "R", path)
+        }
+        probe = modes[SEMI_LEFT_MASTER].flows[0]
+        assert probe.profile.attributes == frozenset({"a1", "a2"})

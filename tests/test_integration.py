@@ -1,0 +1,168 @@
+"""End-to-end integration tests spanning every layer.
+
+SQL text -> parse/bind -> minimized plan -> chase-closed policy -> safe
+assignment -> independent verification -> audited distributed execution
+-> oracle comparison.
+"""
+
+import pytest
+
+from repro import (
+    Authorization,
+    DistributedSystem,
+    InfeasiblePlanError,
+    Policy,
+)
+from repro.algebra.joins import JoinPath
+from repro.baselines.exhaustive import enumerate_safe_assignments
+from repro.core.safety import enumerate_assignment_flows
+from repro.engine.operators import evaluate_plan
+from repro.workloads.medical import generate_instances, medical_catalog, medical_policy
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadConfig
+
+PAPER_QUERY = (
+    "SELECT Patient, Physician, Plan, HealthAid "
+    "FROM Insurance JOIN Nat_registry ON Holder = Citizen "
+    "JOIN Hospital ON Citizen = Patient"
+)
+
+
+@pytest.fixture()
+def system():
+    system = DistributedSystem(medical_catalog(), medical_policy())
+    system.load_instances(generate_instances(seed=29, citizens=80))
+    return system
+
+
+class TestPaperScenarioEndToEnd:
+    def test_full_pipeline(self, system):
+        result = system.execute(PAPER_QUERY)
+        tree, assignment, _ = system.plan(PAPER_QUERY)
+        assert result.table == evaluate_plan(tree, system.tables())
+        assert result.result_server == "S_H"
+        assert result.audit.all_authorized()
+        # Exactly the three Figure 5 shipments of the planned strategy.
+        assert len(result.transfers) == 3
+
+    def test_selective_query_with_where(self, system):
+        result = system.execute(
+            "SELECT Patient, Plan FROM Insurance "
+            "JOIN Nat_registry ON Holder = Citizen "
+            "JOIN Hospital ON Citizen = Patient "
+            "WHERE Plan = 'gold'"
+        )
+        tree, _, _ = system.plan(
+            "SELECT Patient, Plan FROM Insurance "
+            "JOIN Nat_registry ON Holder = Citizen "
+            "JOIN Hospital ON Citizen = Patient "
+            "WHERE Plan = 'gold'"
+        )
+        assert result.table == evaluate_plan(tree, system.tables())
+
+    def test_where_affects_profile_and_feasibility(self, system):
+        """A WHERE on Disease makes the released views expose Disease,
+        changing which flows are authorized."""
+        tree, assignment, _ = system.plan(
+            "SELECT Patient, Physician FROM Hospital WHERE Disease = 'd01'"
+        )
+        root_profile = assignment.profile(tree.root.node_id)
+        assert "Disease" in root_profile.selection_attributes
+
+    def test_four_relation_query(self, system):
+        sql = (
+            "SELECT Plan, Treatment FROM Insurance "
+            "JOIN Nat_registry ON Holder = Citizen "
+            "JOIN Hospital ON Citizen = Patient "
+            "JOIN Disease_list ON Disease = Illness"
+        )
+        # Under Figure 3 this query has no safe assignment in the given
+        # order (Treatment must reach someone allowed to combine it).
+        feasible = system.is_feasible(sql)
+        if feasible:
+            result = system.execute(sql)
+            tree, _, _ = system.plan(sql)
+            assert result.table == evaluate_plan(tree, system.tables())
+        else:
+            with pytest.raises(InfeasiblePlanError):
+                system.execute(sql)
+
+    def test_single_relation_local_query(self, system):
+        result = system.execute("SELECT Plan FROM Insurance")
+        assert len(result.transfers) == 0
+        assert result.result_server == "S_I"
+
+
+class TestThirdPartySystem:
+    def test_third_party_system_rescues_query(self):
+        """A policy that blocks every direct arrangement but trusts a
+        dedicated audit server S_T end-to-end."""
+        catalog = medical_catalog()
+        policy = Policy(
+            [
+                Authorization({"Holder", "Plan"}, None, "S_T"),
+                Authorization({"Patient", "Disease", "Physician"}, None, "S_T"),
+            ]
+        )
+        system = DistributedSystem(
+            catalog, policy, apply_closure=True, third_parties=["S_T"]
+        )
+        system.load_instances(generate_instances(seed=31, citizens=30))
+        sql = (
+            "SELECT Plan, Physician FROM Insurance "
+            "JOIN Hospital ON Holder = Patient"
+        )
+        result = system.execute(sql)
+        tree, _, _ = system.plan(sql)
+        assert result.table == evaluate_plan(tree, system.tables())
+        senders = {(t.sender, t.receiver) for t in result.transfers}
+        assert senders == {("S_I", "S_T"), ("S_H", "S_T")}
+
+
+class TestSyntheticSystemsEndToEnd:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_random_system_round_trip(self, seed):
+        workload = SyntheticWorkload(
+            seed=seed,
+            config=WorkloadConfig(
+                servers=3,
+                relations=5,
+                grant_probability=0.7,
+                join_grant_probability=0.6,
+                rows_per_relation=20,
+                join_domain_size=8,
+            ),
+        )
+        system = DistributedSystem(
+            workload.catalog, workload.policy, apply_closure=True
+        )
+        system.load_instances(workload.generate_instances())
+        spec = workload.random_query(relations=3)
+        try:
+            result = system.execute(spec)
+        except InfeasiblePlanError:
+            return
+        tree, assignment, _ = system.plan(spec)
+        assert result.table == evaluate_plan(tree, system.tables())
+        # Each release flow of the verifier matches a logged transfer.
+        releases = [
+            f for f in enumerate_assignment_flows(assignment) if f.is_release
+        ]
+        assert len(releases) == len(result.transfers)
+
+
+class TestSafeSetConsistency:
+    def test_every_safe_assignment_executes_identically(self, system):
+        tree, _, _ = system.plan(PAPER_QUERY)
+        tables = system.tables()
+        oracle = evaluate_plan(tree, tables)
+        from repro.engine.executor import DistributedExecutor
+
+        count = 0
+        for assignment in enumerate_safe_assignments(system.policy, tree):
+            result = DistributedExecutor(
+                assignment, tables, policy=system.policy
+            ).run()
+            assert result.table == oracle
+            assert result.audit.all_authorized()
+            count += 1
+        assert count >= 1

@@ -1,0 +1,138 @@
+"""Unit tests for join conditions and join paths (Definition 2.1)."""
+
+import pytest
+
+from repro.algebra.joins import JoinCondition, JoinPath
+from repro.exceptions import JoinPathError
+
+
+class TestJoinCondition:
+    def test_normalizes_order(self):
+        assert JoinCondition("Holder", "Patient") == JoinCondition("Patient", "Holder")
+
+    def test_hash_respects_normalization(self):
+        assert hash(JoinCondition("a", "b")) == hash(JoinCondition("b", "a"))
+
+    def test_first_is_lexicographically_smaller(self):
+        condition = JoinCondition("Patient", "Holder")
+        assert condition.first == "Holder"
+        assert condition.second == "Patient"
+
+    def test_attributes(self):
+        assert JoinCondition("a", "b").attributes == frozenset({"a", "b"})
+
+    def test_rejects_self_join_attribute(self):
+        with pytest.raises(JoinPathError):
+            JoinCondition("Holder", "Holder")
+
+    def test_rejects_invalid_names(self):
+        with pytest.raises(Exception):
+            JoinCondition("ok", "not ok")
+
+    def test_mentions(self):
+        condition = JoinCondition("a", "b")
+        assert condition.mentions("a")
+        assert condition.mentions("b")
+        assert not condition.mentions("c")
+
+    def test_other(self):
+        condition = JoinCondition("a", "b")
+        assert condition.other("a") == "b"
+        assert condition.other("b") == "a"
+
+    def test_other_rejects_stranger(self):
+        with pytest.raises(JoinPathError):
+            JoinCondition("a", "b").other("c")
+
+    def test_ordering_is_total_on_conditions(self):
+        conditions = [JoinCondition("c", "d"), JoinCondition("a", "b")]
+        assert sorted(conditions)[0] == JoinCondition("a", "b")
+
+    def test_str_uses_paper_notation(self):
+        assert str(JoinCondition("Patient", "Holder")) == "(Holder, Patient)"
+
+    def test_not_equal_to_other_types(self):
+        assert JoinCondition("a", "b") != ("a", "b")
+
+
+class TestJoinPath:
+    def test_empty_is_singleton(self):
+        assert JoinPath.empty() is JoinPath.empty()
+
+    def test_empty_is_empty(self):
+        assert JoinPath.empty().is_empty()
+        assert len(JoinPath.empty()) == 0
+
+    def test_of_pairs_positional_decomposition(self):
+        path = JoinPath.of_pairs([((["a", "b"]), (["x", "y"]))])
+        assert JoinCondition("a", "x") in path
+        assert JoinCondition("b", "y") in path
+        assert len(path) == 2
+
+    def test_of_pairs_rejects_length_mismatch(self):
+        with pytest.raises(JoinPathError):
+            JoinPath.of_pairs([((["a", "b"]), (["x"]))])
+
+    def test_of_pairs_rejects_empty_lists(self):
+        with pytest.raises(JoinPathError):
+            JoinPath.of_pairs([(([]), ([]))])
+
+    def test_order_insensitive_equality(self):
+        first = JoinPath.of(("Holder", "Citizen"), ("Citizen", "Patient"))
+        second = JoinPath.of(("Patient", "Citizen"), ("Citizen", "Holder"))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_union_is_set_union(self):
+        first = JoinPath.of(("a", "b"))
+        second = JoinPath.of(("b", "c"))
+        union = first.union(second)
+        assert len(union) == 2
+        assert first.issubset(union)
+        assert second.issubset(union)
+
+    def test_union_idempotent(self):
+        path = JoinPath.of(("a", "b"))
+        assert path.union(path) == path
+
+    def test_union_multiple_arguments(self):
+        a = JoinPath.of(("a", "b"))
+        b = JoinPath.of(("c", "d"))
+        c = JoinPath.of(("e", "f"))
+        assert len(a.union(b, c)) == 3
+
+    def test_with_condition(self):
+        path = JoinPath.empty().with_condition(JoinCondition("a", "b"))
+        assert len(path) == 1
+
+    def test_attributes(self):
+        path = JoinPath.of(("a", "b"), ("b", "c"))
+        assert path.attributes == frozenset({"a", "b", "c"})
+
+    def test_subset_path_not_equal(self):
+        # Definition 3.3's rationale: a longer path is *different*
+        # information, never implied.
+        short = JoinPath.of(("a", "b"))
+        long = JoinPath.of(("a", "b"), ("c", "d"))
+        assert short != long
+        assert short.issubset(long)
+        assert not long.issubset(short)
+
+    def test_iteration_is_sorted(self):
+        path = JoinPath.of(("x", "y"), ("a", "b"))
+        assert list(path) == sorted(path.conditions)
+
+    def test_rejects_non_condition_members(self):
+        with pytest.raises(JoinPathError):
+            JoinPath([("a", "b")])  # type: ignore[list-item]
+
+    def test_str_empty_is_dash(self):
+        assert str(JoinPath.empty()) == "-"
+
+    def test_str_nonempty(self):
+        assert str(JoinPath.of(("b", "a"))) == "{(a, b)}"
+
+    def test_contains(self):
+        path = JoinPath.of(("a", "b"))
+        assert JoinCondition("b", "a") in path
+        assert JoinCondition("a", "c") not in path

@@ -1,0 +1,82 @@
+"""Unit tests for the medical workload (Figures 1-3 as data)."""
+
+import pytest
+
+from repro.workloads.medical import (
+    AUTHORIZATION_TABLE,
+    authorization,
+    example_query_spec,
+    generate_instances,
+    medical_catalog,
+    medical_policy,
+    paper_plan,
+)
+
+
+class TestCatalogAndPolicy:
+    def test_policy_matches_table(self):
+        policy = medical_policy()
+        assert len(policy) == len(AUTHORIZATION_TABLE)
+
+    def test_authorization_lookup(self):
+        rule = authorization(7)
+        assert rule.server == "S_H"
+        assert len(rule.attributes) == 7
+        assert len(rule.join_path) == 2
+
+    def test_catalog_placement(self):
+        catalog = medical_catalog()
+        assert catalog.relations_at("S_I")[0].name == "Insurance"
+
+    def test_primary_keys(self):
+        catalog = medical_catalog()
+        assert catalog.relation("Insurance").primary_key == ("Holder",)
+        assert catalog.relation("Nat_registry").primary_key == ("Citizen",)
+        assert catalog.relation("Disease_list").primary_key == ("Illness",)
+
+
+class TestPaperPlan:
+    def test_plan_uses_default_catalog(self):
+        assert paper_plan().render() == paper_plan(medical_catalog()).render()
+
+    def test_spec_relations(self):
+        spec = example_query_spec()
+        assert spec.relations == ("Insurance", "Nat_registry", "Hospital")
+
+
+class TestInstanceGenerator:
+    def test_deterministic(self):
+        assert generate_instances(seed=3) == generate_instances(seed=3)
+
+    def test_seed_changes_output(self):
+        assert generate_instances(seed=3) != generate_instances(seed=4)
+
+    def test_row_counts(self):
+        instances = generate_instances(seed=1, citizens=50)
+        assert len(instances["Nat_registry"]) == 50
+        assert 0 < len(instances["Insurance"]) <= 50
+        assert len(instances["Disease_list"]) == 12
+
+    def test_referential_consistency(self):
+        instances = generate_instances(seed=2, citizens=30)
+        citizens = {row["Citizen"] for row in instances["Nat_registry"]}
+        assert {row["Holder"] for row in instances["Insurance"]} <= citizens
+        assert {row["Patient"] for row in instances["Hospital"]} <= citizens
+        diseases = {row["Illness"] for row in instances["Disease_list"]}
+        assert {row["Disease"] for row in instances["Hospital"]} <= diseases
+
+    def test_fractions_respected_roughly(self):
+        instances = generate_instances(
+            seed=5, citizens=400, insured_fraction=0.5, hospitalized_fraction=0.2
+        )
+        assert 120 < len(instances["Insurance"]) < 280
+        patients = {row["Patient"] for row in instances["Hospital"]}
+        assert 40 < len(patients) < 140
+
+    def test_all_relations_present(self):
+        assert set(generate_instances()) == {
+            "Insurance",
+            "Hospital",
+            "Nat_registry",
+            "Disease_list",
+        }

@@ -1,0 +1,83 @@
+"""Unit tests for centralized plan evaluation (the oracle)."""
+
+import pytest
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.joins import JoinPath
+from repro.algebra.predicates import Comparison, Predicate
+from repro.engine.data import Table
+from repro.engine.operators import evaluate_plan
+from repro.exceptions import ExecutionError
+from repro.workloads.medical import generate_instances, medical_catalog
+
+
+@pytest.fixture()
+def tables(instances, catalog):
+    return {
+        name: Table.from_rows(catalog.relation(name).attributes, rows)
+        for name, rows in instances.items()
+    }
+
+
+class TestEvaluatePlan:
+    def test_paper_query(self, catalog, plan, tables):
+        result = evaluate_plan(plan, tables)
+        assert set(result.attributes) == {"Patient", "Physician", "Plan", "HealthAid"}
+        # Hand-computed expectation: patients that are both insured and
+        # registered (generator links Holder = Citizen = Patient).
+        insured = set(tables["Insurance"].column("Holder"))
+        patients = set(tables["Hospital"].column("Patient"))
+        registered = set(tables["Nat_registry"].column("Citizen"))
+        expected_people = insured & patients & registered
+        assert set(result.column("Patient")) == expected_people
+
+    def test_single_relation_projection(self, catalog, tables):
+        spec = QuerySpec(["Insurance"], [], frozenset({"Plan"}))
+        plan = build_plan(catalog, spec)
+        result = evaluate_plan(plan, tables)
+        assert result.attributes == ("Plan",)
+        assert set(result.column("Plan")) == set(tables["Insurance"].column("Plan"))
+
+    def test_selection(self, catalog, tables):
+        spec = QuerySpec(
+            ["Insurance"],
+            [],
+            frozenset({"Holder"}),
+            Predicate([Comparison("Plan", "=", "gold")]),
+        )
+        plan = build_plan(catalog, spec)
+        result = evaluate_plan(plan, tables)
+        gold_rows = [
+            r for r in tables["Insurance"].row_dicts() if r["Plan"] == "gold"
+        ]
+        assert len(result) == len({r["Holder"] for r in gold_rows})
+
+    def test_missing_instance(self, catalog, plan, tables):
+        del tables["Hospital"]
+        with pytest.raises(ExecutionError):
+            evaluate_plan(plan, tables)
+
+    def test_instance_missing_column(self, catalog, plan, tables):
+        tables["Hospital"] = Table(["Patient"], [("c0001",)])
+        with pytest.raises(ExecutionError):
+            evaluate_plan(plan, tables)
+
+    def test_four_relation_chain(self, catalog, tables):
+        spec = QuerySpec(
+            ["Insurance", "Nat_registry", "Hospital", "Disease_list"],
+            [
+                JoinPath.of(("Holder", "Citizen")),
+                JoinPath.of(("Citizen", "Patient")),
+                JoinPath.of(("Disease", "Illness")),
+            ],
+            frozenset({"Plan", "Treatment"}),
+        )
+        plan = build_plan(catalog, spec)
+        result = evaluate_plan(plan, tables)
+        assert set(result.attributes) == {"Plan", "Treatment"}
+        assert len(result) > 0
+
+    def test_empty_instance_propagates(self, catalog, plan, tables):
+        tables["Hospital"] = Table.empty(["Patient", "Disease", "Physician"])
+        result = evaluate_plan(plan, tables)
+        assert len(result) == 0

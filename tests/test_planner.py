@@ -1,0 +1,268 @@
+"""Unit tests for the safe planning algorithm (Figure 6)."""
+
+import pytest
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.core.authorization import Authorization, Policy
+from repro.core.candidates import FROM_LEFT, FROM_RIGHT, MODE_REGULAR, MODE_SEMI
+from repro.core.planner import SafePlanner, plan_safely
+from repro.core.safety import verify_assignment
+from repro.exceptions import InfeasiblePlanError
+from repro.workloads.medical import medical_policy, paper_plan
+
+
+def two_relation_system():
+    """R(a, b) at S1, T(c, d) at S2, joinable on a = c."""
+    catalog = Catalog()
+    catalog.add_relation(RelationSchema("R", ["a", "b"], server="S1"))
+    catalog.add_relation(RelationSchema("T", ["c", "d"], server="S2"))
+    catalog.add_join_edge("a", "c")
+    spec = QuerySpec(
+        ["R", "T"], [JoinPath.of(("a", "c"))], frozenset({"a", "b", "c", "d"})
+    )
+    return catalog, build_plan(catalog, spec)
+
+
+class TestPaperExample:
+    """Figure 7, structurally (exact-trace tests live in
+    test_paper_examples.py)."""
+
+    def test_executors(self, planner, plan):
+        assignment, _ = planner.plan(plan)
+        by_label = {
+            plan.node(i).label(): assignment.executor(i) for i in range(len(plan))
+        }
+        assert str(by_label["Insurance"]) == "[S_I, NULL]"
+        assert str(by_label["Nat_registry"]) == "[S_N, NULL]"
+        assert str(by_label["Hospital"]) == "[S_H, NULL]"
+        assert str(assignment.executor(2)) == "[S_N, NULL]"  # inner join
+        assert str(assignment.executor(5)) == "[S_H, S_N]"  # top join, semi
+        assert str(assignment.executor(6)) == "[S_H, NULL]"  # root projection
+
+    def test_assignment_is_safe(self, planner, plan, policy):
+        assignment, _ = planner.plan(plan)
+        verify_assignment(policy, assignment)
+
+    def test_is_feasible(self, planner, plan):
+        assert planner.is_feasible(plan)
+
+    def test_plan_safely_wrapper(self, policy, plan):
+        assignment = plan_safely(policy, plan)
+        assert assignment.is_complete()
+
+
+class TestCandidatePropagation:
+    def test_leaf_candidate_is_storing_server(self, planner, plan):
+        _, trace = planner.plan(plan)
+        decision = trace.decision(0)  # Insurance leaf
+        (candidate,) = list(decision.candidates)
+        assert candidate.server == "S_I"
+        assert candidate.count == 0
+
+    def test_unary_inherits_candidates(self, planner, plan):
+        _, trace = planner.plan(plan)
+        hospital_leaf = trace.decision(3)
+        projection = trace.decision(4)
+        assert projection.candidates.servers() == hospital_leaf.candidates.servers()
+        assert list(projection.candidates)[0].from_child == FROM_LEFT
+
+    def test_join_increments_counter(self, planner, plan):
+        _, trace = planner.plan(plan)
+        top_join = trace.decision(5)
+        (candidate,) = list(top_join.candidates)
+        assert candidate.server == "S_H"
+        assert candidate.count == 1
+        assert candidate.from_child == FROM_RIGHT
+        assert candidate.mode == MODE_SEMI
+
+    def test_inner_join_regular_mode(self, planner, plan):
+        _, trace = planner.plan(plan)
+        inner = trace.decision(2)
+        (candidate,) = list(inner.candidates)
+        assert candidate.mode == MODE_REGULAR
+        assert candidate.server == "S_N"
+
+    def test_slave_recorded_for_top_join(self, planner, plan):
+        _, trace = planner.plan(plan)
+        top_join = trace.decision(5)
+        assert top_join.left_slave is not None
+        assert top_join.left_slave.server == "S_N"
+        assert top_join.right_slave is None
+
+
+class TestInfeasibility:
+    def test_no_authorizations_at_all(self):
+        catalog, plan = two_relation_system()
+        planner = SafePlanner(Policy())
+        with pytest.raises(InfeasiblePlanError) as excinfo:
+            planner.plan(plan)
+        # The join is the failing node.
+        assert excinfo.value.node_id == plan.joins()[0].node_id
+
+    def test_error_carries_failing_node(self, plan):
+        # Remove rule 9 (S_N's grant on Insurance): the inner join dies.
+        policy = Policy(
+            rule
+            for rule in medical_policy()
+            if not (rule.server == "S_N" and rule.attributes == frozenset({"Holder", "Plan"}))
+        )
+        with pytest.raises(InfeasiblePlanError) as excinfo:
+            SafePlanner(policy).plan(plan)
+        assert excinfo.value.node_id == 2
+
+    def test_is_feasible_false(self):
+        catalog, plan = two_relation_system()
+        assert not SafePlanner(Policy()).is_feasible(plan)
+
+    def test_unplaced_relation_rejected(self):
+        from repro.algebra.tree import LeafNode, QueryTreePlan
+        from repro.exceptions import PlanError
+
+        plan = QueryTreePlan(LeafNode(RelationSchema("X", ["x"])))
+        with pytest.raises(PlanError):
+            SafePlanner(Policy()).plan(plan)
+
+
+class TestModeSelection:
+    def test_regular_join_when_no_slave(self):
+        """S2 may see R in full, but S1 sees nothing of T: regular join
+        at S2, shipping R over."""
+        catalog, plan = two_relation_system()
+        policy = Policy([Authorization({"a", "b"}, None, "S2")])
+        assignment, trace = SafePlanner(policy).plan(plan)
+        join = plan.joins()[0]
+        executor = assignment.executor(join.node_id)
+        assert executor.master == "S2"
+        assert executor.slave is None
+        verify_assignment(policy, assignment)
+
+    def test_semi_join_preferred_when_available(self):
+        """With probe- and master-views granted, the planner goes semi."""
+        catalog, plan = two_relation_system()
+        policy = Policy(
+            [
+                # S1 can act as slave for the [S2, S1] semi-join: it may
+                # see pi_c(T) — just the join attribute.
+                Authorization({"c"}, None, "S1"),
+                # S2 can act as master: it may see R joined with its own
+                # projection.
+                Authorization({"a", "b", "c", "d"}, JoinPath.of(("a", "c")), "S2"),
+            ]
+        )
+        assignment, _ = SafePlanner(policy).plan(plan)
+        join = plan.joins()[0]
+        executor = assignment.executor(join.node_id)
+        assert executor.master == "S2"
+        assert executor.slave == "S1"
+        verify_assignment(policy, assignment)
+
+    def test_semi_preferred_over_regular_for_same_master(self):
+        """When both a semi-join and a regular join are authorized for
+        the same master, the candidate records the semi admission."""
+        catalog, plan = two_relation_system()
+        policy = Policy(
+            [
+                Authorization({"c"}, None, "S1"),
+                Authorization({"a", "b", "c", "d"}, JoinPath.of(("a", "c")), "S2"),
+                Authorization({"a", "b"}, None, "S2"),
+            ]
+        )
+        _, trace = SafePlanner(policy).plan(plan)
+        join_decision = trace.decision(plan.joins()[0].node_id)
+        assert list(join_decision.candidates)[0].mode == MODE_SEMI
+
+    def test_regular_only_master_never_gets_slave(self):
+        """A master admitted via the regular check must not be paired
+        with the recorded slave (that would expose unchecked views)."""
+        catalog, plan = two_relation_system()
+        policy = Policy(
+            [
+                # S1 could act as slave for [S2, S1]...
+                Authorization({"c"}, None, "S1"),
+                # ...but S2 is only authorized for the full R with an
+                # EMPTY path — the regular-join view, not the semi view.
+                Authorization({"a", "b"}, None, "S2"),
+            ]
+        )
+        assignment, _ = SafePlanner(policy).plan(plan)
+        executor = assignment.executor(plan.joins()[0].node_id)
+        assert executor.master == "S2"
+        assert executor.slave is None
+        verify_assignment(policy, assignment)
+
+
+class TestDegenerateColocation:
+    def test_both_operands_on_one_server(self):
+        """Two relations on the same server: the join is local and safe
+        under any policy granting the trivial own-data rules."""
+        catalog = Catalog()
+        catalog.add_relation(RelationSchema("R", ["a", "b"], server="S1"))
+        catalog.add_relation(RelationSchema("T", ["c", "d"], server="S1"))
+        catalog.add_join_edge("a", "c")
+        spec = QuerySpec(
+            ["R", "T"], [JoinPath.of(("a", "c"))], frozenset({"b", "d"})
+        )
+        plan = build_plan(catalog, spec)
+        policy = Policy(
+            [
+                Authorization({"a", "b"}, None, "S1"),
+                Authorization({"c", "d"}, None, "S1"),
+                Authorization({"a", "b", "c", "d"}, JoinPath.of(("a", "c")), "S1"),
+            ]
+        )
+        assignment, _ = SafePlanner(policy).plan(plan)
+        join = plan.joins()[0]
+        executor = assignment.executor(join.node_id)
+        assert executor.master == "S1"
+        assert executor.slave is None  # degenerate semi collapses to local
+        verify_assignment(policy, assignment)
+
+
+class TestSingleRelationQueries:
+    def test_projection_only_plan(self, policy, catalog):
+        spec = QuerySpec(["Insurance"], [], frozenset({"Plan"}))
+        plan = build_plan(catalog, spec)
+        assignment, _ = SafePlanner(policy).plan(plan)
+        for node in plan:
+            assert assignment.master(node.node_id) == "S_I"
+        verify_assignment(policy, assignment)
+
+
+class TestRootChoice:
+    def test_highest_counter_wins_at_root(self):
+        """Two safe masters at the root join: the busier one is chosen."""
+        catalog = Catalog()
+        catalog.add_relation(RelationSchema("A", ["a1", "a2"], server="S1"))
+        catalog.add_relation(RelationSchema("B", ["b1", "b2"], server="S2"))
+        catalog.add_relation(RelationSchema("C", ["c1", "c2"], server="S3"))
+        catalog.add_join_edge("a2", "b1")
+        catalog.add_join_edge("b2", "c1")
+        spec = QuerySpec(
+            ["A", "B", "C"],
+            [JoinPath.of(("a2", "b1")), JoinPath.of(("b2", "c1"))],
+            frozenset({"a1", "b1", "c2"}),
+        )
+        plan = build_plan(catalog, spec)
+        everything = frozenset({"a1", "a2", "b1", "b2", "c1", "c2"})
+        policy = Policy(
+            [
+                # S2 can master the first join (regular, sees A fully)...
+                Authorization({"a1", "a2"}, None, "S2"),
+                # ...and the second join (regular, sees C fully) with the
+                # accumulated path.
+                Authorization({"c1", "c2"}, None, "S2"),
+                # S3 could master the top join too (sees the A-B result).
+                Authorization(
+                    frozenset({"a1", "a2", "b1", "b2"}),
+                    JoinPath.of(("a2", "b1")),
+                    "S3",
+                ),
+            ]
+        )
+        assignment, trace = SafePlanner(policy).plan(plan)
+        top_join = plan.joins()[-1]
+        # S2 carries counter 2 (both joins), S3 only 1.
+        assert assignment.master(top_join.node_id) == "S2"
+        verify_assignment(policy, assignment)

@@ -1,0 +1,111 @@
+"""Unit tests for selection predicates."""
+
+import pytest
+
+from repro.algebra.predicates import Comparison, Predicate
+from repro.exceptions import PredicateError
+
+
+class TestComparison:
+    def test_literal_comparison_attributes(self):
+        assert Comparison("Plan", "=", "gold").attributes == frozenset({"Plan"})
+
+    def test_attr_vs_attr_attributes(self):
+        comparison = Comparison.attr_vs_attr("a", "=", "b")
+        assert comparison.attributes == frozenset({"a", "b"})
+        assert comparison.operand_is_attribute
+
+    def test_string_operand_is_literal_by_default(self):
+        comparison = Comparison("Plan", "=", "Holder")
+        assert not comparison.operand_is_attribute
+        assert comparison.attributes == frozenset({"Plan"})
+
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(PredicateError):
+            Comparison("a", "~", 1)
+
+    def test_evaluate_equality(self):
+        assert Comparison("Plan", "=", "gold").evaluate({"Plan": "gold"})
+        assert not Comparison("Plan", "=", "gold").evaluate({"Plan": "silver"})
+
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [("<", 5, True), ("<=", 3, True), (">", 5, False), (">=", 3, True), ("!=", 3, False)],
+    )
+    def test_evaluate_numeric_operators(self, op, value, expected):
+        assert Comparison("x", op, value).evaluate({"x": 3}) is expected
+
+    def test_evaluate_attr_vs_attr(self):
+        comparison = Comparison.attr_vs_attr("a", "<", "b")
+        assert comparison.evaluate({"a": 1, "b": 2})
+        assert not comparison.evaluate({"a": 2, "b": 1})
+
+    def test_none_compares_false(self):
+        assert not Comparison("x", "=", None).evaluate({"x": None})
+        assert not Comparison("x", "<", 5).evaluate({"x": None})
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(PredicateError):
+            Comparison("x", "=", 1).evaluate({"y": 1})
+
+    def test_missing_operand_attribute_raises(self):
+        with pytest.raises(PredicateError):
+            Comparison.attr_vs_attr("x", "=", "z").evaluate({"x": 1})
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(PredicateError):
+            Comparison("x", "<", 5).evaluate({"x": "abc"})
+
+    def test_equality_and_hash(self):
+        assert Comparison("a", "=", 1) == Comparison("a", "=", 1)
+        assert hash(Comparison("a", "=", 1)) == hash(Comparison("a", "=", 1))
+        assert Comparison("a", "=", 1) != Comparison("a", "=", 2)
+
+    def test_str_quotes_strings(self):
+        assert str(Comparison("Plan", "=", "gold")) == "Plan='gold'"
+        assert str(Comparison("x", "<", 5)) == "x<5"
+        assert str(Comparison.attr_vs_attr("a", "=", "b")) == "a=b"
+
+
+class TestPredicate:
+    def test_true_predicate(self):
+        assert Predicate.true().is_true()
+        assert Predicate.true().evaluate({"anything": 1})
+        assert Predicate.true().attributes == frozenset()
+
+    def test_conjunction_semantics(self):
+        predicate = Predicate([Comparison("a", ">", 1), Comparison("a", "<", 5)])
+        assert predicate.evaluate({"a": 3})
+        assert not predicate.evaluate({"a": 7})
+
+    def test_attributes_union(self):
+        predicate = Predicate([Comparison("a", "=", 1), Comparison.attr_vs_attr("b", "=", "c")])
+        assert predicate.attributes == frozenset({"a", "b", "c"})
+
+    def test_conjoin(self):
+        joined = Predicate([Comparison("a", "=", 1)]).conjoin(
+            Predicate([Comparison("b", "=", 2)])
+        )
+        assert len(joined) == 2
+
+    def test_restrict_to_splits(self):
+        predicate = Predicate(
+            [Comparison("a", "=", 1), Comparison("z", "=", 2), Comparison.attr_vs_attr("a", "=", "z")]
+        )
+        inside, outside = predicate.restrict_to(frozenset({"a"}))
+        assert len(inside) == 1
+        assert len(outside) == 2
+
+    def test_equality_is_order_insensitive(self):
+        first = Predicate([Comparison("a", "=", 1), Comparison("b", "=", 2)])
+        second = Predicate([Comparison("b", "=", 2), Comparison("a", "=", 1)])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_rejects_non_comparison_atoms(self):
+        with pytest.raises(PredicateError):
+            Predicate(["a = 1"])  # type: ignore[list-item]
+
+    def test_str(self):
+        assert str(Predicate.true()) == "TRUE"
+        assert "AND" in str(Predicate([Comparison("a", "=", 1), Comparison("b", "=", 2)]))

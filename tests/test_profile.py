@@ -1,0 +1,145 @@
+"""Unit tests for relation profiles (Definition 3.2, Figure 4)."""
+
+import pytest
+
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import RelationSchema
+from repro.core.profile import RelationProfile
+from repro.exceptions import ExpressionError
+
+
+@pytest.fixture()
+def insurance_profile():
+    return RelationProfile.of_base_relation(
+        RelationSchema("Insurance", ["Holder", "Plan"], server="S_I")
+    )
+
+
+@pytest.fixture()
+def hospital_profile():
+    return RelationProfile.of_base_relation(
+        RelationSchema("Hospital", ["Patient", "Disease", "Physician"], server="S_H")
+    )
+
+
+class TestBaseProfile:
+    def test_base_relation_profile(self, insurance_profile):
+        assert insurance_profile.attributes == frozenset({"Holder", "Plan"})
+        assert insurance_profile.join_path.is_empty()
+        assert insurance_profile.selection_attributes == frozenset()
+
+    def test_exposed_attributes(self, insurance_profile):
+        selected = insurance_profile.select(["Plan"]).project(["Holder"])
+        assert selected.exposed_attributes == frozenset({"Holder", "Plan"})
+
+
+class TestProjectionRule:
+    """Figure 4 row 1: pi keeps X, leaves join path and sigma alone."""
+
+    def test_projection(self, insurance_profile):
+        projected = insurance_profile.project(["Holder"])
+        assert projected.attributes == frozenset({"Holder"})
+        assert projected.join_path == insurance_profile.join_path
+        assert projected.selection_attributes == frozenset()
+
+    def test_projection_preserves_sigma(self, insurance_profile):
+        profile = insurance_profile.select(["Plan"]).project(["Holder"])
+        assert profile.selection_attributes == frozenset({"Plan"})
+
+    def test_projection_outside_schema_rejected(self, insurance_profile):
+        with pytest.raises(ExpressionError):
+            insurance_profile.project(["Citizen"])
+
+    def test_empty_projection_rejected(self, insurance_profile):
+        with pytest.raises(ExpressionError):
+            insurance_profile.project([])
+
+    def test_projection_idempotent(self, insurance_profile):
+        once = insurance_profile.project(["Holder"])
+        assert once.project(["Holder"]) == once
+
+
+class TestSelectionRule:
+    """Figure 4 row 2: sigma adds X to R^sigma, keeps pi and join path."""
+
+    def test_selection(self, insurance_profile):
+        selected = insurance_profile.select(["Plan"])
+        assert selected.attributes == insurance_profile.attributes
+        assert selected.join_path == insurance_profile.join_path
+        assert selected.selection_attributes == frozenset({"Plan"})
+
+    def test_selection_accumulates(self, insurance_profile):
+        profile = insurance_profile.select(["Plan"]).select(["Holder"])
+        assert profile.selection_attributes == frozenset({"Plan", "Holder"})
+
+    def test_selection_outside_schema_rejected(self, insurance_profile):
+        with pytest.raises(ExpressionError):
+            insurance_profile.select(["Citizen"])
+
+    def test_empty_selection_is_noop(self, insurance_profile):
+        assert insurance_profile.select([]) == insurance_profile
+
+
+class TestJoinRule:
+    """Figure 4 row 3: join unions everything plus the conditions j."""
+
+    def test_join(self, insurance_profile, hospital_profile):
+        path = JoinPath.of(("Holder", "Patient"))
+        joined = insurance_profile.join(hospital_profile, path)
+        assert joined.attributes == frozenset(
+            {"Holder", "Plan", "Patient", "Disease", "Physician"}
+        )
+        assert joined.join_path == path
+        assert joined.selection_attributes == frozenset()
+
+    def test_join_unions_sigma(self, insurance_profile, hospital_profile):
+        left = insurance_profile.select(["Plan"])
+        right = hospital_profile.select(["Disease"])
+        joined = left.join(right, JoinPath.of(("Holder", "Patient")))
+        assert joined.selection_attributes == frozenset({"Plan", "Disease"})
+
+    def test_join_accumulates_paths(self, insurance_profile, hospital_profile):
+        first = insurance_profile.join(
+            hospital_profile, JoinPath.of(("Holder", "Patient"))
+        )
+        registry = RelationProfile(["Citizen", "HealthAid"])
+        second = first.join(registry, JoinPath.of(("Patient", "Citizen")))
+        assert second.join_path == JoinPath.of(
+            ("Holder", "Patient"), ("Patient", "Citizen")
+        )
+
+    def test_join_profile_symmetric(self, insurance_profile, hospital_profile):
+        path = JoinPath.of(("Holder", "Patient"))
+        assert insurance_profile.join(hospital_profile, path) == hospital_profile.join(
+            insurance_profile, path
+        )
+
+    def test_join_requires_conditions(self, insurance_profile, hospital_profile):
+        with pytest.raises(ExpressionError):
+            insurance_profile.join(hospital_profile, JoinPath.empty())
+
+    def test_join_requires_profile_operand(self, insurance_profile):
+        with pytest.raises(ExpressionError):
+            insurance_profile.join("Hospital", JoinPath.of(("a", "b")))  # type: ignore[arg-type]
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        first = RelationProfile(["a", "b"], JoinPath.of(("a", "c")), ["b"])
+        second = RelationProfile(["b", "a"], JoinPath.of(("c", "a")), ["b"])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality_on_each_component(self):
+        base = RelationProfile(["a"], JoinPath.empty(), [])
+        assert base != RelationProfile(["b"], JoinPath.empty(), [])
+        assert base != RelationProfile(["a"], JoinPath.of(("a", "x")), [])
+        assert base != RelationProfile(["a"], JoinPath.empty(), ["a"])
+
+    def test_str_uses_paper_notation(self):
+        profile = RelationProfile(["Plan", "Holder"], None, [])
+        assert str(profile) == "[{Holder, Plan}, -, {}]"
+
+    def test_join_path_type_checked(self):
+        with pytest.raises(ExpressionError):
+            RelationProfile(["a"], "not a path")  # type: ignore[arg-type]

@@ -1,0 +1,49 @@
+"""Unit tests for the reporting helpers."""
+
+import pytest
+
+from repro.analysis.reporting import ascii_table, render_policy_table, render_trace_table
+from repro.workloads.medical import medical_policy
+
+
+class TestAsciiTable:
+    def test_basic_layout(self):
+        text = ascii_table(["a", "bb"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+
+    def test_column_width_follows_longest_cell(self):
+        text = ascii_table(["h"], [["looooong"]])
+        assert "looooong" in text
+
+    def test_empty_rows(self):
+        text = ascii_table(["only", "header"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestRenderTraceTable:
+    def test_paper_trace_rendering(self, planner, plan):
+        _, trace = planner.plan(plan)
+        labels = {6: "n_0", 5: "n_1", 2: "n_2", 4: "n_3", 0: "n_4", 1: "n_5", 3: "n_6"}
+        text = render_trace_table(trace, labels)
+        assert "Find_candidates" in text
+        assert "Assign_ex" in text
+        assert "[S_H, right, 1]" in text
+        assert "[S_H, S_N]" in text
+        assert "n_0" in text
+
+    def test_default_labels(self, planner, plan):
+        _, trace = planner.plan(plan)
+        text = render_trace_table(trace)
+        assert "n6" in text
+
+
+class TestRenderPolicyTable:
+    def test_figure3_rendering(self):
+        text = render_policy_table(medical_policy())
+        lines = text.splitlines()
+        assert len(lines) == 17  # header + separator + 15 rules
+        assert "{Illness, Treatment}" in text
+        assert "S_D" in text

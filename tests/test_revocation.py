@@ -1,0 +1,99 @@
+"""Unit tests for revocation impact analysis."""
+
+import pytest
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.joins import JoinPath
+from repro.analysis.revocation import (
+    render_impacts,
+    revocation_impact,
+    safe_revocations,
+)
+from repro.core.planner import SafePlanner
+from repro.workloads.medical import authorization, medical_catalog, medical_policy, paper_plan
+
+
+@pytest.fixture()
+def workload(catalog):
+    """Two feasible plans: the paper query and a single-relation scan."""
+    paper = paper_plan(catalog)
+    scan = build_plan(
+        catalog, QuerySpec(["Insurance"], [], frozenset({"Plan"}))
+    )
+    return [paper, scan]
+
+
+class TestRevocationImpact:
+    def test_rule9_breaks_the_paper_query(self, policy, workload):
+        impacts = revocation_impact(policy, workload, [authorization(9)])
+        (impact,) = impacts
+        assert impact.broken == [0]
+        assert 1 in impact.unaffected
+        assert not impact.is_free
+
+    def test_rule15_is_free(self, policy, workload):
+        impacts = revocation_impact(policy, workload, [authorization(15)])
+        (impact,) = impacts
+        assert impact.is_free
+        assert impact.unaffected == [0, 1]
+
+    def test_rule7_breaks_top_join(self, policy, workload):
+        impacts = revocation_impact(policy, workload, [authorization(7)])
+        (impact,) = impacts
+        assert impact.broken == [0]
+
+    def test_all_rules_analyzed_by_default(self, policy, workload):
+        impacts = revocation_impact(policy, workload)
+        assert len(impacts) == len(policy)
+
+    def test_changed_strategy_detected(self, catalog):
+        """Revoking one of two rules enabling alternative strategies
+        keeps the query feasible but changes its plan."""
+        from repro.workloads.coalition import (
+            coalition_catalog,
+            coalition_policy,
+            coalition_authorization,
+            inspection_query,
+        )
+
+        catalog = coalition_catalog()
+        policy = coalition_policy()
+        plan = build_plan(catalog, inspection_query())
+        # Revoking rule 4 (customs' full view of Arrivals) kills the
+        # regular-at-customs strategy the planner picked; rule 15 keeps
+        # the port-mastered semi-join alive, so the query survives with
+        # a different strategy.
+        impacts = revocation_impact(policy, [plan], [coalition_authorization(4)])
+        (impact,) = impacts
+        assert impact.broken == []
+        assert impact.changed == [0]
+
+    def test_infeasible_baseline_queries_skipped(self, policy, catalog):
+        infeasible = build_plan(
+            catalog,
+            QuerySpec(
+                ["Disease_list", "Hospital"],
+                [JoinPath.of(("Illness", "Disease"))],
+                frozenset({"Physician", "Treatment"}),
+            ),
+        )
+        impacts = revocation_impact(policy, [infeasible], [authorization(15)])
+        (impact,) = impacts
+        assert impact.broken == [] and impact.changed == [] and impact.unaffected == []
+
+
+class TestSafeRevocations:
+    def test_safe_set_never_breaks_workload(self, policy, workload):
+        free = safe_revocations(policy, workload)
+        assert authorization(15) in free
+        # Revoking the whole free set at once keeps everything planning.
+        from repro.core.authorization import Policy
+
+        reduced = Policy(r for r in policy if r not in free)
+        planner = SafePlanner(reduced)
+        for plan in workload:
+            planner.plan(plan)
+
+    def test_render(self, policy, workload):
+        text = render_impacts(revocation_impact(policy, workload))
+        assert "broken" in text and "free" in text

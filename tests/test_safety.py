@@ -1,0 +1,167 @@
+"""Unit tests for the independent safety verifier (Definition 4.2)."""
+
+import pytest
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.core.assignment import Assignment, Executor
+from repro.core.authorization import Authorization, Policy
+from repro.core.planner import SafePlanner
+from repro.core.profile import RelationProfile
+from repro.core.safety import (
+    enumerate_assignment_flows,
+    is_safe,
+    unauthorized_flows,
+    verify_assignment,
+)
+from repro.exceptions import PlanError, UnsafeAssignmentError
+
+
+def two_relation_plan():
+    catalog = Catalog()
+    catalog.add_relation(RelationSchema("R", ["a", "b"], server="S1"))
+    catalog.add_relation(RelationSchema("T", ["c", "d"], server="S2"))
+    catalog.add_join_edge("a", "c")
+    spec = QuerySpec(
+        ["R", "T"], [JoinPath.of(("a", "c"))], frozenset({"a", "b", "c", "d"})
+    )
+    return build_plan(catalog, spec)
+
+
+def manual_assignment(plan, join_executor, coordinator=None):
+    assignment = Assignment(plan)
+    left, right, join = plan.node(0), plan.node(1), plan.node(2)
+    lp = RelationProfile.of_base_relation(left.relation)
+    rp = RelationProfile.of_base_relation(right.relation)
+    assignment.set_profile(0, lp)
+    assignment.set_profile(1, rp)
+    assignment.set_profile(2, lp.join(rp, join.path))
+    assignment.set_executor(0, Executor("S1"))
+    assignment.set_executor(1, Executor("S2"))
+    assignment.set_executor(2, join_executor)
+    if coordinator is not None:
+        assignment.set_coordinator(2, coordinator)
+    return assignment
+
+
+class TestFlowEnumeration:
+    def test_regular_join_single_flow(self):
+        plan = two_relation_plan()
+        assignment = manual_assignment(plan, Executor("S1"))
+        flows = enumerate_assignment_flows(assignment)
+        assert len(flows) == 1
+        (flow,) = flows
+        assert (flow.sender, flow.receiver) == ("S2", "S1")
+        assert flow.profile == RelationProfile({"c", "d"})
+
+    def test_semi_join_two_flows(self):
+        plan = two_relation_plan()
+        assignment = manual_assignment(plan, Executor("S1", "S2"))
+        probe, back = enumerate_assignment_flows(assignment)
+        assert (probe.sender, probe.receiver) == ("S1", "S2")
+        assert probe.profile == RelationProfile({"a"})
+        assert (back.sender, back.receiver) == ("S2", "S1")
+        assert back.profile == RelationProfile(
+            {"a", "c", "d"}, JoinPath.of(("a", "c"))
+        )
+
+    def test_coordinator_two_inbound_flows(self):
+        plan = two_relation_plan()
+        assignment = manual_assignment(plan, Executor("S9"), coordinator="S9")
+        flows = enumerate_assignment_flows(assignment)
+        assert {(f.sender, f.receiver) for f in flows} == {("S1", "S9"), ("S2", "S9")}
+
+    def test_recipient_flow_appended(self):
+        plan = two_relation_plan()
+        assignment = manual_assignment(plan, Executor("S1"))
+        flows = enumerate_assignment_flows(assignment, recipient="client")
+        assert flows[-1].receiver == "client"
+        assert flows[-1].profile == assignment.profile(plan.root.node_id)
+
+    def test_planner_flows_match_paper_example(self, planner, plan, policy):
+        assignment, _ = planner.plan(plan)
+        flows = [f for f in enumerate_assignment_flows(assignment) if f.is_release]
+        routes = [(f.sender, f.receiver) for f in flows]
+        # Regular join at S_N (Insurance ships over), then the semi-join
+        # probe/return between S_H and S_N.
+        assert routes == [("S_I", "S_N"), ("S_H", "S_N"), ("S_N", "S_H")]
+
+    def test_incomplete_assignment_rejected(self):
+        plan = two_relation_plan()
+        assignment = Assignment(plan)
+        with pytest.raises(PlanError):
+            enumerate_assignment_flows(assignment)
+
+
+class TestVerification:
+    def test_safe_assignment_passes(self):
+        plan = two_relation_plan()
+        policy = Policy([Authorization({"c", "d"}, None, "S1")])
+        assignment = manual_assignment(plan, Executor("S1"))
+        verify_assignment(policy, assignment)
+        assert is_safe(policy, assignment)
+
+    def test_unsafe_assignment_raises_with_explanation(self):
+        plan = two_relation_plan()
+        policy = Policy([Authorization({"c"}, None, "S1")])  # d missing
+        assignment = manual_assignment(plan, Executor("S1"))
+        with pytest.raises(UnsafeAssignmentError) as excinfo:
+            verify_assignment(policy, assignment)
+        assert "d" in str(excinfo.value)
+        assert not is_safe(policy, assignment)
+
+    def test_unauthorized_flows_listed(self):
+        plan = two_relation_plan()
+        assignment = manual_assignment(plan, Executor("S1", "S2"))
+        violations = unauthorized_flows(Policy(), assignment)
+        assert len(violations) == 2
+
+    def test_recipient_must_be_authorized(self, planner, plan, policy):
+        assignment, _ = planner.plan(plan)
+        # The full result carries Physician, which S_N may not see.
+        with pytest.raises(UnsafeAssignmentError):
+            verify_assignment(policy, assignment, recipient="S_N")
+        # S_H holds the result anyway; delivering it there is fine.
+        verify_assignment(policy, assignment, recipient="S_H")
+
+    def test_local_flows_never_checked(self):
+        """Both operands at one server: empty policy is still safe."""
+        catalog = Catalog()
+        catalog.add_relation(RelationSchema("R", ["a", "b"], server="S1"))
+        catalog.add_relation(RelationSchema("T", ["c", "d"], server="S1"))
+        catalog.add_join_edge("a", "c")
+        spec = QuerySpec(
+            ["R", "T"], [JoinPath.of(("a", "c"))], frozenset({"b", "d"})
+        )
+        plan = build_plan(catalog, spec)
+        assignment = Assignment(plan)
+        for node in plan:
+            if node.is_leaf:
+                assignment.set_profile(
+                    node.node_id, RelationProfile.of_base_relation(node.relation)
+                )
+            elif node.node_id == plan.joins()[0].node_id:
+                join = plan.joins()[0]
+                assignment.set_profile(
+                    node.node_id,
+                    assignment.profile(join.left.node_id).join(
+                        assignment.profile(join.right.node_id), join.path
+                    ),
+                )
+            else:
+                assignment.set_profile(
+                    node.node_id,
+                    assignment.profile(node.left.node_id).project(
+                        node.projection_attributes
+                    ),
+                )
+            assignment.set_executor(node.node_id, Executor("S1"))
+        verify_assignment(Policy(), assignment)
+
+    def test_structurally_invalid_assignment_rejected(self):
+        plan = two_relation_plan()
+        assignment = manual_assignment(plan, Executor("S1"))
+        assignment.set_executor(0, Executor("S2"))  # leaf off its server
+        with pytest.raises(PlanError):
+            verify_assignment(Policy(), assignment)

@@ -1,0 +1,178 @@
+"""Unit tests for relation schemas and the catalog."""
+
+import pytest
+
+from repro.algebra.joins import JoinCondition
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.exceptions import SchemaError, UnknownAttributeError, UnknownRelationError
+
+
+def simple_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.add_relation(RelationSchema("R", ["a", "b"], server="S1"))
+    catalog.add_relation(RelationSchema("T", ["c", "d"], server="S2"))
+    catalog.add_join_edge("a", "c")
+    return catalog
+
+
+class TestRelationSchema:
+    def test_basic_construction(self):
+        schema = RelationSchema("Insurance", ["Holder", "Plan"], server="S_I")
+        assert schema.name == "Insurance"
+        assert schema.attributes == ("Holder", "Plan")
+        assert schema.attribute_set == frozenset({"Holder", "Plan"})
+        assert schema.server == "S_I"
+
+    def test_default_primary_key_is_first_attribute(self):
+        assert RelationSchema("R", ["a", "b"]).primary_key == ("a",)
+
+    def test_explicit_primary_key(self):
+        schema = RelationSchema("R", ["a", "b"], primary_key=["a", "b"])
+        assert schema.primary_key == ("a", "b")
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a"], primary_key=["zz"])
+
+    def test_empty_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a"], primary_key=[])
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a", "a"])
+
+    def test_rejects_zero_attributes(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ["a"])
+
+    def test_contains(self):
+        schema = RelationSchema("R", ["a", "b"])
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_placed_at_copies(self):
+        schema = RelationSchema("R", ["a"])
+        placed = schema.placed_at("S9")
+        assert placed.server == "S9"
+        assert schema.server is None
+
+    def test_equality_includes_placement(self):
+        assert RelationSchema("R", ["a"]) != RelationSchema("R", ["a"], server="S1")
+
+
+class TestCatalog:
+    def test_lookup(self):
+        catalog = simple_catalog()
+        assert catalog.relation("R").name == "R"
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            simple_catalog().relation("nope")
+
+    def test_duplicate_relation_rejected(self):
+        catalog = simple_catalog()
+        with pytest.raises(SchemaError):
+            catalog.add_relation(RelationSchema("R", ["zz"]))
+
+    def test_attribute_collision_rejected(self):
+        catalog = simple_catalog()
+        with pytest.raises(SchemaError):
+            catalog.add_relation(RelationSchema("U", ["a"]))
+
+    def test_collision_resolved_by_qualification(self):
+        catalog = simple_catalog()
+        catalog.add_relation(RelationSchema("U", ["U.a"]))
+        assert catalog.has_attribute("U.a")
+
+    def test_owner_of(self):
+        catalog = simple_catalog()
+        assert catalog.owner_of("a").name == "R"
+        assert catalog.owner_of("d").name == "T"
+
+    def test_owner_of_unknown(self):
+        with pytest.raises(UnknownAttributeError):
+            simple_catalog().owner_of("zz")
+
+    def test_relations_of(self):
+        catalog = simple_catalog()
+        assert catalog.relations_of(["a", "d"]) == ["R", "T"]
+
+    def test_all_attributes(self):
+        assert simple_catalog().all_attributes() == frozenset({"a", "b", "c", "d"})
+
+    def test_relations_sorted(self):
+        names = [r.name for r in simple_catalog().relations()]
+        assert names == sorted(names)
+
+    def test_len_and_contains(self):
+        catalog = simple_catalog()
+        assert len(catalog) == 2
+        assert "R" in catalog
+        assert "X" not in catalog
+
+    def test_join_edges_recorded(self):
+        catalog = simple_catalog()
+        assert catalog.is_join_edge(JoinCondition("a", "c"))
+        assert not catalog.is_join_edge(JoinCondition("b", "d"))
+
+    def test_join_edge_requires_known_attributes(self):
+        with pytest.raises(UnknownAttributeError):
+            simple_catalog().add_join_edge("a", "zz")
+
+    def test_join_edges_between(self):
+        catalog = simple_catalog()
+        edges = catalog.join_edges_between("R", "T")
+        assert edges == [JoinCondition("a", "c")]
+        assert catalog.join_edges_between("T", "R") == edges
+
+    def test_server_of(self):
+        assert simple_catalog().server_of("R") == "S1"
+
+    def test_server_of_unplaced(self):
+        catalog = Catalog([RelationSchema("X", ["x"])])
+        with pytest.raises(SchemaError):
+            catalog.server_of("X")
+
+    def test_servers_and_relations_at(self):
+        catalog = simple_catalog()
+        assert catalog.servers() == ["S1", "S2"]
+        assert [r.name for r in catalog.relations_at("S1")] == ["R"]
+
+    def test_validate_join_path(self):
+        from repro.algebra.joins import JoinPath
+
+        catalog = simple_catalog()
+        catalog.validate_join_path(JoinPath.of(("a", "c")))
+        with pytest.raises(UnknownAttributeError):
+            catalog.validate_join_path(JoinPath.of(("a", "zz")))
+
+    def test_describe_mentions_relations_and_edges(self):
+        text = simple_catalog().describe()
+        assert "R(" in text and "T(" in text and "join edges" in text
+
+
+class TestMedicalCatalog:
+    def test_figure1_contents(self, catalog):
+        assert catalog.relation_names() == [
+            "Disease_list",
+            "Hospital",
+            "Insurance",
+            "Nat_registry",
+        ]
+        assert catalog.server_of("Insurance") == "S_I"
+        assert catalog.server_of("Hospital") == "S_H"
+        assert catalog.server_of("Nat_registry") == "S_N"
+        assert catalog.server_of("Disease_list") == "S_D"
+
+    def test_figure1_join_edges(self, catalog):
+        edges = set(catalog.join_edges())
+        assert JoinCondition("Holder", "Citizen") in edges
+        assert JoinCondition("Citizen", "Patient") in edges
+        assert JoinCondition("Holder", "Patient") in edges
+        assert JoinCondition("Disease", "Illness") in edges
+        assert len(edges) == 4

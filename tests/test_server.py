@@ -1,0 +1,104 @@
+"""Unit tests for servers and the network model."""
+
+import pytest
+
+from repro.algebra.schema import RelationSchema
+from repro.distributed.network import NetworkModel
+from repro.distributed.server import Server
+from repro.engine.data import Table
+from repro.exceptions import ExecutionError, UnknownRelationError
+
+
+class TestServer:
+    def test_host_and_lookup(self):
+        server = Server("S_I")
+        schema = RelationSchema("Insurance", ["Holder", "Plan"], server="S_I")
+        server.host_relation(schema)
+        assert server.hosts("Insurance")
+        assert [r.name for r in server.relations()] == ["Insurance"]
+
+    def test_rejects_foreign_placement(self):
+        server = Server("S_I")
+        schema = RelationSchema("Hospital", ["Patient"], server="S_H")
+        with pytest.raises(ExecutionError):
+            server.host_relation(schema)
+
+    def test_accepts_unplaced_schema(self):
+        server = Server("S_I")
+        server.host_relation(RelationSchema("R", ["a"]))
+        assert server.hosts("R")
+
+    def test_duplicate_hosting_rejected(self):
+        server = Server("S_I")
+        server.host_relation(RelationSchema("R", ["a"]))
+        with pytest.raises(ExecutionError):
+            server.host_relation(RelationSchema("R", ["a"]))
+
+    def test_load_and_get_table(self):
+        server = Server("S_I")
+        server.host_relation(RelationSchema("R", ["a", "b"]))
+        table = Table(["a", "b"], [(1, 2)])
+        server.load_table("R", table)
+        assert server.table("R") == table
+
+    def test_load_unhosted_relation(self):
+        with pytest.raises(UnknownRelationError):
+            Server("S_I").load_table("R", Table(["a"], []))
+
+    def test_load_schema_mismatch(self):
+        server = Server("S_I")
+        server.host_relation(RelationSchema("R", ["a", "b"]))
+        with pytest.raises(ExecutionError):
+            server.load_table("R", Table(["a"], [(1,)]))
+
+    def test_table_without_instance(self):
+        server = Server("S_I")
+        server.host_relation(RelationSchema("R", ["a"]))
+        with pytest.raises(ExecutionError):
+            server.table("R")
+
+    def test_tables_iteration_sorted(self):
+        server = Server("S")
+        for name in ("B", "A"):
+            server.host_relation(RelationSchema(name, [f"{name}_x"]))
+            server.load_table(name, Table([f"{name}_x"], [(1,)]))
+        assert [name for name, _ in server.tables()] == ["A", "B"]
+
+    def test_invalid_name(self):
+        with pytest.raises(ExecutionError):
+            Server("")
+
+
+class TestNetworkModel:
+    def test_default_cost_is_bytes(self):
+        assert NetworkModel().transfer_cost("A", "B", 100) == 100.0
+
+    def test_local_transfer_free(self):
+        model = NetworkModel(default_latency=5.0)
+        assert model.transfer_cost("A", "A", 1000) == 0.0
+
+    def test_latency_and_bandwidth(self):
+        model = NetworkModel(default_latency=3.0, default_bandwidth=4.0)
+        assert model.transfer_cost("A", "B", 8) == 3.0 + 2.0
+
+    def test_link_override_is_directional(self):
+        model = NetworkModel()
+        model.set_link("A", "B", latency=10.0, bandwidth=1.0)
+        assert model.transfer_cost("A", "B", 5) == 15.0
+        assert model.transfer_cost("B", "A", 5) == 5.0
+
+    def test_symmetric_override(self):
+        model = NetworkModel()
+        model.set_symmetric_link("A", "B", latency=1.0, bandwidth=1.0)
+        assert model.transfer_cost("A", "B", 5) == model.transfer_cost("B", "A", 5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ExecutionError):
+            NetworkModel(default_bandwidth=0)
+        with pytest.raises(ExecutionError):
+            NetworkModel(default_latency=-1)
+        model = NetworkModel()
+        with pytest.raises(ExecutionError):
+            model.set_link("A", "B", latency=-1, bandwidth=1)
+        with pytest.raises(ExecutionError):
+            model.set_link("A", "B", latency=0, bandwidth=0)

@@ -1,0 +1,120 @@
+"""Direct unit tests for the shaped-plan builder."""
+
+import pytest
+
+from repro.algebra.builder import build_shaped_plan
+from repro.algebra.joins import JoinPath
+from repro.algebra.predicates import Comparison, Predicate
+from repro.algebra.tree import JoinNode, LeafNode, UnaryNode
+from repro.exceptions import PlanError, UnknownAttributeError
+
+
+class TestShapes:
+    def test_single_relation(self, catalog):
+        plan = build_shaped_plan(catalog, "Insurance", frozenset({"Plan"}))
+        assert isinstance(plan.root, UnaryNode)
+        assert plan.root.left.is_leaf
+
+    def test_two_relation_shape(self, catalog):
+        shape = ("Insurance", "Nat_registry", JoinPath.of(("Holder", "Citizen")))
+        plan = build_shaped_plan(
+            catalog, shape, frozenset({"Plan", "HealthAid"})
+        )
+        assert len(plan.joins()) == 1
+
+    def test_right_nested_shape(self, catalog):
+        shape = (
+            "Insurance",
+            ("Nat_registry", "Hospital", JoinPath.of(("Citizen", "Patient"))),
+            JoinPath.of(("Holder", "Citizen")),
+        )
+        plan = build_shaped_plan(
+            catalog, shape, frozenset({"Plan", "Physician"})
+        )
+        top = plan.joins()[-1]
+        assert isinstance(top.left, (LeafNode, UnaryNode))
+        # The right subtree contains the nested join.
+        inner = plan.joins()[0]
+        assert plan.parent_id(inner.node_id) in {top.node_id, plan.parent_id(top.node_id)}
+
+    def test_leaf_projection_pushed(self, catalog):
+        shape = ("Insurance", "Hospital", JoinPath.of(("Holder", "Patient")))
+        plan = build_shaped_plan(catalog, shape, frozenset({"Plan", "Physician"}))
+        projections = [
+            n for n in plan if isinstance(n, UnaryNode) and n.operator == "project"
+        ]
+        # Hospital drops Disease before the join.
+        assert any(
+            n.projection_attributes == frozenset({"Patient", "Physician"})
+            for n in projections
+        )
+
+    def test_where_pushed_and_cross_applied(self, catalog):
+        shape = ("Insurance", "Nat_registry", JoinPath.of(("Holder", "Citizen")))
+        where = Predicate(
+            [
+                Comparison("Plan", "=", "gold"),
+                Comparison.attr_vs_attr("Plan", "!=", "HealthAid"),
+            ]
+        )
+        plan = build_shaped_plan(catalog, shape, frozenset({"Plan"}), where)
+        selections = [
+            n for n in plan if isinstance(n, UnaryNode) and n.operator == "select"
+        ]
+        assert len(selections) == 2
+        kinds = {type(s.left) for s in selections}
+        assert LeafNode in kinds and JoinNode in kinds
+
+
+class TestErrors:
+    def test_bad_shape_node(self, catalog):
+        with pytest.raises(PlanError):
+            build_shaped_plan(catalog, 42, frozenset({"Plan"}))
+
+    def test_wrong_tuple_arity(self, catalog):
+        with pytest.raises(PlanError):
+            build_shaped_plan(
+                catalog, ("Insurance", "Nat_registry"), frozenset({"Plan"})
+            )
+
+    def test_empty_join_path(self, catalog):
+        with pytest.raises(PlanError):
+            build_shaped_plan(
+                catalog,
+                ("Insurance", "Nat_registry", JoinPath.empty()),
+                frozenset({"Plan"}),
+            )
+
+    def test_duplicate_relations(self, catalog):
+        with pytest.raises(PlanError):
+            build_shaped_plan(
+                catalog,
+                ("Insurance", "Insurance", JoinPath.of(("Holder", "Citizen"))),
+                frozenset({"Plan"}),
+            )
+
+    def test_non_bridging_condition(self, catalog):
+        # Both condition attributes live on one side: not a bridge.
+        with pytest.raises(PlanError):
+            build_shaped_plan(
+                catalog,
+                ("Insurance", "Nat_registry", JoinPath.of(("Holder", "Plan"))),
+                frozenset({"Plan"}),
+            )
+
+    def test_unknown_select(self, catalog):
+        with pytest.raises(UnknownAttributeError):
+            build_shaped_plan(catalog, "Insurance", frozenset({"Nope"}))
+
+    def test_unresolvable_where(self, catalog):
+        with pytest.raises(UnknownAttributeError):
+            build_shaped_plan(
+                catalog,
+                "Insurance",
+                frozenset({"Plan"}),
+                Predicate([Comparison("Nope", "=", 1)]),
+            )
+
+    def test_select_outside_shape(self, catalog):
+        with pytest.raises(UnknownAttributeError):
+            build_shaped_plan(catalog, "Insurance", frozenset({"Physician"}))

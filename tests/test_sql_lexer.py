@@ -1,0 +1,104 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.exceptions import SqlSyntaxError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From JOIN oN wHeRe and")
+        assert [t.value for t in tokens[:-1]] == [
+            "SELECT",
+            "FROM",
+            "JOIN",
+            "ON",
+            "WHERE",
+            "AND",
+        ]
+        assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("Insurance Holder")
+        assert tokens[0].value == "Insurance"
+        assert tokens[1].value == "Holder"
+        assert tokens[0].kind == "IDENT"
+
+    def test_dotted_identifier(self):
+        assert values("Insurance.Holder")[:-1] == ["Insurance.Holder"]
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind == "NUMBER" and token.value == 42
+
+    def test_decimal_literal(self):
+        token = tokenize("3.25")[0]
+        assert token.kind == "NUMBER" and token.value == 3.25
+
+    def test_string_literal(self):
+        token = tokenize("'gold'")[0]
+        assert token.kind == "STRING" and token.value == "gold"
+
+    def test_string_with_escaped_quote(self):
+        token = tokenize("\"ok\"".replace('"', "'") + "")[0]
+        assert token.value == "ok"
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_symbols(self):
+        assert values("= != < <= > >= , ( ) ; *")[:-1] == [
+            "=",
+            "!=",
+            "<",
+            "<=",
+            ">",
+            ">=",
+            ",",
+            "(",
+            ")",
+            ";",
+            "*",
+        ]
+
+    def test_multi_char_symbols_greedy(self):
+        assert values("a<=b")[:-1] == ["a", "<=", "b"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.position == 2
+
+    def test_eof_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == "EOF"
+
+    def test_empty_input(self):
+        assert kinds("") == ["EOF"]
+
+    def test_whitespace_only(self):
+        assert kinds("   \n\t ") == ["EOF"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_token_matches(self):
+        token = Token("KEYWORD", "SELECT", 0)
+        assert token.matches("KEYWORD")
+        assert token.matches("KEYWORD", "SELECT")
+        assert not token.matches("IDENT")
+        assert not token.matches("KEYWORD", "FROM")

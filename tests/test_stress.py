@@ -1,0 +1,83 @@
+"""Scale smoke tests: the library stays correct and fast well past
+paper-scale inputs (kept small enough for CI; the benchmarks push
+further)."""
+
+import pytest
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.core.authorization import Authorization, Policy
+from repro.core.planner import SafePlanner
+from repro.core.safety import verify_assignment
+from repro.engine.data import Table
+from repro.engine.executor import DistributedExecutor
+from repro.engine.operators import evaluate_plan
+
+
+def chain(n):
+    catalog = Catalog()
+    for i in range(n):
+        catalog.add_relation(
+            RelationSchema(f"R{i}", [f"R{i}_a", f"R{i}_b"], server=f"S{i}")
+        )
+    for i in range(n - 1):
+        catalog.add_join_edge(f"R{i}_b", f"R{i + 1}_a")
+    policy = Policy(
+        Authorization(frozenset({f"R{i}_a", f"R{i}_b"}), JoinPath.empty(), "S0")
+        for i in range(n)
+    )
+    spec = QuerySpec(
+        [f"R{i}" for i in range(n)],
+        [JoinPath.of((f"R{i}_b", f"R{i + 1}_a")) for i in range(n - 1)],
+        frozenset(a for i in range(n) for a in (f"R{i}_a", f"R{i}_b")),
+    )
+    return catalog, policy, spec
+
+
+class TestPlannerScale:
+    def test_sixty_four_relation_chain(self):
+        catalog, policy, spec = chain(64)
+        plan = build_plan(catalog, spec)
+        assignment, _ = SafePlanner(policy).plan(plan)
+        verify_assignment(policy, assignment)
+        assert assignment.result_server() == "S0"
+        assert len(plan.joins()) == 63
+
+    def test_wide_policy_planning(self):
+        """Planning stays correct with thousands of irrelevant rules."""
+        catalog, policy, spec = chain(8)
+        padded = policy.copy()
+        for i in range(3000):
+            padded.add(
+                Authorization({"R0_a"}, JoinPath.of(("R0_b", f"pad{i}")), "S0")
+            )
+        plan = build_plan(catalog, spec)
+        assignment, _ = SafePlanner(padded).plan(plan)
+        verify_assignment(padded, assignment)
+
+
+class TestExecutionScale:
+    def test_five_thousand_row_join(self):
+        catalog, policy, spec = chain(3)
+        plan = build_plan(catalog, spec)
+        assignment, _ = SafePlanner(policy).plan(plan)
+        tables = {}
+        for i in range(3):
+            tables[f"R{i}"] = Table(
+                [f"R{i}_a", f"R{i}_b"],
+                [(f"v{j % 200}", f"v{j % 200}") for j in range(5000)],
+            )
+        result = DistributedExecutor(assignment, tables, policy=policy).run()
+        assert result.table == evaluate_plan(plan, tables)
+        assert result.audit.all_authorized()
+
+    def test_empty_through_large_chain(self):
+        catalog, policy, spec = chain(10)
+        plan = build_plan(catalog, spec)
+        assignment, _ = SafePlanner(policy).plan(plan)
+        tables = {
+            f"R{i}": Table.empty([f"R{i}_a", f"R{i}_b"]) for i in range(10)
+        }
+        result = DistributedExecutor(assignment, tables).run()
+        assert len(result.table) == 0

@@ -1,0 +1,154 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.algebra.builder import build_plan
+from repro.core.planner import SafePlanner
+from repro.core.safety import verify_assignment
+from repro.engine.data import Table
+from repro.exceptions import InfeasiblePlanError, ReproError
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadConfig
+
+
+class TestWorkloadConfig:
+    def test_defaults(self):
+        config = WorkloadConfig()
+        assert config.servers == 4
+        assert config.relations == 6
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            WorkloadConfig(servers=0)
+        with pytest.raises(ReproError):
+            WorkloadConfig(attributes_per_relation=(3, 2))
+        with pytest.raises(ReproError):
+            WorkloadConfig(attributes_per_relation=(0, 2))
+
+
+class TestCatalogGeneration:
+    def test_deterministic(self):
+        first = SyntheticWorkload(seed=42)
+        second = SyntheticWorkload(seed=42)
+        assert first.catalog.describe() == second.catalog.describe()
+        assert list(first.policy) == list(second.policy)
+
+    def test_seed_changes_catalog(self):
+        assert (
+            SyntheticWorkload(seed=1).catalog.describe()
+            != SyntheticWorkload(seed=2).catalog.describe()
+        )
+
+    def test_relation_count(self):
+        workload = SyntheticWorkload(seed=0, config=WorkloadConfig(relations=9))
+        assert len(workload.catalog) == 9
+
+    def test_placement_round_robin(self):
+        workload = SyntheticWorkload(
+            seed=0, config=WorkloadConfig(servers=3, relations=6)
+        )
+        for server in ("S0", "S1", "S2"):
+            assert len(workload.catalog.relations_at(server)) == 2
+
+    def test_join_graph_connected(self):
+        """The spanning-tree construction links every relation."""
+        workload = SyntheticWorkload(seed=7, config=WorkloadConfig(relations=8))
+        catalog = workload.catalog
+        # Union-find over relations via join edges.
+        parent = {name: name for name in catalog.relation_names()}
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for edge in catalog.join_edges():
+            a = catalog.owner_of(edge.first).name
+            b = catalog.owner_of(edge.second).name
+            parent[find(a)] = find(b)
+        roots = {find(name) for name in catalog.relation_names()}
+        assert len(roots) == 1
+
+
+class TestPolicyGeneration:
+    def test_servers_own_their_relations(self):
+        workload = SyntheticWorkload(seed=3)
+        for relation in workload.catalog.relations():
+            rules = workload.policy.rules_for(relation.server)
+            assert any(
+                relation.attribute_set <= rule.attributes
+                and rule.join_path.is_empty()
+                for rule in rules
+            )
+
+    def test_policy_validates_against_catalog(self):
+        workload = SyntheticWorkload(seed=5)
+        workload.policy.validate_against(workload.catalog)
+
+    def test_density_increases_rules(self):
+        sparse = SyntheticWorkload(
+            seed=9, config=WorkloadConfig(grant_probability=0.0, join_grant_probability=0.0, path_grant_probability=0.0)
+        )
+        dense = SyntheticWorkload(
+            seed=9, config=WorkloadConfig(grant_probability=0.9, join_grant_probability=0.9, path_grant_probability=0.9)
+        )
+        assert len(dense.policy) > len(sparse.policy)
+
+
+class TestQueryGeneration:
+    def test_query_builds_valid_plan(self):
+        workload = SyntheticWorkload(seed=11)
+        for _ in range(5):
+            spec = workload.random_query(relations=3)
+            plan = build_plan(workload.catalog, spec)
+            assert len(plan.leaves()) == 3
+
+    def test_queries_plannable_under_dense_policy(self):
+        workload = SyntheticWorkload(
+            seed=13,
+            config=WorkloadConfig(grant_probability=1.0, join_grant_probability=1.0),
+        )
+        planner = SafePlanner(workload.policy)
+        feasible = 0
+        for _ in range(5):
+            spec = workload.random_query(relations=2)
+            plan = build_plan(workload.catalog, spec)
+            try:
+                assignment, _ = planner.plan(plan)
+            except InfeasiblePlanError:
+                continue
+            verify_assignment(workload.policy, assignment)
+            feasible += 1
+        assert feasible >= 1
+
+    def test_oversized_query_rejected(self):
+        workload = SyntheticWorkload(seed=1, config=WorkloadConfig(relations=2))
+        with pytest.raises(ReproError):
+            workload.random_query(relations=5)
+
+
+class TestInstanceGeneration:
+    def test_shapes(self):
+        config = WorkloadConfig(rows_per_relation=25)
+        workload = SyntheticWorkload(seed=17, config=config)
+        instances = workload.generate_instances()
+        assert set(instances) == set(workload.catalog.relation_names())
+        for name, rows in instances.items():
+            assert len(rows) == 25
+
+    def test_join_attributes_share_domains(self):
+        workload = SyntheticWorkload(seed=19)
+        instances = workload.generate_instances()
+        for edge in workload.catalog.join_edges():
+            left_owner = workload.catalog.owner_of(edge.first).name
+            right_owner = workload.catalog.owner_of(edge.second).name
+            left_values = {row[edge.first] for row in instances[left_owner]}
+            right_values = {row[edge.second] for row in instances[right_owner]}
+            assert left_values & right_values, f"no overlap on {edge}"
+
+    def test_instances_load_into_tables(self):
+        workload = SyntheticWorkload(seed=23)
+        instances = workload.generate_instances()
+        for relation in workload.catalog.relations():
+            table = Table.from_rows(relation.attributes, instances[relation.name])
+            assert len(table) > 0

@@ -1,0 +1,183 @@
+"""Unit tests for the DistributedSystem facade."""
+
+import pytest
+
+from repro.algebra.builder import QuerySpec
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.core.authorization import Authorization, Policy
+from repro.distributed.system import DistributedSystem
+from repro.exceptions import ExecutionError, InfeasiblePlanError
+from repro.workloads.medical import generate_instances, medical_catalog, medical_policy
+
+PAPER_QUERY = (
+    "SELECT Patient, Physician, Plan, HealthAid "
+    "FROM Insurance JOIN Nat_registry ON Holder = Citizen "
+    "JOIN Hospital ON Citizen = Patient"
+)
+
+
+@pytest.fixture()
+def system(instances):
+    system = DistributedSystem(medical_catalog(), medical_policy())
+    system.load_instances(instances)
+    return system
+
+
+class TestConstruction:
+    def test_servers_created_from_catalog(self, system):
+        assert [s.name for s in system.servers()] == ["S_D", "S_H", "S_I", "S_N"]
+
+    def test_closure_applied_by_default(self, system):
+        assert len(system.policy) > len(system.explicit_policy)
+
+    def test_closure_can_be_disabled(self):
+        system = DistributedSystem(
+            medical_catalog(), medical_policy(), apply_closure=False
+        )
+        assert len(system.policy) == len(system.explicit_policy)
+
+    def test_invalid_policy_rejected(self):
+        bad = Policy([Authorization({"Holder", "Patient"}, None, "S_I")])
+        with pytest.raises(Exception):
+            DistributedSystem(medical_catalog(), bad)
+
+    def test_unplaced_relation_rejected(self):
+        catalog = Catalog([RelationSchema("R", ["a"])])
+        with pytest.raises(ExecutionError):
+            DistributedSystem(catalog, Policy())
+
+    def test_third_party_servers_registered(self):
+        system = DistributedSystem(
+            medical_catalog(), medical_policy(), third_parties=["S_T"]
+        )
+        assert system.server("S_T").name == "S_T"
+
+    def test_unknown_server_lookup(self, system):
+        with pytest.raises(ExecutionError):
+            system.server("S_X")
+
+
+class TestQueries:
+    def test_parse_sql(self, system):
+        spec = system.parse(PAPER_QUERY)
+        assert spec.relations == ("Insurance", "Nat_registry", "Hospital")
+
+    def test_parse_spec_passthrough(self, system, spec):
+        assert system.parse(spec) is spec
+
+    def test_plan_returns_safe_assignment(self, system):
+        tree, assignment, trace = system.plan(PAPER_QUERY)
+        assert assignment.is_complete()
+        assert assignment.result_server() == "S_H"
+
+    def test_is_feasible(self, system):
+        assert system.is_feasible(PAPER_QUERY)
+        assert system.is_feasible("SELECT Plan FROM Insurance")
+
+    def test_infeasible_query(self, system):
+        # Physician next to Treatment needs S_D data flowing out; the
+        # Figure 3 policy gives no server the needed views.
+        infeasible = (
+            "SELECT Physician, Treatment "
+            "FROM Disease_list JOIN Hospital ON Illness = Disease"
+        )
+        assert not system.is_feasible(infeasible)
+        with pytest.raises(InfeasiblePlanError):
+            system.plan(infeasible)
+
+    def test_execute_end_to_end(self, system):
+        result = system.execute(PAPER_QUERY)
+        assert len(result.table) > 0
+        assert result.audit is not None and result.audit.all_authorized()
+
+    def test_execute_matches_oracle(self, system):
+        from repro.engine.operators import evaluate_plan
+
+        result = system.execute(PAPER_QUERY)
+        tree, _, _ = system.plan(PAPER_QUERY)
+        assert result.table == evaluate_plan(tree, system.tables())
+
+    def test_execute_with_recipient(self, system):
+        result = system.execute(PAPER_QUERY, recipient="S_H")
+        assert result.result_server == "S_H"
+
+    def test_search_join_orders_rescues(self):
+        """A query written in an infeasible order becomes feasible after
+        reordering (two-step optimization, Section 5)."""
+        catalog = Catalog()
+        catalog.add_relation(RelationSchema("A", ["a1", "a2"], server="S1"))
+        catalog.add_relation(RelationSchema("B", ["b1", "b2"], server="S2"))
+        catalog.add_relation(RelationSchema("C", ["c1", "c2"], server="S3"))
+        catalog.add_join_edge("a2", "b1")
+        catalog.add_join_edge("b2", "c1")
+        catalog.add_join_edge("a1", "c2")
+        policy = Policy(
+            [
+                Authorization({"a1", "a2"}, None, "S1"),
+                Authorization({"b1", "b2"}, None, "S2"),
+                Authorization({"c1", "c2"}, None, "S3"),
+                # Only this chain of grants exists: S2 may absorb A, then
+                # S3 may absorb the A-B result.
+                Authorization({"a1", "a2"}, None, "S2"),
+                Authorization(
+                    {"a1", "a2", "b1", "b2"}, JoinPath.of(("a2", "b1")), "S3"
+                ),
+            ]
+        )
+        system = DistributedSystem(catalog, policy, apply_closure=False)
+        # In the order A-C-B the first join (on a1=c2) is infeasible.
+        bad_order = QuerySpec(
+            ["A", "C", "B"],
+            [JoinPath.of(("a1", "c2")), JoinPath.of(("a2", "b1"))],
+            frozenset({"a1", "b1", "c1"}),
+        )
+        with pytest.raises(InfeasiblePlanError):
+            system.plan(bad_order)
+        tree, assignment, _ = system.plan(bad_order, search_join_orders=True)
+        assert assignment.is_complete()
+
+    def test_describe(self, system):
+        text = system.describe()
+        assert "explicit rules: 15" in text
+
+
+class TestSimulateConcurrent:
+    def test_two_queries_simulated(self, system):
+        result = system.simulate_concurrent(
+            [PAPER_QUERY, "SELECT Plan FROM Insurance"], compute_rate=50.0
+        )
+        assert len(result.completion_times) == 2
+        assert result.makespan >= max(result.completion_times) * 0.999
+
+    def test_infeasible_query_raises(self, system):
+        with pytest.raises(InfeasiblePlanError):
+            system.simulate_concurrent(
+                [
+                    "SELECT Physician, Treatment FROM Disease_list "
+                    "JOIN Hospital ON Illness = Disease"
+                ]
+            )
+
+    def test_arrival_times_forwarded(self, system):
+        result = system.simulate_concurrent(
+            [PAPER_QUERY, PAPER_QUERY],
+            compute_rate=50.0,
+            arrival_times=[0.0, 500.0],
+        )
+        assert result.completion_times[1] >= 500.0
+
+
+class TestInstances:
+    def test_tables_collected_across_servers(self, system):
+        tables = system.tables()
+        assert set(tables) == {
+            "Insurance",
+            "Hospital",
+            "Nat_registry",
+            "Disease_list",
+        }
+
+    def test_load_places_at_right_server(self, system):
+        assert system.server("S_I").hosts("Insurance")
+        assert len(system.server("S_I").table("Insurance")) > 0

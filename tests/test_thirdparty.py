@@ -1,0 +1,159 @@
+"""Unit tests for the third-party extension (footnote 3)."""
+
+import pytest
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.core.authorization import Authorization, Policy
+from repro.core.planner import SafePlanner
+from repro.core.profile import RelationProfile
+from repro.core.safety import enumerate_assignment_flows, verify_assignment
+from repro.core.thirdparty import ProxyOption, ThirdPartyPlanner, proxy_options
+from repro.exceptions import InfeasiblePlanError
+
+
+def blocked_system():
+    """R at S1 and T at S2, where neither operand server may see the
+    other's data — only the third party S9 is trusted with both."""
+    catalog = Catalog()
+    catalog.add_relation(RelationSchema("R", ["a", "b"], server="S1"))
+    catalog.add_relation(RelationSchema("T", ["c", "d"], server="S2"))
+    catalog.add_join_edge("a", "c")
+    spec = QuerySpec(
+        ["R", "T"], [JoinPath.of(("a", "c"))], frozenset({"a", "b", "c", "d"})
+    )
+    plan = build_plan(catalog, spec)
+    policy = Policy(
+        [
+            Authorization({"a", "b"}, None, "S9"),
+            Authorization({"c", "d"}, None, "S9"),
+        ]
+    )
+    return plan, policy
+
+
+class TestCoordinatorFallback:
+    def test_base_planner_fails(self):
+        plan, policy = blocked_system()
+        with pytest.raises(InfeasiblePlanError):
+            SafePlanner(policy).plan(plan)
+
+    def test_third_party_rescues(self):
+        plan, policy = blocked_system()
+        planner = ThirdPartyPlanner(policy, ["S9"])
+        assignment, trace = planner.plan(plan)
+        join = plan.joins()[0]
+        assert assignment.master(join.node_id) == "S9"
+        assert assignment.coordinator(join.node_id) == "S9"
+        verify_assignment(policy, assignment)
+
+    def test_coordinator_flows(self):
+        plan, policy = blocked_system()
+        assignment, _ = ThirdPartyPlanner(policy, ["S9"]).plan(plan)
+        flows = enumerate_assignment_flows(assignment)
+        assert {(f.sender, f.receiver) for f in flows} == {("S1", "S9"), ("S2", "S9")}
+
+    def test_untrusted_third_party_does_not_help(self):
+        plan, _ = blocked_system()
+        policy = Policy([Authorization({"a", "b"}, None, "S9")])  # only R
+        with pytest.raises(InfeasiblePlanError):
+            ThirdPartyPlanner(policy, ["S9"]).plan(plan)
+
+    def test_first_declared_coordinator_wins(self):
+        plan, policy = blocked_system()
+        extended = policy.copy()
+        extended.add(Authorization({"a", "b"}, None, "S8"))
+        extended.add(Authorization({"c", "d"}, None, "S8"))
+        assignment, _ = ThirdPartyPlanner(extended, ["S8", "S9"]).plan(plan)
+        assert assignment.master(plan.joins()[0].node_id) == "S8"
+
+    def test_fallback_never_fires_when_ordinary_candidates_exist(
+        self, policy, plan
+    ):
+        """On the paper example the third-party planner must produce the
+        exact same assignment as the base planner."""
+        base, _ = SafePlanner(policy).plan(plan)
+        extended, _ = ThirdPartyPlanner(policy, ["S_T"]).plan(plan)
+        for node in plan:
+            assert base.executor(node.node_id) == extended.executor(node.node_id)
+        assert not extended.uses_third_party()
+
+    def test_coordinator_result_feeds_upper_joins(self):
+        """A rescued join's coordinator becomes the holder of the result
+        for the join above it."""
+        catalog = Catalog()
+        catalog.add_relation(RelationSchema("A", ["a1", "a2"], server="S1"))
+        catalog.add_relation(RelationSchema("B", ["b1", "b2"], server="S2"))
+        catalog.add_relation(RelationSchema("C", ["c1", "c2"], server="S3"))
+        catalog.add_join_edge("a2", "b1")
+        catalog.add_join_edge("b2", "c1")
+        spec = QuerySpec(
+            ["A", "B", "C"],
+            [JoinPath.of(("a2", "b1")), JoinPath.of(("b2", "c1"))],
+            frozenset({"a1", "b1", "c2"}),
+        )
+        plan = build_plan(catalog, spec)
+        ab_path = JoinPath.of(("a2", "b1"))
+        policy = Policy(
+            [
+                # S9 is trusted with A and B -> coordinates the first join.
+                Authorization({"a1", "a2"}, None, "S9"),
+                Authorization({"b1", "b2"}, None, "S9"),
+                # S9 may also see C in full with the accumulated path: it
+                # masters the second join as a regular join.
+                Authorization({"c1", "c2"}, None, "S9"),
+            ]
+        )
+        assignment, _ = ThirdPartyPlanner(policy, ["S9"]).plan(plan)
+        first_join, second_join = plan.joins()
+        assert assignment.coordinator(first_join.node_id) == "S9"
+        assert assignment.master(second_join.node_id) == "S9"
+        verify_assignment(policy, assignment)
+
+
+class TestProxyOptions:
+    def test_proxy_enumeration(self):
+        """S2 may see the probe and the semi return view but not R in
+        full; S9 may hold R as a proxy.  The [S_r, S_l]-style semi-join
+        with S9 standing in for S1 becomes available."""
+        left = RelationProfile({"a", "b"})
+        right = RelationProfile({"c", "d"})
+        path = JoinPath.of(("a", "c"))
+        policy = Policy(
+            [
+                Authorization({"a", "b"}, None, "S9"),  # proxy may hold R
+                Authorization({"c"}, None, "S9"),  # proxy as slave sees pi_c(T)
+                Authorization({"a", "b", "c", "d"}, path, "S2"),  # master return view
+            ]
+        )
+        options = proxy_options(policy, left, right, "S1", "S2", path, ["S9"])
+        assert options, "expected at least one proxy arrangement"
+        semi = [o for o in options if "S_r" in o.mode_tag and o.master == "S2"]
+        assert semi
+        option = semi[0]
+        assert option.proxied_side == "left"
+        assert option.flows[0].sender == "S1" and option.flows[0].receiver == "S9"
+
+    def test_no_options_without_proxy_trust(self):
+        left = RelationProfile({"a", "b"})
+        right = RelationProfile({"c", "d"})
+        path = JoinPath.of(("a", "c"))
+        options = proxy_options(Policy(), left, right, "S1", "S2", path, ["S9"])
+        assert options == []
+
+    def test_operand_servers_excluded_as_proxies(self):
+        left = RelationProfile({"a", "b"})
+        right = RelationProfile({"c", "d"})
+        path = JoinPath.of(("a", "c"))
+        policy = Policy(
+            [
+                Authorization({"a", "b", "c", "d"}, None, "S1"),
+            ]
+        )
+        options = proxy_options(policy, left, right, "S1", "S2", path, ["S1", "S2"])
+        assert options == []
+
+    def test_option_repr(self):
+        option = ProxyOption("S9", "left", "[S_r, S_l]", "S2", ())
+        assert "S9" in repr(option) and "left" in repr(option)

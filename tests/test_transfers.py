@@ -1,0 +1,96 @@
+"""Unit tests for transfer records, logs and the audit layer."""
+
+import pytest
+
+from repro.core.authorization import Policy
+from repro.core.profile import RelationProfile
+from repro.engine.audit import AuditLog
+from repro.engine.transfers import Transfer, TransferLog
+from repro.exceptions import AuditViolationError
+from repro.workloads.medical import authorization, medical_policy
+
+
+def make_transfer(sender="S_I", receiver="S_N", rows=10, size=100, node=2):
+    return Transfer(
+        sender=sender,
+        receiver=receiver,
+        profile=RelationProfile({"Holder", "Plan"}),
+        row_count=rows,
+        byte_size=size,
+        description="test",
+        node_id=node,
+    )
+
+
+class TestTransferLog:
+    def test_totals(self):
+        log = TransferLog()
+        log.record(make_transfer(rows=10, size=100))
+        log.record(make_transfer(rows=5, size=50))
+        assert log.total_rows() == 15
+        assert log.total_bytes() == 150
+        assert len(log) == 2
+
+    def test_by_link(self):
+        log = TransferLog()
+        log.record(make_transfer(sender="A", receiver="B", size=10))
+        log.record(make_transfer(sender="A", receiver="B", size=20))
+        log.record(make_transfer(sender="B", receiver="A", size=5))
+        assert log.by_link() == {("A", "B"): 30, ("B", "A"): 5}
+
+    def test_by_node(self):
+        log = TransferLog()
+        log.record(make_transfer(node=1, size=10))
+        log.record(make_transfer(node=1, size=10))
+        log.record(make_transfer(node=2, size=7))
+        assert log.by_node() == {1: 20, 2: 7}
+
+    def test_describe_has_totals_line(self):
+        log = TransferLog()
+        log.record(make_transfer())
+        assert "total:" in log.describe()
+
+    def test_iteration_in_order(self):
+        log = TransferLog()
+        first = make_transfer(sender="A")
+        second = make_transfer(sender="B")
+        log.record(first)
+        log.record(second)
+        assert list(log) == [first, second]
+
+
+class TestAuditLog:
+    def test_authorized_check_returns_rule(self, policy):
+        audit = AuditLog(policy)
+        rule = audit.check("S_I", "S_N", RelationProfile({"Holder", "Plan"}))
+        assert rule == authorization(9)
+
+    def test_local_handoff_unchecked(self):
+        audit = AuditLog(Policy())
+        assert audit.check("S_I", "S_I", RelationProfile({"Anything"})) is None
+
+    def test_unauthorized_check_raises(self, policy):
+        audit = AuditLog(policy)
+        with pytest.raises(AuditViolationError) as excinfo:
+            audit.check("S_I", "S_D", RelationProfile({"Holder", "Plan"}))
+        assert excinfo.value.receiver == "S_D"
+
+    def test_non_enforcing_check_returns_none(self, policy):
+        audit = AuditLog(policy, enforce=False)
+        assert audit.check("S_I", "S_D", RelationProfile({"Holder", "Plan"})) is None
+
+    def test_violation_accounting(self, policy):
+        audit = AuditLog(policy, enforce=False)
+        transfer = make_transfer()
+        audit.record(transfer)
+        audit.record(make_transfer(receiver="S_D"), violation=True)
+        assert len(audit.checked) == 2
+        assert len(audit.violations) == 1
+        assert not audit.all_authorized()
+        assert "1 violations" in audit.summary()
+
+    def test_duck_typed_policy_has_no_rule_objects(self):
+        from repro.core.openpolicy import OpenPolicy
+
+        audit = AuditLog(OpenPolicy())
+        assert audit.check("A", "B", RelationProfile({"x"})) is None

@@ -1,0 +1,171 @@
+"""Unit tests for query tree plans."""
+
+import pytest
+
+from repro.algebra.expression import BaseRelation
+from repro.algebra.joins import JoinPath
+from repro.algebra.predicates import Comparison, Predicate
+from repro.algebra.schema import RelationSchema
+from repro.algebra.tree import (
+    PROJECT,
+    SELECT,
+    JoinNode,
+    LeafNode,
+    QueryTreePlan,
+    UnaryNode,
+)
+from repro.exceptions import PlanError
+
+
+def leaf(name="R", attrs=("a", "b"), server="S1"):
+    return LeafNode(RelationSchema(name, list(attrs), server=server))
+
+
+def two_leaf_join():
+    left = leaf("R", ("a", "b"), "S1")
+    right = leaf("T", ("c", "d"), "S2")
+    return JoinNode(left, right, JoinPath.of(("a", "c")))
+
+
+class TestLeafNode:
+    def test_schema_and_server(self):
+        node = leaf()
+        assert node.schema == frozenset({"a", "b"})
+        assert node.server == "S1"
+        assert node.is_leaf
+        assert node.children() == []
+
+    def test_label(self):
+        assert leaf().label() == "R"
+
+    def test_node_id_requires_plan(self):
+        with pytest.raises(PlanError):
+            leaf().node_id
+
+
+class TestUnaryNode:
+    def test_projection_schema(self):
+        node = UnaryNode(PROJECT, frozenset({"a"}), leaf())
+        assert node.schema == frozenset({"a"})
+        assert node.projection_attributes == frozenset({"a"})
+
+    def test_projection_validates_attributes(self):
+        with pytest.raises(PlanError):
+            UnaryNode(PROJECT, frozenset({"zz"}), leaf())
+
+    def test_projection_rejects_empty(self):
+        with pytest.raises(PlanError):
+            UnaryNode(PROJECT, frozenset(), leaf())
+
+    def test_selection_schema_preserved(self):
+        node = UnaryNode(SELECT, Predicate([Comparison("a", "=", 1)]), leaf())
+        assert node.schema == frozenset({"a", "b"})
+        assert len(node.predicate) == 1
+
+    def test_selection_validates_predicate_attributes(self):
+        with pytest.raises(PlanError):
+            UnaryNode(SELECT, Predicate([Comparison("zz", "=", 1)]), leaf())
+
+    def test_selection_requires_predicate(self):
+        with pytest.raises(PlanError):
+            UnaryNode(SELECT, frozenset({"a"}), leaf())
+
+    def test_unknown_operator(self):
+        with pytest.raises(PlanError):
+            UnaryNode("rename", frozenset({"a"}), leaf())
+
+    def test_unary_child_is_left(self):
+        child = leaf()
+        node = UnaryNode(PROJECT, frozenset({"a"}), child)
+        assert node.left is child
+        assert node.right is None
+
+    def test_wrong_accessor_raises(self):
+        node = UnaryNode(PROJECT, frozenset({"a"}), leaf())
+        with pytest.raises(PlanError):
+            node.predicate
+
+
+class TestJoinNode:
+    def test_schema_union(self):
+        node = two_leaf_join()
+        assert node.schema == frozenset({"a", "b", "c", "d"})
+
+    def test_join_attribute_split(self):
+        node = two_leaf_join()
+        assert node.left_join_attributes() == frozenset({"a"})
+        assert node.right_join_attributes() == frozenset({"c"})
+
+    def test_rejects_empty_path(self):
+        with pytest.raises(PlanError):
+            JoinNode(leaf("R"), leaf("T", ("c", "d")), JoinPath.empty())
+
+    def test_rejects_overlap(self):
+        with pytest.raises(PlanError):
+            JoinNode(leaf("R"), leaf("T", ("a", "x")), JoinPath.of(("b", "x")))
+
+    def test_rejects_non_bridging_condition(self):
+        with pytest.raises(PlanError):
+            JoinNode(leaf("R"), leaf("T", ("c", "d")), JoinPath.of(("a", "b")))
+
+
+class TestQueryTreePlan:
+    def test_post_order_ids(self):
+        join = two_leaf_join()
+        plan = QueryTreePlan(join)
+        assert [n.node_id for n in plan.post_order()] == [0, 1, 2]
+        assert plan.root.node_id == 2
+
+    def test_parent_ids(self):
+        plan = QueryTreePlan(two_leaf_join())
+        assert plan.parent_id(plan.root.node_id) is None
+        assert plan.parent_id(0) == 2
+        assert plan.parent_id(1) == 2
+
+    def test_pre_order(self):
+        plan = QueryTreePlan(two_leaf_join())
+        assert [n.node_id for n in plan.pre_order()] == [2, 0, 1]
+
+    def test_leaves_and_joins(self):
+        plan = QueryTreePlan(two_leaf_join())
+        assert len(plan.leaves()) == 2
+        assert len(plan.joins()) == 1
+
+    def test_servers(self):
+        plan = QueryTreePlan(two_leaf_join())
+        assert plan.servers() == ["S1", "S2"]
+
+    def test_shared_subtree_rejected(self):
+        shared = leaf("R")
+        with pytest.raises(PlanError):
+            QueryTreePlan(
+                JoinNode(shared, shared, JoinPath.of(("a", "b")))
+            )
+
+    def test_node_lookup_bounds(self):
+        plan = QueryTreePlan(two_leaf_join())
+        with pytest.raises(PlanError):
+            plan.node(99)
+
+    def test_expression_round_trip(self, catalog):
+        from repro.workloads.medical import paper_plan
+
+        plan = paper_plan(catalog)
+        expression = plan.to_expression()
+        rebuilt = QueryTreePlan.from_expression(expression)
+        assert rebuilt.render() == plan.render()
+
+    def test_render_contains_ids_and_labels(self):
+        plan = QueryTreePlan(two_leaf_join())
+        text = plan.render()
+        assert "[n2]" in text and "R" in text and "T" in text
+
+    def test_len_and_iter(self):
+        plan = QueryTreePlan(two_leaf_join())
+        assert len(plan) == 3
+        assert len(list(plan)) == 3
+
+    def test_single_leaf_plan(self):
+        plan = QueryTreePlan(leaf())
+        assert len(plan) == 1
+        assert plan.root.is_leaf

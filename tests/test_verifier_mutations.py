@@ -1,0 +1,118 @@
+"""Mutation tests: the independent verifier catches corrupted assignments.
+
+The planner is proven safe by construction elsewhere; here we take a
+*safe* assignment and corrupt it in every structurally valid way a bug
+could — flipping a join's master, adding or dropping a slave, moving a
+unary node — and assert the verifier (or the structural validator)
+rejects the mutants that actually violate the policy, and accepts the
+ones that happen to remain safe exactly when the exhaustive safe set
+says so.  This is the test that keeps the verifier honest.
+"""
+
+import pytest
+
+from repro.baselines.exhaustive import enumerate_structural_assignments
+from repro.core.assignment import Assignment, Executor
+from repro.core.planner import SafePlanner
+from repro.core.safety import is_safe, verify_assignment
+from repro.exceptions import PlanError, UnsafeAssignmentError
+
+
+def clone_assignment(assignment):
+    clone = Assignment(assignment.plan)
+    for node in assignment.plan:
+        clone.set_profile(node.node_id, assignment.profile(node.node_id))
+        clone.set_executor(node.node_id, assignment.executor(node.node_id))
+    return clone
+
+
+@pytest.fixture()
+def safe_assignment(planner, plan):
+    assignment, _ = planner.plan(plan)
+    return assignment
+
+
+class TestStructuralMutations:
+    def test_leaf_moved_off_its_server(self, safe_assignment):
+        mutant = clone_assignment(safe_assignment)
+        mutant.set_executor(0, Executor("S_H"))  # Insurance off S_I
+        with pytest.raises(PlanError):
+            verify_assignment(None, mutant)
+
+    def test_unary_moved_off_operand(self, safe_assignment, plan):
+        mutant = clone_assignment(safe_assignment)
+        mutant.set_executor(plan.root.node_id, Executor("S_I"))
+        with pytest.raises(PlanError):
+            verify_assignment(None, mutant)
+
+    def test_join_master_outside_operands(self, safe_assignment, plan):
+        mutant = clone_assignment(safe_assignment)
+        join = plan.joins()[0]
+        mutant.set_executor(join.node_id, Executor("S_D"))
+        with pytest.raises(PlanError):
+            verify_assignment(None, mutant)
+
+    def test_slave_outside_operands(self, safe_assignment, plan):
+        mutant = clone_assignment(safe_assignment)
+        join = plan.joins()[1]
+        executor = mutant.executor(join.node_id)
+        mutant.set_executor(join.node_id, Executor(executor.master, "S_D"))
+        with pytest.raises(PlanError):
+            verify_assignment(None, mutant)
+
+
+class TestPolicyMutations:
+    def test_flipping_inner_join_master_is_unsafe(
+        self, safe_assignment, plan, policy
+    ):
+        """Moving the inner join to S_I means shipping Nat_registry to
+        S_I, which no Figure 3 rule covers."""
+        mutant = clone_assignment(safe_assignment)
+        inner, top = plan.joins()
+        mutant.set_executor(inner.node_id, Executor("S_I"))
+        # Keep the rest structurally consistent: the top join's slave
+        # side now lives at S_I.
+        mutant.set_executor(top.node_id, Executor("S_H", "S_I"))
+        with pytest.raises(UnsafeAssignmentError):
+            verify_assignment(policy, mutant)
+
+    def test_dropping_the_slave_is_unsafe(self, safe_assignment, plan, policy):
+        """Turning the top semi-join into a regular join ships the whole
+        inner result to S_H, whose rule 7 covers the attributes but a
+        regular join means S_H receives it under the *partial* path —
+        actually the inner result's path — which no S_H rule matches."""
+        mutant = clone_assignment(safe_assignment)
+        top = plan.joins()[1]
+        mutant.set_executor(top.node_id, Executor("S_H"))
+        with pytest.raises(UnsafeAssignmentError):
+            verify_assignment(policy, mutant)
+
+    def test_swapping_semi_direction_is_unsafe(
+        self, safe_assignment, plan, policy
+    ):
+        """[S_N, S_H] at the top join makes S_N the master receiving the
+        full join including Physician — rule 14 lacks Physician."""
+        mutant = clone_assignment(safe_assignment)
+        top = plan.joins()[1]
+        mutant.set_executor(top.node_id, Executor("S_N", "S_H"))
+        # The root projection follows the result to S_N.
+        mutant.set_executor(plan.root.node_id, Executor("S_N"))
+        with pytest.raises(UnsafeAssignmentError):
+            verify_assignment(policy, mutant)
+
+    def test_verifier_agrees_with_exhaustive_safe_set(self, plan, policy):
+        """Ground truth: over every structural assignment of the paper
+        plan, the verifier's verdict equals membership in the safe set
+        computed by the (independently implemented) exhaustive pruner."""
+        from repro.baselines.exhaustive import enumerate_safe_assignments
+
+        safe_keys = {
+            tuple(str(a.executor(n.node_id)) for n in plan)
+            for a in enumerate_safe_assignments(policy, plan)
+        }
+        checked = 0
+        for assignment in enumerate_structural_assignments(plan):
+            key = tuple(str(assignment.executor(n.node_id)) for n in plan)
+            assert is_safe(policy, assignment) == (key in safe_keys)
+            checked += 1
+        assert checked == 16

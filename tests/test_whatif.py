@@ -1,0 +1,147 @@
+"""Unit tests for the what-if grant suggestion."""
+
+import pytest
+
+from repro.algebra.builder import QuerySpec, build_plan
+from repro.algebra.joins import JoinPath
+from repro.algebra.schema import Catalog, RelationSchema
+from repro.analysis.whatif import (
+    missing_grants_for_join,
+    suggest_repair,
+)
+from repro.core.authorization import Authorization, Policy
+from repro.core.planner import SafePlanner
+from repro.core.profile import RelationProfile
+from repro.core.safety import verify_assignment
+from repro.exceptions import InfeasiblePlanError
+
+
+def two_relation_plan():
+    catalog = Catalog()
+    catalog.add_relation(RelationSchema("R", ["a", "b"], server="S1"))
+    catalog.add_relation(RelationSchema("T", ["c", "d"], server="S2"))
+    catalog.add_join_edge("a", "c")
+    spec = QuerySpec(
+        ["R", "T"], [JoinPath.of(("a", "c"))], frozenset({"a", "b", "c", "d"})
+    )
+    return build_plan(catalog, spec)
+
+
+class TestMissingGrantsForJoin:
+    def test_empty_policy_all_modes_need_grants(self):
+        left = RelationProfile({"a", "b"})
+        right = RelationProfile({"c", "d"})
+        repairs = missing_grants_for_join(
+            Policy(), left, right, "S1", "S2", JoinPath.of(("a", "c"))
+        )
+        assert len(repairs) == 4
+        assert all(not r.is_safe for r in repairs)
+
+    def test_cheapest_mode_first(self):
+        left = RelationProfile({"a", "b"})
+        right = RelationProfile({"c", "d", "e", "f"})
+        repairs = missing_grants_for_join(
+            Policy(), left, right, "S1", "S2", JoinPath.of(("a", "c"))
+        )
+        costs = [r.exposure_cost for r in repairs]
+        assert costs == sorted(costs)
+        # Shipping the small relation (2 attrs) is the cheapest regular
+        # mode; the probe-based semi modes expose 1 + joined views.
+        assert repairs[0].exposure_cost <= repairs[-1].exposure_cost
+
+    def test_safe_mode_reported_safe(self):
+        left = RelationProfile({"a", "b"})
+        right = RelationProfile({"c", "d"})
+        policy = Policy([Authorization({"a", "b"}, None, "S2")])
+        repairs = missing_grants_for_join(
+            policy, left, right, "S1", "S2", JoinPath.of(("a", "c"))
+        )
+        safe = [r for r in repairs if r.is_safe]
+        assert len(safe) == 1
+        assert safe[0].master == "S2"
+        assert repairs[0] is safe[0]
+
+    def test_missing_rules_exactly_cover(self):
+        left = RelationProfile({"a", "b"})
+        right = RelationProfile({"c", "d"})
+        repairs = missing_grants_for_join(
+            Policy(), left, right, "S1", "S2", JoinPath.of(("a", "c"))
+        )
+        regular = next(r for r in repairs if "NULL" in r.mode_tag and r.master == "S2")
+        (rule,) = regular.missing
+        assert rule.server == "S2"
+        assert rule.attributes == frozenset({"a", "b"})
+        assert rule.join_path.is_empty()
+
+
+class TestSuggestRepair:
+    def test_feasible_plan_needs_nothing(self, policy, plan):
+        repair = suggest_repair(policy, plan)
+        assert repair.is_already_feasible
+        assert "no grants needed" in repair.describe()
+
+    def test_repair_makes_plan_feasible(self):
+        plan = two_relation_plan()
+        repair = suggest_repair(Policy(), plan)
+        assert not repair.is_already_feasible
+        augmented = repair.augmented_policy(Policy())
+        assignment, _ = SafePlanner(augmented).plan(plan)
+        verify_assignment(augmented, assignment)
+
+    def test_repair_of_medical_four_way_join(self, catalog, policy):
+        spec = QuerySpec(
+            ["Insurance", "Nat_registry", "Hospital", "Disease_list"],
+            [
+                JoinPath.of(("Holder", "Citizen")),
+                JoinPath.of(("Citizen", "Patient")),
+                JoinPath.of(("Disease", "Illness")),
+            ],
+            frozenset({"Plan", "Treatment"}),
+        )
+        plan = build_plan(catalog, spec)
+        with pytest.raises(InfeasiblePlanError):
+            SafePlanner(policy).plan(plan)
+        repair = suggest_repair(policy, plan)
+        assert repair.grants
+        augmented = repair.augmented_policy(policy)
+        assignment, _ = SafePlanner(augmented).plan(plan)
+        verify_assignment(augmented, assignment)
+
+    def test_repair_grants_are_minimal_per_flow(self):
+        """Every suggested rule is exactly one flow's exposed view."""
+        plan = two_relation_plan()
+        repair = suggest_repair(Policy(), plan)
+        for rule in repair.grants:
+            assert rule.attributes <= frozenset({"a", "b", "c", "d"})
+
+    def test_local_join_never_needs_grants(self):
+        catalog = Catalog()
+        catalog.add_relation(RelationSchema("R", ["a", "b"], server="S1"))
+        catalog.add_relation(RelationSchema("T", ["c", "d"], server="S1"))
+        catalog.add_join_edge("a", "c")
+        spec = QuerySpec(
+            ["R", "T"], [JoinPath.of(("a", "c"))], frozenset({"b", "d"})
+        )
+        plan = build_plan(catalog, spec)
+        repair = suggest_repair(Policy(), plan)
+        assert repair.is_already_feasible
+
+    def test_repair_deduplicates_rules(self, catalog):
+        """Two joins needing the same rule produce one grant."""
+        spec = QuerySpec(
+            ["Insurance", "Nat_registry", "Hospital"],
+            [
+                JoinPath.of(("Holder", "Citizen")),
+                JoinPath.of(("Citizen", "Patient")),
+            ],
+            frozenset({"Plan", "Physician"}),
+        )
+        plan = build_plan(catalog, spec)
+        repair = suggest_repair(Policy(), plan)
+        assert len(repair.grants) == len(set(repair.grants))
+
+    def test_describe_mentions_modes(self):
+        plan = two_relation_plan()
+        repair = suggest_repair(Policy(), plan)
+        text = repair.describe()
+        assert "join n" in text and "grants to add" in text
