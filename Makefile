@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples verify clean
+.PHONY: install test test-faults bench examples verify clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Robustness suite: unit + property fault tests, then a seeded
+# fault-matrix smoke run (3 seeds x 2 planning strategies).
+test-faults:
+	$(PYTHON) -m pytest tests/test_faults.py "tests/test_properties.py::TestFaultToleranceProperties"
+	$(PYTHON) examples/fault_tolerance.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

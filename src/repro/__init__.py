@@ -53,12 +53,25 @@ from repro.analysis import (
     suggest_repair,
     usage_report,
 )
-from repro.distributed import DistributedSystem, NetworkModel, Server
-from repro.engine import CostModel, DistributedExecutor, Table, evaluate_plan
+from repro.distributed import (
+    DistributedSystem,
+    FaultInjector,
+    NetworkModel,
+    Server,
+)
+from repro.engine import (
+    CostModel,
+    DistributedExecutor,
+    RetryPolicy,
+    Table,
+    evaluate_plan,
+)
 from repro.exceptions import (
     AuditViolationError,
+    DegradedExecutionError,
     InfeasiblePlanError,
     ReproError,
+    TransferFailedError,
     UnsafeAssignmentError,
 )
 from repro.sql import parse_query
@@ -94,6 +107,8 @@ __all__ = [
     "DistributedSystem",
     "Server",
     "NetworkModel",
+    "FaultInjector",
+    "RetryPolicy",
     "Table",
     "DistributedExecutor",
     "CostModel",
@@ -108,4 +123,6 @@ __all__ = [
     "InfeasiblePlanError",
     "UnsafeAssignmentError",
     "AuditViolationError",
+    "TransferFailedError",
+    "DegradedExecutionError",
 ]

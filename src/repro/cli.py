@@ -38,8 +38,9 @@ from repro.analysis.reporting import render_policy_table, render_trace_table
 from repro.analysis.whatif import suggest_repair
 from repro.core.access import can_view, explain_denial
 from repro.core.profile import RelationProfile
+from repro.distributed.faults import FaultInjector
 from repro.distributed.system import DistributedSystem
-from repro.exceptions import InfeasiblePlanError, ReproError
+from repro.exceptions import DegradedExecutionError, InfeasiblePlanError, ReproError
 from repro.io import catalog_from_dict, load_json, policy_from_dict
 from repro.sql import parse_query
 from repro.workloads.medical import generate_instances, medical_catalog, medical_policy
@@ -90,6 +91,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     execute_cmd.add_argument("--seed", type=int, default=7)
     execute_cmd.add_argument("--citizens", type=int, default=100)
+    execute_cmd.add_argument(
+        "--drop-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="inject per-attempt transfer drops with probability P (enables "
+        "retry/backoff and authorization-safe failover)",
+    )
+    execute_cmd.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault injector (runs are fully deterministic)",
+    )
+    execute_cmd.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="SERVER:START[:END]",
+        help="take SERVER down during [START, END) of logical time "
+        "(END omitted = forever; repeatable; enables fault injection)",
+    )
+    execute_cmd.add_argument(
+        "--max-failovers",
+        type=int,
+        default=3,
+        help="re-planning rounds before the query degrades",
+    )
 
     suggest_cmd = commands.add_parser(
         "suggest", help="suggest minimal grants for an infeasible query"
@@ -171,18 +200,55 @@ def _cmd_execute(system: DistributedSystem, args, out) -> int:
     else:
         print("error: --instances is required for JSON workloads", file=out)
         return 2
+    faults = _build_injector(args, out)
+    if faults is _BAD_FAULT_SPEC:
+        return 2
     try:
-        result = system.execute(args.sql, recipient=args.recipient)
+        result = system.execute(
+            args.sql,
+            recipient=args.recipient,
+            faults=faults,
+            max_failovers=args.max_failovers,
+        )
     except InfeasiblePlanError as error:
         print(f"infeasible: {error}", file=out)
         return 2
-    print(
-        f"result: {len(result.table)} rows at {result.result_server}", file=out
-    )
+    except DegradedExecutionError as error:
+        print(f"degraded: {error}", file=out)
+        return 3
+    print(f"result: {result.summary()}", file=out)
     print(result.transfers.describe(), file=out)
     if result.audit is not None:
         print(result.audit.summary(), file=out)
+    if faults is not None:
+        print(f"faults: {faults!r}", file=out)
     return 0
+
+
+#: Sentinel distinguishing "no faults requested" from "bad --crash spec".
+_BAD_FAULT_SPEC = object()
+
+
+def _build_injector(args, out):
+    """An injector from --drop-rate/--crash flags, or None when absent."""
+    if args.drop_rate is None and not args.crash:
+        return None
+    faults = FaultInjector(
+        seed=args.fault_seed, drop_probability=args.drop_rate or 0.0
+    )
+    for spec in args.crash:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            print(f"error: bad crash spec {spec!r}; use SERVER:START[:END]", file=out)
+            return _BAD_FAULT_SPEC
+        try:
+            start = float(parts[1])
+            end = float(parts[2]) if len(parts) == 3 else None
+        except ValueError:
+            print(f"error: bad crash spec {spec!r}; use SERVER:START[:END]", file=out)
+            return _BAD_FAULT_SPEC
+        faults.crash(parts[0], start=start, end=end)
+    return faults
 
 
 def _cmd_suggest(system: DistributedSystem, args, out) -> int:

@@ -68,6 +68,7 @@ class Assignment:
         self._executors: Dict[int, Executor] = {}
         self._profiles: Dict[int, RelationProfile] = {}
         self._coordinators: Dict[int, str] = {}
+        self._materialized: Dict[int, str] = {}
 
     @property
     def plan(self) -> QueryTreePlan:
@@ -99,8 +100,17 @@ class Assignment:
         return self.executor(node_id).master
 
     def is_complete(self) -> bool:
-        """Whether every node of the plan has an executor."""
-        return len(self._executors) == len(self._plan)
+        """Whether every *live* node of the plan has an executor.
+
+        Nodes strictly below a materialized subtree root never execute
+        (their result already exists), so they need no executor.
+        """
+        skipped = self.skipped_node_ids()
+        return all(
+            node.node_id in self._executors
+            for node in self._plan
+            if node.node_id not in skipped
+        )
 
     # ------------------------------------------------------------------
     # Profiles
@@ -148,6 +158,52 @@ class Assignment:
         return bool(self._coordinators)
 
     # ------------------------------------------------------------------
+    # Materialized subtrees (failover reuse)
+    # ------------------------------------------------------------------
+
+    def set_materialized(self, node_id: int, server: str) -> None:
+        """Mark a node's result as already available at ``server``.
+
+        Used by failover re-planning: a subtree completed by an earlier
+        execution attempt need not re-execute — its result sits at the
+        recorded server, no flow happens at or below the node, and the
+        node's executor must be ``[server, NULL]``.
+        """
+        self._plan.node(node_id)
+        self._materialized[node_id] = server
+
+    def materialized_server(self, node_id: int) -> Optional[str]:
+        """Where a materialized node's result sits, or ``None``."""
+        return self._materialized.get(node_id)
+
+    def is_materialized(self, node_id: int) -> bool:
+        """Whether the node's result is reused rather than computed."""
+        return node_id in self._materialized
+
+    def materialized_nodes(self) -> Tuple[int, ...]:
+        """Materialized node ids, sorted."""
+        return tuple(sorted(self._materialized))
+
+    def skipped_node_ids(self) -> frozenset:
+        """Ids of nodes strictly below a materialized root.
+
+        These nodes are never executed, carry no executor, and entail
+        no flow — their work happened in a previous execution attempt.
+        """
+        if not self._materialized:
+            return frozenset()
+        skipped = set()
+
+        def collect(node: PlanNode) -> None:
+            for child in node.children():
+                skipped.add(child.node_id)
+                collect(child)
+
+        for node_id in self._materialized:
+            collect(self._plan.node(node_id))
+        return frozenset(skipped)
+
+    # ------------------------------------------------------------------
     # Structural validation (Definition 4.1)
     # ------------------------------------------------------------------
 
@@ -157,11 +213,26 @@ class Assignment:
         Raises:
             PlanError: on any violation or on an incomplete assignment.
         """
+        skipped = self.skipped_node_ids()
         if not self.is_complete():
-            missing = [n.node_id for n in self._plan if n.node_id not in self._executors]
+            missing = [
+                n.node_id
+                for n in self._plan
+                if n.node_id not in self._executors and n.node_id not in skipped
+            ]
             raise PlanError(f"assignment is incomplete; unassigned nodes: {missing}")
         for node in self._plan:
+            if node.node_id in skipped:
+                continue
             executor = self._executors[node.node_id]
+            if node.node_id in self._materialized:
+                server = self._materialized[node.node_id]
+                if executor.master != server or executor.slave is not None:
+                    raise PlanError(
+                        f"materialized node n{node.node_id} must be assigned "
+                        f"[{server}, NULL], got {executor}"
+                    )
+                continue
             if isinstance(node, LeafNode):
                 if node.server is None:
                     raise PlanError(f"leaf {node.label()} has no storing server")
@@ -210,8 +281,12 @@ class Assignment:
     # ------------------------------------------------------------------
 
     def items(self) -> Iterator[Tuple[PlanNode, Executor]]:
-        """(node, executor) pairs in post-order."""
+        """(node, executor) pairs in post-order (skipping the unexecuted
+        interiors of materialized subtrees)."""
+        skipped = self.skipped_node_ids()
         for node in self._plan:
+            if node.node_id in skipped:
+                continue
             yield node, self.executor(node.node_id)
 
     def result_server(self) -> str:

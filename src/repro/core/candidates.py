@@ -36,6 +36,9 @@ MODE_UNARY = "unary"
 MODE_SEMI = "semi"
 MODE_REGULAR = "regular"
 MODE_THIRD_PARTY = "third-party"
+#: A node whose result is already materialized at a server (failover
+#: re-planning reuses completed subtrees; no flow happens below it).
+MODE_PINNED = "pinned"
 
 
 class Candidate:
@@ -46,7 +49,14 @@ class Candidate:
     def __init__(self, server: str, from_child: str, count: int, mode: str) -> None:
         if from_child not in (FROM_LEFT, FROM_RIGHT, FROM_LEAF):
             raise PlanError(f"invalid fromchild: {from_child!r}")
-        if mode not in (MODE_LEAF, MODE_UNARY, MODE_SEMI, MODE_REGULAR, MODE_THIRD_PARTY):
+        if mode not in (
+            MODE_LEAF,
+            MODE_UNARY,
+            MODE_SEMI,
+            MODE_REGULAR,
+            MODE_THIRD_PARTY,
+            MODE_PINNED,
+        ):
             raise PlanError(f"invalid candidate mode: {mode!r}")
         if count < 0:
             raise PlanError("candidate counter cannot be negative")

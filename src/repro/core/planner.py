@@ -34,7 +34,7 @@ Two aspects deserve a note (both documented in DESIGN.md):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.algebra.tree import (
     PROJECT,
@@ -52,6 +52,7 @@ from repro.core.candidates import (
     FROM_LEFT,
     FROM_RIGHT,
     MODE_LEAF,
+    MODE_PINNED,
     MODE_REGULAR,
     MODE_SEMI,
     MODE_UNARY,
@@ -104,15 +105,47 @@ class SafePlanner:
     Args:
         policy: the authorization policy (ideally already closed under
             the chase, see :func:`repro.core.closure.close_policy`).
+        excluded_servers: servers that may not appear in any executor —
+            the failover layer passes the currently-crashed servers here,
+            so re-planning only considers surviving assignments.  The
+            candidate space shrinks but safety checks are unchanged: a
+            restricted plan is always also a plan of the full problem.
+        pinned: ``node_id -> server`` for subtrees whose results already
+            sit at a surviving server (completed by an earlier execution
+            attempt).  A pinned node plans as a materialized source: its
+            only candidate is the given server, nothing below it is
+            planned, and no flow is entailed at or below it.
     """
 
-    def __init__(self, policy: Policy) -> None:
+    def __init__(
+        self,
+        policy: Policy,
+        excluded_servers: Iterable[str] = (),
+        pinned: Optional[Mapping[int, str]] = None,
+    ) -> None:
         self._policy = policy
+        self._excluded = frozenset(excluded_servers)
+        self._pinned = dict(pinned or {})
+        for node_id, server in self._pinned.items():
+            if server in self._excluded:
+                raise PlanError(
+                    f"pinned node n{node_id} sits at excluded server {server!r}"
+                )
 
     @property
     def policy(self) -> Policy:
         """The policy the planner enforces."""
         return self._policy
+
+    @property
+    def excluded_servers(self) -> frozenset:
+        """Servers barred from every executor role."""
+        return self._excluded
+
+    @property
+    def pinned(self) -> Dict[int, str]:
+        """Materialized subtree roots: node id -> holding server."""
+        return dict(self._pinned)
 
     # ------------------------------------------------------------------
     # Public API
@@ -151,6 +184,17 @@ class SafePlanner:
     def _find_candidates(
         self, node: PlanNode, assignment: Assignment, trace: PlannerTrace
     ) -> None:
+        if node.node_id in self._pinned:
+            # Materialized source: fill the subtree's profiles (parents
+            # need this node's profile for their view checks) but plan
+            # nothing below — the result already exists at the server.
+            self._fill_profiles(node, assignment)
+            trace.find_order.append(node.node_id)
+            decision = trace.decision(node.node_id)
+            decision.candidates.add(
+                Candidate(self._pinned[node.node_id], FROM_LEAF, 0, MODE_PINNED)
+            )
+            return
         for child in node.children():
             self._find_candidates(child, assignment, trace)
         trace.find_order.append(node.node_id)
@@ -164,11 +208,39 @@ class SafePlanner:
         else:  # pragma: no cover - node kinds are closed
             raise PlanError(f"unknown node kind: {type(node).__name__}")
         if decision.candidates.is_empty():
+            suffix = (
+                f" (excluded servers: {sorted(self._excluded)})"
+                if self._excluded
+                else ""
+            )
             raise InfeasiblePlanError(
                 f"no safe assignment exists: node n{node.node_id} "
-                f"({node.label()}) admits no candidate executor",
+                f"({node.label()}) admits no candidate executor{suffix}",
                 node_id=node.node_id,
             )
+
+    def _fill_profiles(self, node: PlanNode, assignment: Assignment) -> None:
+        """Post-order profile computation without candidate search."""
+        for child in node.children():
+            self._fill_profiles(child, assignment)
+        assignment.set_profile(node.node_id, self._node_profile(node, assignment))
+
+    def _node_profile(
+        self, node: PlanNode, assignment: Assignment
+    ) -> RelationProfile:
+        """The Figure 4 profile of one node, children already profiled."""
+        if isinstance(node, LeafNode):
+            return RelationProfile.of_base_relation(node.relation)
+        if isinstance(node, UnaryNode):
+            child_profile = assignment.profile(node.left.node_id)
+            if node.operator == PROJECT:
+                return child_profile.project(node.projection_attributes)
+            return child_profile.select(node.predicate.attributes)
+        if isinstance(node, JoinNode):
+            return assignment.profile(node.left.node_id).join(
+                assignment.profile(node.right.node_id), node.path
+            )
+        raise PlanError(f"unknown node kind: {type(node).__name__}")
 
     def _visit_leaf(
         self, node: LeafNode, assignment: Assignment, decision: NodeDecision
@@ -178,6 +250,8 @@ class SafePlanner:
                 f"base relation {node.relation.name!r} is not placed at any server"
             )
         assignment.set_profile(node.node_id, RelationProfile.of_base_relation(node.relation))
+        if node.server in self._excluded:
+            return
         decision.candidates.add(Candidate(node.server, FROM_LEAF, 0, MODE_LEAF))
 
     def _visit_unary(
@@ -256,6 +330,8 @@ class SafePlanner:
         """First candidate (by decreasing counter) able to act as slave —
         one slave is enough, slaves are not propagated upwards."""
         for candidate in candidates.in_count_order():
+            if candidate.server in self._excluded:
+                continue
             if can_view(self._policy, slave_view, candidate.server):
                 return candidate
         return None
@@ -274,6 +350,8 @@ class SafePlanner:
         Semi-join admission is attempted first (the paper favours
         semi-joins); the regular-join check is the fallback.
         """
+        if candidate.server in self._excluded:
+            return
         if slave_found and can_view(self._policy, master_view, candidate.server):
             mode = MODE_SEMI
         elif can_view(self._policy, full_view, candidate.server):
@@ -308,6 +386,15 @@ class SafePlanner:
             chosen = decision.candidates.get_first()
             if chosen is None:  # pragma: no cover - Find_candidates guarantees one
                 raise PlanError(f"node n{node.node_id} has no candidates")
+
+        if chosen.mode == MODE_PINNED:
+            # Materialized source: the result already sits at the server;
+            # nothing below is assigned and no flow happens here.
+            executor = Executor(chosen.server, None)
+            decision.executor = executor
+            assignment.set_executor(node.node_id, executor)
+            assignment.set_materialized(node.node_id, chosen.server)
+            return
 
         slave_candidate: Optional[Candidate] = None
         if isinstance(node, JoinNode) and chosen.mode == MODE_SEMI:

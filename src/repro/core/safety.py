@@ -56,7 +56,13 @@ def enumerate_assignment_flows(
     assignment.validate_structure()
     plan = assignment.plan
     flows: List[Flow] = []
+    skipped = assignment.skipped_node_ids()
     for node in plan:
+        if node.node_id in skipped or assignment.is_materialized(node.node_id):
+            # Materialized subtrees (failover reuse) entail no flow: the
+            # result already sits at its server, put there by a previous
+            # execution attempt whose flows were verified and audited.
+            continue
         if isinstance(node, (LeafNode, UnaryNode)):
             continue
         if not isinstance(node, JoinNode):  # pragma: no cover - closed kinds

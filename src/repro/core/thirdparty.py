@@ -49,10 +49,21 @@ class ThirdPartyPlanner(SafePlanner):
             not required but is the typical case) that may be asked to
             coordinate joins.  Tried in the given order; order therefore
             determines which coordinator a rescued join gets.
+        excluded_servers: servers barred from every executor role,
+            including coordination (see
+            :class:`~repro.core.planner.SafePlanner`).
+        pinned: materialized subtree roots (see
+            :class:`~repro.core.planner.SafePlanner`).
     """
 
-    def __init__(self, policy: Policy, third_parties: Sequence[str]) -> None:
-        super().__init__(policy)
+    def __init__(
+        self,
+        policy: Policy,
+        third_parties: Sequence[str],
+        excluded_servers=(),
+        pinned=None,
+    ) -> None:
+        super().__init__(policy, excluded_servers=excluded_servers, pinned=pinned)
         self._third_parties = tuple(third_parties)
 
     @property
@@ -67,6 +78,8 @@ class ThirdPartyPlanner(SafePlanner):
         left_profile = assignment.profile(node.left.node_id)
         right_profile = assignment.profile(node.right.node_id)
         for server in self._third_parties:
+            if server in self.excluded_servers:
+                continue
             if can_view(self.policy, left_profile, server) and can_view(
                 self.policy, right_profile, server
             ):

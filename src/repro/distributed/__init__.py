@@ -1,7 +1,8 @@
-"""Distributed-system substrate: servers, network model, system facade."""
+"""Distributed-system substrate: servers, network model, faults, system facade."""
 
 from repro.distributed.server import Server
 from repro.distributed.network import NetworkModel
+from repro.distributed.faults import AttemptOutcome, FaultInjector, fault_free
 from repro.distributed.system import DistributedSystem
 from repro.distributed.simulation import (
     MultiQuerySimulator,
@@ -13,6 +14,9 @@ from repro.distributed.simulation import (
 __all__ = [
     "Server",
     "NetworkModel",
+    "AttemptOutcome",
+    "FaultInjector",
+    "fault_free",
     "DistributedSystem",
     "MultiQuerySimulator",
     "SimulationResult",

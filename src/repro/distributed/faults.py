@@ -1,0 +1,257 @@
+"""Deterministic fault injection for distributed execution.
+
+The paper's protocol assumes every server is up and every shipment
+succeeds; real collaborating federations are autonomous peers that fail
+independently.  A :class:`FaultInjector` layers four failure modes over
+a :class:`~repro.distributed.network.NetworkModel`:
+
+* **server crashes** — downtime windows during which a server neither
+  sends nor receives;
+* **link partitions** — windows during which a directed (or symmetric)
+  link carries nothing;
+* **transfer drops** — a per-attempt probability that a shipment is
+  lost in flight (per-link overrides supported);
+* **slow links** — a per-link degradation factor multiplying transfer
+  duration, which can push attempts past their retry timeout.
+
+Everything is deterministic: drops come from one seeded
+``random.Random``, and windows are evaluated against the injector's
+*logical clock*, which advances by the duration of every attempted
+shipment and every backoff wait.  Replaying the same execution with the
+same seed reproduces the same faults, which is what the fault-matrix
+smoke tests and the ABL9 benchmark rely on.
+
+The injector never participates in authorization: it decides whether
+bytes *arrive*, never whether they *may be sent* — the audit layer runs
+before any attempt is made.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.distributed.network import NetworkModel
+from repro.exceptions import ExecutionError
+
+#: Attempt statuses.
+STATUS_OK = "ok"
+STATUS_DROP = "drop"
+STATUS_SENDER_DOWN = "sender-down"
+STATUS_RECEIVER_DOWN = "receiver-down"
+STATUS_PARTITIONED = "partitioned"
+
+
+class AttemptOutcome:
+    """What the fault layer did to one shipment attempt.
+
+    Attributes:
+        status: one of the ``STATUS_*`` constants.
+        duration: how long the attempt occupied the wire (logical time
+            units; includes slow-link degradation).
+    """
+
+    __slots__ = ("status", "duration")
+
+    def __init__(self, status: str, duration: float) -> None:
+        self.status = status
+        self.duration = duration
+
+    @property
+    def ok(self) -> bool:
+        """Whether the bytes arrived."""
+        return self.status == STATUS_OK
+
+    def __repr__(self) -> str:
+        return f"AttemptOutcome({self.status}, {self.duration:.2f})"
+
+
+class _Window:
+    """A half-open downtime window ``[start, end)``; ``end=None`` is forever."""
+
+    __slots__ = ("start", "end")
+
+    def __init__(self, start: float, end: Optional[float]) -> None:
+        if start < 0:
+            raise ExecutionError("fault window start cannot be negative")
+        if end is not None and end <= start:
+            raise ExecutionError("fault window must end after it starts")
+        self.start = start
+        self.end = end
+
+    def contains(self, at: float) -> bool:
+        return at >= self.start and (self.end is None or at < self.end)
+
+    def as_tuple(self) -> Tuple[float, Optional[float]]:
+        return (self.start, self.end)
+
+
+class FaultInjector:
+    """Seeded, clocked fault model layered over a network model.
+
+    Args:
+        seed: seeds the drop RNG; same seed + same attempt sequence
+            reproduces the same faults.
+        network: link model pricing attempt durations (default: unit
+            bandwidth, zero latency).
+        drop_probability: default per-attempt loss probability.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        network: Optional[NetworkModel] = None,
+        drop_probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ExecutionError("drop_probability must be in [0, 1]")
+        self._rng = random.Random(seed)
+        self._seed = seed
+        self._network = network or NetworkModel()
+        self._drop_probability = drop_probability
+        self._link_drop: Dict[Tuple[str, str], float] = {}
+        self._slowdown: Dict[Tuple[str, str], float] = {}
+        self._crashes: Dict[str, List[_Window]] = {}
+        self._partitions: Dict[Tuple[str, str], List[_Window]] = {}
+        self._clock = 0.0
+        self._attempts = 0
+        self._failures = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def crash(self, server: str, start: float = 0.0, end: Optional[float] = None) -> None:
+        """Take ``server`` down during ``[start, end)`` of logical time."""
+        self._crashes.setdefault(server, []).append(_Window(start, end))
+
+    def partition(
+        self,
+        a: str,
+        b: str,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        symmetric: bool = True,
+    ) -> None:
+        """Cut the link ``a -> b`` (both directions when symmetric)."""
+        self._partitions.setdefault((a, b), []).append(_Window(start, end))
+        if symmetric:
+            self._partitions.setdefault((b, a), []).append(_Window(start, end))
+
+    def set_drop_probability(
+        self, probability: float, sender: Optional[str] = None, receiver: Optional[str] = None
+    ) -> None:
+        """Set the loss probability globally or for one directed link."""
+        if not 0.0 <= probability <= 1.0:
+            raise ExecutionError("drop probability must be in [0, 1]")
+        if sender is None or receiver is None:
+            self._drop_probability = probability
+        else:
+            self._link_drop[(sender, receiver)] = probability
+
+    def degrade_link(self, sender: str, receiver: str, factor: float) -> None:
+        """Multiply the duration of shipments over one directed link."""
+        if factor < 1.0:
+            raise ExecutionError("degradation factor must be >= 1")
+        self._slowdown[(sender, receiver)] = factor
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+
+    @property
+    def network(self) -> NetworkModel:
+        """The underlying link model."""
+        return self._network
+
+    @property
+    def clock(self) -> float:
+        """Current logical time (sum of attempt durations and waits)."""
+        return self._clock
+
+    @property
+    def attempt_count(self) -> int:
+        """Total shipment attempts observed."""
+        return self._attempts
+
+    @property
+    def failure_count(self) -> int:
+        """Attempts that did not deliver."""
+        return self._failures
+
+    def is_down(self, server: str, at: Optional[float] = None) -> bool:
+        """Whether ``server`` is crashed at ``at`` (default: now)."""
+        at = self._clock if at is None else at
+        return any(w.contains(at) for w in self._crashes.get(server, ()))
+
+    def down_servers(self, at: Optional[float] = None) -> Tuple[str, ...]:
+        """Servers crashed at ``at`` (default: now), sorted."""
+        return tuple(sorted(s for s in self._crashes if self.is_down(s, at)))
+
+    def is_partitioned(self, sender: str, receiver: str, at: Optional[float] = None) -> bool:
+        """Whether the directed link is cut at ``at`` (default: now)."""
+        at = self._clock if at is None else at
+        return any(w.contains(at) for w in self._partitions.get((sender, receiver), ()))
+
+    def downtime_windows(self) -> Dict[str, Tuple[Tuple[float, Optional[float]], ...]]:
+        """Crash windows per server, for the discrete-event simulator."""
+        return {
+            server: tuple(sorted((w.as_tuple() for w in windows)))
+            for server, windows in sorted(self._crashes.items())
+        }
+
+    def expected_cost(self, sender: str, receiver: str, byte_size: float) -> float:
+        """Undegraded transfer cost — the basis for retry timeouts."""
+        return self._network.transfer_cost(sender, receiver, byte_size)
+
+    # ------------------------------------------------------------------
+    # The fault surface
+    # ------------------------------------------------------------------
+
+    def attempt(self, sender: str, receiver: str, byte_size: float) -> AttemptOutcome:
+        """Subject one shipment attempt to the configured faults.
+
+        Evaluates crash windows and partitions at the current clock,
+        then draws for a drop; the clock advances by the attempt's
+        (possibly degraded) duration either way — a failed attempt still
+        spent time on the wire.
+        """
+        self._attempts += 1
+        duration = self.expected_cost(sender, receiver, byte_size)
+        duration *= self._slowdown.get((sender, receiver), 1.0)
+        if self.is_down(sender):
+            status = STATUS_SENDER_DOWN
+        elif self.is_down(receiver):
+            status = STATUS_RECEIVER_DOWN
+        elif self.is_partitioned(sender, receiver):
+            status = STATUS_PARTITIONED
+        else:
+            drop = self._link_drop.get((sender, receiver), self._drop_probability)
+            if drop > 0.0 and self._rng.random() < drop:
+                status = STATUS_DROP
+            else:
+                status = STATUS_OK
+        if status != STATUS_OK:
+            self._failures += 1
+        self._clock += duration
+        return AttemptOutcome(status, duration)
+
+    def wait(self, delay: float) -> None:
+        """Advance the logical clock by a backoff wait."""
+        if delay < 0:
+            raise ExecutionError("wait delay cannot be negative")
+        self._clock += delay
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(seed={self._seed}, drop={self._drop_probability}, "
+            f"crashes={sum(len(w) for w in self._crashes.values())}, "
+            f"partitions={sum(len(w) for w in self._partitions.values())}, "
+            f"clock={self._clock:.1f})"
+        )
+
+
+def fault_free() -> FaultInjector:
+    """An injector that never fails anything — useful to assert the
+    resilient path is behavior-identical to the plain path."""
+    return FaultInjector(seed=0, drop_probability=0.0)

@@ -63,7 +63,15 @@ class NetworkModel:
         """Cost of shipping ``byte_size`` bytes over one link.
 
         Local hand-offs (sender == receiver) are free.
+
+        Raises:
+            ExecutionError: on a negative ``byte_size`` — a negative
+                cost would corrupt simulation orderings downstream.
         """
+        if byte_size < 0:
+            raise ExecutionError(
+                f"byte_size cannot be negative (got {byte_size!r})"
+            )
         if sender == receiver:
             return 0.0
         latency, bandwidth = self.link(sender, receiver)

@@ -173,8 +173,16 @@ def build_query_tasks(
     def transfer_task(
         node_id: int, suffix: str, transfer: Transfer, deps: Tuple[str, ...]
     ) -> str:
-        duration = network.transfer_cost(
-            transfer.sender, transfer.receiver, transfer.byte_size
+        # Each failed attempt occupied the wire for a full shipment and
+        # was followed by its backoff wait, so a retried transfer lasts
+        # attempts x link cost + total retry delay.  With the fault-free
+        # defaults (1 attempt, no delay) this is the plain link cost.
+        duration = (
+            transfer.attempts
+            * network.transfer_cost(
+                transfer.sender, transfer.receiver, transfer.byte_size
+            )
+            + transfer.retry_delay
         )
         return add(
             Task(
@@ -203,8 +211,18 @@ def build_query_tasks(
             )
         )
 
+    skipped = assignment.skipped_node_ids()
     for node in plan:
         node_id = node.node_id
+        if node_id in skipped:
+            continue
+        if assignment.is_materialized(node_id):
+            # Failover reuse: the result already sits at its server; it
+            # anchors dependencies like a leaf and costs nothing.
+            sink_of[node_id] = compute_task(
+                node_id, "mat", assignment.master(node_id), 0.0, (), "materialized"
+            )
+            continue
         master = assignment.master(node_id)
         if isinstance(node, LeafNode):
             # Scanning the base relation: charge an approximation of its
@@ -289,13 +307,43 @@ class MultiQuerySimulator:
         compute_rate: bytes a server processes per time unit.
         network: link model for transfer durations (default: unit
             bandwidth, zero latency).
+        downtime: per-server crash windows ``{server: [(start, end),
+            ...]}`` (``end=None`` means the server never recovers); a
+            compute task cannot start inside a window — its start shifts
+            to the recovery point, pushing the makespan out.  Use
+            :meth:`~repro.distributed.faults.FaultInjector.downtime_windows`
+            to feed an injector's schedule in.
     """
 
     def __init__(
-        self, compute_rate: float = 100.0, network: Optional[NetworkModel] = None
+        self,
+        compute_rate: float = 100.0,
+        network: Optional[NetworkModel] = None,
+        downtime: Optional[
+            Mapping[str, Sequence[Tuple[float, Optional[float]]]]
+        ] = None,
     ) -> None:
         self._compute_rate = compute_rate
         self._network = network or NetworkModel()
+        self._downtime: Dict[str, Tuple[Tuple[float, Optional[float]], ...]] = {}
+        for server, windows in (downtime or {}).items():
+            self._downtime[server] = tuple(
+                sorted((float(start), end) for start, end in windows)
+            )
+
+    def _available_at(self, server: str, start: float) -> float:
+        """Earliest time >= ``start`` at which ``server`` is up."""
+        for window_start, window_end in self._downtime.get(server, ()):
+            if start < window_start:
+                break
+            if window_end is None:
+                raise ExecutionError(
+                    f"server {server!r} never recovers after {window_start}; "
+                    "its tasks cannot be scheduled"
+                )
+            if start < window_end:
+                start = window_end
+        return start
 
     def run(
         self,
@@ -354,6 +402,8 @@ class MultiQuerySimulator:
             if task.kind == "compute":
                 server = task.resource or ""
                 start = max(ready_time, server_free.get(server, 0.0))
+                if self._downtime:
+                    start = self._available_at(server, start)
                 end = start + task.duration
                 server_free[server] = end
                 busy_time[server] = busy_time.get(server, 0.0) + task.duration

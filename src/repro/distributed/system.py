@@ -29,17 +29,24 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.algebra.builder import QuerySpec, build_plan
 from repro.algebra.optimizer import enumerate_join_orders
 from repro.algebra.schema import Catalog
-from repro.algebra.tree import QueryTreePlan
+from repro.algebra.tree import LeafNode, QueryTreePlan
 from repro.core.assignment import Assignment
 from repro.core.authorization import Policy
 from repro.core.closure import close_policy
 from repro.core.planner import PlannerTrace, SafePlanner
 from repro.core.safety import verify_assignment
 from repro.core.thirdparty import ThirdPartyPlanner
+from repro.distributed.faults import FaultInjector
 from repro.distributed.server import Server
 from repro.engine.data import Table
 from repro.engine.executor import DistributedExecutor, ExecutionResult
-from repro.exceptions import ExecutionError, InfeasiblePlanError
+from repro.engine.resilience import RetryPolicy
+from repro.exceptions import (
+    DegradedExecutionError,
+    ExecutionError,
+    InfeasiblePlanError,
+    TransferFailedError,
+)
 
 Query = Union[str, QuerySpec]
 
@@ -68,10 +75,7 @@ class DistributedSystem:
         self._explicit_policy = policy
         self._policy = close_policy(policy, catalog) if apply_closure else policy
         self._third_parties = tuple(third_parties)
-        if self._third_parties:
-            self._planner: SafePlanner = ThirdPartyPlanner(self._policy, self._third_parties)
-        else:
-            self._planner = SafePlanner(self._policy)
+        self._planner = self._make_planner()
         self._servers: Dict[str, Server] = {}
         for schema in catalog.relations():
             if schema.server is None:
@@ -82,6 +86,24 @@ class DistributedSystem:
             server.host_relation(schema)
         for name in self._third_parties:
             self._servers.setdefault(name, Server(name))
+
+    def _make_planner(
+        self,
+        excluded_servers: Sequence[str] = (),
+        pinned: Optional[Mapping[int, str]] = None,
+    ) -> SafePlanner:
+        """A planner of this system's flavor, optionally restricted to
+        surviving servers and seeded with materialized subtrees."""
+        if self._third_parties:
+            return ThirdPartyPlanner(
+                self._policy,
+                self._third_parties,
+                excluded_servers=excluded_servers,
+                pinned=pinned,
+            )
+        return SafePlanner(
+            self._policy, excluded_servers=excluded_servers, pinned=pinned
+        )
 
     # ------------------------------------------------------------------
     # Accessors
@@ -208,6 +230,9 @@ class DistributedSystem:
         recipient: Optional[str] = None,
         search_join_orders: bool = False,
         verify: bool = True,
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        max_failovers: int = 3,
     ) -> ExecutionResult:
         """Plan and run a query end-to-end, audited.
 
@@ -218,20 +243,146 @@ class DistributedSystem:
             search_join_orders: see :meth:`plan`.
             verify: re-check the assignment with the independent verifier
                 before running (defense in depth; on by default).
+            faults: optional fault injector; when given, every shipment
+                is retried under ``retry`` and exhausted failures trigger
+                failover — re-planning restricted to surviving servers,
+                reusing completed subtrees whose results survived.  Every
+                re-planned assignment passes the same verifier and audit
+                as the original; when no safe alternative exists the
+                query *degrades* (raises) rather than run unsafely.
+            retry: retry policy for fault-aware runs (default
+                :class:`~repro.engine.resilience.RetryPolicy`).
+            max_failovers: re-planning rounds before giving up.
 
         Raises:
             InfeasiblePlanError: when no safe assignment exists.
             UnsafeAssignmentError: if verification fails (planner bug).
             AuditViolationError: if a runtime transfer escapes the policy
                 (engine bug — verification should have caught it).
+            DegradedExecutionError: fault-aware runs only — retries and
+                failover are exhausted, or no safe assignment survives
+                the crashed servers.
         """
         tree, assignment, _ = self.plan(query, search_join_orders=search_join_orders)
         if verify:
             verify_assignment(self._policy, assignment, recipient=recipient)
-        executor = DistributedExecutor(
-            assignment, self.tables(), policy=self._policy, enforce=True
+        if faults is None:
+            executor = DistributedExecutor(
+                assignment, self.tables(), policy=self._policy, enforce=True
+            )
+            return executor.run(recipient=recipient)
+        return self._execute_resilient(
+            tree,
+            assignment,
+            recipient,
+            verify,
+            faults,
+            retry if retry is not None else RetryPolicy(),
+            max_failovers,
         )
-        return executor.run(recipient=recipient)
+
+    def _execute_resilient(
+        self,
+        tree: QueryTreePlan,
+        assignment: Assignment,
+        recipient: Optional[str],
+        verify: bool,
+        faults: FaultInjector,
+        retry: RetryPolicy,
+        max_failovers: int,
+    ) -> ExecutionResult:
+        """Run with retry + authorization-safe failover.
+
+        Each round executes the current assignment through the fault
+        layer.  On a failed shipment the query is re-planned restricted
+        to the surviving servers, pinning completed subtrees whose
+        results sit at live servers (re-execution resumes from the last
+        completed subtree); if pinning over-constrains the search the
+        round falls back to a full restricted re-plan.  Safety is never
+        relaxed: every re-planned assignment is independently verified
+        and audited, and exhausting all rounds raises
+        :class:`~repro.exceptions.DegradedExecutionError`.
+        """
+        reuse: Dict[int, Table] = {}
+        failovers = 0
+        while True:
+            executor = DistributedExecutor(
+                assignment,
+                self.tables(),
+                policy=self._policy,
+                enforce=True,
+                faults=faults,
+                retry=retry,
+                reuse=reuse,
+            )
+            try:
+                result = executor.run(recipient=recipient)
+                result.failovers = failovers
+                return result
+            except TransferFailedError as error:
+                failovers += 1
+                if failovers > max_failovers:
+                    raise DegradedExecutionError(
+                        f"execution failed after {max_failovers} failover "
+                        f"rounds; last failure: {error}",
+                        excluded_servers=faults.down_servers(),
+                        failovers=failovers - 1,
+                    ) from error
+                excluded = set(faults.down_servers())
+                completed = executor.completed_subtrees()
+                completed.update(
+                    {
+                        node_id: (assignment.materialized_server(node_id), table)
+                        for node_id, table in reuse.items()
+                    }
+                )
+                pinned = {
+                    node_id: server
+                    for node_id, (server, _) in completed.items()
+                    if server not in excluded
+                    and not isinstance(tree.node(node_id), LeafNode)
+                }
+                assignment, pinned = self._replan_restricted(
+                    tree, excluded, pinned, error
+                )
+                if verify:
+                    verify_assignment(self._policy, assignment, recipient=recipient)
+                reuse = {
+                    node_id: completed[node_id][1]
+                    for node_id in assignment.materialized_nodes()
+                    if node_id in completed
+                }
+
+    def _replan_restricted(
+        self,
+        tree: QueryTreePlan,
+        excluded: set,
+        pinned: Mapping[int, str],
+        cause: TransferFailedError,
+    ) -> Tuple[Assignment, Mapping[int, str]]:
+        """Re-plan on surviving servers, preferring subtree reuse.
+
+        Tries the pinned (resume-from-completed-subtrees) plan first,
+        then a full re-plan without pinning; raises
+        :class:`~repro.exceptions.DegradedExecutionError` when neither
+        admits a safe assignment.
+        """
+        attempts = [pinned, {}] if pinned else [{}]
+        last_error: Optional[InfeasiblePlanError] = None
+        for pins in attempts:
+            try:
+                planner = self._make_planner(
+                    excluded_servers=tuple(sorted(excluded)), pinned=pins
+                )
+                assignment, _ = planner.plan(tree)
+                return assignment, pins
+            except InfeasiblePlanError as error:
+                last_error = error
+        raise DegradedExecutionError(
+            "no safe assignment survives the current faults "
+            f"(excluded: {sorted(excluded)}); last failure: {cause}",
+            excluded_servers=excluded,
+        ) from last_error
 
     def simulate_concurrent(
         self,
@@ -239,6 +390,7 @@ class DistributedSystem:
         compute_rate: float = 100.0,
         network=None,
         arrival_times: Optional[Sequence[float]] = None,
+        downtime=None,
     ):
         """Plan, execute and then simulate ``queries`` running together.
 
@@ -251,6 +403,10 @@ class DistributedSystem:
             compute_rate: bytes a server processes per time unit.
             network: optional :class:`~repro.distributed.network.NetworkModel`.
             arrival_times: per-query submission times (default all 0).
+            downtime: optional per-server crash windows (e.g. from
+                :meth:`FaultInjector.downtime_windows
+                <repro.distributed.faults.FaultInjector.downtime_windows>`)
+                blocking compute during outages.
 
         Returns:
             A :class:`~repro.distributed.simulation.SimulationResult`.
@@ -268,7 +424,9 @@ class DistributedSystem:
                 assignment, self.tables(), policy=self._policy
             ).run()
             runs.append((assignment, result.transfers))
-        simulator = MultiQuerySimulator(compute_rate=compute_rate, network=network)
+        simulator = MultiQuerySimulator(
+            compute_rate=compute_rate, network=network, downtime=downtime
+        )
         return simulator.run(runs, arrival_times=arrival_times)
 
     def describe(self) -> str:

@@ -23,6 +23,12 @@ from repro.engine.operators import evaluate_plan
 from repro.engine.transfers import Transfer, TransferLog
 from repro.engine.audit import AuditLog
 from repro.engine.executor import DistributedExecutor, ExecutionResult
+from repro.engine.resilience import (
+    AttemptRecord,
+    RetryPolicy,
+    ShipmentReport,
+    attempt_shipment,
+)
 from repro.engine.coster import CostModel, TableStats, estimate_assignment_cost
 from repro.engine.timeline import Timeline, TimelineEvent, simulate_timeline
 
@@ -37,6 +43,10 @@ __all__ = [
     "AuditLog",
     "DistributedExecutor",
     "ExecutionResult",
+    "AttemptRecord",
+    "RetryPolicy",
+    "ShipmentReport",
+    "attempt_shipment",
     "CostModel",
     "TableStats",
     "estimate_assignment_cost",

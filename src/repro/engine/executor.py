@@ -29,8 +29,9 @@ from repro.core.flows import semi_join_probe_profile, semi_join_result_profile
 from repro.core.profile import RelationProfile
 from repro.engine.audit import AuditLog
 from repro.engine.data import Table
+from repro.engine.resilience import RetryPolicy, attempt_shipment
 from repro.engine.transfers import Transfer, TransferLog
-from repro.exceptions import ExecutionError
+from repro.exceptions import ExecutionError, TransferFailedError
 
 
 class ExecutionResult:
@@ -42,9 +43,11 @@ class ExecutionResult:
             recipient when one was given).
         transfers: every cross-server shipment performed.
         audit: the audit log (``None`` for unaudited runs).
+        failovers: how many times the execution was re-planned onto
+            surviving servers before completing (0 for fault-free runs).
     """
 
-    __slots__ = ("table", "result_server", "transfers", "audit")
+    __slots__ = ("table", "result_server", "transfers", "audit", "failovers")
 
     def __init__(
         self,
@@ -52,11 +55,31 @@ class ExecutionResult:
         result_server: str,
         transfers: TransferLog,
         audit: Optional[AuditLog],
+        failovers: int = 0,
     ) -> None:
         self.table = table
         self.result_server = result_server
         self.transfers = transfers
         self.audit = audit
+        self.failovers = failovers
+
+    def summary(self) -> str:
+        """One line: rows, transfers, retries, failovers, audit outcome.
+
+        Used by the CLI's ``execute`` command and the fault benchmarks.
+        """
+        retries = self.transfers.total_retries()
+        if self.audit is None:
+            audit = "unaudited"
+        elif self.audit.all_authorized():
+            audit = "clean"
+        else:
+            audit = f"{len(self.audit.violations)} violations"
+        return (
+            f"{len(self.table)} rows at {self.result_server} | "
+            f"{len(self.transfers)} transfers / {self.transfers.total_bytes()} B | "
+            f"{retries} retries | {self.failovers} failovers | audit {audit}"
+        )
 
     def __repr__(self) -> str:
         return (
@@ -76,6 +99,19 @@ class DistributedExecutor:
         enforce: forwarded to :class:`~repro.engine.audit.AuditLog`;
             with ``enforce=False`` violations are recorded, not raised
             (useful to measure what an unsafe strategy would leak).
+        faults: optional fault injector (see
+            :class:`~repro.distributed.faults.FaultInjector`); when
+            given, every shipment is attempted through it under
+            ``retry``, attempt counts are recorded on each transfer and
+            exhausted retries raise
+            :class:`~repro.exceptions.TransferFailedError`.  When
+            ``None`` (the default) the execution path is exactly the
+            fault-unaware one.
+        retry: retry policy for fault-aware shipping (default: a fresh
+            :class:`~repro.engine.resilience.RetryPolicy`).
+        reuse: ``node_id -> Table`` results materialized by an earlier
+            execution attempt; required for every node the assignment
+            marks materialized.
     """
 
     def __init__(
@@ -84,12 +120,26 @@ class DistributedExecutor:
         tables: Mapping[str, Table],
         policy=None,
         enforce: bool = True,
+        faults=None,
+        retry: Optional[RetryPolicy] = None,
+        reuse: Optional[Mapping[int, Table]] = None,
     ) -> None:
         assignment.validate_structure()
         self._assignment = assignment
         self._tables = dict(tables)
         self._log = TransferLog()
         self._audit = AuditLog(policy, enforce=enforce) if policy is not None else None
+        self._faults = faults
+        self._retry = retry if retry is not None else (RetryPolicy() if faults is not None else None)
+        self._reuse = dict(reuse or {})
+        self._completed: Dict[int, Tuple[str, Table]] = {}
+
+    def completed_subtrees(self) -> Dict[int, Tuple[str, Table]]:
+        """Node results that materialized before a failure, keyed by node
+        id, each with the server holding it.  Populated only for
+        fault-aware runs; the failover layer feeds surviving entries back
+        as ``reuse`` after re-planning."""
+        return dict(self._completed)
 
     def run(self, recipient: Optional[str] = None) -> ExecutionResult:
         """Execute the plan; optionally deliver the result to ``recipient``.
@@ -119,6 +169,22 @@ class DistributedExecutor:
     # ------------------------------------------------------------------
 
     def _execute(self, node: PlanNode) -> Table:
+        if self._assignment.is_materialized(node.node_id):
+            if node.node_id not in self._reuse:
+                raise ExecutionError(
+                    f"node n{node.node_id} is marked materialized but no "
+                    "reused result was provided"
+                )
+            return self._reuse[node.node_id]
+        table = self._execute_node(node)
+        if self._faults is not None and not isinstance(node, LeafNode):
+            self._completed[node.node_id] = (
+                self._assignment.master(node.node_id),
+                table,
+            )
+        return table
+
+    def _execute_node(self, node: PlanNode) -> Table:
         if isinstance(node, LeafNode):
             name = node.relation.name
             if name not in self._tables:
@@ -229,7 +295,12 @@ class DistributedExecutor:
         description: str,
         node_id: int,
     ) -> Table:
-        """Move a table across servers: audit, then record the transfer."""
+        """Move a table across servers: audit, attempt, record.
+
+        The authorization check always precedes any shipment attempt —
+        unauthorized bytes never reach the fault layer, so faults can
+        only delay or deny data the policy already permits.
+        """
         if sender == receiver:
             return table
         authorized_by = None
@@ -244,6 +315,23 @@ class DistributedExecutor:
                 # violation (measure-only runs).
                 self._audit.check(sender, receiver, profile)
                 violation = True
+        attempts, outcomes, retry_delay = 1, ("ok",), 0.0
+        if self._faults is not None:
+            report = attempt_shipment(
+                self._faults, self._retry, sender, receiver, table.byte_size()
+            )
+            if not report.delivered:
+                raise TransferFailedError(
+                    f"{description}: shipment {sender} -> {receiver} failed "
+                    f"after {report.attempt_count} attempts "
+                    f"(last: {report.last_status})",
+                    sender=sender,
+                    receiver=receiver,
+                    report=report,
+                )
+            attempts = report.attempt_count
+            outcomes = report.outcomes
+            retry_delay = report.retry_delay
         transfer = Transfer(
             sender=sender,
             receiver=receiver,
@@ -253,6 +341,9 @@ class DistributedExecutor:
             description=description,
             node_id=node_id,
             authorized_by=authorized_by,
+            attempts=attempts,
+            outcomes=outcomes,
+            retry_delay=retry_delay,
         )
         self._log.record(transfer)
         if self._audit is not None:

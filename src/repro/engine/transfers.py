@@ -33,6 +33,9 @@ class Transfer:
         node_id: plan node whose execution caused the shipment.
         authorized_by: the covering authorization, or ``None`` when the
             transfer was performed unaudited.
+        attempts: shipment attempts made (1 for fault-free runs).
+        outcomes: per-attempt statuses (``("ok",)`` for fault-free runs).
+        retry_delay: total backoff time waited before delivery.
     """
 
     __slots__ = (
@@ -44,6 +47,9 @@ class Transfer:
         "description",
         "node_id",
         "authorized_by",
+        "attempts",
+        "outcomes",
+        "retry_delay",
     )
 
     def __init__(
@@ -56,6 +62,9 @@ class Transfer:
         description: str,
         node_id: int,
         authorized_by: Optional[Authorization] = None,
+        attempts: int = 1,
+        outcomes: Tuple[str, ...] = ("ok",),
+        retry_delay: float = 0.0,
     ) -> None:
         self.sender = sender
         self.receiver = receiver
@@ -65,6 +74,9 @@ class Transfer:
         self.description = description
         self.node_id = node_id
         self.authorized_by = authorized_by
+        self.attempts = attempts
+        self.outcomes = outcomes
+        self.retry_delay = retry_delay
 
     def __repr__(self) -> str:
         return (
@@ -111,6 +123,14 @@ class TransferLog:
             nodes[transfer.node_id] = nodes.get(transfer.node_id, 0) + transfer.byte_size
         return dict(sorted(nodes.items()))
 
+    def total_retries(self) -> int:
+        """Failed attempts absorbed by retries across all transfers."""
+        return sum(t.attempts - 1 for t in self._transfers)
+
+    def total_retry_delay(self) -> float:
+        """Total backoff time waited across all transfers."""
+        return sum(t.retry_delay for t in self._transfers)
+
     def __len__(self) -> int:
         return len(self._transfers)
 
@@ -122,6 +142,7 @@ class TransferLog:
         lines = [
             f"{t.sender} -> {t.receiver}: {t.row_count} rows / {t.byte_size} B "
             f"({t.description})"
+            + (f" [{t.attempts} attempts]" if t.attempts > 1 else "")
             for t in self._transfers
         ]
         lines.append(

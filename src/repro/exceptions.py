@@ -124,3 +124,43 @@ class AuditViolationError(ExecutionError):
         super().__init__(message)
         self.sender = sender
         self.receiver = receiver
+
+
+class FaultError(ExecutionError):
+    """Base class for injected-fault runtime failures."""
+
+
+class TransferFailedError(FaultError):
+    """A shipment failed on every allowed attempt.
+
+    Carries the failing link and the per-attempt outcome report so the
+    failover layer can decide which servers to route around.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        sender: str = "",
+        receiver: str = "",
+        report=None,
+    ) -> None:
+        super().__init__(message)
+        self.sender = sender
+        self.receiver = receiver
+        self.report = report
+
+
+class DegradedExecutionError(FaultError):
+    """No *safe* alternative assignment survives the current faults.
+
+    Raised by the failover layer when retries are exhausted and
+    re-planning restricted to the surviving servers finds no assignment
+    that satisfies the policy (Definition 4.3).  The authorization model
+    is never weakened to keep a query alive: an unanswerable query
+    degrades, it does not leak.
+    """
+
+    def __init__(self, message: str, excluded_servers=(), failovers: int = 0) -> None:
+        super().__init__(message)
+        self.excluded_servers = tuple(sorted(excluded_servers))
+        self.failovers = failovers

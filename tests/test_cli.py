@@ -229,3 +229,52 @@ class TestCheck:
             "Plan",
         )
         assert code == 1  # S_T holds no rules; denied, but system built fine
+
+
+class TestExecuteFaults:
+    def test_execute_with_drop_rate(self):
+        code, text = run_cli(
+            "execute", "--sql", PAPER_SQL, "--citizens", "40",
+            "--drop-rate", "0.3", "--fault-seed", "3",
+        )
+        assert code == 0
+        assert "failovers" in text
+        assert "audit clean" in text
+        assert "FaultInjector(seed=3" in text
+
+    def test_execute_fault_runs_are_deterministic(self):
+        argv = (
+            "execute", "--sql", PAPER_SQL, "--citizens", "40",
+            "--drop-rate", "0.4", "--fault-seed", "11",
+        )
+        first = run_cli(*argv)
+        assert first == run_cli(*argv)
+
+    def test_execute_degrades_on_eternal_crash(self):
+        code, text = run_cli(
+            "execute", "--sql", PAPER_SQL, "--citizens", "30",
+            "--crash", "S_N:0", "--max-failovers", "1",
+        )
+        assert code == 3
+        assert "degraded" in text
+
+    def test_execute_survives_transient_crash(self):
+        code, text = run_cli(
+            "execute", "--sql", PAPER_SQL, "--citizens", "30",
+            "--crash", "S_N:0:1",
+        )
+        assert code == 0
+        assert "audit clean" in text
+
+    def test_execute_rejects_bad_crash_spec(self):
+        code, text = run_cli(
+            "execute", "--sql", PAPER_SQL, "--crash", "S_N", "--citizens", "30"
+        )
+        assert code == 2
+        assert "bad crash spec" in text
+
+    def test_execute_summary_line_present(self):
+        code, text = run_cli("execute", "--sql", PAPER_SQL, "--citizens", "40")
+        assert code == 0
+        assert "result:" in text
+        assert "0 retries | 0 failovers" in text

@@ -479,3 +479,83 @@ class TestTableProperties:
         right = Table(["c", "d"], right_rows)
         path = JoinPath.of(("a", "c"))
         assert left.equi_join(right, path) == right.equi_join(left, path)
+
+
+class TestFaultToleranceProperties:
+    """No fault schedule may ever yield an unauthorized transfer.
+
+    Executions run with ``verify=True``, so every re-planned assignment
+    passes through :func:`verify_assignment` — an unsafe failover plan
+    would raise ``UnsafeAssignmentError`` and fail the property.  A run
+    either completes with the exact centralized result and a clean
+    audit, or degrades loudly.
+    """
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(0, 10_000),
+        fault_seed=st.integers(0, 1_000),
+        drop=st.floats(0.0, 0.6),
+        crash_victim=st.integers(0, 2),
+        size=st.integers(2, 4),
+    )
+    def test_execution_under_faults_is_safe_or_degrades(
+        self, seed, fault_seed, drop, crash_victim, size
+    ):
+        from repro.distributed.faults import FaultInjector
+        from repro.distributed.system import DistributedSystem
+        from repro.engine.resilience import RetryPolicy
+        from repro.exceptions import DegradedExecutionError
+
+        workload = _workload(seed, dense=True)
+        spec = workload.random_query(relations=size)
+        plan = build_plan(workload.catalog, spec)
+        system = DistributedSystem(
+            workload.catalog, workload.policy, apply_closure=False
+        )
+        instances = workload.generate_instances()
+        system.load_instances(instances)
+        faults = FaultInjector(seed=fault_seed, drop_probability=drop)
+        faults.crash(f"S{crash_victim}", start=50.0, end=200.0)
+        try:
+            result = system.execute(
+                spec,
+                faults=faults,
+                retry=RetryPolicy(max_attempts=3, base_delay=1.0),
+                max_failovers=2,
+            )
+        except (InfeasiblePlanError, DegradedExecutionError):
+            return  # degrading loudly is always acceptable
+        tables = {
+            r.name: Table.from_rows(r.attributes, instances[r.name])
+            for r in workload.catalog.relations()
+        }
+        assert result.table == evaluate_plan(plan, tables)
+        assert result.audit is not None and result.audit.all_authorized()
+        for transfer in result.transfers:
+            assert transfer.authorized_by is not None
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(0, 10_000),
+        dense=st.booleans(),
+        excluded=st.integers(0, 2),
+        size=st.integers(2, 4),
+    )
+    def test_restricted_planner_avoids_excluded_and_stays_safe(
+        self, seed, dense, excluded, size
+    ):
+        workload = _workload(seed, dense=dense)
+        spec = workload.random_query(relations=size)
+        plan = build_plan(workload.catalog, spec)
+        server = f"S{excluded}"
+        try:
+            assignment, _ = SafePlanner(
+                workload.policy, excluded_servers=(server,)
+            ).plan(plan)
+        except InfeasiblePlanError:
+            return
+        for _, executor in assignment.items():
+            assert executor.master != server
+            assert executor.slave != server
+        verify_assignment(workload.policy, assignment)
