@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults bench examples verify clean
+.PHONY: install test test-faults bench bench-kernel examples verify clean
 
 install:
 	pip install -e .
@@ -18,6 +18,13 @@ test-faults:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Representation-kernel benchmarks: CanView micro-throughput vs the
+# seed implementation (asserts the >=3x floor), closure fixpoint and
+# end-to-end planner runs.  Included in `make bench`; this target runs
+# them alone.
+bench-kernel:
+	$(PYTHON) -m pytest benchmarks/bench_abl10_kernel.py --benchmark-only -s
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

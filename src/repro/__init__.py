@@ -25,6 +25,8 @@ reproduced figures.
 """
 
 from repro.algebra import (
+    AttributeUniverse,
+    AttrSet,
     Catalog,
     JoinCondition,
     JoinPath,
@@ -32,6 +34,7 @@ from repro.algebra import (
     QueryTreePlan,
     RelationSchema,
     build_plan,
+    intern_path,
 )
 from repro.algebra.predicates import Comparison, Predicate
 from repro.core import (
@@ -83,8 +86,11 @@ __all__ = [
     # algebra
     "Catalog",
     "RelationSchema",
+    "AttrSet",
+    "AttributeUniverse",
     "JoinCondition",
     "JoinPath",
+    "intern_path",
     "Comparison",
     "Predicate",
     "QuerySpec",

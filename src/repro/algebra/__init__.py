@@ -8,7 +8,8 @@ minimization (Figure 2).
 """
 
 from repro.algebra.attributes import AttributeSet, attribute_set, validate_attribute_name
-from repro.algebra.joins import JoinCondition, JoinPath
+from repro.algebra.joins import JoinCondition, JoinPath, intern_path
+from repro.algebra.universe import AttrSet, AttributeUniverse
 from repro.algebra.predicates import Comparison, Predicate
 from repro.algebra.schema import Catalog, RelationSchema
 from repro.algebra.expression import (
@@ -24,10 +25,13 @@ from repro.algebra.optimizer import enumerate_join_orders, optimize_join_order
 
 __all__ = [
     "AttributeSet",
+    "AttrSet",
+    "AttributeUniverse",
     "attribute_set",
     "validate_attribute_name",
     "JoinCondition",
     "JoinPath",
+    "intern_path",
     "Comparison",
     "Predicate",
     "Catalog",

@@ -29,6 +29,13 @@ EMPTY_ATTRIBUTES: AttributeSet = frozenset()
 _NAME_PART = r"[A-Za-z_][A-Za-z0-9_]*"
 _NAME_RE = re.compile(rf"^{_NAME_PART}(\.{_NAME_PART}){{0,2}}$")
 
+#: Names that already passed validation.  Attribute names recur millions
+#: of times across profile composition and policy checks; re-matching the
+#: regex dominates otherwise.  Bounded so adversarial name streams cannot
+#: grow it without limit.
+_VALIDATED: set = set()
+_MAX_VALIDATED = 1 << 20
+
 
 def validate_attribute_name(name: str) -> str:
     """Validate and return an attribute name.
@@ -40,19 +47,35 @@ def validate_attribute_name(name: str) -> str:
     Raises:
         SchemaError: if ``name`` is not a valid attribute name.
     """
+    try:
+        if name in _VALIDATED:
+            return name
+    except TypeError:
+        pass
     if not isinstance(name, str):
         raise SchemaError(f"attribute name must be a string, got {type(name).__name__}")
     if not _NAME_RE.match(name):
         raise SchemaError(f"invalid attribute name: {name!r}")
+    if len(_VALIDATED) < _MAX_VALIDATED:
+        _VALIDATED.add(name)
     return name
 
 
 def attribute_set(attributes: Iterable[str]) -> AttributeSet:
     """Build a validated :data:`AttributeSet` from an iterable of names.
 
+    Already-built frozensets (including interned
+    :class:`~repro.algebra.universe.AttrSet` instances, whose members
+    were validated when interned) pass through unchanged, so repeated
+    normalization along profile composition is free.
+
     >>> sorted(attribute_set(["Holder", "Plan"]))
     ['Holder', 'Plan']
     """
+    if isinstance(attributes, frozenset):
+        for name in attributes:
+            validate_attribute_name(name)
+        return attributes
     return frozenset(validate_attribute_name(a) for a in attributes)
 
 

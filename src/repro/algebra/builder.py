@@ -139,6 +139,10 @@ def build_plan(
             attributes not produced by the FROM clause).
         UnknownAttributeError / UnknownRelationError: on unresolved names.
     """
+    # Activate the catalog's representation kernel: from here on every
+    # schema's attribute set is the interned bitset form, so the profiles
+    # the planner derives from this plan carry masks throughout.
+    catalog.universe
     schemas = [catalog.relation(name) for name in spec.relations]
     available: set = set()
     for schema in schemas:
@@ -347,6 +351,10 @@ def build_bushy_plan(catalog: Catalog, spec: QuerySpec) -> QueryTreePlan:
             (no condition bridges the halves) — such specs are left-deep
             only; and on the same structural errors as :func:`build_plan`.
     """
+    # Activate the catalog's representation kernel: from here on every
+    # schema's attribute set is the interned bitset form, so the profiles
+    # the planner derives from this plan carry masks throughout.
+    catalog.universe
     schemas = [catalog.relation(name) for name in spec.relations]
     available: set = set()
     for schema in schemas:

@@ -23,14 +23,29 @@ Two requirements drive the representation chosen here:
 A ``<J_l, J_r>`` conjunction with ``len(J_l) == len(J_r) == k`` decomposes
 into ``k`` atomic :class:`JoinCondition` objects; :meth:`JoinPath.of_pairs`
 performs the decomposition.
+
+Because join-path equality sits on the hottest paths of the system (every
+``CanView`` probe keys on it, every policy index buckets by it), paths
+built through the public constructors and combinators are **interned**:
+structurally equal paths share one canonical instance, so equality is
+usually an identity check and hashes are computed once.  Direct
+``JoinPath(...)`` construction remains supported and remains value-equal
+to the canonical instance — interning is an optimization, never a
+semantic requirement.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Iterator, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Sequence, Tuple
 
 from repro.algebra.attributes import AttributeSet, validate_attribute_name
 from repro.exceptions import JoinPathError
+
+#: Caps on the intern pools.  Past them, construction simply stops
+#: memoizing (still correct, value-equality does the work), so pathological
+#: workloads cannot grow the pools without bound.
+_MAX_INTERNED_CONDITIONS = 1 << 16
+_MAX_INTERNED_PATHS = 1 << 16
 
 
 class JoinCondition:
@@ -42,7 +57,9 @@ class JoinCondition:
     paper's globally-unique-attribute-names assumption.
     """
 
-    __slots__ = ("_first", "_second")
+    __slots__ = ("_first", "_second", "_hash", "_attrs")
+
+    _POOL: Dict[Tuple[str, str], "JoinCondition"] = {}
 
     def __init__(self, left: str, right: str) -> None:
         left = validate_attribute_name(left)
@@ -56,6 +73,20 @@ class JoinCondition:
             self._first, self._second = left, right
         else:
             self._first, self._second = right, left
+        self._hash = hash((self._first, self._second))
+        self._attrs: AttributeSet = None  # type: ignore[assignment]
+
+    @classmethod
+    def of(cls, left: str, right: str) -> "JoinCondition":
+        """Interned constructor: equal conditions share one instance."""
+        key = (left, right) if left <= right else (right, left)
+        cached = cls._POOL.get(key)
+        if cached is not None:
+            return cached
+        condition = cls(left, right)
+        if len(cls._POOL) < _MAX_INTERNED_CONDITIONS:
+            cls._POOL[(condition._first, condition._second)] = condition
+        return condition
 
     @property
     def first(self) -> str:
@@ -70,7 +101,9 @@ class JoinCondition:
     @property
     def attributes(self) -> AttributeSet:
         """The two attributes equated by this condition."""
-        return frozenset((self._first, self._second))
+        if self._attrs is None:
+            self._attrs = frozenset((self._first, self._second))
+        return self._attrs
 
     def mentions(self, attribute: str) -> bool:
         """Whether ``attribute`` participates in this condition."""
@@ -89,12 +122,14 @@ class JoinCondition:
         raise JoinPathError(f"{attribute!r} does not appear in {self}")
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, JoinCondition):
             return NotImplemented
         return self._first == other._first and self._second == other._second
 
     def __hash__(self) -> int:
-        return hash((self._first, self._second))
+        return self._hash
 
     def __lt__(self, other: "JoinCondition") -> bool:
         if not isinstance(other, JoinCondition):
@@ -115,11 +150,16 @@ class JoinPath:
     relation.  Join paths form a commutative, idempotent monoid under
     :meth:`union`, which is exactly what the Figure 4 composition rules
     require (:math:`R^\\bowtie = R_l^\\bowtie \\cup R_r^\\bowtie \\cup j`).
+
+    Hashes, sorted renderings, mentioned-attribute sets and the canonical
+    sort key are all computed once per instance; combinators return
+    interned canonical instances (see the module docstring).
     """
 
-    __slots__ = ("_conditions",)
+    __slots__ = ("_conditions", "_hash", "_key", "_attrs", "_sorted")
 
     _EMPTY: "JoinPath" = None  # type: ignore[assignment]
+    _POOL: Dict[FrozenSet[JoinCondition], "JoinPath"] = {}
 
     def __init__(self, conditions: Iterable[JoinCondition] = ()) -> None:
         conds = frozenset(conditions)
@@ -129,12 +169,33 @@ class JoinPath:
                     f"join path elements must be JoinCondition, got {type(cond).__name__}"
                 )
         self._conditions = conds
+        self._hash = hash(conds)
+        self._key: Tuple[Tuple[str, str], ...] = None  # type: ignore[assignment]
+        self._attrs: AttributeSet = None  # type: ignore[assignment]
+        self._sorted: Tuple[JoinCondition, ...] = None  # type: ignore[assignment]
+
+    @classmethod
+    def interned(cls, conditions: Iterable[JoinCondition]) -> "JoinPath":
+        """The canonical shared instance for ``conditions``.
+
+        Structurally equal paths interned through this constructor are
+        the *same* object, so downstream equality checks (the Definition
+        3.3 clause 2, policy index probes) reduce to identity.
+        """
+        conds = conditions if isinstance(conditions, frozenset) else frozenset(conditions)
+        cached = cls._POOL.get(conds)
+        if cached is not None:
+            return cached
+        path = cls(conds)
+        if len(cls._POOL) < _MAX_INTERNED_PATHS:
+            cls._POOL[path._conditions] = path
+        return path
 
     @classmethod
     def empty(cls) -> "JoinPath":
         """The empty join path (shared singleton)."""
         if cls._EMPTY is None:
-            cls._EMPTY = cls(())
+            cls._EMPTY = cls.interned(())
         return cls._EMPTY
 
     @classmethod
@@ -144,7 +205,7 @@ class JoinPath:
         >>> JoinPath.of(("Holder", "Patient")) == JoinPath.of(("Patient", "Holder"))
         True
         """
-        return cls(JoinCondition(left, right) for left, right in pairs)
+        return cls.interned(JoinCondition.of(left, right) for left, right in pairs)
 
     @classmethod
     def of_pairs(cls, pairs: Iterable[Tuple[Sequence[str], Sequence[str]]]) -> "JoinPath":
@@ -165,8 +226,8 @@ class JoinPath:
             if not j_left:
                 raise JoinPathError("join pair lists must be non-empty")
             for left, right in zip(j_left, j_right):
-                conditions.append(JoinCondition(left, right))
-        return cls(conditions)
+                conditions.append(JoinCondition.of(left, right))
+        return cls.interned(conditions)
 
     @property
     def conditions(self) -> FrozenSet[JoinCondition]:
@@ -175,22 +236,45 @@ class JoinPath:
 
     @property
     def attributes(self) -> AttributeSet:
-        """All attributes mentioned anywhere in the path."""
-        result: set = set()
-        for cond in self._conditions:
-            result.update(cond.attributes)
-        return frozenset(result)
+        """All attributes mentioned anywhere in the path (cached)."""
+        if self._attrs is None:
+            result: set = set()
+            for cond in self._conditions:
+                result.add(cond._first)
+                result.add(cond._second)
+            self._attrs = frozenset(result)
+        return self._attrs
 
     def union(self, *others: "JoinPath") -> "JoinPath":
         """Set-union of this path with ``others`` (Figure 4 join rule)."""
-        conditions = set(self._conditions)
+        conditions = self._conditions
+        changed = False
         for other in others:
-            conditions.update(other._conditions)
-        return JoinPath(conditions)
+            if other._conditions is not conditions and not (other._conditions <= conditions):
+                if not changed:
+                    conditions = set(conditions)
+                    changed = True
+                conditions.update(other._conditions)
+        if not changed:
+            return self if self._conditions in JoinPath._POOL else JoinPath.interned(self._conditions)
+        return JoinPath.interned(conditions)
 
     def with_condition(self, condition: JoinCondition) -> "JoinPath":
         """Return a new path extended with one atomic condition."""
-        return JoinPath(self._conditions | {condition})
+        if condition in self._conditions:
+            return JoinPath.interned(self._conditions)
+        return JoinPath.interned(self._conditions | {condition})
+
+    def canonical_key(self) -> Tuple[Tuple[str, str], ...]:
+        """A deterministic total-order key: the sorted tuple of the
+        conditions' canonical ``(first, second)`` pairs.  Used wherever
+        rule groups must be processed in a stable, hash-independent
+        order (e.g. :func:`repro.core.closure.minimize_policy`)."""
+        if self._key is None:
+            self._key = tuple(
+                sorted((c._first, c._second) for c in self._conditions)
+            )
+        return self._key
 
     def is_empty(self) -> bool:
         """Whether the path contains no conditions."""
@@ -202,7 +286,9 @@ class JoinPath:
 
     def sorted_conditions(self) -> Tuple[JoinCondition, ...]:
         """The conditions in deterministic (lexicographic) order."""
-        return tuple(sorted(self._conditions))
+        if self._sorted is None:
+            self._sorted = tuple(sorted(self._conditions))
+        return self._sorted
 
     def __iter__(self) -> Iterator[JoinCondition]:
         return iter(self.sorted_conditions())
@@ -214,12 +300,14 @@ class JoinPath:
         return condition in self._conditions
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, JoinPath):
             return NotImplemented
-        return self._conditions == other._conditions
+        return self._hash == other._hash and self._conditions == other._conditions
 
     def __hash__(self) -> int:
-        return hash(self._conditions)
+        return self._hash
 
     def __repr__(self) -> str:
         inner = ", ".join(str(c) for c in self.sorted_conditions())
@@ -229,3 +317,25 @@ class JoinPath:
         if self.is_empty():
             return "-"
         return "{" + ", ".join(str(c) for c in self.sorted_conditions()) + "}"
+
+
+def intern_path(path: JoinPath) -> JoinPath:
+    """The canonical instance value-equal to ``path``.
+
+    Identity-returning for already-canonical instances; used by the
+    policy layer so index keys always hash and compare at interned speed.
+    """
+    cached = JoinPath._POOL.get(path._conditions)
+    if cached is not None:
+        return cached
+    if len(JoinPath._POOL) < _MAX_INTERNED_PATHS:
+        JoinPath._POOL[path._conditions] = path
+    return path
+
+
+def clear_intern_pools() -> None:
+    """Drop the condition/path intern pools (testing and long-lived
+    processes that cycle through many catalogs)."""
+    JoinCondition._POOL.clear()
+    JoinPath._POOL.clear()
+    JoinPath._EMPTY = None

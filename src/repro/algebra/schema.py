@@ -17,6 +17,7 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, 
 
 from repro.algebra.attributes import AttributeSet, validate_attribute_name
 from repro.algebra.joins import JoinCondition, JoinPath
+from repro.algebra.universe import AttributeUniverse
 from repro.exceptions import SchemaError, UnknownAttributeError, UnknownRelationError
 
 
@@ -33,7 +34,7 @@ class RelationSchema:
         server: name of the server storing the relation, if placed.
     """
 
-    __slots__ = ("_name", "_attributes", "_primary_key", "_server")
+    __slots__ = ("_name", "_attributes", "_primary_key", "_server", "_attr_set")
 
     def __init__(
         self,
@@ -64,6 +65,7 @@ class RelationSchema:
         self._attributes = attrs
         self._primary_key = key
         self._server = server
+        self._attr_set: AttributeSet = None  # type: ignore[assignment]
 
     @property
     def name(self) -> str:
@@ -78,8 +80,15 @@ class RelationSchema:
     @property
     def attribute_set(self) -> AttributeSet:
         """The schema as an (unordered) attribute set — the base profile's
-        :math:`R^\\pi`."""
-        return frozenset(self._attributes)
+        :math:`R^\\pi`.
+
+        Cached; a catalog replaces the cache with the interned bitset
+        representation of its :attr:`Catalog.universe` so every base
+        profile built from a placed relation carries masks for free.
+        """
+        if self._attr_set is None:
+            self._attr_set = frozenset(self._attributes)
+        return self._attr_set
 
     @property
     def primary_key(self) -> Tuple[str, ...]:
@@ -131,6 +140,7 @@ class Catalog:
         self._relations: Dict[str, RelationSchema] = {}
         self._attribute_owner: Dict[str, str] = {}
         self._join_edges: set = set()
+        self._universe: Optional[AttributeUniverse] = None
         for relation in relations:
             self.add_relation(relation)
 
@@ -158,6 +168,8 @@ class Catalog:
         self._relations[relation.name] = relation
         for attribute in relation.attributes:
             self._attribute_owner[attribute] = relation.name
+        if self._universe is not None:
+            self._intern_relation(relation)
 
     def relation(self, name: str) -> RelationSchema:
         """Look up a relation schema by name.
@@ -186,6 +198,36 @@ class Catalog:
 
     def __iter__(self) -> Iterator[RelationSchema]:
         return iter(self.relations())
+
+    # ------------------------------------------------------------------
+    # Representation kernel (see repro.algebra.universe)
+    # ------------------------------------------------------------------
+
+    @property
+    def universe(self) -> AttributeUniverse:
+        """The catalog-scoped :class:`AttributeUniverse`.
+
+        Built lazily over every registered attribute (in relation
+        insertion order, so bit positions are deterministic) and kept in
+        sync by :meth:`add_relation`.  Accessing it also replaces each
+        schema's cached :attr:`RelationSchema.attribute_set` with the
+        interned bitset representation, so base-relation profiles carry
+        masks from then on.
+        """
+        if self._universe is None:
+            self._universe = AttributeUniverse()
+            for relation in self._relations.values():
+                self._intern_relation(relation)
+        return self._universe
+
+    def _intern_relation(self, relation: RelationSchema) -> None:
+        relation._attr_set = self._universe.attr_set(relation.attributes)
+
+    def attr_set(self, attributes: Iterable[str]) -> AttributeSet:
+        """Intern ``attributes`` in the catalog universe (they need not be
+        registered schema attributes — the universe is an interner, not a
+        validator of schema membership)."""
+        return self.universe.attr_set(attributes)
 
     # ------------------------------------------------------------------
     # Attributes
@@ -232,7 +274,7 @@ class Catalog:
         for attribute in (left, right):
             if not self.has_attribute(attribute):
                 raise UnknownAttributeError(attribute, "join edge")
-        condition = JoinCondition(left, right)
+        condition = JoinCondition.of(left, right)
         self._join_edges.add(condition)
         return condition
 

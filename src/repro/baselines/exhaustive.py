@@ -74,8 +74,19 @@ def _branches(
         raise PlanError(f"unknown node kind: {type(node).__name__}")
     left_profile = profiles[node.left.node_id]
     right_profile = profiles[node.right.node_id]
+    # The right subtree's branches are materialized once instead of being
+    # re-enumerated (and re-safety-checked) for every left branch — for
+    # the common left-deep plans the right child is a leaf or small
+    # subtree, so the memory cost is negligible while the saved work is
+    # multiplicative in the left branch count.
+    right_branches = list(_branches(node.right, profiles, policy, check_safety))
+    # The admissible executions of this join depend only on the operand
+    # *holders*, not on how the subtrees arranged themselves internally,
+    # so the (possibly safety-filtered) mode list is cached per holder
+    # pair — at most servers² entries.
+    modes_cache: Dict[Tuple[str, str], List[Executor]] = {}
     for left_exec, left_holder in _branches(node.left, profiles, policy, check_safety):
-        for right_exec, right_holder in _branches(node.right, profiles, policy, check_safety):
+        for right_exec, right_holder in right_branches:
             base = dict(left_exec)
             base.update(right_exec)
             if left_holder == right_holder:
@@ -85,19 +96,26 @@ def _branches(
                 executors[node.node_id] = Executor(left_holder)
                 yield executors, left_holder
                 continue
-            for execution in join_executions(
-                left_profile, right_profile, left_holder, right_holder, node.path
-            ):
-                if check_safety:
-                    safe = all(
-                        can_view(policy, profile, receiver)
-                        for receiver, profile in execution.required_views()
-                    )
-                    if not safe:
-                        continue
+            pair = (left_holder, right_holder)
+            admitted = modes_cache.get(pair)
+            if admitted is None:
+                admitted = []
+                for execution in join_executions(
+                    left_profile, right_profile, left_holder, right_holder, node.path
+                ):
+                    if check_safety:
+                        safe = all(
+                            can_view(policy, profile, receiver)
+                            for receiver, profile in execution.required_views()
+                        )
+                        if not safe:
+                            continue
+                    admitted.append(Executor(execution.master, execution.slave))
+                modes_cache[pair] = admitted
+            for executor in admitted:
                 executors = dict(base)
-                executors[node.node_id] = Executor(execution.master, execution.slave)
-                yield executors, execution.master
+                executors[node.node_id] = executor
+                yield executors, executor.master
 
 
 def _materialize(

@@ -44,13 +44,9 @@ def can_view(policy, profile: RelationProfile, server: str) -> bool:
     if permits is not None:
         return bool(permits(profile, server))
     if isinstance(policy, Policy):
-        # Clause 2 of Definition 3.3 is join-path *equality*, so only the
-        # exact-path bucket of the index can match.
-        exposed = profile.exposed_attributes
-        return any(
-            exposed <= rule.attributes
-            for rule in policy.rules_for_path(server, profile.join_path)
-        )
+        # The memoized bitset kernel: exact-path index probe, superset
+        # mask fast path, answer cached per profile signature.
+        return policy.can_view(profile, server)
     return any(
         authorization_covers(rule, profile) for rule in policy.rules_for(server)
     )
@@ -60,9 +56,19 @@ def covering_authorizations(
     policy: Policy, profile: RelationProfile, server: str
 ) -> List[Authorization]:
     """All rules of ``server`` covering ``profile`` (for explanations,
-    audit records and tests)."""
+    audit records and tests).
+
+    Clause 2 of Definition 3.3 is a join-path *equality*, so only the
+    exact-path bucket of the policy index can contain covering rules —
+    rules with any other path are skipped without being inspected.
+    Bucket order preserves per-server insertion order, so results match
+    a full ``rules_for`` scan exactly.
+    """
+    exposed = profile.exposed_attributes
     return [
-        rule for rule in policy.rules_for(server) if authorization_covers(rule, profile)
+        rule
+        for rule in policy.rules_for_path(server, profile.join_path)
+        if exposed <= rule.attributes
     ]
 
 
@@ -72,10 +78,14 @@ def first_covering_authorization(
     """The first covering rule in policy order, or ``None``.
 
     The runtime audit attaches this rule to every permitted transfer so
-    that each release is accountable to a specific grant.
+    that each release is accountable to a specific grant.  Like
+    :func:`covering_authorizations` this probes only the exact-path
+    bucket; within a server's rules the bucket preserves insertion
+    order, so "first" is the same rule a full scan would return.
     """
-    for rule in policy.rules_for(server):
-        if authorization_covers(rule, profile):
+    exposed = profile.exposed_attributes
+    for rule in policy.rules_for_path(server, profile.join_path):
+        if exposed <= rule.attributes:
             return rule
     return None
 

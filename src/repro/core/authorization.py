@@ -13,6 +13,20 @@ The paper assumes a closed policy: anything not explicitly (or
 derivably, see :mod:`repro.core.closure`) authorized is forbidden.
 A :class:`Policy` is the set of authorizations of a distributed system,
 indexed by grantee.
+
+Beyond the plain per-server index, a policy maintains the *CanView
+kernel* the whole planning stack runs on:
+
+* an exact-path index ``(server, join path) -> rules`` — clause 2 of
+  Definition 3.3 is an equality, so a check only ever probes one bucket;
+* per-bucket **bitmasks** of each rule's granted attributes (interned in
+  an :class:`~repro.algebra.universe.AttributeUniverse`), plus the
+  bucket's union mask as a superset fast path — a profile whose exposed
+  attributes are not even covered by the union cannot be covered by any
+  single rule;
+* a memoized :meth:`Policy.can_view` cache keyed on the profile
+  signature (exposed attributes × join path) and the grantee,
+  invalidated wholesale whenever the policy mutates.
 """
 
 from __future__ import annotations
@@ -20,9 +34,17 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.algebra.attributes import AttributeSet, attribute_set, format_attribute_set
-from repro.algebra.joins import JoinPath
+from repro.algebra.joins import JoinPath, intern_path
 from repro.algebra.schema import Catalog
+from repro.algebra.universe import AttributeUniverse, AttrSet
 from repro.exceptions import AuthorizationError, PolicyError
+
+#: Soft cap on memoized CanView answers; the cache is dropped wholesale
+#: when it fills (distinct profile signatures are workload-bounded in
+#: practice, so this is a safety valve, not a tuning knob).
+_MAX_CAN_VIEW_CACHE = 1 << 18
+
+_MISS = object()
 
 
 class Authorization:
@@ -31,9 +53,11 @@ class Authorization:
     Instances are immutable and hashable; two rules are equal when their
     three components are equal (join-path equality is order-insensitive
     at the atomic-condition level, see :class:`~repro.algebra.joins.JoinPath`).
+    The join path is stored in its canonical interned form, so rule
+    hashing and policy-index probes run at interned speed.
     """
 
-    __slots__ = ("_attributes", "_join_path", "_server")
+    __slots__ = ("_attributes", "_join_path", "_server", "_hash")
 
     def __init__(
         self,
@@ -44,12 +68,16 @@ class Authorization:
         self._attributes = attribute_set(attributes)
         if not self._attributes:
             raise AuthorizationError("an authorization must grant at least one attribute")
-        self._join_path = join_path if join_path is not None else JoinPath.empty()
-        if not isinstance(self._join_path, JoinPath):
+        if join_path is None:
+            self._join_path = JoinPath.empty()
+        elif isinstance(join_path, JoinPath):
+            self._join_path = intern_path(join_path)
+        else:
             raise AuthorizationError("join_path must be a JoinPath")
         if not server or not isinstance(server, str):
             raise AuthorizationError(f"invalid server name: {server!r}")
         self._server = server
+        self._hash = hash((self._attributes, self._join_path, self._server))
 
     @property
     def attributes(self) -> AttributeSet:
@@ -58,7 +86,7 @@ class Authorization:
 
     @property
     def join_path(self) -> JoinPath:
-        """The ``JoinPath`` component."""
+        """The ``JoinPath`` component (canonical interned instance)."""
         return self._join_path
 
     @property
@@ -99,16 +127,18 @@ class Authorization:
             )
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Authorization):
             return NotImplemented
         return (
-            self._attributes == other._attributes
+            self._server == other._server
             and self._join_path == other._join_path
-            and self._server == other._server
+            and self._attributes == other._attributes
         )
 
     def __hash__(self) -> int:
-        return hash((self._attributes, self._join_path, self._server))
+        return self._hash
 
     def __repr__(self) -> str:
         return (
@@ -119,26 +149,72 @@ class Authorization:
     __str__ = __repr__
 
 
+class _PathBucket:
+    """Index entry for one ``(server, join path)`` bucket: the rules, a
+    parallel list of granted-attribute masks, and their union (the
+    superset-mask fast path)."""
+
+    __slots__ = ("rules", "masks", "union_mask")
+
+    def __init__(self) -> None:
+        self.rules: List[Authorization] = []
+        self.masks: List[int] = []
+        self.union_mask = 0
+
+    def add(self, rule: Authorization, mask: int) -> None:
+        self.rules.append(rule)
+        self.masks.append(mask)
+        self.union_mask |= mask
+
+
 class Policy:
     """A set of authorizations indexed by grantee server.
 
     Iteration order and :meth:`rules_for` order are deterministic
     (insertion order per server); duplicates are rejected.
+
+    Args:
+        authorizations: initial rules.
+        universe: the :class:`~repro.algebra.universe.AttributeUniverse`
+            to intern granted attributes in — pass the owning catalog's
+            (``catalog.universe``) so profile bitsets and rule bitsets
+            share bit positions; by default the policy owns a private
+            universe and adopts names as rules arrive.
     """
 
-    def __init__(self, authorizations: Iterable[Authorization] = ()) -> None:
+    def __init__(
+        self,
+        authorizations: Iterable[Authorization] = (),
+        universe: Optional[AttributeUniverse] = None,
+    ) -> None:
+        self._universe = universe if universe is not None else AttributeUniverse()
         self._by_server: Dict[str, List[Authorization]] = {}
         # Exact-path index: Definition 3.3 compares join paths with
         # equality, so a CanView check only ever needs the rules whose
         # path equals the profile's — one dictionary probe instead of a
         # scan of the grantee's whole rule list.
-        self._by_server_path: Dict[Tuple[str, JoinPath], List[Authorization]] = {}
+        self._by_server_path: Dict[Tuple[str, JoinPath], _PathBucket] = {}
         self._all: set = set()
+        # Mutation counter; bumping it invalidates every memoized answer.
+        self._version = 0
+        self._can_view_cache: Dict[Tuple[str, JoinPath, AttributeSet], bool] = {}
         for authorization in authorizations:
             self.add(authorization)
 
+    @property
+    def universe(self) -> AttributeUniverse:
+        """The universe granted attributes are interned in."""
+        return self._universe
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (each :meth:`add` bumps it)."""
+        return self._version
+
     def add(self, authorization: Authorization) -> None:
         """Add one rule.
+
+        Adding invalidates the memoized ``CanView`` cache.
 
         Raises:
             PolicyError: if the exact rule is already present.
@@ -150,7 +226,13 @@ class Policy:
         self._all.add(authorization)
         self._by_server.setdefault(authorization.server, []).append(authorization)
         key = (authorization.server, authorization.join_path)
-        self._by_server_path.setdefault(key, []).append(authorization)
+        bucket = self._by_server_path.get(key)
+        if bucket is None:
+            bucket = self._by_server_path[key] = _PathBucket()
+        bucket.add(authorization, self._universe.mask_of(authorization.attributes))
+        self._version += 1
+        if self._can_view_cache:
+            self._can_view_cache.clear()
 
     def add_all(self, authorizations: Iterable[Authorization]) -> None:
         """Add several rules (duplicates rejected as in :meth:`add`)."""
@@ -180,7 +262,61 @@ class Policy:
         This is the only bucket a Definition 3.3 check can match (clause
         2 is an equality), so ``CanView`` runs on it directly.
         """
-        return tuple(self._by_server_path.get((server, join_path), ()))
+        bucket = self._by_server_path.get((server, join_path))
+        return tuple(bucket.rules) if bucket is not None else ()
+
+    # ------------------------------------------------------------------
+    # CanView kernel (Definition 3.3)
+    # ------------------------------------------------------------------
+
+    def can_view(self, profile, server: str) -> bool:
+        """Memoized Definition 3.3 check: may ``server`` view ``profile``?
+
+        The cache key is ``(server, profile)`` — profiles hash by value
+        (cached) and compare identity-first, so structurally equal
+        profiles share one cached answer and the hot hit path is a
+        single dict probe.  :meth:`add` invalidates the cache.
+        """
+        key = (server, profile)
+        cache = self._can_view_cache
+        cached = cache.get(key, _MISS)
+        if cached is not _MISS:
+            return cached
+        result = self._can_view_uncached(
+            server, profile.join_path, profile.exposed_attributes
+        )
+        if len(cache) >= _MAX_CAN_VIEW_CACHE:
+            cache.clear()
+        cache[key] = result
+        return result
+
+    def _can_view_uncached(
+        self, server: str, join_path: JoinPath, exposed: AttributeSet
+    ) -> bool:
+        bucket = self._by_server_path.get((server, join_path))
+        if bucket is None:
+            return False
+        universe = self._universe
+        if isinstance(exposed, AttrSet) and exposed.universe is universe:
+            exposed_mask = exposed.mask
+        else:
+            exposed_mask = universe.try_mask(exposed)
+            if exposed_mask is None:
+                # Some exposed attribute was never granted by any rule of
+                # this policy, so no rule can cover the profile.
+                return False
+        # Superset fast path: not even the union of the bucket's grants
+        # covers the exposure.
+        if exposed_mask & ~bucket.union_mask:
+            return False
+        for mask in bucket.masks:
+            if not exposed_mask & ~mask:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
 
     def servers(self) -> List[str]:
         """All grantee servers, sorted."""
@@ -192,8 +328,13 @@ class Policy:
             authorization.validate_against(catalog)
 
     def copy(self) -> "Policy":
-        """An independent shallow copy (rules are immutable)."""
-        clone = Policy()
+        """An independent shallow copy (rules are immutable).
+
+        The copy shares the universe — universes are append-only
+        interners, so sharing is safe and keeps masks comparable across
+        the copies.
+        """
+        clone = Policy(universe=self._universe)
         for authorization in self:
             clone.add(authorization)
         return clone

@@ -101,11 +101,23 @@ class CandidateList:
             self.add(item)
 
     def add(self, candidate: Candidate) -> None:
-        """Insert keeping the list sorted by decreasing counter (stable)."""
-        index = len(self._items)
-        while index > 0 and self._items[index - 1].count < candidate.count:
-            index -= 1
-        self._items.insert(index, candidate)
+        """Insert keeping the list sorted by decreasing counter (stable).
+
+        Binary search for the insertion point: a new candidate lands
+        *after* every existing candidate of equal or higher counter, so
+        equal-counter candidates keep insertion order (stability is what
+        makes planning fully deterministic).
+        """
+        items = self._items
+        count = candidate.count
+        lo, hi = 0, len(items)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if items[mid].count >= count:
+                lo = mid + 1
+            else:
+                hi = mid
+        items.insert(lo, candidate)
 
     def get_first(self) -> Optional[Candidate]:
         """The paper's ``GetFirst``: highest-counter candidate, or None."""

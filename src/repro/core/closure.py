@@ -31,9 +31,10 @@ attributes), which never changes any ``CanView`` answer.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Set, Tuple
 
-from repro.algebra.joins import JoinCondition
+from repro.algebra.joins import JoinCondition, JoinPath
 from repro.algebra.schema import Catalog
 from repro.core.authorization import Authorization, Policy
 from repro.exceptions import PolicyError
@@ -91,12 +92,19 @@ def close_policy(
         derivable one.
     """
     edges = catalog.join_edges()
-    closed = policy.copy()
-    # Work queue of rules whose pairings have not been explored yet.
-    frontier: List[Authorization] = list(closed)
+    # Intern derivations in the catalog universe so derived-rule masks
+    # line up with profile bitsets built from the same catalog.
+    closed = Policy(universe=catalog.universe)
+    closed.add_all(policy)
+    # FIFO work queue of rules whose pairings have not been explored yet:
+    # breadth-first order makes the derivation (and therefore per-server
+    # rule insertion order) deterministic and independent of recursion
+    # shape — shallow derivations are always discovered before the deeper
+    # rules they enable.
+    frontier: Deque[Authorization] = deque(closed)
     while frontier:
-        rule = frontier.pop()
-        peers = list(closed.rules_for(rule.server))
+        rule = frontier.popleft()
+        peers = closed.rules_for(rule.server)
         for peer in peers:
             for derived in derive_joined_authorizations(rule, peer, edges):
                 if derived in closed:
@@ -120,13 +128,17 @@ def minimize_policy(policy: Policy) -> Policy:
     path, strictly larger attribute set).  Domination never changes a
     ``CanView`` answer, so minimization is safe to apply after closure.
     """
-    minimized = Policy()
+    minimized = Policy(universe=policy.universe)
     for server in policy.servers():
         rules = policy.rules_for(server)
-        by_path: Dict[object, List[Authorization]] = {}
+        by_path: Dict[JoinPath, List[Authorization]] = {}
         for rule in rules:
             by_path.setdefault(rule.join_path, []).append(rule)
-        for _, group in sorted(by_path.items(), key=lambda kv: str(kv[0])):
+        # Canonical interned-path key: a total, hash-independent order
+        # over join paths (sorted tuples of condition pairs), unlike the
+        # old str() rendering which was both slow and collision-prone
+        # as a sort key.
+        for _, group in sorted(by_path.items(), key=lambda kv: kv[0].canonical_key()):
             keep: List[Authorization] = []
             # Largest attribute sets first so dominated rules are filtered
             # in one pass.

@@ -25,6 +25,7 @@ from repro.algebra.schema import Catalog
 from repro.algebra.tree import QueryTreePlan
 from repro.core.assignment import Assignment
 from repro.core.planner import SafePlanner
+from repro.engine.coster import estimate_assignment_cost
 from repro.exceptions import InfeasiblePlanError, PlanError
 
 #: Assignment-search strategies.
@@ -115,8 +116,11 @@ class CostAwareSafePlanner:
             InfeasiblePlanError: when no considered order admits a safe
                 assignment.
         """
-        from repro.engine.coster import estimate_assignment_cost
-
+        # Activate the catalog's interned kernel up front: every join
+        # order enumerated below shares the same universe, leaf bitsets
+        # and (via the reused planner) one memoized CanView cache, so
+        # view checks repeated across orders are answered once.
+        catalog.universe
         if self._search_join_orders:
             candidates = enumerate_join_orders(catalog, spec)
         else:

@@ -63,7 +63,20 @@ class ExecutionMode:
         self.is_semi_join = tag in (SEMI_LEFT_MASTER, SEMI_RIGHT_MASTER)
         self.master_is_left = tag in (REGULAR_LEFT, SEMI_LEFT_MASTER)
 
+    _INTERNED: dict = {}
+
+    @classmethod
+    def of(cls, tag: str) -> "ExecutionMode":
+        """The shared descriptor for ``tag`` — there are only four modes,
+        so the hot enumeration paths reuse one instance per tag."""
+        mode = cls._INTERNED.get(tag)
+        if mode is None:
+            mode = cls._INTERNED[tag] = cls(tag)
+        return mode
+
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, ExecutionMode):
             return NotImplemented
         return self.tag == other.tag
@@ -206,7 +219,7 @@ def join_executions(
     # [S_l, NULL]: S_r ships R_r to S_l.
     executions.append(
         JoinExecution(
-            ExecutionMode(REGULAR_LEFT),
+            ExecutionMode.of(REGULAR_LEFT),
             master=left_server,
             slave=None,
             flows=(
@@ -218,7 +231,7 @@ def join_executions(
     # [S_r, NULL]: S_l ships R_l to S_r.
     executions.append(
         JoinExecution(
-            ExecutionMode(REGULAR_RIGHT),
+            ExecutionMode.of(REGULAR_RIGHT),
             master=right_server,
             slave=None,
             flows=(
@@ -235,7 +248,7 @@ def join_executions(
         )
         executions.append(
             JoinExecution(
-                ExecutionMode(SEMI_LEFT_MASTER),
+                ExecutionMode.of(SEMI_LEFT_MASTER),
                 master=left_server,
                 slave=right_server,
                 flows=(
@@ -253,7 +266,7 @@ def join_executions(
         )
         executions.append(
             JoinExecution(
-                ExecutionMode(SEMI_RIGHT_MASTER),
+                ExecutionMode.of(SEMI_RIGHT_MASTER),
                 master=right_server,
                 slave=left_server,
                 flows=(

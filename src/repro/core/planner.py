@@ -124,6 +124,16 @@ class SafePlanner:
         pinned: Optional[Mapping[int, str]] = None,
     ) -> None:
         self._policy = policy
+        # Bind the CanView entry point once: the planner issues thousands
+        # of probes per run, and re-dispatching on the policy's type for
+        # each (as the module-level ``can_view`` must) is pure overhead.
+        permits = getattr(policy, "permits", None)
+        if permits is not None:
+            self._can_view = lambda profile, server: bool(permits(profile, server))
+        elif isinstance(policy, Policy):
+            self._can_view = policy.can_view
+        else:
+            self._can_view = lambda profile, server: can_view(policy, profile, server)
         self._excluded = frozenset(excluded_servers)
         self._pinned = dict(pinned or {})
         for node_id, server in self._pinned.items():
@@ -332,7 +342,7 @@ class SafePlanner:
         for candidate in candidates.in_count_order():
             if candidate.server in self._excluded:
                 continue
-            if can_view(self._policy, slave_view, candidate.server):
+            if self._can_view(slave_view, candidate.server):
                 return candidate
         return None
 
@@ -352,9 +362,9 @@ class SafePlanner:
         """
         if candidate.server in self._excluded:
             return
-        if slave_found and can_view(self._policy, master_view, candidate.server):
+        if slave_found and self._can_view(master_view, candidate.server):
             mode = MODE_SEMI
-        elif can_view(self._policy, full_view, candidate.server):
+        elif self._can_view(full_view, candidate.server):
             mode = MODE_REGULAR
         else:
             return

@@ -28,6 +28,7 @@ from typing import Iterable, Optional
 from repro.algebra.attributes import AttributeSet, attribute_set, format_attribute_set
 from repro.algebra.joins import JoinPath
 from repro.algebra.schema import RelationSchema
+from repro.algebra.universe import AttrSet
 from repro.exceptions import ExpressionError
 
 
@@ -42,7 +43,7 @@ class RelationProfile:
             defaults to the empty set.
     """
 
-    __slots__ = ("_attributes", "_join_path", "_selection_attributes")
+    __slots__ = ("_attributes", "_join_path", "_selection_attributes", "_exposed", "_hash")
 
     def __init__(
         self,
@@ -55,6 +56,8 @@ class RelationProfile:
         if not isinstance(self._join_path, JoinPath):
             raise ExpressionError("join_path must be a JoinPath")
         self._selection_attributes = attribute_set(selection_attributes)
+        self._exposed: AttributeSet = None  # type: ignore[assignment]
+        self._hash: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -88,8 +91,14 @@ class RelationProfile:
     @property
     def exposed_attributes(self) -> AttributeSet:
         """:math:`R^\\pi \\cup R^\\sigma` — everything an authorization's
-        ``Attributes`` component must cover (Definition 3.3)."""
-        return self._attributes | self._selection_attributes
+        ``Attributes`` component must cover (Definition 3.3).  Cached:
+        every ``CanView`` probe starts here."""
+        if self._exposed is None:
+            if not self._selection_attributes:
+                self._exposed = self._attributes
+            else:
+                self._exposed = self._attributes | self._selection_attributes
+        return self._exposed
 
     # ------------------------------------------------------------------
     # Composition (Figure 4)
@@ -110,6 +119,11 @@ class RelationProfile:
             )
         if not retained:
             raise ExpressionError("projection must retain at least one attribute")
+        if isinstance(self._attributes, AttrSet) and not isinstance(retained, AttrSet):
+            # ``retained ⊆ attributes`` was just checked, so intersecting
+            # re-expresses the same set in the interned bitset form and
+            # keeps masks flowing through projection chains.
+            retained = self._attributes & retained
         return RelationProfile(retained, self._join_path, self._selection_attributes)
 
     def select(self, attributes: Iterable[str]) -> "RelationProfile":
@@ -126,6 +140,10 @@ class RelationProfile:
             raise ExpressionError(
                 f"selection references attributes outside the profile: {sorted(missing)}"
             )
+        if isinstance(self._attributes, AttrSet) and not isinstance(
+            condition_attributes, AttrSet
+        ):
+            condition_attributes = self._attributes & condition_attributes
         return RelationProfile(
             self._attributes,
             self._join_path,
@@ -155,16 +173,22 @@ class RelationProfile:
     # ------------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, RelationProfile):
             return NotImplemented
         return (
-            self._attributes == other._attributes
-            and self._join_path == other._join_path
+            self._join_path == other._join_path
+            and self._attributes == other._attributes
             and self._selection_attributes == other._selection_attributes
         )
 
     def __hash__(self) -> int:
-        return hash((self._attributes, self._join_path, self._selection_attributes))
+        if self._hash is None:
+            self._hash = hash(
+                (self._attributes, self._join_path, self._selection_attributes)
+            )
+        return self._hash
 
     def __repr__(self) -> str:
         return (

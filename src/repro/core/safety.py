@@ -139,12 +139,26 @@ def _join_flows(assignment: Assignment, node: JoinNode) -> List[Flow]:
 def unauthorized_flows(
     policy: Policy, assignment: Assignment, recipient: Optional[str] = None
 ) -> List[Flow]:
-    """The subset of the assignment's release flows the policy forbids."""
-    return [
-        flow
-        for flow in enumerate_assignment_flows(assignment, recipient)
-        if flow.is_release and not can_view(policy, flow.profile, flow.receiver)
-    ]
+    """The subset of the assignment's release flows the policy forbids.
+
+    Distinct flows of one assignment frequently expose the same
+    ``(profile, receiver)`` pair (e.g. both directions of a semi-join
+    chain at the same server), so the verdicts are memoized locally —
+    this also spares non-:class:`Policy` ``permits`` objects, which have
+    no cache of their own, from re-deciding identical releases.
+    """
+    verdicts: dict = {}
+    violations: List[Flow] = []
+    for flow in enumerate_assignment_flows(assignment, recipient):
+        if not flow.is_release:
+            continue
+        key = (flow.receiver, flow.profile)
+        allowed = verdicts.get(key)
+        if allowed is None:
+            allowed = verdicts[key] = can_view(policy, flow.profile, flow.receiver)
+        if not allowed:
+            violations.append(flow)
+    return violations
 
 
 def verify_assignment(

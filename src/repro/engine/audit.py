@@ -57,9 +57,15 @@ class AuditLog:
         """
         if sender == receiver:
             return None
-        if can_view(self._policy, profile, receiver):
-            if isinstance(self._policy, Policy):
-                return first_covering_authorization(self._policy, profile, receiver)
+        if isinstance(self._policy, Policy) and not hasattr(self._policy, "permits"):
+            # One exact-path index probe answers both questions at once:
+            # a covering rule exists iff the transfer is authorized, so
+            # the separate can_view pass the audit used to run first is
+            # redundant for plain closed policies.
+            rule = first_covering_authorization(self._policy, profile, receiver)
+            if rule is not None:
+                return rule
+        elif can_view(self._policy, profile, receiver):
             return None
         if self._enforce:
             raise AuditViolationError(
