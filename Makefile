@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults bench bench-kernel examples verify clean
+.PHONY: install test test-faults test-health bench bench-kernel bench-health examples verify clean
 
 install:
 	pip install -e .
@@ -16,6 +16,12 @@ test-faults:
 	$(PYTHON) -m pytest tests/test_faults.py "tests/test_properties.py::TestFaultToleranceProperties"
 	$(PYTHON) examples/fault_tolerance.py
 
+# Health-aware execution suite: circuit breakers and health tracking,
+# deadline budgets, and checkpoint/resume (with the revocation and
+# crash-recovery edge cases).
+test-health:
+	$(PYTHON) -m pytest tests/test_health.py tests/test_deadline.py tests/test_checkpoint.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -25,6 +31,12 @@ bench:
 # them alone.
 bench-kernel:
 	$(PYTHON) -m pytest benchmarks/bench_abl10_kernel.py --benchmark-only -s
+
+# Health ablation: breakers + checkpoint/resume vs the retry-only
+# baseline under a flapping coordinator (asserts the >=1.5x floor);
+# writes BENCH_ABL11.json.
+bench-health:
+	$(PYTHON) -m pytest benchmarks/bench_abl11_health.py --benchmark-only -s
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

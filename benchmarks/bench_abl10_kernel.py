@@ -23,6 +23,7 @@ import time
 import pytest
 
 from repro.algebra.builder import build_plan
+from repro.analysis.reporting import write_bench_json
 from repro.core.closure import close_policy, minimize_policy
 from repro.core.planner import SafePlanner
 from repro.workloads.medical import medical_catalog, medical_policy, paper_plan
@@ -194,6 +195,19 @@ def test_abl10_can_view_throughput(benchmark, catalog, closed_policy, plan):
     print(
         f"\n{total} probes: legacy {legacy_time * 1e6 / total:.2f} us/probe, "
         f"kernel {kernel_time * 1e6 / total:.2f} us/probe -> {speedup:.1f}x"
+    )
+    write_bench_json(
+        "ABL10",
+        {
+            "can_view_throughput": {
+                "probes": total,
+                "legacy_us_per_probe": round(legacy_time * 1e6 / total, 4),
+                "kernel_us_per_probe": round(kernel_time * 1e6 / total, 4),
+                "probes_per_second": round(total / kernel_time, 1),
+                "speedup": round(speedup, 2),
+                "acceptance_floor": MIN_CAN_VIEW_SPEEDUP,
+            }
+        },
     )
     assert speedup >= MIN_CAN_VIEW_SPEEDUP, (
         f"CanView kernel speedup {speedup:.2f}x below the "

@@ -1,0 +1,244 @@
+"""ABL11 — health-aware execution vs. retry-only under a flapping server.
+
+PR 1 gave the federation retries and authorization-safe failover; this
+ablation measures what the health layer (circuit breakers + health-aware
+planning) and checkpoint/resume add on top, under the same global
+simulated-time budget:
+
+* **throughput under flapping** — a two-coordinator coalition whose
+  preferred coordinator is up at every planning instant but dies the
+  moment bytes flow to it.  The retry-only baseline re-learns this the
+  expensive way on every query (timeouts, backoff, failover); the
+  health-aware lane pays once, trips the breaker, and plans around the
+  quarantined coordinator from then on.  The acceptance gate: within
+  the same budget the health-aware lane completes **>= 1.5x** the
+  queries of the baseline.
+* **recovery time via resume** — a deadline-killed medical query hands
+  back its checkpoint journal; resuming re-verifies the journal against
+  the policy and re-executes only the missing subtrees.  The gate:
+  resume finishes strictly cheaper than restarting from scratch.
+
+Safety is asserted on *every* recovery path: each completed run equals
+the fault-free result and its runtime audit shows only authorized
+flows — breakers, deadlines and checkpoints change cost, never what
+anyone gets to see.  Results are written to ``BENCH_ABL11.json``.
+"""
+
+import pytest
+
+from repro.analysis.reporting import ascii_table, write_bench_json
+from repro.core.authorization import Policy
+from repro.distributed.faults import FaultInjector
+from repro.distributed.health import HealthTracker
+from repro.distributed.system import DistributedSystem
+from repro.engine.resilience import RetryPolicy
+from repro.exceptions import DeadlineExceededError, DegradedExecutionError
+from repro.testing import grant, quick_catalog
+from repro.workloads.medical import (
+    generate_instances,
+    medical_catalog,
+    medical_policy,
+)
+
+MEDICAL_QUERY = (
+    "SELECT Patient, Physician, Plan, HealthAid "
+    "FROM Insurance JOIN Nat_registry ON Holder = Citizen "
+    "JOIN Hospital ON Citizen = Patient"
+)
+COALITION_QUERY = "SELECT a, b, c, d FROM R JOIN T ON a = c"
+
+#: global simulated-time budget shared by both lanes.
+BUDGET = 5000.0
+#: the acceptance floor: health-aware completions vs. retry-only.
+MIN_THROUGHPUT_GAIN = 1.5
+RETRY = RetryPolicy(max_attempts=4, base_delay=0.5)
+FLAP_START = 1.0  # up at planning time (t=0), down once bytes flow
+
+
+def _two_party_system():
+    catalog = quick_catalog("R(a, b) @ S1", "T(c, d) @ S2", edges=["a = c"])
+    rules = []
+    for party in ("TP1", "TP2"):
+        rules += [
+            grant(party, "a b"),
+            grant(party, "c d"),
+            grant(party, "a b c d", "a = c"),
+        ]
+    system = DistributedSystem(
+        catalog, Policy(rules), apply_closure=True, third_parties=["TP1", "TP2"]
+    )
+    system.load_instances(
+        {
+            "R": [{"a": i % 7, "b": i} for i in range(60)],
+            "T": [{"c": i % 7, "d": i * 3} for i in range(60)],
+        }
+    )
+    return system
+
+
+def _medical_system():
+    system = DistributedSystem(medical_catalog(), medical_policy())
+    system.load_instances(generate_instances(seed=7))
+    return system
+
+
+def _flapping_injector(trial, flapping):
+    faults = FaultInjector(seed=trial)
+    faults.crash(flapping, start=FLAP_START, end=1e9)
+    return faults
+
+
+def _run_lane(system, baseline, flapping, health=None):
+    """Issue queries until the budget runs dry; count what completed.
+
+    Every completed run is checked for exactness and audit cleanliness —
+    a lane that went faster by leaking would fail here, not score.
+    """
+    spent = 0.0
+    completed = 0
+    degraded = 0
+    clocks = []
+    trial = 0
+    while spent < BUDGET:
+        faults = _flapping_injector(trial, flapping)
+        trial += 1
+        kwargs = dict(faults=faults, retry=RETRY)
+        if health is not None:
+            kwargs["health"] = health
+            kwargs["deadline"] = BUDGET - spent
+        try:
+            result = system.execute(COALITION_QUERY, **kwargs)
+        except DeadlineExceededError:
+            spent += faults.clock
+            break
+        except DegradedExecutionError:
+            spent += faults.clock
+            degraded += 1
+            continue
+        spent += faults.clock
+        if spent > BUDGET:
+            break
+        completed += 1
+        clocks.append(faults.clock)
+        assert result.table == baseline.table
+        assert result.audit is not None and result.audit.all_authorized()
+    mean_clock = sum(clocks) / len(clocks) if clocks else float("nan")
+    return {
+        "completed": completed,
+        "degraded": degraded,
+        "spent": round(spent, 2),
+        "mean_query_time": round(mean_clock, 2),
+    }
+
+
+def test_abl11_breakers_beat_retry_only_under_flapping(benchmark):
+    system = _two_party_system()
+    baseline = system.execute(COALITION_QUERY)
+    flapping = system.execute(
+        COALITION_QUERY, faults=FaultInjector(seed=0), retry=RETRY
+    ).result_server
+
+    def lanes():
+        retry_only = _run_lane(system, baseline, flapping)
+        health = HealthTracker(failure_threshold=2, cooldown=100_000.0)
+        health_aware = _run_lane(system, baseline, flapping, health=health)
+        return retry_only, health_aware, health
+
+    retry_only, health_aware, health = benchmark.pedantic(
+        lanes, rounds=1, iterations=1
+    )
+    gain = (
+        health_aware["completed"] / retry_only["completed"]
+        if retry_only["completed"]
+        else float("inf")
+    )
+    print()
+    print(
+        f"flapping {flapping}, budget {BUDGET:.0f} simulated units "
+        f"(gate: >= {MIN_THROUGHPUT_GAIN}x)"
+    )
+    print(
+        ascii_table(
+            ["lane", "completed", "degraded", "spent", "mean query time"],
+            [
+                ["retry-only (PR 1)"] + [retry_only[k] for k in
+                                         ("completed", "degraded", "spent",
+                                          "mean_query_time")],
+                ["breakers + health"] + [health_aware[k] for k in
+                                         ("completed", "degraded", "spent",
+                                          "mean_query_time")],
+            ],
+        )
+    )
+    print(f"throughput gain: {gain:.2f}x; breaker trips: {health.breaker_trips()}")
+    write_bench_json(
+        "ABL11",
+        {
+            "flapping_throughput": {
+                "budget": BUDGET,
+                "flapping_server": flapping,
+                "retry_only": retry_only,
+                "health_aware": health_aware,
+                "throughput_gain": round(gain, 2),
+                "breaker_trips": health.breaker_trips(),
+                "acceptance_floor": MIN_THROUGHPUT_GAIN,
+                "audit_violations": 0,  # asserted per completed run
+            }
+        },
+    )
+    assert health.breaker_trips() >= 1
+    assert flapping in health.quarantined_servers()
+    assert gain >= MIN_THROUGHPUT_GAIN, (
+        f"health-aware lane completed only {gain:.2f}x the retry-only "
+        f"baseline (floor {MIN_THROUGHPUT_GAIN}x)"
+    )
+
+
+def test_abl11_resume_recovers_cheaper_than_restart(benchmark):
+    system = _medical_system()
+    baseline = system.execute(MEDICAL_QUERY)
+    full = FaultInjector(seed=1)
+    system.execute(MEDICAL_QUERY, faults=full, retry=RETRY)
+    restart_time = full.clock
+
+    def kill_and_resume():
+        killer = FaultInjector(seed=1)
+        with pytest.raises(DeadlineExceededError) as info:
+            system.execute(
+                MEDICAL_QUERY, faults=killer, retry=RETRY,
+                deadline=restart_time * 0.6,
+            )
+        journal = info.value.checkpoint
+        resumer = FaultInjector(seed=1)
+        result = system.execute(
+            MEDICAL_QUERY, faults=resumer, retry=RETRY,
+            deadline=restart_time, resume_from=journal,
+        )
+        return journal, result, resumer.clock
+
+    journal, result, recovery_time = benchmark.pedantic(
+        kill_and_resume, rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"restart {restart_time:.0f} units vs. resume {recovery_time:.0f} "
+        f"units ({len(journal)} checkpointed subtrees, "
+        f"{result.resumed} reused)"
+    )
+    write_bench_json(
+        "ABL11",
+        {
+            "checkpoint_resume": {
+                "restart_time": round(restart_time, 2),
+                "recovery_time": round(recovery_time, 2),
+                "recovery_ratio": round(recovery_time / restart_time, 4),
+                "checkpointed_subtrees": len(journal),
+                "resumed_subtrees": result.resumed,
+                "audit_violations": 0,  # asserted below
+            }
+        },
+    )
+    assert result.table == baseline.table
+    assert result.resumed >= 1
+    assert result.audit is not None and result.audit.all_authorized()
+    assert recovery_time < restart_time

@@ -22,7 +22,7 @@ correctness.
 
 import pytest
 
-from repro.analysis.reporting import ascii_table
+from repro.analysis.reporting import ascii_table, write_bench_json
 from repro.core.authorization import Policy
 from repro.distributed.faults import FaultInjector
 from repro.distributed.system import DistributedSystem
@@ -129,6 +129,22 @@ def test_abl9_completion_vs_drop_rate(benchmark, name, make_system, query):
     print()
     print(f"strategy: {name} ({TRIALS} seeded trials per rate)")
     print(ascii_table(["drop rate", "completion", "latency overhead"], rows))
+    write_bench_json(
+        "ABL9",
+        {
+            f"completion_vs_drop_rate/{name}": {
+                "trials_per_rate": TRIALS,
+                "series": [
+                    {
+                        "drop_rate": drop,
+                        "completion_rate": rate,
+                        "latency_overhead": round(overhead, 4),
+                    }
+                    for drop, rate, overhead in series
+                ],
+            }
+        },
+    )
     by_rate = {drop: (rate, overhead) for drop, rate, overhead in series}
     # Fault-free sanity: everything completes at zero cost.
     assert by_rate[0.0][0] == 1.0
@@ -168,4 +184,15 @@ def test_abl9_failover_rescues_crashed_coordinator(benchmark):
     print(
         f"crashed {primary}: {len(outcomes)}/{TRIALS} rescued via failover "
         f"to {outcomes[0].result_server}; sample: {outcomes[0].summary()}"
+    )
+    write_bench_json(
+        "ABL9",
+        {
+            "failover_rescue": {
+                "crashed": primary,
+                "rescued": len(outcomes),
+                "trials": TRIALS,
+                "failover_target": outcomes[0].result_server,
+            }
+        },
     )

@@ -84,3 +84,41 @@ def render_policy_table(policy: Policy) -> str:
             ]
         )
     return ascii_table(["#", "Attributes", "Join Path", "Server"], rows)
+
+
+def write_bench_json(name, payload, directory=None):
+    """Merge one benchmark's results into ``BENCH_<NAME>.json``.
+
+    Each bench test contributes a section keyed by its own name, so a
+    module whose tests run in any order (or one at a time under ``-k``)
+    still produces a complete, stable file.  The output is deterministic:
+    keys sorted, no timestamps, floats as produced by the seeded runs.
+
+    Args:
+        name: bench identifier, e.g. ``"ABL11"`` — the file becomes
+            ``BENCH_ABL11.json``.
+        payload: dict of sections to merge in (section name -> results).
+        directory: where to write; defaults to the current working
+            directory (the repo root under the pytest harness).
+
+    Returns:
+        The path written.
+    """
+    import json
+    import os
+
+    path = os.path.join(directory or os.getcwd(), f"BENCH_{name}.json")
+    data = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+        if not isinstance(data, dict):
+            data = {}
+    data.update(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -39,9 +39,17 @@ from repro.analysis.whatif import suggest_repair
 from repro.core.access import can_view, explain_denial
 from repro.core.profile import RelationProfile
 from repro.distributed.faults import FaultInjector
+from repro.distributed.health import HealthTracker
 from repro.distributed.system import DistributedSystem
-from repro.exceptions import DegradedExecutionError, InfeasiblePlanError, ReproError
+from repro.exceptions import (
+    CheckpointError,
+    DeadlineExceededError,
+    DegradedExecutionError,
+    InfeasiblePlanError,
+    ReproError,
+)
 from repro.io import catalog_from_dict, load_json, policy_from_dict
+from repro.io.serialize import checkpoint_from_dict, checkpoint_to_dict, save_json
 from repro.sql import parse_query
 from repro.workloads.medical import generate_instances, medical_catalog, medical_policy
 
@@ -118,6 +126,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         help="re-planning rounds before the query degrades",
+    )
+    execute_cmd.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="BUDGET",
+        help="simulated-time budget for the whole execution; exhaustion "
+        "exits 4 and (with --resume FILE) writes a checkpoint journal "
+        "(enables fault injection)",
+    )
+    execute_cmd.add_argument(
+        "--resume",
+        default=None,
+        metavar="FILE",
+        help="checkpoint journal file: loaded (and re-audited) when it "
+        "exists, written when the run is killed by deadline or "
+        "degradation (enables fault injection)",
+    )
+    execute_cmd.add_argument(
+        "--breakers",
+        action="store_true",
+        help="track per-server/per-link health with circuit breakers and "
+        "plan around quarantined servers (enables fault injection)",
     )
 
     suggest_cmd = commands.add_parser(
@@ -203,18 +234,46 @@ def _cmd_execute(system: DistributedSystem, args, out) -> int:
     faults = _build_injector(args, out)
     if faults is _BAD_FAULT_SPEC:
         return 2
+    health = HealthTracker() if args.breakers else None
+    resume_from = None
+    if args.resume:
+        import os
+
+        if os.path.exists(args.resume):
+            try:
+                resume_from = checkpoint_from_dict(load_json(args.resume))
+            except ReproError as error:
+                print(f"error: bad checkpoint file {args.resume!r}: {error}", file=out)
+                return 2
+            print(
+                f"resuming from {args.resume} "
+                f"({len(resume_from)} checkpointed subtrees)",
+                file=out,
+            )
     try:
         result = system.execute(
             args.sql,
             recipient=args.recipient,
             faults=faults,
             max_failovers=args.max_failovers,
+            deadline=args.deadline,
+            health=health,
+            checkpoint=bool(args.resume),
+            resume_from=resume_from,
         )
     except InfeasiblePlanError as error:
         print(f"infeasible: {error}", file=out)
         return 2
+    except CheckpointError as error:
+        print(f"checkpoint refused: {error}", file=out)
+        return 2
+    except DeadlineExceededError as error:
+        print(f"deadline exceeded: {error}", file=out)
+        _save_journal(error.checkpoint, args.resume, out)
+        return 4
     except DegradedExecutionError as error:
         print(f"degraded: {error}", file=out)
+        _save_journal(getattr(error, "checkpoint", None), args.resume, out)
         return 3
     print(f"result: {result.summary()}", file=out)
     print(result.transfers.describe(), file=out)
@@ -222,7 +281,20 @@ def _cmd_execute(system: DistributedSystem, args, out) -> int:
         print(result.audit.summary(), file=out)
     if faults is not None:
         print(f"faults: {faults!r}", file=out)
+    if health is not None:
+        print(f"health: {health.describe()}", file=out)
     return 0
+
+
+def _save_journal(journal, path, out) -> None:
+    """Persist a checkpoint journal for a later --resume, when asked to."""
+    if journal is None or not path:
+        return
+    save_json(checkpoint_to_dict(journal), path)
+    print(
+        f"checkpoint: {len(journal)} completed subtrees written to {path}",
+        file=out,
+    )
 
 
 #: Sentinel distinguishing "no faults requested" from "bad --crash spec".
@@ -230,8 +302,14 @@ _BAD_FAULT_SPEC = object()
 
 
 def _build_injector(args, out):
-    """An injector from --drop-rate/--crash flags, or None when absent."""
+    """An injector from --drop-rate/--crash flags, or None when absent.
+
+    --deadline/--resume/--breakers need a logical clock even without
+    injected faults, so any of them forces a (fault-free) injector.
+    """
     if args.drop_rate is None and not args.crash:
+        if args.deadline is not None or args.resume or args.breakers:
+            return FaultInjector(seed=args.fault_seed)
         return None
     faults = FaultInjector(
         seed=args.fault_seed, drop_probability=args.drop_rate or 0.0

@@ -184,6 +184,32 @@ class Assignment:
         """Materialized node ids, sorted."""
         return tuple(sorted(self._materialized))
 
+    def servers_used(self) -> Tuple[str, ...]:
+        """Every server the assignment involves, sorted.
+
+        Masters and slaves of live nodes, coordinators, and the holders
+        of materialized subtree results; nodes below a materialized root
+        contribute nothing (they never execute).
+        """
+        skipped = self.skipped_node_ids()
+        names = set()
+        for node in self._plan:
+            node_id = node.node_id
+            if node_id in skipped:
+                continue
+            if node_id in self._materialized:
+                names.add(self._materialized[node_id])
+                continue
+            executor = self._executors.get(node_id)
+            if executor is not None:
+                names.add(executor.master)
+                if executor.slave is not None:
+                    names.add(executor.slave)
+            coordinator = self._coordinators.get(node_id)
+            if coordinator is not None:
+                names.add(coordinator)
+        return tuple(sorted(names))
+
     def skipped_node_ids(self) -> frozenset:
         """Ids of nodes strictly below a materialized root.
 

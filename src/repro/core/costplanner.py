@@ -25,7 +25,7 @@ from repro.algebra.schema import Catalog
 from repro.algebra.tree import QueryTreePlan
 from repro.core.assignment import Assignment
 from repro.core.planner import SafePlanner
-from repro.engine.coster import estimate_assignment_cost
+from repro.engine.coster import HealthAwareCostModel, estimate_assignment_cost
 from repro.exceptions import InfeasiblePlanError, PlanError
 
 #: Assignment-search strategies.
@@ -88,6 +88,15 @@ class CostAwareSafePlanner:
             or :data:`EXHAUSTIVE` (optimal per order, ``O(4^joins)``).
         search_join_orders: enumerate alternative connected orders; when
             false only the user's order is considered.
+        health: optional
+            :class:`~repro.distributed.health.HealthTracker` (duck-typed
+            — anything with ``penalty_factor`` and
+            ``quarantined_servers``).  Quarantined servers are excluded
+            from the Figure 6 search when a safe assignment survives the
+            exclusion (advisory: falls back to the full server set
+            otherwise), and every candidate's estimated cost is
+            surcharged on unhealthy routes, steering ties and near-ties
+            toward healthy servers.
     """
 
     def __init__(
@@ -97,6 +106,7 @@ class CostAwareSafePlanner:
         cost_model=None,
         assignment_search: str = HEURISTIC,
         search_join_orders: bool = True,
+        health=None,
     ) -> None:
         if assignment_search not in (HEURISTIC, EXHAUSTIVE):
             raise PlanError(
@@ -104,6 +114,9 @@ class CostAwareSafePlanner:
             )
         self._policy = policy
         self._base_stats = base_stats
+        self._health = health
+        if health is not None:
+            cost_model = HealthAwareCostModel(health, base=cost_model)
         self._cost_model = cost_model
         self._assignment_search = assignment_search
         self._search_join_orders = search_join_orders
@@ -156,6 +169,22 @@ class CostAwareSafePlanner:
         self, tree: QueryTreePlan
     ) -> Optional[Tuple[Assignment, Optional[float]]]:
         if self._assignment_search == HEURISTIC:
+            quarantined = (
+                tuple(sorted(self._health.quarantined_servers()))
+                if self._health is not None
+                else ()
+            )
+            if quarantined:
+                # Advisory exclusion: prefer a plan that routes around
+                # quarantined servers, fall back to the full server set.
+                try:
+                    restricted = SafePlanner(
+                        self._policy, excluded_servers=quarantined
+                    )
+                    assignment, _ = restricted.plan(tree)
+                    return assignment, None
+                except InfeasiblePlanError:
+                    pass
             try:
                 assignment, _ = self._heuristic.plan(tree)
             except InfeasiblePlanError:

@@ -3,6 +3,14 @@
 from repro.distributed.server import Server
 from repro.distributed.network import NetworkModel
 from repro.distributed.faults import AttemptOutcome, FaultInjector, fault_free
+from repro.distributed.health import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+    HealthTracker,
+    RollingStats,
+)
 from repro.distributed.system import DistributedSystem
 from repro.distributed.simulation import (
     MultiQuerySimulator,
@@ -17,6 +25,12 @@ __all__ = [
     "AttemptOutcome",
     "FaultInjector",
     "fault_free",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "CircuitBreaker",
+    "HealthTracker",
+    "RollingStats",
     "DistributedSystem",
     "MultiQuerySimulator",
     "SimulationResult",

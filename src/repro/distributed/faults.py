@@ -125,6 +125,30 @@ class FaultInjector:
         """Take ``server`` down during ``[start, end)`` of logical time."""
         self._crashes.setdefault(server, []).append(_Window(start, end))
 
+    def flap(
+        self,
+        server: str,
+        up: float,
+        down: float,
+        until: float,
+        start: float = 0.0,
+    ) -> None:
+        """Make ``server`` alternate ``up`` units alive, ``down`` units
+        dead, from ``start`` until ``until`` — the deterministic flapping
+        scenario the circuit-breaker layer exists for.
+
+        Registered as plain downtime windows, so ``is_down`` and
+        ``down_servers`` need no special casing.
+        """
+        if up <= 0 or down <= 0 or until <= start:
+            raise ExecutionError(
+                "flap periods must be positive and until must follow start"
+            )
+        at = start + up
+        while at < until:
+            self.crash(server, start=at, end=min(at + down, until))
+            at += up + down
+
     def partition(
         self,
         a: str,

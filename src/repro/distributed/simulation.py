@@ -83,9 +83,16 @@ class SimulationResult:
         makespan: when the last task finished.
         busy_time: per-server total compute occupancy.
         task_finish: finish time per task id.
+        arrival_times: per-query submission time, query order.
     """
 
-    __slots__ = ("completion_times", "makespan", "busy_time", "task_finish")
+    __slots__ = (
+        "completion_times",
+        "makespan",
+        "busy_time",
+        "task_finish",
+        "arrival_times",
+    )
 
     def __init__(
         self,
@@ -93,17 +100,38 @@ class SimulationResult:
         makespan: float,
         busy_time: Dict[str, float],
         task_finish: Dict[str, float],
+        arrival_times: Optional[List[float]] = None,
     ) -> None:
         self.completion_times = completion_times
         self.makespan = makespan
         self.busy_time = busy_time
         self.task_finish = task_finish
+        self.arrival_times = (
+            list(arrival_times)
+            if arrival_times is not None
+            else [0.0] * len(completion_times)
+        )
 
     def mean_completion(self) -> float:
         """Average query completion time (0.0 with no queries)."""
         if not self.completion_times:
             return 0.0
         return sum(self.completion_times) / len(self.completion_times)
+
+    def completed_within(self, budget: float) -> int:
+        """How many queries finished within ``budget`` of their arrival.
+
+        The per-query deadline view of a shared simulation: a query
+        arriving at ``a`` meets a budget ``b`` iff it completes by
+        ``a + b``.
+        """
+        return sum(
+            1
+            for arrival, completion in zip(
+                self.arrival_times, self.completion_times
+            )
+            if completion <= arrival + budget
+        )
 
     def max_busy_server(self) -> Optional[Tuple[str, float]]:
         """The busiest server and its occupancy, or ``None``."""
@@ -426,4 +454,10 @@ class MultiQuerySimulator:
             )
         completion = [finish[sink] for sink in sinks]
         makespan = max(finish.values()) if finish else 0.0
-        return SimulationResult(completion, makespan, busy_time, finish)
+        return SimulationResult(
+            completion,
+            makespan,
+            busy_time,
+            finish,
+            arrival_times=[float(t) for t in arrival_times],
+        )

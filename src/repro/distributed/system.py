@@ -37,14 +37,19 @@ from repro.core.planner import PlannerTrace, SafePlanner
 from repro.core.safety import verify_assignment
 from repro.core.thirdparty import ThirdPartyPlanner
 from repro.distributed.faults import FaultInjector
+from repro.distributed.health import HealthTracker, ObserveOnlyHealth
 from repro.distributed.server import Server
+from repro.engine.checkpoint import CheckpointJournal, plan_signature
 from repro.engine.data import Table
+from repro.engine.deadline import DeadlineBudget
 from repro.engine.executor import DistributedExecutor, ExecutionResult
 from repro.engine.resilience import RetryPolicy
 from repro.exceptions import (
+    DeadlineExceededError,
     DegradedExecutionError,
     ExecutionError,
     InfeasiblePlanError,
+    ResilienceConfigError,
     TransferFailedError,
 )
 
@@ -233,6 +238,10 @@ class DistributedSystem:
         faults: Optional[FaultInjector] = None,
         retry: Optional[RetryPolicy] = None,
         max_failovers: int = 3,
+        deadline: Optional[Union[float, DeadlineBudget]] = None,
+        health: Optional[HealthTracker] = None,
+        checkpoint: bool = False,
+        resume_from: Optional[CheckpointJournal] = None,
     ) -> ExecutionResult:
         """Plan and run a query end-to-end, audited.
 
@@ -253,6 +262,36 @@ class DistributedSystem:
             retry: retry policy for fault-aware runs (default
                 :class:`~repro.engine.resilience.RetryPolicy`).
             max_failovers: re-planning rounds before giving up.
+            deadline: optional simulated-time budget (a number of
+                logical-time units, or a pre-built
+                :class:`~repro.engine.deadline.DeadlineBudget`).  Attempt
+                durations, backoff waits and failover rounds are charged
+                against it; exhaustion raises
+                :class:`~repro.exceptions.DeadlineExceededError` with the
+                run's checkpoint journal attached for resume.  Requires
+                ``faults`` (budgets live in the injector's clock).
+            health: optional
+                :class:`~repro.distributed.health.HealthTracker`.  Every
+                shipment outcome feeds its per-link/per-server circuit
+                breakers; quarantined servers are routed around at
+                planning time and open links fail fast.  Quarantine is
+                *advisory*: when avoiding a quarantined server admits no
+                safe assignment, planning falls back to ignoring it —
+                health never degrades a query that has a safe plan, and
+                never relaxes the policy.  Requires ``faults``.
+            checkpoint: journal every completed, audited subtree so a
+                killed run can resume; the journal rides on the result
+                (``result.checkpoint``) and on deadline/degraded errors.
+                Implied by ``deadline`` and ``resume_from``.  Requires
+                ``faults``.
+            resume_from: a
+                :class:`~repro.engine.checkpoint.CheckpointJournal` from
+                an earlier killed run of the *same* query.  The journal
+                is re-audited against the current policy first —
+                a revoked rule makes resume refuse with
+                :class:`~repro.exceptions.CheckpointError` — then
+                surviving subtrees are pinned and their results reused
+                instead of re-executed.  Requires ``faults``.
 
         Raises:
             InfeasiblePlanError: when no safe assignment exists.
@@ -262,15 +301,56 @@ class DistributedSystem:
             DegradedExecutionError: fault-aware runs only — retries and
                 failover are exhausted, or no safe assignment survives
                 the crashed servers.
+            DeadlineExceededError: the budget ran out; carries the
+                checkpoint journal for resume.
+            CheckpointError: ``resume_from`` failed re-audit (plan shape
+                mismatch or revoked authorization).
+            ResilienceConfigError: health/deadline/checkpoint options
+                given without a fault injector, or a malformed budget.
         """
+        if faults is None and (
+            deadline is not None
+            or health is not None
+            or checkpoint
+            or resume_from is not None
+        ):
+            raise ResilienceConfigError(
+                "deadline, health, checkpoint and resume_from require a fault "
+                "injector: budgets and breakers are accounted in the "
+                "injector's logical clock"
+            )
+        if deadline is not None and not isinstance(deadline, DeadlineBudget):
+            deadline = DeadlineBudget(deadline)
         tree, assignment, _ = self.plan(query, search_join_orders=search_join_orders)
-        if verify:
-            verify_assignment(self._policy, assignment, recipient=recipient)
         if faults is None:
+            if verify:
+                verify_assignment(self._policy, assignment, recipient=recipient)
             executor = DistributedExecutor(
                 assignment, self.tables(), policy=self._policy, enforce=True
             )
             return executor.run(recipient=recipient)
+        journal: Optional[CheckpointJournal] = None
+        if resume_from is not None:
+            # Re-audit before anything ships: a revoked authorization
+            # refuses the journal outright (CheckpointError).
+            resume_from.verify(self._policy, tree)
+            journal = resume_from
+        elif checkpoint or deadline is not None:
+            journal = CheckpointJournal.for_plan(tree)
+        reuse: Dict[int, Table] = {}
+        if health is not None or resume_from is not None:
+            assignment = self._initial_assignment(
+                tree, assignment, faults, health, resume_from
+            )
+            if resume_from is not None:
+                materialized = set(assignment.materialized_nodes())
+                reuse = {
+                    entry.node_id: entry.table
+                    for entry in resume_from
+                    if entry.node_id in materialized
+                }
+        if verify:
+            verify_assignment(self._policy, assignment, recipient=recipient)
         return self._execute_resilient(
             tree,
             assignment,
@@ -279,6 +359,67 @@ class DistributedSystem:
             faults,
             retry if retry is not None else RetryPolicy(),
             max_failovers,
+            health=health,
+            deadline=deadline,
+            journal=journal,
+            reuse=reuse,
+        )
+
+    def _initial_assignment(
+        self,
+        tree: QueryTreePlan,
+        assignment: Assignment,
+        faults: FaultInjector,
+        health: Optional[HealthTracker],
+        journal: Optional[CheckpointJournal],
+    ) -> Assignment:
+        """Health- and checkpoint-aware refinement of the default plan.
+
+        Prefers assignments that route around quarantined (and already
+        crashed) servers and that pin checkpointed subtrees for reuse,
+        falling back toward the default assignment when the preferences
+        over-constrain the search.  Purely advisory: the weakest rung is
+        the default plan itself, so health state never makes a feasible
+        query infeasible.
+        """
+        avoid = set(faults.down_servers())
+        if health is not None:
+            avoid |= set(health.quarantined_servers())
+        pins = journal.pinned(excluded=avoid) if journal is not None else {}
+        attempts = []
+        if avoid and pins:
+            attempts.append((avoid, pins))
+        if pins:
+            attempts.append((set(), pins))
+        if avoid:
+            attempts.append((avoid, {}))
+        for excluded, pinned in attempts:
+            try:
+                planner = self._make_planner(
+                    excluded_servers=tuple(sorted(excluded)), pinned=pinned
+                )
+                candidate, _ = planner.plan(tree)
+                return candidate
+            except InfeasiblePlanError:
+                continue
+        return assignment
+
+    @staticmethod
+    def _forced_through_quarantine(
+        assignment: Assignment, health: HealthTracker
+    ) -> bool:
+        """Whether the assignment routes over quarantined resources.
+
+        True when a quarantined server executes part of the plan, or a
+        quarantined directed link connects two involved servers — i.e.
+        the breakers would refuse shipments this plan needs.
+        """
+        used = set(assignment.servers_used())
+        if used & set(health.quarantined_servers()):
+            return True
+        return any(
+            sender in used and receiver in used
+            for sender, receiver in health.quarantined_links()
         )
 
     def _execute_resilient(
@@ -290,6 +431,10 @@ class DistributedSystem:
         faults: FaultInjector,
         retry: RetryPolicy,
         max_failovers: int,
+        health: Optional[HealthTracker] = None,
+        deadline: Optional[DeadlineBudget] = None,
+        journal: Optional[CheckpointJournal] = None,
+        reuse: Optional[Dict[int, Table]] = None,
     ) -> ExecutionResult:
         """Run with retry + authorization-safe failover.
 
@@ -302,10 +447,24 @@ class DistributedSystem:
         relaxed: every re-planned assignment is independently verified
         and audited, and exhausting all rounds raises
         :class:`~repro.exceptions.DegradedExecutionError`.
+
+        With ``health``, failover also avoids quarantined servers
+        (advisory — see :meth:`_replan_restricted`); with ``deadline``,
+        an exhausted budget propagates as
+        :class:`~repro.exceptions.DeadlineExceededError` carrying
+        ``journal`` for resume.
         """
-        reuse: Dict[int, Table] = {}
+        reuse = dict(reuse) if reuse else {}
         failovers = 0
         while True:
+            gate = health
+            if health is not None and self._forced_through_quarantine(
+                assignment, health
+            ):
+                # No safe plan avoids the quarantined resources, so this
+                # round runs them anyway; the breakers keep observing
+                # but must not fail-fast the only viable route.
+                gate = ObserveOnlyHealth(health)
             executor = DistributedExecutor(
                 assignment,
                 self.tables(),
@@ -314,21 +473,34 @@ class DistributedSystem:
                 faults=faults,
                 retry=retry,
                 reuse=reuse,
+                health=gate,
+                deadline=deadline,
+                checkpoint=journal,
             )
             try:
                 result = executor.run(recipient=recipient)
                 result.failovers = failovers
                 return result
+            except DeadlineExceededError as error:
+                # Hand the journal of completed, audited subtrees to the
+                # caller: resume picks up from here with a fresh budget.
+                error.checkpoint = journal
+                raise
             except TransferFailedError as error:
                 failovers += 1
                 if failovers > max_failovers:
-                    raise DegradedExecutionError(
+                    degraded = DegradedExecutionError(
                         f"execution failed after {max_failovers} failover "
                         f"rounds; last failure: {error}",
                         excluded_servers=faults.down_servers(),
                         failovers=failovers - 1,
-                    ) from error
+                    )
+                    degraded.checkpoint = journal
+                    raise degraded from error
                 excluded = set(faults.down_servers())
+                quarantined = (
+                    set(health.quarantined_servers()) if health is not None else set()
+                )
                 completed = executor.completed_subtrees()
                 completed.update(
                     {
@@ -336,15 +508,23 @@ class DistributedSystem:
                         for node_id, table in reuse.items()
                     }
                 )
+                if journal is not None:
+                    for entry in journal:
+                        completed.setdefault(
+                            entry.node_id, (entry.server, entry.table)
+                        )
                 pinned = {
                     node_id: server
                     for node_id, (server, _) in completed.items()
-                    if server not in excluded
-                    and not isinstance(tree.node(node_id), LeafNode)
+                    if not isinstance(tree.node(node_id), LeafNode)
                 }
-                assignment, pinned = self._replan_restricted(
-                    tree, excluded, pinned, error
-                )
+                try:
+                    assignment, pinned = self._replan_restricted(
+                        tree, excluded, quarantined, pinned, error
+                    )
+                except DegradedExecutionError as degraded:
+                    degraded.checkpoint = journal
+                    raise
                 if verify:
                     verify_assignment(self._policy, assignment, recipient=recipient)
                 reuse = {
@@ -357,22 +537,53 @@ class DistributedSystem:
         self,
         tree: QueryTreePlan,
         excluded: set,
+        quarantined: set,
         pinned: Mapping[int, str],
         cause: TransferFailedError,
     ) -> Tuple[Assignment, Mapping[int, str]]:
         """Re-plan on surviving servers, preferring subtree reuse.
 
-        Tries the pinned (resume-from-completed-subtrees) plan first,
-        then a full re-plan without pinning; raises
-        :class:`~repro.exceptions.DegradedExecutionError` when neither
+        The attempt ladder, most- to least-preferred:
+
+        1. avoid crashed *and* quarantined servers, pin completed
+           subtrees held by the remainder;
+        2. same avoidance, no pins (reuse over-constrained the search);
+        3. avoid only crashed servers, pin surviving subtrees;
+        4. avoid only crashed servers, no pins.
+
+        Quarantine is advisory — rungs 3 and 4 ignore it, so a breaker
+        can never degrade a query that still has a safe plan on the
+        actually-live servers.  Crashed servers are a hard exclusion on
+        every rung; raises
+        :class:`~repro.exceptions.DegradedExecutionError` when no rung
         admits a safe assignment.
         """
-        attempts = [pinned, {}] if pinned else [{}]
+        hard = set(excluded)
+        soft = set(quarantined) - hard
+        attempts = []
+        if soft:
+            avoid = hard | soft
+            pins_avoiding = {
+                node_id: server
+                for node_id, server in pinned.items()
+                if server not in avoid
+            }
+            if pins_avoiding:
+                attempts.append((avoid, pins_avoiding))
+            attempts.append((avoid, {}))
+        pins_surviving = {
+            node_id: server
+            for node_id, server in pinned.items()
+            if server not in hard
+        }
+        if pins_surviving:
+            attempts.append((hard, pins_surviving))
+        attempts.append((hard, {}))
         last_error: Optional[InfeasiblePlanError] = None
-        for pins in attempts:
+        for excl, pins in attempts:
             try:
                 planner = self._make_planner(
-                    excluded_servers=tuple(sorted(excluded)), pinned=pins
+                    excluded_servers=tuple(sorted(excl)), pinned=pins
                 )
                 assignment, _ = planner.plan(tree)
                 return assignment, pins
@@ -380,8 +591,8 @@ class DistributedSystem:
                 last_error = error
         raise DegradedExecutionError(
             "no safe assignment survives the current faults "
-            f"(excluded: {sorted(excluded)}); last failure: {cause}",
-            excluded_servers=excluded,
+            f"(excluded: {sorted(hard)}); last failure: {cause}",
+            excluded_servers=hard,
         ) from last_error
 
     def simulate_concurrent(

@@ -24,12 +24,25 @@ from repro.engine.transfers import Transfer, TransferLog
 from repro.engine.audit import AuditLog
 from repro.engine.executor import DistributedExecutor, ExecutionResult
 from repro.engine.resilience import (
+    STATUS_BREAKER_OPEN,
+    STATUS_TIMEOUT,
     AttemptRecord,
     RetryPolicy,
     ShipmentReport,
     attempt_shipment,
 )
-from repro.engine.coster import CostModel, TableStats, estimate_assignment_cost
+from repro.engine.deadline import DeadlineBudget
+from repro.engine.checkpoint import (
+    CheckpointEntry,
+    CheckpointJournal,
+    plan_signature,
+)
+from repro.engine.coster import (
+    CostModel,
+    HealthAwareCostModel,
+    TableStats,
+    estimate_assignment_cost,
+)
 from repro.engine.timeline import Timeline, TimelineEvent, simulate_timeline
 
 __all__ = [
@@ -43,11 +56,18 @@ __all__ = [
     "AuditLog",
     "DistributedExecutor",
     "ExecutionResult",
+    "STATUS_BREAKER_OPEN",
+    "STATUS_TIMEOUT",
     "AttemptRecord",
     "RetryPolicy",
     "ShipmentReport",
     "attempt_shipment",
+    "DeadlineBudget",
+    "CheckpointEntry",
+    "CheckpointJournal",
+    "plan_signature",
     "CostModel",
+    "HealthAwareCostModel",
     "TableStats",
     "estimate_assignment_cost",
 ]

@@ -114,6 +114,36 @@ class CostModel:
         )
 
 
+class HealthAwareCostModel(CostModel):
+    """A cost model that surcharges unhealthy routes.
+
+    Wraps a base :class:`CostModel` and multiplies each link's cost by
+    the health tracker's penalty factor — 1.0 for healthy routes, the
+    quarantine penalty when either endpoint's or the link's breaker is
+    open (see
+    :meth:`repro.distributed.health.HealthTracker.penalty_factor`).
+    Cost-based planners then steer around flapping servers without any
+    hard feasibility change: the policy decides what is *safe*, health
+    only reorders what is *cheap*.
+
+    Args:
+        health: object exposing ``penalty_factor(sender, receiver)``
+            (duck-typed, so the engine layer stays import-acyclic with
+            the distributed layer).
+        base: the underlying cost model (default: uniform bytes).
+    """
+
+    def __init__(self, health, base: Optional[CostModel] = None) -> None:
+        super().__init__(None)
+        self._health = health
+        self._base = base or CostModel()
+
+    def transfer_cost(self, sender: str, receiver: str, byte_size: float) -> float:
+        """Base cost scaled by the route's health penalty."""
+        cost = self._base.transfer_cost(sender, receiver, byte_size)
+        return cost * float(self._health.penalty_factor(sender, receiver))
+
+
 def _node_stats(
     node: PlanNode, base_stats: Mapping[str, TableStats]
 ) -> TableStats:

@@ -1,0 +1,127 @@
+"""Per-query deadline budgets over simulated time.
+
+PR 1 bounded *attempts* (a retry policy caps tries per shipment) but
+nothing bounded *time*: a query could burn arbitrarily long in backoff
+loops and failover rounds.  A :class:`DeadlineBudget` is a single
+simulated-time allowance for one query execution; everything that
+advances the fault injector's logical clock on the query's behalf —
+attempt durations, backoff waits — is charged against it, and the first
+charge that overdraws raises a structured
+:class:`~repro.exceptions.DeadlineExceededError`.
+
+Fail-fast is the point: before a backoff wait, the retry loop asks
+:meth:`DeadlineBudget.require` whether the wait still fits — if not, the
+budget dies *now* instead of sleeping into certain death.  The failover
+layer attaches the execution's checkpoint journal to the error, so the
+caller can resume from the last audited subtree with a fresh budget (see
+:mod:`repro.engine.checkpoint`).
+
+Budgets are plain accumulators over the injector's deterministic clock:
+no wall time, no threads, fully replayable.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import DeadlineExceededError, ResilienceConfigError
+
+
+class DeadlineBudget:
+    """A simulated-time allowance for one query execution.
+
+    Args:
+        budget: total logical-time units the execution may spend.
+    """
+
+    __slots__ = ("budget", "_spent", "_charges")
+
+    def __init__(self, budget: float) -> None:
+        budget = float(budget)
+        if not math.isfinite(budget) or budget <= 0:
+            raise ResilienceConfigError(
+                f"deadline budget must be positive and finite (got {budget!r})"
+            )
+        self.budget = budget
+        self._spent = 0.0
+        self._charges = 0
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def spent(self) -> float:
+        """Logical time charged so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Budget left (never negative)."""
+        return max(0.0, self.budget - self._spent)
+
+    @property
+    def exceeded(self) -> bool:
+        """Whether spending has passed the budget."""
+        return self._spent > self.budget
+
+    @property
+    def charges(self) -> int:
+        """Number of charges recorded."""
+        return self._charges
+
+    def would_exceed(self, amount: float) -> bool:
+        """Whether charging ``amount`` more would overdraw the budget."""
+        return self._spent + amount > self.budget
+
+    def charge(self, amount: float, reason: str = "") -> None:
+        """Charge ``amount`` of spent logical time.
+
+        Raises:
+            DeadlineExceededError: the moment spending passes the
+                budget.  The charge is recorded first — the time *was*
+                spent — so ``spent`` reflects reality in the error.
+        """
+        if amount < 0:
+            raise ResilienceConfigError("cannot charge negative time")
+        self._spent += amount
+        self._charges += 1
+        if self._spent > self.budget:
+            raise DeadlineExceededError(
+                f"deadline budget exhausted after {self._spent:.2f} of "
+                f"{self.budget:.2f} logical-time units"
+                + (f" (while {reason})" if reason else ""),
+                spent=self._spent,
+                budget=self.budget,
+                reason=reason,
+            )
+
+    def require(self, amount: float, reason: str = "") -> None:
+        """Fail fast if ``amount`` more time no longer fits.
+
+        Unlike :meth:`charge` this spends nothing — it is the
+        look-before-you-wait check the retry loop runs before a backoff
+        delay, so execution never sleeps into an already-dead budget.
+
+        Raises:
+            DeadlineExceededError: when ``amount`` would overdraw.
+        """
+        if self.would_exceed(amount):
+            raise DeadlineExceededError(
+                f"deadline budget cannot cover {amount:.2f} more "
+                f"logical-time units ({self._spent:.2f} spent of "
+                f"{self.budget:.2f})" + (f" (while {reason})" if reason else ""),
+                spent=self._spent,
+                budget=self.budget,
+                reason=reason,
+            )
+
+    def describe(self) -> str:
+        """``spent/budget`` one-liner for summaries."""
+        return f"{self._spent:.1f}/{self.budget:.1f}"
+
+    def __repr__(self) -> str:
+        return (
+            f"DeadlineBudget(spent={self._spent:.2f}, budget={self.budget:.2f}, "
+            f"charges={self._charges})"
+        )

@@ -45,9 +45,30 @@ class ExecutionResult:
         audit: the audit log (``None`` for unaudited runs).
         failovers: how many times the execution was re-planned onto
             surviving servers before completing (0 for fault-free runs).
+        breaker_trips: circuit-breaker trips observed by the run's
+            health tracker (0 when none was attached).
+        checkpointed: subtree results journaled by the run.
+        resumed: checkpointed subtree results reused instead of
+            re-executed.
+        deadline: the run's :class:`~repro.engine.deadline.DeadlineBudget`
+            (``None`` when no budget was set).
+        checkpoint: the run's
+            :class:`~repro.engine.checkpoint.CheckpointJournal` (``None``
+            when journaling was off).
     """
 
-    __slots__ = ("table", "result_server", "transfers", "audit", "failovers")
+    __slots__ = (
+        "table",
+        "result_server",
+        "transfers",
+        "audit",
+        "failovers",
+        "breaker_trips",
+        "checkpointed",
+        "resumed",
+        "deadline",
+        "checkpoint",
+    )
 
     def __init__(
         self,
@@ -56,15 +77,26 @@ class ExecutionResult:
         transfers: TransferLog,
         audit: Optional[AuditLog],
         failovers: int = 0,
+        breaker_trips: int = 0,
+        checkpointed: int = 0,
+        resumed: int = 0,
+        deadline=None,
+        checkpoint=None,
     ) -> None:
         self.table = table
         self.result_server = result_server
         self.transfers = transfers
         self.audit = audit
         self.failovers = failovers
+        self.breaker_trips = breaker_trips
+        self.checkpointed = checkpointed
+        self.resumed = resumed
+        self.deadline = deadline
+        self.checkpoint = checkpoint
 
     def summary(self) -> str:
-        """One line: rows, transfers, retries, failovers, audit outcome.
+        """One line: rows, transfers, retries, failovers, audit outcome,
+        plus breaker/deadline/checkpoint accounting when present.
 
         Used by the CLI's ``execute`` command and the fault benchmarks.
         """
@@ -75,11 +107,21 @@ class ExecutionResult:
             audit = "clean"
         else:
             audit = f"{len(self.audit.violations)} violations"
-        return (
+        line = (
             f"{len(self.table)} rows at {self.result_server} | "
             f"{len(self.transfers)} transfers / {self.transfers.total_bytes()} B | "
             f"{retries} retries | {self.failovers} failovers | audit {audit}"
         )
+        if self.breaker_trips:
+            line += f" | {self.breaker_trips} breaker trips"
+        if self.deadline is not None:
+            line += (
+                f" | deadline {self.deadline.describe()} "
+                f"({self.deadline.remaining:.1f} left)"
+            )
+        if self.checkpointed or self.resumed:
+            line += f" | {self.checkpointed} checkpointed / {self.resumed} resumed"
+        return line
 
     def __repr__(self) -> str:
         return (
@@ -112,6 +154,16 @@ class DistributedExecutor:
         reuse: ``node_id -> Table`` results materialized by an earlier
             execution attempt; required for every node the assignment
             marks materialized.
+        health: optional :class:`~repro.distributed.health.HealthTracker`
+            (duck-typed); every shipment attempt feeds it and is refused
+            fast when its breaker is open.
+        deadline: optional :class:`~repro.engine.deadline.DeadlineBudget`;
+            shipment durations and backoff waits are charged against it.
+        checkpoint: optional
+            :class:`~repro.engine.checkpoint.CheckpointJournal`; every
+            completed non-leaf subtree whose holder is authorized for
+            its profile is journaled (audited runs only), so a killed
+            run can resume.
     """
 
     def __init__(
@@ -123,6 +175,9 @@ class DistributedExecutor:
         faults=None,
         retry: Optional[RetryPolicy] = None,
         reuse: Optional[Mapping[int, Table]] = None,
+        health=None,
+        deadline=None,
+        checkpoint=None,
     ) -> None:
         assignment.validate_structure()
         self._assignment = assignment
@@ -132,6 +187,9 @@ class DistributedExecutor:
         self._faults = faults
         self._retry = retry if retry is not None else (RetryPolicy() if faults is not None else None)
         self._reuse = dict(reuse or {})
+        self._health = health
+        self._deadline = deadline
+        self._checkpoint = checkpoint
         self._completed: Dict[int, Tuple[str, Table]] = {}
 
     def completed_subtrees(self) -> Dict[int, Tuple[str, Table]]:
@@ -162,7 +220,19 @@ class DistributedExecutor:
                 node_id=root.node_id,
             )
             result_server = recipient
-        return ExecutionResult(table, result_server, self._log, self._audit)
+        return ExecutionResult(
+            table,
+            result_server,
+            self._log,
+            self._audit,
+            breaker_trips=(
+                self._health.breaker_trips() if self._health is not None else 0
+            ),
+            checkpointed=len(self._checkpoint) if self._checkpoint is not None else 0,
+            resumed=len(self._reuse),
+            deadline=self._deadline,
+            checkpoint=self._checkpoint,
+        )
 
     # ------------------------------------------------------------------
     # Node execution
@@ -177,11 +247,18 @@ class DistributedExecutor:
                 )
             return self._reuse[node.node_id]
         table = self._execute_node(node)
-        if self._faults is not None and not isinstance(node, LeafNode):
-            self._completed[node.node_id] = (
-                self._assignment.master(node.node_id),
-                table,
-            )
+        if not isinstance(node, LeafNode):
+            server = self._assignment.master(node.node_id)
+            if self._faults is not None:
+                self._completed[node.node_id] = (server, table)
+            if self._checkpoint is not None and self._audit is not None:
+                from repro.core.access import can_view  # local: avoids cycle
+
+                profile = self._assignment.profile(node.node_id)
+                # Journal only what is audited-safe to park: the holder
+                # must be authorized for the view it would resume with.
+                if can_view(self._audit.policy, profile, server):
+                    self._checkpoint.record(node.node_id, server, profile, table)
         return table
 
     def _execute_node(self, node: PlanNode) -> Table:
@@ -318,7 +395,13 @@ class DistributedExecutor:
         attempts, outcomes, retry_delay = 1, ("ok",), 0.0
         if self._faults is not None:
             report = attempt_shipment(
-                self._faults, self._retry, sender, receiver, table.byte_size()
+                self._faults,
+                self._retry,
+                sender,
+                receiver,
+                table.byte_size(),
+                health=self._health,
+                deadline=self._deadline,
             )
             if not report.delivered:
                 raise TransferFailedError(

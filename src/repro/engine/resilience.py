@@ -19,10 +19,15 @@ from __future__ import annotations
 import zlib
 from typing import Optional, Tuple
 
-from repro.exceptions import ExecutionError
+from repro.exceptions import ExecutionError, ResilienceConfigError
 
 #: Status recorded when an attempt exceeded its derived timeout.
 STATUS_TIMEOUT = "timeout"
+
+#: Status recorded when a shipment was refused by an open circuit
+#: breaker before any attempt was made (see
+#: :mod:`repro.distributed.health`) — the fail-fast path.
+STATUS_BREAKER_OPEN = "breaker-open"
 
 
 class RetryPolicy:
@@ -62,16 +67,32 @@ class RetryPolicy:
         timeout_factor: float = 4.0,
         min_timeout: float = 1.0,
     ) -> None:
+        # ResilienceConfigError subclasses both ExecutionError and
+        # ValueError: library callers keep catching the former, while a
+        # misconfigured policy reads as the plain bad argument it is.
         if max_attempts < 1:
-            raise ExecutionError("max_attempts must be at least 1")
+            raise ResilienceConfigError(
+                f"max_attempts must be at least 1 (got {max_attempts!r})"
+            )
         if base_delay < 0 or max_delay < 0:
-            raise ExecutionError("retry delays cannot be negative")
+            raise ResilienceConfigError(
+                "retry delays cannot be negative "
+                f"(base_delay={base_delay!r}, max_delay={max_delay!r})"
+            )
         if backoff_factor < 1.0:
-            raise ExecutionError("backoff_factor must be >= 1")
+            raise ResilienceConfigError(
+                f"backoff_factor must be >= 1 (got {backoff_factor!r})"
+            )
         if jitter < 0:
-            raise ExecutionError("jitter cannot be negative")
+            raise ResilienceConfigError(
+                f"jitter cannot be negative (got {jitter!r})"
+            )
         if timeout_factor <= 0 or min_timeout < 0:
-            raise ExecutionError("timeout parameters must be positive")
+            raise ResilienceConfigError(
+                "timeout_factor must be positive and min_timeout non-negative "
+                f"(got timeout_factor={timeout_factor!r}, "
+                f"min_timeout={min_timeout!r})"
+            )
         self.max_attempts = max_attempts
         self.base_delay = base_delay
         self.backoff_factor = backoff_factor
@@ -172,6 +193,8 @@ def attempt_shipment(
     sender: str,
     receiver: str,
     byte_size: float,
+    health=None,
+    deadline=None,
 ) -> ShipmentReport:
     """Drive one shipment through the fault layer under a retry policy.
 
@@ -180,10 +203,25 @@ def attempt_shipment(
             ``wait`` (duck-typed; see
             :class:`repro.distributed.faults.FaultInjector`).
         retry: the policy bounding attempts, delays and timeouts.
+        health: optional tracker exposing ``allow`` and
+            ``observe_attempt`` (duck-typed; see
+            :class:`repro.distributed.health.HealthTracker`).  Every
+            attempt outcome is fed to it, and a shipment whose breaker
+            is open fails fast with a single ``breaker-open`` record —
+            no attempts burned, no time spent.
+        deadline: optional budget exposing ``charge`` and ``require``
+            (duck-typed; see
+            :class:`repro.engine.deadline.DeadlineBudget`).  Attempt
+            durations and backoff waits are charged against it; a
+            backoff that no longer fits raises *before* waiting.
 
     Returns:
         The report — ``delivered`` is False when every attempt failed;
         the caller decides whether that raises or triggers failover.
+
+    Raises:
+        DeadlineExceededError: when the budget is overdrawn by an
+            attempt's duration or cannot cover the next backoff wait.
     """
     expected = faults.expected_cost(sender, receiver, byte_size)
     allowed = retry.timeout_for(expected)
@@ -191,15 +229,35 @@ def attempt_shipment(
     records = []
     waited = 0.0
     for attempt in range(1, retry.max_attempts + 1):
+        if health is not None and not health.allow(sender, receiver, faults.clock):
+            # Fail fast: the breaker quarantined this route (possibly
+            # mid-loop, after feeding the attempts below).  Burning the
+            # remaining attempts would only delay failover.
+            records.append(AttemptRecord(attempt, STATUS_BREAKER_OPEN, 0.0))
+            break
         outcome = faults.attempt(sender, receiver, byte_size)
         status = outcome.status
         if status == "ok" and outcome.duration > allowed:
             status = STATUS_TIMEOUT
+        if health is not None:
+            # Feed the tracker before the deadline can raise: the
+            # breaker must learn from an attempt even when that attempt
+            # killed the budget.
+            health.observe_attempt(
+                sender, receiver, status, outcome.duration, faults.clock
+            )
         records.append(AttemptRecord(attempt, status, outcome.duration))
+        if deadline is not None:
+            deadline.charge(outcome.duration, f"shipment {link_key}")
         if status == "ok":
             return ShipmentReport(tuple(records), True, waited)
         if attempt < retry.max_attempts:
             delay = retry.delay(attempt, key=link_key)
+            if deadline is not None:
+                # Look before waiting: never sleep into a dead budget.
+                deadline.require(delay, f"backoff on {link_key}")
             waited += delay
             faults.wait(delay)
+            if deadline is not None:
+                deadline.charge(delay, f"backoff on {link_key}")
     return ShipmentReport(tuple(records), False, waited)

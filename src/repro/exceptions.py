@@ -126,6 +126,15 @@ class AuditViolationError(ExecutionError):
         self.receiver = receiver
 
 
+class ResilienceConfigError(ExecutionError, ValueError):
+    """A resilience policy (retry, breaker, deadline) is misconfigured.
+
+    Subclasses :class:`ValueError` as well: a bad ``max_attempts`` or a
+    negative delay is an ordinary bad argument, and callers outside the
+    library catch it as such.
+    """
+
+
 class FaultError(ExecutionError):
     """Base class for injected-fault runtime failures."""
 
@@ -150,6 +159,44 @@ class TransferFailedError(FaultError):
         self.report = report
 
 
+class DeadlineExceededError(FaultError):
+    """The query's simulated-time budget ran out.
+
+    Raised by :class:`~repro.engine.deadline.DeadlineBudget` the moment
+    a charge (shipment duration, backoff wait) pushes spending past the
+    budget, or *before* a backoff wait that could not fit — execution
+    fails fast instead of burning a dead budget in retry loops.  The
+    failover layer attaches the execution's checkpoint journal so the
+    caller can resume from the last audited subtree.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        spent: float = 0.0,
+        budget: float = 0.0,
+        reason: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.spent = spent
+        self.budget = budget
+        self.reason = reason
+        #: Filled by the failover layer: the journal of completed,
+        #: audited subtrees at the moment the budget died.
+        self.checkpoint = None
+
+
+class CheckpointError(ExecutionError):
+    """A checkpoint journal cannot be resumed.
+
+    Either the journal belongs to a different plan shape, or — the
+    security-critical case — an authorization covering a checkpointed
+    subtree was revoked between checkpoint and restart.  Resume
+    re-audits every entry against the *current* policy and refuses
+    rather than replay a view the policy no longer grants.
+    """
+
+
 class DegradedExecutionError(FaultError):
     """No *safe* alternative assignment survives the current faults.
 
@@ -164,3 +211,6 @@ class DegradedExecutionError(FaultError):
         super().__init__(message)
         self.excluded_servers = tuple(sorted(excluded_servers))
         self.failovers = failovers
+        #: Filled by the failover layer when journaling was active: the
+        #: completed, audited subtrees at the moment the query degraded.
+        self.checkpoint = None

@@ -31,6 +31,9 @@ from repro.algebra.predicates import Comparison, Predicate
 from repro.algebra.schema import Catalog, RelationSchema
 from repro.core.authorization import Authorization, Policy
 from repro.core.openpolicy import Denial, OpenPolicy
+from repro.core.profile import RelationProfile
+from repro.engine.checkpoint import CheckpointEntry, CheckpointJournal
+from repro.engine.data import Table
 from repro.exceptions import ReproError
 
 
@@ -184,6 +187,90 @@ def spec_from_dict(data: Dict[str, Any]) -> QuerySpec:
         frozenset(data["select"]),
         Predicate(comparisons),
     )
+
+
+# ---------------------------------------------------------------------------
+# Tables, profiles, checkpoints
+# ---------------------------------------------------------------------------
+
+def table_to_dict(table: Table) -> Dict[str, Any]:
+    """Encode a table (columns in table order, rows canonical)."""
+    return {
+        "attributes": list(table.attributes),
+        "rows": [list(row) for row in table.rows],
+    }
+
+
+def table_from_dict(data: Dict[str, Any]) -> Table:
+    """Decode a table."""
+    if "attributes" not in data:
+        raise ReproError("table dictionary lacks 'attributes'")
+    return Table(
+        data["attributes"], [tuple(row) for row in data.get("rows", [])]
+    )
+
+
+def profile_to_dict(profile: RelationProfile) -> Dict[str, Any]:
+    """Encode a Figure 4 relation profile ``[Rπ, R⋈, Rσ]``."""
+    return {
+        "attributes": sorted(profile.attributes),
+        "join_path": _path_pairs(profile.join_path),
+        "selection_attributes": sorted(profile.selection_attributes),
+    }
+
+
+def profile_from_dict(data: Dict[str, Any]) -> RelationProfile:
+    """Decode a relation profile."""
+    if "attributes" not in data:
+        raise ReproError("profile dictionary lacks 'attributes'")
+    return RelationProfile(
+        data["attributes"],
+        _path_from_pairs(data.get("join_path", [])),
+        data.get("selection_attributes", ()),
+    )
+
+
+def checkpoint_to_dict(journal: CheckpointJournal) -> Dict[str, Any]:
+    """Encode a checkpoint journal (entries sorted by node id).
+
+    The profile of every entry rides along: resume re-audits each
+    holder against the *current* policy from exactly this profile, so
+    the journal must carry the information content it claims, not just
+    the bytes.
+    """
+    return {
+        "plan_signature": journal.signature,
+        "entries": [
+            {
+                "node_id": entry.node_id,
+                "server": entry.server,
+                "profile": profile_to_dict(entry.profile),
+                "table": table_to_dict(entry.table),
+            }
+            for entry in journal
+        ],
+    }
+
+
+def checkpoint_from_dict(data: Dict[str, Any]) -> CheckpointJournal:
+    """Decode a checkpoint journal.
+
+    Decoding performs no authorization checks — the journal is untrusted
+    until :meth:`~repro.engine.checkpoint.CheckpointJournal.verify` runs
+    against the current plan and policy.
+    """
+    if "plan_signature" not in data:
+        raise ReproError("checkpoint dictionary lacks 'plan_signature'")
+    entries = [
+        CheckpointEntry(
+            int(entry["node_id"]),
+            entry["server"],
+            profile_from_dict(entry["profile"]),
+            table_from_dict(entry["table"]),
+        )
+        for entry in data.get("entries", [])
+    ]
+    return CheckpointJournal(data["plan_signature"], entries)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,209 @@
+"""Deadline budgets over simulated time.
+
+Covers the budget accounting (charge-then-raise, look-before-you-wait),
+its wiring into the shipment retry loop and the system facade, and the
+structured error carrying spend/budget/checkpoint for resume.  The
+load-bearing invariants:
+
+* budgets never sleep into certain death — a backoff that cannot fit
+  raises *before* the wait;
+* an exhausted budget reports faithfully (``spent`` includes the charge
+  that overdrew);
+* deadlines bound time, never safety — a deadline-killed run has only
+  performed audited transfers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.faults import FaultInjector
+from repro.distributed.system import DistributedSystem
+from repro.engine.deadline import DeadlineBudget
+from repro.engine.resilience import RetryPolicy, attempt_shipment
+from repro.exceptions import (
+    DeadlineExceededError,
+    ExecutionError,
+    ResilienceConfigError,
+)
+from repro.workloads import generate_instances, medical_catalog, medical_policy
+
+QUERY = (
+    "SELECT Patient, Physician, Plan, HealthAid "
+    "FROM Insurance JOIN Nat_registry ON Holder = Citizen "
+    "JOIN Hospital ON Citizen = Patient"
+)
+
+
+def medical_system() -> DistributedSystem:
+    system = DistributedSystem(medical_catalog(), medical_policy())
+    system.load_instances(generate_instances(seed=7))
+    return system
+
+
+class TestDeadlineBudget:
+    def test_accounting(self):
+        budget = DeadlineBudget(10.0)
+        budget.charge(3.0)
+        budget.charge(2.0)
+        assert budget.spent == 5.0
+        assert budget.remaining == 5.0
+        assert budget.charges == 2
+        assert not budget.exceeded
+        assert budget.would_exceed(6.0)
+        assert not budget.would_exceed(5.0)
+
+    def test_charge_past_budget_raises_after_recording(self):
+        budget = DeadlineBudget(10.0)
+        with pytest.raises(DeadlineExceededError) as info:
+            budget.charge(12.0, "one big shipment")
+        assert budget.spent == 12.0  # the time *was* spent
+        assert budget.exceeded
+        assert info.value.spent == 12.0
+        assert info.value.budget == 10.0
+        assert info.value.reason == "one big shipment"
+
+    def test_require_raises_without_spending(self):
+        budget = DeadlineBudget(10.0)
+        budget.charge(8.0)
+        with pytest.raises(DeadlineExceededError):
+            budget.require(5.0, "backoff")
+        assert budget.spent == 8.0  # nothing charged
+        budget.require(2.0)  # exactly fits: fine
+
+    def test_exact_budget_is_not_exceeded(self):
+        budget = DeadlineBudget(10.0)
+        budget.charge(10.0)
+        assert not budget.exceeded
+        assert budget.remaining == 0.0
+
+    def test_validation(self):
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ResilienceConfigError):
+                DeadlineBudget(bad)
+        with pytest.raises(ResilienceConfigError):
+            DeadlineBudget(10.0).charge(-1.0)
+
+    def test_config_error_is_a_value_error_too(self):
+        # Misconfigured resilience knobs read as plain bad arguments for
+        # callers outside the library, and as ExecutionError inside it.
+        with pytest.raises(ValueError):
+            DeadlineBudget(-5.0)
+        with pytest.raises(ExecutionError):
+            DeadlineBudget(-5.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.5)
+
+    def test_describe(self):
+        budget = DeadlineBudget(10.0)
+        budget.charge(2.5)
+        assert budget.describe() == "2.5/10.0"
+
+
+class TestDeadlineInShipmentLoop:
+    def test_attempt_durations_are_charged(self):
+        faults = FaultInjector(seed=0)
+        budget = DeadlineBudget(1_000_000.0)
+        attempt_shipment(
+            faults, RetryPolicy(), "A", "B", 100.0, deadline=budget
+        )
+        assert budget.spent == faults.clock > 0
+
+    def test_backoff_waits_are_charged(self):
+        faults = FaultInjector(seed=0, drop_probability=1.0)
+        budget = DeadlineBudget(1_000_000.0)
+        retry = RetryPolicy(max_attempts=3, base_delay=2.0, jitter=0.0)
+        report = attempt_shipment(
+            faults, retry, "A", "B", 100.0, deadline=budget
+        )
+        assert not report.delivered
+        assert budget.spent == pytest.approx(faults.clock)
+        assert budget.spent >= report.retry_delay > 0
+
+    def test_budget_dies_before_sleeping_into_it(self):
+        faults = FaultInjector(seed=0, drop_probability=1.0)
+        # Enough for the first (1-unit) attempt but not its backoff.
+        budget = DeadlineBudget(1.5)
+        retry = RetryPolicy(max_attempts=4, base_delay=10.0, jitter=0.0)
+        with pytest.raises(DeadlineExceededError):
+            attempt_shipment(faults, retry, "A", "B", 1.0, deadline=budget)
+        # The injector clock shows no 10-unit backoff was ever waited.
+        assert faults.clock < 10.0
+
+    def test_deadline_error_reports_spend(self):
+        faults = FaultInjector(seed=0, drop_probability=1.0)
+        budget = DeadlineBudget(1.5)
+        retry = RetryPolicy(max_attempts=4, base_delay=10.0, jitter=0.0)
+        with pytest.raises(DeadlineExceededError) as info:
+            attempt_shipment(faults, retry, "A", "B", 1.0, deadline=budget)
+        assert info.value.budget == 1.5
+        assert info.value.spent <= 1.5  # require() spends nothing
+
+
+class TestDeadlineInExecution:
+    def test_deadline_requires_fault_injector(self):
+        system = medical_system()
+        with pytest.raises(ResilienceConfigError):
+            system.execute(QUERY, deadline=100.0)
+
+    def test_generous_deadline_changes_nothing(self):
+        system = medical_system()
+        plain = system.execute(QUERY)
+        faults = FaultInjector(seed=0)
+        result = system.execute(
+            QUERY, faults=faults, retry=RetryPolicy(jitter=0.0),
+            deadline=1_000_000.0,
+        )
+        assert result.table == plain.table
+        assert result.deadline is not None
+        assert result.deadline.spent == pytest.approx(faults.clock)
+        assert "deadline" in result.summary()
+
+    def test_tight_deadline_kills_with_checkpoint_attached(self):
+        system = medical_system()
+        faults = FaultInjector(seed=0)
+        with pytest.raises(DeadlineExceededError) as info:
+            system.execute(
+                QUERY, faults=faults, retry=RetryPolicy(jitter=0.0),
+                deadline=1.0,
+            )
+        assert info.value.checkpoint is not None
+
+    def test_float_and_budget_objects_both_accepted(self):
+        system = medical_system()
+        faults = FaultInjector(seed=0)
+        budget = DeadlineBudget(1_000_000.0)
+        result = system.execute(
+            QUERY, faults=faults, retry=RetryPolicy(jitter=0.0),
+            deadline=budget,
+        )
+        assert result.deadline is budget
+
+    def test_deadline_killed_run_performed_only_audited_transfers(self):
+        """The budget can kill the run at any shipment boundary; whatever
+        already shipped was audited first."""
+        system = medical_system()
+        total = FaultInjector(seed=0)
+        system.execute(QUERY, faults=total, retry=RetryPolicy(jitter=0.0))
+        for fraction in (0.2, 0.4, 0.6, 0.8):
+            faults = FaultInjector(seed=0)
+            with pytest.raises(DeadlineExceededError):
+                system.execute(
+                    QUERY, faults=faults, retry=RetryPolicy(jitter=0.0),
+                    deadline=total.clock * fraction,
+                )
+
+    def test_retries_and_backoff_consume_the_budget(self):
+        """The same query under drops spends strictly more budget."""
+        system = medical_system()
+        clean = FaultInjector(seed=0)
+        system.execute(QUERY, faults=clean, retry=RetryPolicy(jitter=0.0))
+        lossy = FaultInjector(seed=3, drop_probability=0.3)
+        result = system.execute(
+            QUERY, faults=lossy,
+            retry=RetryPolicy(max_attempts=6, base_delay=0.5, jitter=0.0),
+            deadline=1_000_000.0,
+        )
+        assert result.deadline.spent > clean.clock

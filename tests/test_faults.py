@@ -220,6 +220,24 @@ class TestRetryPolicy:
         with pytest.raises(ExecutionError):
             RetryPolicy(jitter=-0.5)
 
+    def test_invalid_parameters_raise_value_error_with_clear_message(self):
+        """Regression: misconfiguration must surface as ValueError with the
+        offending knob named — not as a downstream arithmetic error."""
+        cases = [
+            (dict(max_attempts=0), "max_attempts"),
+            (dict(max_attempts=-3), "max_attempts"),
+            (dict(base_delay=-1.0), "base_delay"),
+            (dict(backoff_factor=0.5), "backoff_factor"),
+            (dict(max_delay=-2.0), "max_delay"),
+            (dict(jitter=-0.5), "jitter"),
+            (dict(timeout_factor=0.0), "timeout_factor"),
+            (dict(min_timeout=-1.0), "min_timeout"),
+        ]
+        for kwargs, knob in cases:
+            with pytest.raises(ValueError) as info:
+                RetryPolicy(**kwargs)
+            assert knob in str(info.value), kwargs
+
 
 class TestAttemptShipment:
     def test_first_try_delivery_waits_nothing(self):
