@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-health bench bench-kernel bench-health examples verify clean
+.PHONY: install test test-faults test-health test-obs bench bench-kernel bench-health bench-obs trace-demo examples verify clean
 
 install:
 	pip install -e .
@@ -22,6 +22,11 @@ test-faults:
 test-health:
 	$(PYTHON) -m pytest tests/test_health.py tests/test_deadline.py tests/test_checkpoint.py
 
+# Observability suite: tracer/metrics unit tests plus the golden-file
+# exporter tests (byte-stable JSONL + Chrome trace on the medical run).
+test-obs:
+	$(PYTHON) -m pytest tests/test_obs.py tests/test_obs_golden.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -37,6 +42,26 @@ bench-kernel:
 # writes BENCH_ABL11.json.
 bench-health:
 	$(PYTHON) -m pytest benchmarks/bench_abl11_health.py --benchmark-only -s
+
+# Observability ablation: gates tracer-off planning at <5% overhead
+# over the uninstrumented hot path, and validates the exports of a
+# traced flapping-coordinator run; writes BENCH_ABL12.json.
+bench-obs:
+	$(PYTHON) -m pytest benchmarks/bench_abl12_obs.py --benchmark-only -s
+
+# Trace the Figure 1-5 medical query end-to-end and export every
+# format: Chrome trace (load trace_demo.json in Perfetto /
+# about:tracing), JSONL spans, and a Prometheus metrics page.
+TRACE_DEMO_SQL = SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder = Citizen JOIN Hospital ON Citizen = Patient
+
+trace-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.cli execute \
+		--sql "$(TRACE_DEMO_SQL)" \
+		--trace-out trace_demo.json --trace-format chrome \
+		--metrics-out trace_demo_metrics.prom
+	PYTHONPATH=src $(PYTHON) -m repro.cli execute \
+		--sql "$(TRACE_DEMO_SQL)" --trace-out trace_demo.jsonl
+	@echo "wrote trace_demo.json (Chrome/Perfetto), trace_demo.jsonl, trace_demo_metrics.prom"
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

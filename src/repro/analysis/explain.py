@@ -81,7 +81,7 @@ class JoinExplanation:
 
 
 def explain_planning(
-    policy, plan: QueryTreePlan
+    policy, plan: QueryTreePlan, trace=None
 ) -> Tuple[Dict[int, JoinExplanation], bool]:
     """Recompute and record every planner check for ``plan``.
 
@@ -89,6 +89,12 @@ def explain_planning(
     recomputation mirrors ``Find_candidates`` exactly: profiles via
     Figure 4, views via Figure 5, slave-before-master ordering,
     semi-before-regular admission.
+
+    With ``trace`` (a :class:`~repro.obs.trace.TraceContext`), covering
+    rules are read from — and recorded into — the trace's
+    covering-authorization cache, so an explanation following an audited
+    execution reuses the very rules the audit stamped instead of
+    re-probing the policy (and a test pins the two together).
     """
     explanations: Dict[int, JoinExplanation] = {}
     profiles: Dict[int, RelationProfile] = {}
@@ -101,7 +107,7 @@ def explain_planning(
         allowed = can_view(policy, profile, server)
         rule = None
         if allowed and isinstance(policy, Policy):
-            rule = first_covering_authorization(policy, profile, server)
+            rule = first_covering_authorization(policy, profile, server, trace=trace)
         explanation.checks.append(ViewCheck(server, role, profile, allowed, rule))
         return allowed
 

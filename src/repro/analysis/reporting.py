@@ -86,13 +86,23 @@ def render_policy_table(policy: Policy) -> str:
     return ascii_table(["#", "Attributes", "Join Path", "Server"], rows)
 
 
-def write_bench_json(name, payload, directory=None):
+#: Version of the ``BENCH_*.json`` layout; bump when sections change
+#: shape incompatibly.  Consumers select on it instead of sniffing keys.
+BENCH_SCHEMA_VERSION = 1
+
+#: Producer stamp written into every bench file.
+BENCH_GENERATED_BY = "repro-benchmarks"
+
+
+def write_bench_json(name, payload, directory=None, metrics=None):
     """Merge one benchmark's results into ``BENCH_<NAME>.json``.
 
     Each bench test contributes a section keyed by its own name, so a
     module whose tests run in any order (or one at a time under ``-k``)
     still produces a complete, stable file.  The output is deterministic:
     keys sorted, no timestamps, floats as produced by the seeded runs.
+    Every file carries a ``"schema"`` version and a ``"generated_by"``
+    stamp; older files are upgraded in place on the next merge.
 
     Args:
         name: bench identifier, e.g. ``"ABL11"`` — the file becomes
@@ -100,6 +110,8 @@ def write_bench_json(name, payload, directory=None):
         payload: dict of sections to merge in (section name -> results).
         directory: where to write; defaults to the current working
             directory (the repo root under the pytest harness).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            whose snapshot is merged in as a ``"metrics"`` section.
 
     Returns:
         The path written.
@@ -118,6 +130,10 @@ def write_bench_json(name, payload, directory=None):
         if not isinstance(data, dict):
             data = {}
     data.update(payload)
+    if metrics is not None:
+        data["metrics"] = metrics.snapshot()
+    data["schema"] = BENCH_SCHEMA_VERSION
+    data["generated_by"] = BENCH_GENERATED_BY
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")

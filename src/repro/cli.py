@@ -150,6 +150,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="track per-server/per-link health with circuit breakers and "
         "plan around quarantined servers (enables fault injection)",
     )
+    execute_cmd.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's trace (planning + execution spans) to FILE; "
+        "written even when the run fails, so failed runs stay debuggable",
+    )
+    execute_cmd.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="trace file format: jsonl (one record per line) or chrome "
+        "(trace-event JSON loadable in Perfetto / chrome://tracing)",
+    )
+    execute_cmd.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's metrics in Prometheus text exposition to FILE",
+    )
 
     suggest_cmd = commands.add_parser(
         "suggest", help="suggest minimal grants for an infeasible query"
@@ -250,6 +270,11 @@ def _cmd_execute(system: DistributedSystem, args, out) -> int:
                 f"({len(resume_from)} checkpointed subtrees)",
                 file=out,
             )
+    trace = None
+    if args.trace_out or args.metrics_out:
+        from repro.obs import TraceContext
+
+        trace = TraceContext()
     try:
         result = system.execute(
             args.sql,
@@ -260,6 +285,7 @@ def _cmd_execute(system: DistributedSystem, args, out) -> int:
             health=health,
             checkpoint=bool(args.resume),
             resume_from=resume_from,
+            trace=trace,
         )
     except InfeasiblePlanError as error:
         print(f"infeasible: {error}", file=out)
@@ -275,6 +301,10 @@ def _cmd_execute(system: DistributedSystem, args, out) -> int:
         print(f"degraded: {error}", file=out)
         _save_journal(getattr(error, "checkpoint", None), args.resume, out)
         return 3
+    finally:
+        # A failed run's partial trace is exactly what the operator
+        # needs to debug it — export on every exit path.
+        _write_observability(trace, args, out)
     print(f"result: {result.summary()}", file=out)
     print(result.transfers.describe(), file=out)
     if result.audit is not None:
@@ -284,6 +314,26 @@ def _cmd_execute(system: DistributedSystem, args, out) -> int:
     if health is not None:
         print(f"health: {health.describe()}", file=out)
     return 0
+
+
+def _write_observability(trace, args, out) -> None:
+    """Export the trace/metrics files requested by --trace-out and
+    --metrics-out (no-op when tracing was not requested)."""
+    if trace is None:
+        return
+    from repro.obs import write_metrics, write_trace
+
+    trace.close_all()
+    if args.trace_out:
+        write_trace(trace, args.trace_out, fmt=args.trace_format)
+        print(
+            f"trace: {len(trace.spans)} spans, {len(trace.events)} events "
+            f"written to {args.trace_out} ({args.trace_format})",
+            file=out,
+        )
+    if args.metrics_out:
+        write_metrics(trace.metrics, args.metrics_out)
+        print(f"metrics: written to {args.metrics_out}", file=out)
 
 
 def _save_journal(journal, path, out) -> None:

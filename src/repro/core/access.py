@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from repro.core.authorization import Authorization, Policy
 from repro.core.profile import RelationProfile
+from repro.obs.trace import MISSING
 
 
 def authorization_covers(authorization: Authorization, profile: RelationProfile) -> bool:
@@ -73,7 +74,7 @@ def covering_authorizations(
 
 
 def first_covering_authorization(
-    policy: Policy, profile: RelationProfile, server: str
+    policy: Policy, profile: RelationProfile, server: str, trace=None
 ) -> Optional[Authorization]:
     """The first covering rule in policy order, or ``None``.
 
@@ -82,12 +83,24 @@ def first_covering_authorization(
     :func:`covering_authorizations` this probes only the exact-path
     bucket; within a server's rules the bucket preserves insertion
     order, so "first" is the same rule a full scan would return.
+
+    With a :class:`~repro.obs.trace.TraceContext`, the answer is cached
+    per ``(server, profile)`` so the audit and explain paths compute the
+    covering rule once and agree by construction.
     """
+    if trace is not None:
+        cached = trace.covering_for(server, profile)
+        if cached is not MISSING:
+            return cached
     exposed = profile.exposed_attributes
+    found = None
     for rule in policy.rules_for_path(server, profile.join_path):
         if exposed <= rule.attributes:
-            return rule
-    return None
+            found = rule
+            break
+    if trace is not None:
+        trace.record_covering(server, profile, found)
+    return found
 
 
 def explain_denial(policy: Policy, profile: RelationProfile, server: str) -> str:

@@ -195,9 +195,17 @@ class Policy:
         # scan of the grantee's whole rule list.
         self._by_server_path: Dict[Tuple[str, JoinPath], _PathBucket] = {}
         self._all: set = set()
+        # Stable 1-based id per rule in insertion order — the audit layer
+        # stamps this onto transfer spans so a release is traceable to a
+        # specific grant without serializing the whole rule.
+        self._rule_ids: Dict[Authorization, int] = {}
         # Mutation counter; bumping it invalidates every memoized answer.
         self._version = 0
         self._can_view_cache: Dict[Tuple[str, JoinPath, AttributeSet], bool] = {}
+        # Cold-path counter: bumped only on cache misses, so the hot hit
+        # path stays one dict probe.  Traced planners read the delta to
+        # derive cache-hit ratios without touching the hit path.
+        self._uncached_calls = 0
         for authorization in authorizations:
             self.add(authorization)
 
@@ -224,6 +232,7 @@ class Policy:
         if authorization in self._all:
             raise PolicyError(f"duplicate authorization: {authorization}")
         self._all.add(authorization)
+        self._rule_ids[authorization] = len(self._rule_ids) + 1
         self._by_server.setdefault(authorization.server, []).append(authorization)
         key = (authorization.server, authorization.join_path)
         bucket = self._by_server_path.get(key)
@@ -255,6 +264,11 @@ class Policy:
     def rules_for(self, server: str) -> Tuple[Authorization, ...]:
         """All rules granted to ``server`` (the paper's ``view(S)``)."""
         return tuple(self._by_server.get(server, ()))
+
+    def rule_id(self, authorization: Authorization) -> Optional[int]:
+        """Stable 1-based insertion-order id of a rule (``None`` if the
+        rule is not in this policy)."""
+        return self._rule_ids.get(authorization)
 
     def rules_for_path(self, server: str, join_path: JoinPath) -> Tuple[Authorization, ...]:
         """The rules of ``server`` whose join path equals ``join_path``.
@@ -290,9 +304,15 @@ class Policy:
         cache[key] = result
         return result
 
+    @property
+    def uncached_can_view_calls(self) -> int:
+        """How many :meth:`can_view` calls missed the memo cache."""
+        return self._uncached_calls
+
     def _can_view_uncached(
         self, server: str, join_path: JoinPath, exposed: AttributeSet
     ) -> bool:
+        self._uncached_calls += 1
         bucket = self._by_server_path.get((server, join_path))
         if bucket is None:
             return False

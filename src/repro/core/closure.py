@@ -76,6 +76,7 @@ def close_policy(
     policy: Policy,
     catalog: Catalog,
     max_rules: int = 10_000,
+    obs=None,
 ) -> Policy:
     """Close ``policy`` under the join derivation, to a fixpoint.
 
@@ -86,6 +87,9 @@ def close_policy(
         max_rules: safety valve; exceeding it raises
             :class:`~repro.exceptions.PolicyError` rather than silently
             truncating the closure.
+        obs: optional :class:`~repro.obs.trace.TraceContext`; when set,
+            the chase emits one span per breadth-first round plus
+            ``repro_chase_*`` counters.
 
     Returns:
         A new :class:`Policy` containing the original rules plus every
@@ -102,22 +106,64 @@ def close_policy(
     # shape — shallow derivations are always discovered before the deeper
     # rules they enable.
     frontier: Deque[Authorization] = deque(closed)
-    while frontier:
-        rule = frontier.popleft()
-        peers = closed.rules_for(rule.server)
-        for peer in peers:
-            for derived in derive_joined_authorizations(rule, peer, edges):
-                if derived in closed:
-                    continue
-                if len(closed) >= max_rules:
-                    raise PolicyError(
-                        f"policy closure exceeded max_rules={max_rules}; "
-                        "the policy's derivable views blow up — raise the "
-                        "limit or restrict the catalog's join edges"
-                    )
-                closed.add(derived)
-                frontier.append(derived)
+    if obs is None:
+        _chase(closed, frontier, edges, max_rules)
+        return closed
+    with obs.span("close_policy", "closure", explicit_rules=len(policy)):
+        _chase(closed, frontier, edges, max_rules, obs)
+        obs.count("repro_chase_derived_rules_total", len(closed) - len(policy))
     return closed
+
+
+def _chase(
+    closed: Policy,
+    frontier: "Deque[Authorization]",
+    edges,
+    max_rules: int,
+    obs=None,
+) -> None:
+    """Drain the chase frontier to a fixpoint (breadth-first).
+
+    A *round* processes every rule that was queued when the round began;
+    rules derived during a round are explored in the next one.  The
+    rounds exist only for observability — the fixpoint is identical
+    either way — so the untraced path skips the bookkeeping entirely.
+    """
+    round_index = 0
+    while frontier:
+        remaining = len(frontier)
+        span = None
+        derived_this_round = 0
+        pairings = 0
+        if obs is not None:
+            round_index += 1
+            span = obs.begin(
+                "chase_round", "closure", round=round_index, frontier=remaining
+            )
+        try:
+            while remaining:
+                remaining -= 1
+                rule = frontier.popleft()
+                peers = closed.rules_for(rule.server)
+                for peer in peers:
+                    pairings += 1
+                    for derived in derive_joined_authorizations(rule, peer, edges):
+                        if derived in closed:
+                            continue
+                        if len(closed) >= max_rules:
+                            raise PolicyError(
+                                f"policy closure exceeded max_rules={max_rules}; "
+                                "the policy's derivable views blow up — raise the "
+                                "limit or restrict the catalog's join edges"
+                            )
+                        closed.add(derived)
+                        frontier.append(derived)
+                        derived_this_round += 1
+        finally:
+            if span is not None:
+                obs.count("repro_chase_rounds_total")
+                obs.count("repro_chase_pairings_total", pairings)
+                obs.end(span, derived=derived_this_round)
 
 
 def minimize_policy(policy: Policy) -> Policy:

@@ -97,6 +97,9 @@ class CostAwareSafePlanner:
             otherwise), and every candidate's estimated cost is
             surcharged on unhealthy routes, steering ties and near-ties
             toward healthy servers.
+        obs: optional :class:`~repro.obs.trace.TraceContext`, forwarded
+            to every :class:`~repro.core.planner.SafePlanner` the search
+            constructs.
     """
 
     def __init__(
@@ -107,6 +110,7 @@ class CostAwareSafePlanner:
         assignment_search: str = HEURISTIC,
         search_join_orders: bool = True,
         health=None,
+        obs=None,
     ) -> None:
         if assignment_search not in (HEURISTIC, EXHAUSTIVE):
             raise PlanError(
@@ -120,7 +124,8 @@ class CostAwareSafePlanner:
         self._cost_model = cost_model
         self._assignment_search = assignment_search
         self._search_join_orders = search_join_orders
-        self._heuristic = SafePlanner(policy)
+        self._obs = obs
+        self._heuristic = SafePlanner(policy, obs=obs)
 
     def plan(self, catalog: Catalog, spec: QuerySpec) -> CostAwarePlan:
         """Find the cheapest safe strategy for ``spec``.
@@ -179,7 +184,7 @@ class CostAwareSafePlanner:
                 # quarantined servers, fall back to the full server set.
                 try:
                     restricted = SafePlanner(
-                        self._policy, excluded_servers=quarantined
+                        self._policy, excluded_servers=quarantined, obs=self._obs
                     )
                     assignment, _ = restricted.plan(tree)
                     return assignment, None

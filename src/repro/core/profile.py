@@ -23,13 +23,39 @@ Profiles are immutable value objects; composition returns new profiles.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from contextlib import contextmanager
+from typing import Callable, Iterable, Optional
 
 from repro.algebra.attributes import AttributeSet, attribute_set, format_attribute_set
 from repro.algebra.joins import JoinPath
 from repro.algebra.schema import RelationSchema
 from repro.algebra.universe import AttrSet
 from repro.exceptions import ExpressionError
+
+#: Module-level composition observer, ``None`` when nobody is watching.
+#: Each Figure 4 composition calls ``_observer(op)`` with the operator
+#: name — one ``is None`` test on the uninstrumented path.  Installed via
+#: :func:`observed_compositions`; kept module-global (not per-profile) so
+#: profiles stay slim immutable values.
+_observer: Optional[Callable[[str], None]] = None
+
+
+@contextmanager
+def observed_compositions(callback: Callable[[str], None]):
+    """Install ``callback`` as the profile-composition observer.
+
+    The callback receives the operator name (``"project"``, ``"select"``
+    or ``"join"``) for every profile composed while the context is
+    active.  Observers do not nest: entering while one is installed
+    replaces it, and exiting restores the previous one.
+    """
+    global _observer
+    previous = _observer
+    _observer = callback
+    try:
+        yield
+    finally:
+        _observer = previous
 
 
 class RelationProfile:
@@ -124,6 +150,8 @@ class RelationProfile:
             # re-expresses the same set in the interned bitset form and
             # keeps masks flowing through projection chains.
             retained = self._attributes & retained
+        if _observer is not None:
+            _observer("project")
         return RelationProfile(retained, self._join_path, self._selection_attributes)
 
     def select(self, attributes: Iterable[str]) -> "RelationProfile":
@@ -144,6 +172,8 @@ class RelationProfile:
             condition_attributes, AttrSet
         ):
             condition_attributes = self._attributes & condition_attributes
+        if _observer is not None:
+            _observer("select")
         return RelationProfile(
             self._attributes,
             self._join_path,
@@ -162,6 +192,8 @@ class RelationProfile:
             raise ExpressionError("join operand must be a RelationProfile")
         if not isinstance(conditions, JoinPath) or conditions.is_empty():
             raise ExpressionError("join requires a non-empty JoinPath")
+        if _observer is not None:
+            _observer("join")
         return RelationProfile(
             self._attributes | other._attributes,
             self._join_path.union(other._join_path, conditions),

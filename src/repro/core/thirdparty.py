@@ -62,8 +62,9 @@ class ThirdPartyPlanner(SafePlanner):
         third_parties: Sequence[str],
         excluded_servers=(),
         pinned=None,
+        obs=None,
     ) -> None:
-        super().__init__(policy, excluded_servers=excluded_servers, pinned=pinned)
+        super().__init__(policy, excluded_servers=excluded_servers, pinned=pinned, obs=obs)
         self._third_parties = tuple(third_parties)
 
     @property

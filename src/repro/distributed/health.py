@@ -130,6 +130,7 @@ class CircuitBreaker:
         "_cooldown",
         "_probe_successes",
         "trips",
+        "_on_transition",
     )
 
     def __init__(
@@ -164,6 +165,13 @@ class CircuitBreaker:
         self._cooldown = cooldown
         self._probe_successes = 0
         self.trips = 0
+        self._on_transition = None
+
+    def set_transition_observer(self, callback) -> None:
+        """Install ``callback(old_state, new_state, now)``, invoked on
+        every committed state change (the health tracker wires this to
+        the trace context)."""
+        self._on_transition = callback
 
     def state(self, now: float) -> str:
         """Effective state at ``now`` (pure: no transition committed)."""
@@ -182,6 +190,8 @@ class CircuitBreaker:
                 return False
             self._state = STATE_HALF_OPEN
             self._probe_successes = 0
+            if self._on_transition is not None:
+                self._on_transition(STATE_OPEN, STATE_HALF_OPEN, now)
         return True
 
     def record_success(self, now: float) -> None:
@@ -192,6 +202,8 @@ class CircuitBreaker:
                 self._state = STATE_CLOSED
                 self._cooldown = self.base_cooldown
                 self._streak = 0
+                if self._on_transition is not None:
+                    self._on_transition(STATE_HALF_OPEN, STATE_CLOSED, now)
         else:
             self._streak = 0
 
@@ -211,10 +223,13 @@ class CircuitBreaker:
         # observation (e.g. fed externally) leaves the state unchanged.
 
     def _open(self, now: float) -> None:
+        previous = self._state
         self._state = STATE_OPEN
         self._opened_at = now
         self._streak = 0
         self.trips += 1
+        if self._on_transition is not None:
+            self._on_transition(previous, STATE_OPEN, now)
 
     def __repr__(self) -> str:
         return (
@@ -286,6 +301,35 @@ class HealthTracker:
         self._links: Dict[Tuple[str, str], _ResourceHealth] = {}
         self._servers: Dict[str, _ResourceHealth] = {}
         self._now = 0.0
+        self._trace = None
+
+    def bind_trace(self, trace) -> None:
+        """Attach a :class:`~repro.obs.trace.TraceContext`: every breaker
+        (existing and future) then reports state transitions as
+        ``breaker_transition`` events, and opens bump
+        ``repro_breaker_opens_total`` labeled by resource."""
+        self._trace = trace
+        for name, record in self._servers.items():
+            record.breaker.set_transition_observer(
+                self._transition_observer(f"server:{name}")
+            )
+        for (sender, receiver), record in self._links.items():
+            record.breaker.set_transition_observer(
+                self._transition_observer(f"link:{sender}->{receiver}")
+            )
+
+    def _transition_observer(self, resource: str):
+        trace = self._trace
+
+        def observer(old: str, new: str, at: float) -> None:
+            trace.event(
+                "breaker_transition", "health", resource=resource,
+                old=old, new=new, at=at,
+            )
+            if new == STATE_OPEN:
+                trace.count("repro_breaker_opens_total", resource=resource)
+
+        return observer
 
     # ------------------------------------------------------------------
     # Resource registry
@@ -295,9 +339,18 @@ class HealthTracker:
         self, table: Dict, key
     ) -> _ResourceHealth:
         if key not in table:
-            table[key] = _ResourceHealth(
+            record = table[key] = _ResourceHealth(
                 RollingStats(self._window), CircuitBreaker(**self._breaker_args)
             )
+            if self._trace is not None:
+                label = (
+                    f"link:{key[0]}->{key[1]}"
+                    if isinstance(key, tuple)
+                    else f"server:{key}"
+                )
+                record.breaker.set_transition_observer(
+                    self._transition_observer(label)
+                )
         return table[key]
 
     def link(self, sender: str, receiver: str) -> _ResourceHealth:
@@ -496,3 +549,6 @@ class ObserveOnlyHealth:
 
     def breaker_trips(self) -> int:
         return self._tracker.breaker_trips()
+
+    def bind_trace(self, trace) -> None:
+        self._tracker.bind_trace(trace)

@@ -377,6 +377,7 @@ class MultiQuerySimulator:
         self,
         executions: Sequence[Tuple[Assignment, TransferLog]],
         arrival_times: Optional[Sequence[float]] = None,
+        trace=None,
     ) -> SimulationResult:
         """Simulate the concurrent execution of ``executions``.
 
@@ -384,6 +385,10 @@ class MultiQuerySimulator:
             executions: (assignment, transfer log) per query, e.g. from
                 :class:`~repro.engine.executor.DistributedExecutor` runs.
             arrival_times: submission time per query (default: all 0).
+            trace: optional :class:`~repro.obs.trace.TraceContext`; each
+                scheduled task is recorded as a retroactive span on its
+                server's track (transfers on the ``wire`` track), with
+                the makespan mirrored onto a gauge.
 
         Raises:
             ExecutionError: on malformed inputs or mismatched logs.
@@ -439,6 +444,18 @@ class MultiQuerySimulator:
                 start = ready_time
                 end = start + task.duration
             finish[tid] = end
+            if trace is not None:
+                trace.record_span(
+                    task.label,
+                    "simulation",
+                    start,
+                    end,
+                    track=task.resource if task.resource else "wire",
+                    task=tid,
+                    kind=task.kind,
+                    query=task.query,
+                )
+                trace.count("repro_sim_tasks_total", kind=task.kind)
             scheduled += 1
             for succ in dependents.get(tid, ()):
                 remaining_deps[succ].discard(tid)
@@ -454,6 +471,8 @@ class MultiQuerySimulator:
             )
         completion = [finish[sink] for sink in sinks]
         makespan = max(finish.values()) if finish else 0.0
+        if trace is not None:
+            trace.metrics.set_gauge("repro_sim_makespan", makespan)
         return SimulationResult(
             completion,
             makespan,

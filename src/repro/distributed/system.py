@@ -66,6 +66,11 @@ class DistributedSystem:
             before planning; on by default, as the paper assumes.
         third_parties: optional servers usable as join coordinators
             (enables the footnote 3 fallback).
+        trace: optional :class:`~repro.obs.trace.TraceContext`; when
+            given, policy closure, planning and execution all emit
+            spans and metrics into it.  :meth:`plan` and
+            :meth:`execute` also accept a per-call ``trace`` that
+            overrides this one.
     """
 
     def __init__(
@@ -74,11 +79,15 @@ class DistributedSystem:
         policy: Policy,
         apply_closure: bool = True,
         third_parties: Sequence[str] = (),
+        trace=None,
     ) -> None:
         policy.validate_against(catalog)
         self._catalog = catalog
         self._explicit_policy = policy
-        self._policy = close_policy(policy, catalog) if apply_closure else policy
+        self._trace = trace
+        self._policy = (
+            close_policy(policy, catalog, obs=trace) if apply_closure else policy
+        )
         self._third_parties = tuple(third_parties)
         self._planner = self._make_planner()
         self._servers: Dict[str, Server] = {}
@@ -96,18 +105,22 @@ class DistributedSystem:
         self,
         excluded_servers: Sequence[str] = (),
         pinned: Optional[Mapping[int, str]] = None,
+        obs=None,
     ) -> SafePlanner:
         """A planner of this system's flavor, optionally restricted to
         surviving servers and seeded with materialized subtrees."""
+        if obs is None:
+            obs = self._trace
         if self._third_parties:
             return ThirdPartyPlanner(
                 self._policy,
                 self._third_parties,
                 excluded_servers=excluded_servers,
                 pinned=pinned,
+                obs=obs,
             )
         return SafePlanner(
-            self._policy, excluded_servers=excluded_servers, pinned=pinned
+            self._policy, excluded_servers=excluded_servers, pinned=pinned, obs=obs
         )
 
     # ------------------------------------------------------------------
@@ -177,6 +190,7 @@ class DistributedSystem:
         self,
         query: Query,
         search_join_orders: bool = False,
+        trace=None,
     ) -> Tuple[QueryTreePlan, Assignment, PlannerTrace]:
         """Build a minimized plan and a safe executor assignment.
 
@@ -184,11 +198,18 @@ class DistributedSystem:
             query: SQL text or bound spec.
             search_join_orders: when the given order is infeasible, try
                 the other connected left-deep orders before giving up.
+            trace: optional :class:`~repro.obs.trace.TraceContext` that
+                this call's planning spans and metrics flow into
+                (overrides the system-wide trace for this call).
 
         Raises:
             InfeasiblePlanError: when no considered plan admits a safe
                 assignment.
         """
+        if trace is None or trace is self._trace:
+            planner = self._planner
+        else:
+            planner = self._make_planner(obs=trace)
         if isinstance(query, str):
             from repro.sql import bind_plan, parse
 
@@ -197,13 +218,13 @@ class DistributedSystem:
                 # Parenthesized (bushy) FROM: the shape is the user's
                 # explicit choice — plan it as written (no order search).
                 tree = bind_plan(parsed, self._catalog)
-                assignment, trace = self._planner.plan(tree)
-                return tree, assignment, trace
+                assignment, planner_trace = planner.plan(tree)
+                return tree, assignment, planner_trace
         spec = self.parse(query)
         tree = build_plan(self._catalog, spec)
         try:
-            assignment, trace = self._planner.plan(tree)
-            return tree, assignment, trace
+            assignment, planner_trace = planner.plan(tree)
+            return tree, assignment, planner_trace
         except InfeasiblePlanError:
             if not search_join_orders:
                 raise
@@ -213,8 +234,8 @@ class DistributedSystem:
                 continue
             tree = build_plan(self._catalog, candidate)
             try:
-                assignment, trace = self._planner.plan(tree)
-                return tree, assignment, trace
+                assignment, planner_trace = planner.plan(tree)
+                return tree, assignment, planner_trace
             except InfeasiblePlanError as error:
                 last_error = error
         raise InfeasiblePlanError(
@@ -242,6 +263,7 @@ class DistributedSystem:
         health: Optional[HealthTracker] = None,
         checkpoint: bool = False,
         resume_from: Optional[CheckpointJournal] = None,
+        trace=None,
     ) -> ExecutionResult:
         """Plan and run a query end-to-end, audited.
 
@@ -292,6 +314,12 @@ class DistributedSystem:
                 :class:`~repro.exceptions.CheckpointError` — then
                 surviving subtrees are pinned and their results reused
                 instead of re-executed.  Requires ``faults``.
+            trace: optional :class:`~repro.obs.trace.TraceContext`
+                collecting spans (planning, joins, transfers, failover
+                rounds) and metrics for this run.  With ``faults`` the
+                trace clock is bound to the injector's logical clock
+                (unless the caller pinned an explicit clock), making
+                exported timelines deterministic.
 
         Raises:
             InfeasiblePlanError: when no safe assignment exists.
@@ -321,26 +349,46 @@ class DistributedSystem:
             )
         if deadline is not None and not isinstance(deadline, DeadlineBudget):
             deadline = DeadlineBudget(deadline)
-        tree, assignment, _ = self.plan(query, search_join_orders=search_join_orders)
+        if trace is None:
+            trace = self._trace
+        if trace is not None and faults is not None:
+            # The injector's deterministic clock timestamps the whole
+            # run — unless the caller pinned an explicit clock already.
+            trace.maybe_use_clock(lambda: faults.clock)
+        if trace is not None and deadline is not None:
+            deadline.bind_trace(trace)
+        if trace is not None and health is not None:
+            health.bind_trace(trace)
+        tree, assignment, _ = self.plan(
+            query, search_join_orders=search_join_orders, trace=trace
+        )
         if faults is None:
             if verify:
                 verify_assignment(self._policy, assignment, recipient=recipient)
             executor = DistributedExecutor(
-                assignment, self.tables(), policy=self._policy, enforce=True
+                assignment,
+                self.tables(),
+                policy=self._policy,
+                enforce=True,
+                trace=trace,
             )
             return executor.run(recipient=recipient)
         journal: Optional[CheckpointJournal] = None
         if resume_from is not None:
+            if trace is not None:
+                resume_from.bind_trace(trace)
             # Re-audit before anything ships: a revoked authorization
             # refuses the journal outright (CheckpointError).
             resume_from.verify(self._policy, tree)
             journal = resume_from
         elif checkpoint or deadline is not None:
             journal = CheckpointJournal.for_plan(tree)
+            if trace is not None:
+                journal.bind_trace(trace)
         reuse: Dict[int, Table] = {}
         if health is not None or resume_from is not None:
             assignment = self._initial_assignment(
-                tree, assignment, faults, health, resume_from
+                tree, assignment, faults, health, resume_from, trace=trace
             )
             if resume_from is not None:
                 materialized = set(assignment.materialized_nodes())
@@ -363,6 +411,7 @@ class DistributedSystem:
             deadline=deadline,
             journal=journal,
             reuse=reuse,
+            trace=trace,
         )
 
     def _initial_assignment(
@@ -372,6 +421,7 @@ class DistributedSystem:
         faults: FaultInjector,
         health: Optional[HealthTracker],
         journal: Optional[CheckpointJournal],
+        trace=None,
     ) -> Assignment:
         """Health- and checkpoint-aware refinement of the default plan.
 
@@ -396,7 +446,9 @@ class DistributedSystem:
         for excluded, pinned in attempts:
             try:
                 planner = self._make_planner(
-                    excluded_servers=tuple(sorted(excluded)), pinned=pinned
+                    excluded_servers=tuple(sorted(excluded)),
+                    pinned=pinned,
+                    obs=trace,
                 )
                 candidate, _ = planner.plan(tree)
                 return candidate
@@ -435,6 +487,7 @@ class DistributedSystem:
         deadline: Optional[DeadlineBudget] = None,
         journal: Optional[CheckpointJournal] = None,
         reuse: Optional[Dict[int, Table]] = None,
+        trace=None,
     ) -> ExecutionResult:
         """Run with retry + authorization-safe failover.
 
@@ -476,18 +529,42 @@ class DistributedSystem:
                 health=gate,
                 deadline=deadline,
                 checkpoint=journal,
+                trace=trace,
             )
+            round_span = None
+            if trace is not None:
+                round_span = trace.begin(
+                    "execute_attempt", "engine", round=failovers,
+                    reused_subtrees=len(reuse),
+                )
             try:
                 result = executor.run(recipient=recipient)
+                if round_span is not None:
+                    trace.end(round_span, delivered=True)
                 result.failovers = failovers
                 return result
             except DeadlineExceededError as error:
+                if round_span is not None:
+                    trace.end(
+                        round_span, delivered=False, error="deadline-exceeded"
+                    )
                 # Hand the journal of completed, audited subtrees to the
                 # caller: resume picks up from here with a fresh budget.
                 error.checkpoint = journal
                 raise
             except TransferFailedError as error:
+                if round_span is not None:
+                    trace.end(
+                        round_span, delivered=False, error="transfer-failed"
+                    )
                 failovers += 1
+                if trace is not None:
+                    trace.count("repro_failovers_total")
+                    trace.event(
+                        "failover", "engine", round=failovers,
+                        cause=str(error),
+                        down_servers=sorted(faults.down_servers()),
+                    )
                 if failovers > max_failovers:
                     degraded = DegradedExecutionError(
                         f"execution failed after {max_failovers} failover "
@@ -520,7 +597,7 @@ class DistributedSystem:
                 }
                 try:
                     assignment, pinned = self._replan_restricted(
-                        tree, excluded, quarantined, pinned, error
+                        tree, excluded, quarantined, pinned, error, trace=trace
                     )
                 except DegradedExecutionError as degraded:
                     degraded.checkpoint = journal
@@ -540,6 +617,7 @@ class DistributedSystem:
         quarantined: set,
         pinned: Mapping[int, str],
         cause: TransferFailedError,
+        trace=None,
     ) -> Tuple[Assignment, Mapping[int, str]]:
         """Re-plan on surviving servers, preferring subtree reuse.
 
@@ -583,7 +661,7 @@ class DistributedSystem:
         for excl, pins in attempts:
             try:
                 planner = self._make_planner(
-                    excluded_servers=tuple(sorted(excl)), pinned=pins
+                    excluded_servers=tuple(sorted(excl)), pinned=pins, obs=trace
                 )
                 assignment, _ = planner.plan(tree)
                 return assignment, pins
@@ -602,6 +680,7 @@ class DistributedSystem:
         network=None,
         arrival_times: Optional[Sequence[float]] = None,
         downtime=None,
+        trace=None,
     ):
         """Plan, execute and then simulate ``queries`` running together.
 
@@ -618,6 +697,10 @@ class DistributedSystem:
                 :meth:`FaultInjector.downtime_windows
                 <repro.distributed.faults.FaultInjector.downtime_windows>`)
                 blocking compute during outages.
+            trace: optional :class:`~repro.obs.trace.TraceContext`;
+                planning and per-query execution are traced as usual and
+                every scheduled simulation task becomes a retroactive
+                span on its server's track.
 
         Returns:
             A :class:`~repro.distributed.simulation.SimulationResult`.
@@ -628,17 +711,19 @@ class DistributedSystem:
         from repro.distributed.simulation import MultiQuerySimulator
         from repro.engine.executor import DistributedExecutor
 
+        if trace is None:
+            trace = self._trace
         runs = []
         for query in queries:
-            _, assignment, _ = self.plan(query)
+            _, assignment, _ = self.plan(query, trace=trace)
             result = DistributedExecutor(
-                assignment, self.tables(), policy=self._policy
+                assignment, self.tables(), policy=self._policy, trace=trace
             ).run()
             runs.append((assignment, result.transfers))
         simulator = MultiQuerySimulator(
             compute_rate=compute_rate, network=network, downtime=downtime
         )
-        return simulator.run(runs, arrival_times=arrival_times)
+        return simulator.run(runs, arrival_times=arrival_times, trace=trace)
 
     def describe(self) -> str:
         """Human-readable system summary: catalog plus policy sizes."""

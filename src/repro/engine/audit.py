@@ -30,11 +30,17 @@ class AuditLog:
         enforce: when true (default), an unauthorized transfer raises
             :class:`~repro.exceptions.AuditViolationError`; when false it
             is recorded as a violation and execution continues.
+        trace: optional :class:`~repro.obs.trace.TraceContext`.  Covering
+            rules are looked up through its cache — so the audit and the
+            explain path compute each covering authorization exactly once
+            and agree by construction — and denials are counted into
+            ``repro_audit_denials_total``.
     """
 
-    def __init__(self, policy, enforce: bool = True) -> None:
+    def __init__(self, policy, enforce: bool = True, trace=None) -> None:
         self._policy = policy
         self._enforce = enforce
+        self._trace = trace
         self._checked: List[Transfer] = []
         self._violations: List[Transfer] = []
 
@@ -42,6 +48,50 @@ class AuditLog:
     def policy(self):
         """The enforced policy."""
         return self._policy
+
+    def authorize(
+        self, sender: str, receiver: str, profile: RelationProfile
+    ) -> Tuple[bool, Optional[Authorization]]:
+        """Decide one release with a single policy probe.
+
+        Returns ``(allowed, covering_rule)``; the rule is ``None`` for
+        local hand-offs, denials, and non-:class:`Policy` policies
+        (which carry no rule objects).  Never raises — rejection is the
+        caller's move (see :meth:`deny` / :meth:`check`).
+        """
+        if sender == receiver:
+            return True, None
+        if isinstance(self._policy, Policy) and not hasattr(self._policy, "permits"):
+            # One exact-path index probe answers both questions at once:
+            # a covering rule exists iff the transfer is authorized, so
+            # a separate can_view pass would be redundant for plain
+            # closed policies.
+            rule = first_covering_authorization(
+                self._policy, profile, receiver, trace=self._trace
+            )
+            return rule is not None, rule
+        return can_view(self._policy, profile, receiver), None
+
+    def deny(self, sender: str, receiver: str, profile: RelationProfile) -> None:
+        """Reject one unauthorized release.
+
+        Raises:
+            AuditViolationError: when enforcement is on; otherwise the
+                denial is only counted (the caller records the transfer
+                as a violation).
+        """
+        if self._trace is not None:
+            self._trace.count("repro_audit_denials_total", receiver=receiver)
+            self._trace.event(
+                "audit_denial", "audit", sender=sender, receiver=receiver
+            )
+        if self._enforce:
+            raise AuditViolationError(
+                f"unauthorized transfer {sender} -> {receiver} of {profile}\n"
+                + explain_denial(self._policy, profile, receiver),
+                sender=sender,
+                receiver=receiver,
+            )
 
     def check(
         self, sender: str, receiver: str, profile: RelationProfile
@@ -55,26 +105,18 @@ class AuditLog:
             AuditViolationError: when enforcement is on and no rule
                 covers the release.
         """
-        if sender == receiver:
+        allowed, rule = self.authorize(sender, receiver, profile)
+        if not allowed:
+            self.deny(sender, receiver, profile)
+        return rule
+
+    def rule_id(self, rule: Optional[Authorization]) -> Optional[int]:
+        """Stable id of a covering rule under the enforced policy, for
+        stamping transfer spans (``None`` when unavailable)."""
+        if rule is None:
             return None
-        if isinstance(self._policy, Policy) and not hasattr(self._policy, "permits"):
-            # One exact-path index probe answers both questions at once:
-            # a covering rule exists iff the transfer is authorized, so
-            # the separate can_view pass the audit used to run first is
-            # redundant for plain closed policies.
-            rule = first_covering_authorization(self._policy, profile, receiver)
-            if rule is not None:
-                return rule
-        elif can_view(self._policy, profile, receiver):
-            return None
-        if self._enforce:
-            raise AuditViolationError(
-                f"unauthorized transfer {sender} -> {receiver} of {profile}\n"
-                + explain_denial(self._policy, profile, receiver),
-                sender=sender,
-                receiver=receiver,
-            )
-        return None
+        getter = getattr(self._policy, "rule_id", None)
+        return getter(rule) if getter is not None else None
 
     def record(self, transfer: Transfer, violation: bool = False) -> None:
         """Log a performed transfer (flagging policy violations)."""

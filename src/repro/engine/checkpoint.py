@@ -73,15 +73,21 @@ class CheckpointJournal:
         entries: optional initial entries (used by deserialization).
     """
 
-    __slots__ = ("_signature", "_entries")
+    __slots__ = ("_signature", "_entries", "_trace")
 
     def __init__(
         self, signature: str, entries: Iterable[CheckpointEntry] = ()
     ) -> None:
         self._signature = signature
         self._entries: Dict[int, CheckpointEntry] = {}
+        self._trace = None
         for entry in entries:
             self._entries[entry.node_id] = entry
+
+    def bind_trace(self, trace) -> None:
+        """Attach a :class:`~repro.obs.trace.TraceContext`; records and
+        verifications then emit ``checkpoint_*`` events and counters."""
+        self._trace = trace
 
     @classmethod
     def for_plan(cls, plan: QueryTreePlan) -> "CheckpointJournal":
@@ -102,6 +108,12 @@ class CheckpointJournal:
     ) -> None:
         """Journal one completed subtree (later results overwrite)."""
         self._entries[node_id] = CheckpointEntry(node_id, server, profile, table)
+        if self._trace is not None:
+            self._trace.count("repro_checkpoints_recorded_total", server=server)
+            self._trace.event(
+                "checkpoint_record", "checkpoint", node=f"n{node_id}",
+                server=server, rows=len(table),
+            )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -129,6 +141,10 @@ class CheckpointJournal:
         """
         from repro.core.access import can_view  # deferred: avoids cycle
 
+        if self._trace is not None:
+            self._trace.event(
+                "checkpoint_verify", "checkpoint", entries=len(self._entries)
+            )
         current = plan_signature(plan)
         if current != self._signature:
             raise CheckpointError(
@@ -138,11 +154,15 @@ class CheckpointJournal:
             )
         for entry in self:
             if not can_view(policy, entry.profile, entry.server):
+                if self._trace is not None:
+                    self._trace.count("repro_checkpoint_verify_failures_total")
                 raise CheckpointError(
                     f"authorization for checkpointed subtree n{entry.node_id} "
                     f"at {entry.server} is no longer granted by the current "
                     "policy; refusing to resume from this checkpoint"
                 )
+        if self._trace is not None:
+            self._trace.count("repro_checkpoints_verified_total", len(self._entries))
 
     def pinned(self, excluded: Iterable[str] = ()) -> Dict[int, str]:
         """``node_id -> server`` pins for the planner, skipping entries

@@ -34,7 +34,7 @@ class DeadlineBudget:
         budget: total logical-time units the execution may spend.
     """
 
-    __slots__ = ("budget", "_spent", "_charges")
+    __slots__ = ("budget", "_spent", "_charges", "_trace")
 
     def __init__(self, budget: float) -> None:
         budget = float(budget)
@@ -45,6 +45,13 @@ class DeadlineBudget:
         self.budget = budget
         self._spent = 0.0
         self._charges = 0
+        self._trace = None
+
+    def bind_trace(self, trace) -> None:
+        """Attach a :class:`~repro.obs.trace.TraceContext`; every charge
+        is then counted into ``repro_deadline_spend_total`` and the
+        remaining budget mirrored onto a gauge."""
+        self._trace = trace
 
     # ------------------------------------------------------------------
     # Accounting
@@ -86,6 +93,15 @@ class DeadlineBudget:
             raise ResilienceConfigError("cannot charge negative time")
         self._spent += amount
         self._charges += 1
+        if self._trace is not None:
+            self._trace.count("repro_deadline_spend_total", amount)
+            self._trace.metrics.set_gauge(
+                "repro_deadline_remaining", self.remaining
+            )
+            self._trace.event(
+                "deadline_charge", "deadline", amount=amount, reason=reason,
+                spent=self._spent,
+            )
         if self._spent > self.budget:
             raise DeadlineExceededError(
                 f"deadline budget exhausted after {self._spent:.2f} of "

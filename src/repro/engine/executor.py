@@ -94,6 +94,39 @@ class ExecutionResult:
         self.deadline = deadline
         self.checkpoint = checkpoint
 
+    def summary_dict(self) -> dict:
+        """Stable, flat JSON-safe summary of the run.
+
+        Every key is always present — breaker/deadline/checkpoint fields
+        are emitted with zero/``None`` values when the corresponding
+        feature was off — so downstream JSON consumers get one schema
+        regardless of which resilience features a run enabled.
+        """
+        return {
+            "rows": len(self.table),
+            "result_server": self.result_server,
+            "transfers": len(self.transfers),
+            "bytes": self.transfers.total_bytes(),
+            "retries": self.transfers.total_retries(),
+            "failovers": self.failovers,
+            "audited": self.audit is not None,
+            "violations": (
+                len(self.audit.violations) if self.audit is not None else 0
+            ),
+            "breaker_trips": self.breaker_trips,
+            "deadline_budget": (
+                self.deadline.budget if self.deadline is not None else None
+            ),
+            "deadline_spent": (
+                self.deadline.spent if self.deadline is not None else 0.0
+            ),
+            "deadline_remaining": (
+                self.deadline.remaining if self.deadline is not None else None
+            ),
+            "checkpointed": self.checkpointed,
+            "resumed": self.resumed,
+        }
+
     def summary(self) -> str:
         """One line: rows, transfers, retries, failovers, audit outcome,
         plus breaker/deadline/checkpoint accounting when present.
@@ -164,6 +197,10 @@ class DistributedExecutor:
             completed non-leaf subtree whose holder is authorized for
             its profile is journaled (audited runs only), so a killed
             run can resume.
+        trace: optional :class:`~repro.obs.trace.TraceContext`; every
+            cross-server shipment then opens one ``transfer`` span
+            stamped with the covering-authorization id, joins open
+            ``join`` spans, and bytes/retries feed the metrics registry.
     """
 
     def __init__(
@@ -178,12 +215,18 @@ class DistributedExecutor:
         health=None,
         deadline=None,
         checkpoint=None,
+        trace=None,
     ) -> None:
         assignment.validate_structure()
         self._assignment = assignment
         self._tables = dict(tables)
         self._log = TransferLog()
-        self._audit = AuditLog(policy, enforce=enforce) if policy is not None else None
+        self._trace = trace
+        self._audit = (
+            AuditLog(policy, enforce=enforce, trace=trace)
+            if policy is not None
+            else None
+        )
         self._faults = faults
         self._retry = retry if retry is not None else (RetryPolicy() if faults is not None else None)
         self._reuse = dict(reuse or {})
@@ -277,6 +320,20 @@ class DistributedExecutor:
         raise ExecutionError(f"unknown node kind: {type(node).__name__}")
 
     def _execute_join(self, node: JoinNode) -> Table:
+        if self._trace is None:
+            return self._execute_join_inner(node)
+        executor = self._assignment.executor(node.node_id)
+        with self._trace.span(
+            "join",
+            "engine",
+            track=executor.master,
+            node=f"n{node.node_id}",
+            master=executor.master,
+            slave=executor.slave,
+        ):
+            return self._execute_join_inner(node)
+
+    def _execute_join_inner(self, node: JoinNode) -> Table:
         assignment = self._assignment
         left_table = self._execute(node.left)
         right_table = self._execute(node.right)
@@ -377,20 +434,71 @@ class DistributedExecutor:
         The authorization check always precedes any shipment attempt —
         unauthorized bytes never reach the fault layer, so faults can
         only delay or deny data the policy already permits.
+
+        With a trace installed, each (non-local) shipment is exactly one
+        ``transfer`` span carrying the covering-authorization id — the
+        span count matches the audit log entry count one-to-one on runs
+        where every shipment delivers.
         """
         if sender == receiver:
             return table
+        trace = self._trace
+        if trace is None:
+            return self._ship_once(
+                table, profile, sender, receiver, description, node_id, None
+            )
+        link = f"{sender}->{receiver}"
+        span = trace.begin(
+            "transfer",
+            "engine",
+            track=sender,
+            link=link,
+            receiver=receiver,
+            node=f"n{node_id}",
+            rows=len(table),
+            bytes=table.byte_size(),
+            description=description,
+        )
+        delivered = False
+        try:
+            result = self._ship_once(
+                table, profile, sender, receiver, description, node_id, span
+            )
+            delivered = True
+            return result
+        finally:
+            span.attrs["delivered"] = delivered
+            trace.count("repro_transfers_total", link=link)
+            if delivered:
+                size = table.byte_size()
+                trace.count("repro_bytes_shipped_total", size, link=link)
+                trace.metrics.observe("repro_transfer_bytes", size, link=link)
+            trace.end(span)
+
+    def _ship_once(
+        self,
+        table: Table,
+        profile: RelationProfile,
+        sender: str,
+        receiver: str,
+        description: str,
+        node_id: int,
+        span,
+    ) -> Table:
         authorized_by = None
         violation = False
         if self._audit is not None:
-            from repro.core.access import can_view  # local import: avoids cycle
-
-            if can_view(self._audit.policy, profile, receiver):
-                authorized_by = self._audit.check(sender, receiver, profile)
-            else:
+            # A single exact-path probe decides the release and yields
+            # the covering rule in one pass (see AuditLog.authorize).
+            allowed, authorized_by = self._audit.authorize(
+                sender, receiver, profile
+            )
+            if span is not None:
+                span.attrs["auth_id"] = self._audit.rule_id(authorized_by)
+            if not allowed:
                 # Either raises (enforcing) or falls through as a recorded
                 # violation (measure-only runs).
-                self._audit.check(sender, receiver, profile)
+                self._audit.deny(sender, receiver, profile)
                 violation = True
         attempts, outcomes, retry_delay = 1, ("ok",), 0.0
         if self._faults is not None:
@@ -402,7 +510,10 @@ class DistributedExecutor:
                 table.byte_size(),
                 health=self._health,
                 deadline=self._deadline,
+                trace=self._trace,
             )
+            if span is not None:
+                span.attrs["attempts"] = report.attempt_count
             if not report.delivered:
                 raise TransferFailedError(
                     f"{description}: shipment {sender} -> {receiver} failed "
@@ -428,6 +539,8 @@ class DistributedExecutor:
             outcomes=outcomes,
             retry_delay=retry_delay,
         )
+        if span is not None and violation:
+            span.attrs["violation"] = True
         self._log.record(transfer)
         if self._audit is not None:
             self._audit.record(transfer, violation=violation)

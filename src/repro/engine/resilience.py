@@ -195,6 +195,7 @@ def attempt_shipment(
     byte_size: float,
     health=None,
     deadline=None,
+    trace=None,
 ) -> ShipmentReport:
     """Drive one shipment through the fault layer under a retry policy.
 
@@ -214,6 +215,10 @@ def attempt_shipment(
             :class:`repro.engine.deadline.DeadlineBudget`).  Attempt
             durations and backoff waits are charged against it; a
             backoff that no longer fits raises *before* waiting.
+        trace: optional :class:`~repro.obs.trace.TraceContext`; each
+            attempt past the first emits a ``retry`` event and bumps
+            ``repro_retries_total``, breaker fail-fasts bump
+            ``repro_breaker_fail_fast_total``.
 
     Returns:
         The report — ``delivered`` is False when every attempt failed;
@@ -234,6 +239,12 @@ def attempt_shipment(
             # mid-loop, after feeding the attempts below).  Burning the
             # remaining attempts would only delay failover.
             records.append(AttemptRecord(attempt, STATUS_BREAKER_OPEN, 0.0))
+            if trace is not None:
+                trace.count("repro_breaker_fail_fast_total", link=link_key)
+                trace.event(
+                    "breaker_fail_fast", "resilience", link=link_key,
+                    attempt=attempt,
+                )
             break
         outcome = faults.attempt(sender, receiver, byte_size)
         status = outcome.status
@@ -247,6 +258,13 @@ def attempt_shipment(
                 sender, receiver, status, outcome.duration, faults.clock
             )
         records.append(AttemptRecord(attempt, status, outcome.duration))
+        if trace is not None and attempt > 1:
+            trace.count("repro_retries_total", link=link_key)
+        if trace is not None and status != "ok":
+            trace.event(
+                "attempt_failed", "resilience", link=link_key,
+                attempt=attempt, status=status,
+            )
         if deadline is not None:
             deadline.charge(outcome.duration, f"shipment {link_key}")
         if status == "ok":

@@ -1,0 +1,304 @@
+"""Exporters for :class:`~repro.obs.trace.TraceContext` telemetry.
+
+Three formats, all dependency-free:
+
+* **JSONL** — one JSON object per line, ordered by emission sequence.
+  Sorted keys and explicit separators make the output byte-stable for a
+  deterministic (logical-clock) run, which the golden-file tests rely
+  on.
+* **Chrome trace-event JSON** — the ``{"traceEvents": [...]}`` format
+  that loads directly in ``about:tracing`` and Perfetto.  Spans become
+  complete (``"ph": "X"``) events, instant events ``"ph": "i"``, and
+  each track gets a ``thread_name`` metadata record so the UI shows
+  server lanes instead of numeric tids.
+* **Prometheus text exposition** — delegated to
+  :meth:`~repro.obs.metrics.MetricsRegistry.prometheus_text`; this
+  module adds :func:`parse_prometheus_text`, the line-format checker the
+  acceptance tests run over the exported page.
+
+The validators (:func:`validate_chrome_trace`,
+:func:`parse_prometheus_text`) are shared by the test suite and the
+ABL12 bench so "the export is valid" means the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceContext
+
+#: Logical-clock units are seconds; Chrome trace timestamps are microseconds.
+_MICROSECONDS = 1_000_000.0
+
+
+def _dumps(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+
+def jsonl_lines(trace: TraceContext) -> List[str]:
+    """One JSON object per span/event, ordered by emission sequence."""
+    records: List[Tuple[int, Dict[str, object]]] = []
+    for span in trace.spans:
+        records.append((span.seq, {
+            "type": "span",
+            "seq": span.seq,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "cat": span.category,
+            "track": span.track,
+            "start": span.start,
+            "end": span.end,
+            "attrs": span.attrs,
+        }))
+    for event in trace.events:
+        records.append((event.seq, {
+            "type": "event",
+            "seq": event.seq,
+            "parent": event.parent_id,
+            "name": event.name,
+            "cat": event.category,
+            "track": event.track,
+            "ts": event.ts,
+            "attrs": event.attrs,
+        }))
+    records.sort(key=lambda pair: pair[0])
+    return [_dumps(record) for _, record in records]
+
+
+def trace_jsonl(trace: TraceContext) -> str:
+    """The full JSONL document (trailing newline included)."""
+    lines = jsonl_lines(trace)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+
+def chrome_trace(trace: TraceContext) -> Dict[str, object]:
+    """The trace as a Chrome trace-event document (Perfetto-loadable).
+
+    Tracks map to thread ids: tid 0 is the main lane, additional tracks
+    (servers, links) get tids in order of first appearance, each named
+    via a ``thread_name`` metadata event.
+    """
+    tids: Dict[str, int] = {}
+
+    def tid_for(track: Optional[str]) -> int:
+        name = track if track is not None else "main"
+        if name not in tids:
+            tids[name] = len(tids)
+        return tids[name]
+
+    tid_for("main")
+    events: List[Dict[str, object]] = []
+    for span in trace.spans:
+        start = span.start
+        end = span.end if span.end is not None else start
+        events.append({
+            "name": span.name,
+            "cat": span.category or "default",
+            "ph": "X",
+            "ts": start * _MICROSECONDS,
+            "dur": max(0.0, end - start) * _MICROSECONDS,
+            "pid": 1,
+            "tid": tid_for(span.track),
+            "args": dict(span.attrs, span_id=span.span_id, parent_id=span.parent_id),
+        })
+    for event in trace.events:
+        events.append({
+            "name": event.name,
+            "cat": event.category or "default",
+            "ph": "i",
+            "s": "t",
+            "ts": event.ts * _MICROSECONDS,
+            "pid": 1,
+            "tid": tid_for(event.track),
+            "args": dict(event.attrs),
+        })
+    metadata: List[Dict[str, object]] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": name},
+        }
+        for name, tid in sorted(tids.items(), key=lambda pair: pair[1])
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(trace: TraceContext) -> str:
+    """The Chrome trace document serialized (byte-stable)."""
+    return _dumps(chrome_trace(trace)) + "\n"
+
+
+def validate_chrome_trace(document: object) -> List[str]:
+    """Check a parsed Chrome trace document against the trace-event
+    schema subset we emit.  Returns a list of problems (empty = valid).
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not an array"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M", "B", "E", "b", "e", "n"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing name")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: missing integer pid")
+        if not isinstance(event.get("tid"), int):
+            problems.append(f"{where}: missing integer tid")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: missing non-negative ts")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event missing non-negative dur")
+        if ph == "i" and event.get("s") not in (None, "t", "p", "g"):
+            problems.append(f"{where}: instant scope must be t/p/g")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse (and strictly validate) Prometheus text exposition.
+
+    Returns ``{sample_name: {rendered_labels: value}}``, where
+    ``sample_name`` includes histogram suffixes (``_bucket`` etc.).
+    Raises ``ValueError`` on any malformed line — this is the line-format
+    checker the acceptance criteria call for.
+    """
+    samples: Dict[str, Dict[str, float]] = {}
+    typed: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name = rest.split(" ", 1)[0]
+            if not _NAME_RE.fullmatch(name):
+                raise ValueError(f"line {lineno}: bad HELP metric name {name!r}")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2:
+                raise ValueError(f"line {lineno}: malformed TYPE line")
+            name, kind = parts
+            if not _NAME_RE.fullmatch(name):
+                raise ValueError(f"line {lineno}: bad TYPE metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
+            typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample line: {line!r}")
+        labels = match.group("labels")
+        rendered = ""
+        if labels is not None:
+            parts = _split_labels(labels)
+            for part in parts:
+                if not _LABEL_RE.match(part):
+                    raise ValueError(f"line {lineno}: malformed label {part!r}")
+            rendered = "{" + ",".join(parts) + "}"
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric value {match.group('value')!r}"
+            )
+        samples.setdefault(match.group("name"), {})[rendered] = value
+    for name, kind in typed.items():
+        if kind == "histogram":
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name + suffix not in samples:
+                    raise ValueError(
+                        f"histogram {name} missing {name + suffix} samples"
+                    )
+        elif name not in samples:
+            raise ValueError(f"TYPE declared for {name} but no samples follow")
+    return samples
+
+
+def _split_labels(labels: str) -> List[str]:
+    """Split ``a="x",b="y"`` on commas outside quotes."""
+    parts: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in labels:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            current.append(ch)
+            escaped = True
+        elif ch == '"':
+            current.append(ch)
+            in_quotes = not in_quotes
+        elif ch == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+
+def write_trace(trace: TraceContext, path: str, fmt: str = "jsonl") -> None:
+    """Write the trace to ``path`` as ``jsonl`` or ``chrome``."""
+    if fmt == "jsonl":
+        payload = trace_jsonl(trace)
+    elif fmt == "chrome":
+        payload = chrome_trace_json(trace)
+    else:
+        raise ValueError(f"unknown trace format {fmt!r} (want jsonl or chrome)")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+
+
+def write_metrics(metrics: MetricsRegistry, path: str) -> None:
+    """Write the registry as Prometheus text exposition to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(metrics.prometheus_text())

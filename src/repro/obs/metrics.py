@@ -1,0 +1,299 @@
+"""Process-wide metrics: counters, gauges and histograms with labels.
+
+A :class:`MetricsRegistry` is a flat namespace of metric *families*;
+each family owns labeled *series* (one per distinct label set).  The
+design follows the Prometheus data model closely enough that
+:meth:`MetricsRegistry.prometheus_text` produces valid text exposition
+format, while :meth:`MetricsRegistry.snapshot` yields a plain nested
+dictionary for embedding into ``BENCH_*.json`` artifacts (see
+:func:`repro.analysis.reporting.write_bench_json`).
+
+Everything here is dependency-free and deterministic: no wall clock, no
+background threads, no global state beyond the registry the caller
+holds.  Creation of series is lazy — incrementing a counter with a
+never-seen label set materializes the series — so instrumented code
+never needs to pre-declare its label universe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (bytes/latency friendly).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(labels: Dict[str, object]) -> LabelSet:
+    """Canonical (sorted, stringified) form of one label mapping."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number rendering: integers without the dot."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Family:
+    """Common series bookkeeping shared by the three metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        _validate_metric_name(name)
+        self.name = name
+        self.help = help_text
+        self._series: Dict[LabelSet, float] = {}
+
+    def labelsets(self) -> List[LabelSet]:
+        """Every label set with a live series, sorted."""
+        return sorted(self._series)
+
+    def value(self, **labels: object) -> float:
+        """Current value of one series (0.0 if never touched)."""
+        return self._series.get(_labelset(labels), 0.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """``rendered-labels -> value`` for every series."""
+        return {
+            _format_labels(key) or "": value
+            for key, value in sorted(self._series.items())
+        }
+
+
+class Counter(_Family):
+    """A monotonically increasing family of labeled series."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to one series."""
+        if amount < 0:
+            raise ValueError(f"counters only go up (got {amount!r})")
+        key = _labelset(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+
+class Gauge(_Family):
+    """A settable family of labeled series."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set one series to ``value``."""
+        self._series[_labelset(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (may be negative) to one series."""
+        key = _labelset(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram family (Prometheus semantics).
+
+    Args:
+        name: metric name (exposed as ``name_bucket/_sum/_count``).
+        help_text: one-line description.
+        buckets: strictly increasing upper bounds; a ``+Inf`` bucket is
+            implicit.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        _validate_metric_name(name)
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.name = name
+        self.help = help_text
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts: Dict[LabelSet, List[int]] = {}
+        self._sums: Dict[LabelSet, float] = {}
+        self._totals: Dict[LabelSet, int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation into the matching cumulative buckets."""
+        key = _labelset(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = self._counts[key] = [0] * (len(self.buckets) + 1)
+            self._sums[key] = 0.0
+            self._totals[key] = 0
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+        self._sums[key] += value
+        self._totals[key] += 1
+
+    def labelsets(self) -> List[LabelSet]:
+        return sorted(self._counts)
+
+    def count(self, **labels: object) -> int:
+        """Observations recorded for one series."""
+        return self._totals.get(_labelset(labels), 0)
+
+    def sum(self, **labels: object) -> float:
+        """Sum of observations for one series."""
+        return self._sums.get(_labelset(labels), 0.0)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for key in self.labelsets():
+            cumulative = 0
+            rendered: Dict[str, float] = {}
+            for bound, count in zip(self.buckets, self._counts[key]):
+                cumulative += count
+                rendered[f"le={_format_value(bound)}"] = cumulative
+            cumulative += self._counts[key][-1]
+            rendered["le=+Inf"] = cumulative
+            rendered["sum"] = self._sums[key]
+            rendered["count"] = self._totals[key]
+            out[_format_labels(key) or ""] = rendered
+        return out
+
+
+def _validate_metric_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c in "_:" for c in name) or name[0].isdigit():
+        raise ValueError(f"invalid metric name: {name!r}")
+
+
+class MetricsRegistry:
+    """A namespace of metric families.
+
+    Families are created on first use (:meth:`counter` / :meth:`gauge` /
+    :meth:`histogram` are get-or-create); re-requesting a name with a
+    different kind raises ``ValueError`` — a name means one thing.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, object] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs):
+        family = self._families.get(name)
+        if family is not None:
+            if not isinstance(family, cls):
+                raise ValueError(
+                    f"metric {name!r} is already registered as "
+                    f"{family.kind}, not {cls.kind}"
+                )
+            return family
+        family = cls(name, help_text, **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create a counter family."""
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create a gauge family."""
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram family."""
+        return self._get_or_create(Histogram, name, help_text, buckets=buckets)
+
+    def families(self) -> List[object]:
+        """Every registered family, sorted by name."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    # ------------------------------------------------------------------
+    # Convenience increments (used by instrumented call sites)
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        """Increment counter ``name`` (creating it if needed)."""
+        self.counter(name).inc(amount, **labels)
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set gauge ``name`` (creating it if needed)."""
+        self.gauge(name).set(value, **labels)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Observe into histogram ``name`` (creating it if needed)."""
+        self.histogram(name).observe(value, **labels)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Nested plain-dict snapshot, fit for JSON artifacts."""
+        out: Dict[str, dict] = {}
+        for family in self.families():
+            out[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "series": family.snapshot(),
+            }
+        return out
+
+    def prometheus_text(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every family."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            if isinstance(family, Histogram):
+                for key in family.labelsets():
+                    cumulative = 0
+                    for bound, count in zip(family.buckets, family._counts[key]):
+                        cumulative += count
+                        bucket_labels = key + (("le", _format_value(bound)),)
+                        lines.append(
+                            f"{family.name}_bucket{_format_labels(bucket_labels)} "
+                            f"{cumulative}"
+                        )
+                    cumulative += family._counts[key][-1]
+                    inf_labels = key + (("le", "+Inf"),)
+                    lines.append(
+                        f"{family.name}_bucket{_format_labels(inf_labels)} {cumulative}"
+                    )
+                    lines.append(
+                        f"{family.name}_sum{_format_labels(key)} "
+                        f"{_format_value(family._sums[key])}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_format_labels(key)} "
+                        f"{family._totals[key]}"
+                    )
+            else:
+                for key, value in sorted(family._series.items()):
+                    lines.append(
+                        f"{family.name}{_format_labels(key)} {_format_value(value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""

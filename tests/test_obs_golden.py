@@ -1,0 +1,118 @@
+"""Golden-file exporter tests over the paper's Figure 1-5 example.
+
+One fixed-seed medical run (fault injector seed 0, fault-free — the
+injector only provides the deterministic logical clock) is traced with
+an explicitly pinned logical clock and exported through both text
+exporters.  Because every timestamp is logical and every id is assigned
+in deterministic order, the exported bytes are stable across runs and
+platforms — the goldens pin the exact wire formats.
+
+Regenerate after an intentional format change with::
+
+    UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_obs_golden.py
+
+The module also carries the structural property test: every opened span
+is closed and parent ids are strictly smaller than child ids (acyclic),
+checked over the golden run and over a fault-heavy run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.distributed.faults import FaultInjector
+from repro.distributed.system import DistributedSystem
+from repro.engine.resilience import RetryPolicy
+from repro.obs import (
+    TraceContext,
+    chrome_trace_json,
+    trace_jsonl,
+    validate_chrome_trace,
+)
+from repro.workloads.medical import (
+    generate_instances,
+    medical_catalog,
+    medical_policy,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+MEDICAL_QUERY = (
+    "SELECT Patient, Physician, Plan, HealthAid "
+    "FROM Insurance JOIN Nat_registry ON Holder = Citizen "
+    "JOIN Hospital ON Citizen = Patient"
+)
+
+
+def _golden_run() -> TraceContext:
+    """The pinned scenario: closure + planning + fault-free execution
+    on the injector's logical clock."""
+    faults = FaultInjector(seed=0)
+    trace = TraceContext(clock=lambda: faults.clock)
+    system = DistributedSystem(medical_catalog(), medical_policy(), trace=trace)
+    system.load_instances(generate_instances(seed=7))
+    system.execute(MEDICAL_QUERY, faults=faults, trace=trace)
+    trace.close_all()
+    return trace
+
+
+def _check_golden(name: str, produced: str) -> None:
+    path = os.path.join(GOLDEN_DIR, name)
+    if os.environ.get("UPDATE_GOLDENS"):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(produced)
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        expected = handle.read()
+    assert produced == expected, (
+        f"{name} drifted from its golden; if the format change is "
+        "intentional, regenerate with UPDATE_GOLDENS=1"
+    )
+
+
+def test_jsonl_export_matches_golden():
+    _check_golden("obs_medical.jsonl", trace_jsonl(_golden_run()))
+
+
+def test_chrome_export_matches_golden():
+    document = chrome_trace_json(_golden_run())
+    assert validate_chrome_trace(json.loads(document)) == []
+    _check_golden("obs_medical_chrome.json", document)
+
+
+def test_golden_run_is_reproducible_in_process():
+    # Two fresh runs in the same process must export identical bytes —
+    # catches hidden global state before it can flake the goldens.
+    assert trace_jsonl(_golden_run()) == trace_jsonl(_golden_run())
+
+
+def _assert_well_formed(trace: TraceContext) -> None:
+    assert trace.open_spans() == []
+    seen = set()
+    for span in trace.spans:
+        assert span.end is not None, f"{span!r} was never closed"
+        assert span.span_id not in seen
+        seen.add(span.span_id)
+        if span.parent_id is not None:
+            assert span.parent_id < span.span_id, "parent ids must be acyclic"
+            assert span.parent_id in seen
+
+
+def test_every_span_closed_and_acyclic_on_the_golden_run():
+    _assert_well_formed(_golden_run())
+
+
+def test_every_span_closed_and_acyclic_under_faults():
+    faults = FaultInjector(seed=5, drop_probability=0.4)
+    trace = TraceContext(clock=lambda: faults.clock)
+    system = DistributedSystem(medical_catalog(), medical_policy(), trace=trace)
+    system.load_instances(generate_instances(seed=7))
+    system.execute(
+        MEDICAL_QUERY,
+        faults=faults,
+        retry=RetryPolicy(max_attempts=5, base_delay=0.5),
+        trace=trace,
+    )
+    trace.close_all()
+    _assert_well_formed(trace)
