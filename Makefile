@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-health test-obs bench bench-kernel bench-health bench-obs trace-demo examples verify clean
+.PHONY: install test test-faults test-health test-obs test-cache bench bench-kernel bench-health bench-obs bench-cache trace-demo examples verify clean
 
 install:
 	pip install -e .
@@ -27,6 +27,13 @@ test-health:
 test-obs:
 	$(PYTHON) -m pytest tests/test_obs.py tests/test_obs_golden.py
 
+# Plan-cache suite: epoch/LRU/fingerprint unit tests, the
+# revocation-between-executions security regression, and the Hypothesis
+# differential harness (cached-vs-fresh plans, incremental-vs-full
+# closure under random policy churn).
+test-cache:
+	$(PYTHON) -m pytest tests/test_plancache.py tests/test_plancache_diff.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -48,6 +55,12 @@ bench-health:
 # traced flapping-coordinator run; writes BENCH_ABL12.json.
 bench-obs:
 	$(PYTHON) -m pytest benchmarks/bench_abl12_obs.py --benchmark-only -s
+
+# Plan-cache ablation: gates warm-repeat planning at >=5x over the
+# cache-off lane with byte-identical assignments, and exercises the
+# revalidation machinery under policy churn; writes BENCH_ABL13.json.
+bench-cache:
+	$(PYTHON) -m pytest benchmarks/bench_abl13_plancache.py --benchmark-only -s
 
 # Trace the Figure 1-5 medical query end-to-end and export every
 # format: Chrome trace (load trace_demo.json in Perfetto /

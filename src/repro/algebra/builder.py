@@ -107,6 +107,24 @@ class QuerySpec:
         """A copy of the spec with a different FROM order / join steps."""
         return QuerySpec(relations, join_paths, self._select, self._where)
 
+    def fingerprint(self) -> Tuple[object, ...]:
+        """A canonical, hashable identity of the bound query.
+
+        Two specs that plan identically share one fingerprint: the FROM
+        order and per-step join paths (via
+        :meth:`~repro.algebra.joins.JoinPath.canonical_key`, so condition
+        insertion order never matters), the SELECT set sorted, and the
+        WHERE conjunction as sorted atom renderings (conjunct order never
+        matters either).  The plan cache
+        (:mod:`repro.core.plancache`) keys on this value.
+        """
+        return (
+            self._relations,
+            tuple(path.canonical_key() for path in self._join_paths),
+            tuple(sorted(self._select)),
+            tuple(sorted(str(c) for c in self._where.comparisons)),
+        )
+
     def __repr__(self) -> str:
         return (
             f"QuerySpec(select={sorted(self._select)}, from={list(self._relations)}, "

@@ -94,7 +94,19 @@ BENCH_SCHEMA_VERSION = 1
 BENCH_GENERATED_BY = "repro-benchmarks"
 
 
-def write_bench_json(name, payload, directory=None, metrics=None):
+#: The always-present keys of a bench file's ``"plan_cache"`` section
+#: (mirrors :data:`repro.core.plancache.PLAN_CACHE_KEYS`).
+_PLAN_CACHE_KEYS = (
+    "hits",
+    "misses",
+    "revalidations",
+    "revalidation_failures",
+    "evictions",
+    "entries",
+)
+
+
+def write_bench_json(name, payload, directory=None, metrics=None, plan_cache=None):
     """Merge one benchmark's results into ``BENCH_<NAME>.json``.
 
     Each bench test contributes a section keyed by its own name, so a
@@ -112,6 +124,12 @@ def write_bench_json(name, payload, directory=None, metrics=None):
             directory (the repo root under the pytest harness).
         metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
             whose snapshot is merged in as a ``"metrics"`` section.
+        plan_cache: optional plan-cache counters — a
+            :class:`~repro.core.plancache.PlanCache`, a snapshot dict,
+            or ``None`` — merged in as a ``"plan_cache"`` section whose
+            keys (hits/misses/revalidations/revalidation_failures/
+            evictions/entries) are always all present, zero-filled when
+            absent from the input.
 
     Returns:
         The path written.
@@ -132,6 +150,13 @@ def write_bench_json(name, payload, directory=None, metrics=None):
     data.update(payload)
     if metrics is not None:
         data["metrics"] = metrics.snapshot()
+    if plan_cache is not None:
+        snapshot = (
+            plan_cache.snapshot() if hasattr(plan_cache, "snapshot") else dict(plan_cache)
+        )
+        data["plan_cache"] = {
+            key: int(snapshot.get(key, 0)) for key in _PLAN_CACHE_KEYS
+        }
     data["schema"] = BENCH_SCHEMA_VERSION
     data["generated_by"] = BENCH_GENERATED_BY
     with open(path, "w", encoding="utf-8") as handle:

@@ -79,6 +79,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SERVER",
         help="server usable as a join coordinator (repeatable)",
     )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--plan-cache",
+        dest="plan_cache",
+        action="store_true",
+        default=True,
+        help="cache safe assignments keyed on query fingerprint and "
+        "policy epoch (default: on; repeated queries plan once)",
+    )
+    cache_group.add_argument(
+        "--no-plan-cache",
+        dest="plan_cache",
+        action="store_false",
+        help="plan every query from scratch",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("describe", help="print the catalog and the policy")
@@ -208,6 +223,7 @@ def _load_system(args: argparse.Namespace) -> DistributedSystem:
         policy,
         apply_closure=not args.no_closure,
         third_parties=args.third_party,
+        plan_cache=args.plan_cache,
     )
 
 
@@ -306,6 +322,13 @@ def _cmd_execute(system: DistributedSystem, args, out) -> int:
         # needs to debug it — export on every exit path.
         _write_observability(trace, args, out)
     print(f"result: {result.summary()}", file=out)
+    if result.plan_cache is not None:
+        cache = result.plan_cache
+        print(
+            f"plan cache: {cache['hits']} hits / {cache['misses']} misses / "
+            f"{cache['revalidations']} revalidations",
+            file=out,
+        )
     print(result.transfers.describe(), file=out)
     if result.audit is not None:
         print(result.audit.summary(), file=out)

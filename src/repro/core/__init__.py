@@ -16,13 +16,16 @@ This package implements the security model of Sections 3-5:
 * :mod:`repro.core.safety` — an independent verifier for Definition 4.2;
 * :mod:`repro.core.thirdparty` — the third-party extension the paper
   sketches in footnote 3;
-* :mod:`repro.core.openpolicy` — the open-policy variant of footnote 1.
+* :mod:`repro.core.openpolicy` — the open-policy variant of footnote 1;
+* :mod:`repro.core.plancache` — the policy-epoch plan cache memoizing
+  safe assignments across a repeated-query workload.
 """
 
 from repro.core.profile import RelationProfile
 from repro.core.authorization import Authorization, Policy
 from repro.core.access import can_view, covering_authorizations
-from repro.core.closure import close_policy
+from repro.core.closure import close_policy, extend_closure
+from repro.core.plancache import PlanCache, PlanCacheStats
 from repro.core.flows import (
     ExecutionMode,
     Flow,
@@ -48,6 +51,9 @@ __all__ = [
     "can_view",
     "covering_authorizations",
     "close_policy",
+    "extend_closure",
+    "PlanCache",
+    "PlanCacheStats",
     "ExecutionMode",
     "Flow",
     "JoinExecution",

@@ -27,6 +27,13 @@ kernel* the whole planning stack runs on:
 * a memoized :meth:`Policy.can_view` cache keyed on the profile
   signature (exposed attributes × join path) and the grantee,
   invalidated wholesale whenever the policy mutates.
+
+Policies additionally carry an **epoch** — a monotonic counter bumped by
+every semantic mutation (:meth:`Policy.add`, :meth:`Policy.remove`).
+The plan cache (:mod:`repro.core.plancache`) keys cached safe
+assignments on the epoch they were last validated at: an unchanged epoch
+means the policy is byte-for-byte the one the plan was proven safe
+under, while a bumped epoch forces a cheap re-audit before reuse.
 """
 
 from __future__ import annotations
@@ -166,6 +173,14 @@ class _PathBucket:
         self.masks.append(mask)
         self.union_mask |= mask
 
+    def remove(self, rule: Authorization) -> None:
+        index = self.rules.index(rule)
+        del self.rules[index]
+        del self.masks[index]
+        self.union_mask = 0
+        for mask in self.masks:
+            self.union_mask |= mask
+
 
 class Policy:
     """A set of authorizations indexed by grantee server.
@@ -197,10 +212,16 @@ class Policy:
         self._all: set = set()
         # Stable 1-based id per rule in insertion order — the audit layer
         # stamps this onto transfer spans so a release is traceable to a
-        # specific grant without serializing the whole rule.
+        # specific grant without serializing the whole rule.  Ids are
+        # never reused: removal retires an id for good.
         self._rule_ids: Dict[Authorization, int] = {}
+        self._next_rule_id = 1
         # Mutation counter; bumping it invalidates every memoized answer.
         self._version = 0
+        # Semantic-generation counter for external caches (plan cache):
+        # bumped on every add/remove, and advanced past a predecessor's
+        # epoch when a policy is rebuilt from scratch (revocation path).
+        self._epoch = 0
         self._can_view_cache: Dict[Tuple[str, JoinPath, AttributeSet], bool] = {}
         # Cold-path counter: bumped only on cache misses, so the hot hit
         # path stays one dict probe.  Traced planners read the delta to
@@ -219,6 +240,30 @@ class Policy:
         """Monotonic mutation counter (each :meth:`add` bumps it)."""
         return self._version
 
+    @property
+    def epoch(self) -> int:
+        """Semantic-generation counter for external caches.
+
+        Every :meth:`add` and :meth:`remove` bumps it; a plan proven
+        safe at epoch ``e`` is guaranteed still safe while the epoch
+        stays ``e`` — any change forces revalidation (see
+        :mod:`repro.core.plancache`).
+        """
+        return self._epoch
+
+    def advance_epoch(self, floor: int) -> None:
+        """Ensure ``epoch > floor - 1`` (i.e. at least ``floor``).
+
+        Used when a policy is rebuilt from scratch — the revocation
+        path recomputes the full closure into a *new* :class:`Policy`
+        whose epoch restarts at its own add count; advancing it past the
+        predecessor's epoch keeps the system-level epoch line strictly
+        increasing, so cache entries validated under any earlier policy
+        can never be mistaken for current.
+        """
+        if self._epoch < floor:
+            self._epoch = floor
+
     def add(self, authorization: Authorization) -> None:
         """Add one rule.
 
@@ -232,7 +277,8 @@ class Policy:
         if authorization in self._all:
             raise PolicyError(f"duplicate authorization: {authorization}")
         self._all.add(authorization)
-        self._rule_ids[authorization] = len(self._rule_ids) + 1
+        self._rule_ids[authorization] = self._next_rule_id
+        self._next_rule_id += 1
         self._by_server.setdefault(authorization.server, []).append(authorization)
         key = (authorization.server, authorization.join_path)
         bucket = self._by_server_path.get(key)
@@ -240,6 +286,34 @@ class Policy:
             bucket = self._by_server_path[key] = _PathBucket()
         bucket.add(authorization, self._universe.mask_of(authorization.attributes))
         self._version += 1
+        self._epoch += 1
+        if self._can_view_cache:
+            self._can_view_cache.clear()
+
+    def remove(self, authorization: Authorization) -> None:
+        """Revoke one rule.
+
+        Removal invalidates the memoized ``CanView`` cache and bumps the
+        epoch; the rule's stable id is retired, never reassigned.
+
+        Raises:
+            PolicyError: if the rule is not in the policy.
+        """
+        if authorization not in self._all:
+            raise PolicyError(f"cannot revoke absent authorization: {authorization}")
+        self._all.discard(authorization)
+        del self._rule_ids[authorization]
+        rules = self._by_server[authorization.server]
+        rules.remove(authorization)
+        if not rules:
+            del self._by_server[authorization.server]
+        key = (authorization.server, authorization.join_path)
+        bucket = self._by_server_path[key]
+        bucket.remove(authorization)
+        if not bucket.rules:
+            del self._by_server_path[key]
+        self._version += 1
+        self._epoch += 1
         if self._can_view_cache:
             self._can_view_cache.clear()
 

@@ -27,6 +27,18 @@ finite universes — but can be exponential in adversarial policies, so
 :func:`minimize_policy` is the inverse housekeeping step: it drops rules
 *dominated* by another rule of the same server (same join path, subset
 attributes), which never changes any ``CanView`` answer.
+
+:func:`extend_closure` maintains an already-closed policy
+*incrementally*: when a new explicit rule arrives, the fixpoint is
+extended by chasing from that rule's frontier alone (semi-naive
+evaluation) instead of recomputing from scratch.  This is sound and
+complete because every derivation producing a rule absent from the old
+fixpoint must involve at least one new rule, and every new rule enters
+the frontier where it is paired against the complete current rule set.
+Revocation has no such shortcut — removing a rule can strand previously
+derivable rules — so callers fall back to a full :func:`close_policy`
+recompute on revoke (correctness first; see
+:meth:`repro.distributed.system.DistributedSystem.revoke_authorization`).
 """
 
 from __future__ import annotations
@@ -113,6 +125,57 @@ def close_policy(
         _chase(closed, frontier, edges, max_rules, obs)
         obs.count("repro_chase_derived_rules_total", len(closed) - len(policy))
     return closed
+
+
+def extend_closure(
+    closed: Policy,
+    new_rules: Iterable[Authorization],
+    catalog: Catalog,
+    max_rules: int = 10_000,
+    obs=None,
+) -> int:
+    """Extend an already-closed policy with new rules, incrementally.
+
+    ``closed`` is mutated in place: each genuinely new rule is added and
+    the join derivation is chased from those rules' frontier until the
+    fixpoint is restored.  Rules already present (explicitly or as prior
+    derivations) are skipped silently — re-granting a derivable view is
+    a no-op.
+
+    Args:
+        closed: a policy already closed under the join derivation.
+        new_rules: the arriving explicit rules.
+        catalog: supplies the join edges bounding the derivation.
+        max_rules: safety valve, as in :func:`close_policy`.
+        obs: optional :class:`~repro.obs.trace.TraceContext`; the
+            incremental chase emits an ``extend_closure`` span plus the
+            same per-round spans and ``repro_chase_*`` counters as the
+            full chase.
+
+    Returns:
+        The number of rules added (explicit and derived).
+
+    Raises:
+        PolicyError: when the extension overflows ``max_rules``.
+    """
+    edges = catalog.join_edges()
+    before = len(closed)
+    frontier: Deque[Authorization] = deque()
+    for rule in new_rules:
+        if rule not in closed:
+            closed.add(rule)
+            frontier.append(rule)
+    if not frontier:
+        return 0
+    fresh = len(frontier)
+    if obs is None:
+        _chase(closed, frontier, edges, max_rules)
+        return len(closed) - before
+    with obs.span("extend_closure", "closure", new_rules=fresh):
+        _chase(closed, frontier, edges, max_rules, obs)
+        added = len(closed) - before
+        obs.count("repro_chase_derived_rules_total", added - fresh)
+    return added
 
 
 def _chase(

@@ -1,0 +1,294 @@
+"""Policy-epoch plan cache: reuse safe assignments across a workload.
+
+Planning a query is the expensive part of serving it — SQL parsing,
+plan minimization, the Figure 6 candidate traversal and the independent
+safety verification all run per call — yet heavy workloads repeat the
+same query texts over and over, and the answer only depends on the
+bound query and the policy in force.  This module memoizes the whole
+planning product, ``(tree, assignment, planner trace)``, keyed on
+
+* a **canonical fingerprint** of the bound query
+  (:meth:`~repro.algebra.builder.QuerySpec.fingerprint`, which reuses
+  :meth:`~repro.algebra.joins.JoinPath.canonical_key` so condition and
+  conjunct ordering never split the cache), and
+* the policy **epoch** (:attr:`~repro.core.authorization.Policy.epoch`)
+  the cached assignment was last proven safe at.
+
+Epoch semantics make the cache *policy-churn tolerant* instead of
+merely invalidate-on-write:
+
+* **unchanged epoch** — the policy is exactly the one the plan was
+  verified under; the hit is a pure dictionary probe.
+* **bumped epoch** — the policy mutated since validation.  The entry is
+  **revalidated**: every release flow the cached assignment entails is
+  re-checked against the *current* policy through the existing
+  covering-authorization probe (:mod:`repro.engine.audit`).  Grants
+  only ever widen the policy, so revalidation after an ``add``
+  succeeds and merely restamps the entry; after a revocation the probe
+  fails exactly when the plan relied on the withdrawn rule, and the
+  entry is evicted so the caller replans.  A stale plan can therefore
+  never ship a transfer the current policy forbids — the same property
+  the runtime audit enforces, applied one layer earlier.
+
+The cache is a plain LRU (``maxsize`` entries, least-recently-used
+evicted first) and deliberately caches only *feasible* plans:
+infeasibility is policy-dependent in the unhelpful direction (a later
+grant can make it feasible), so negative answers are recomputed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.algebra.tree import (
+    PROJECT,
+    JoinNode,
+    LeafNode,
+    PlanNode,
+    QueryTreePlan,
+    UnaryNode,
+)
+from repro.core.authorization import Policy
+from repro.exceptions import PlanError
+
+#: The always-present keys of a plan-cache stats snapshot; downstream
+#: JSON consumers (``summary_dict``, ``BENCH_*.json``) rely on every key
+#: existing regardless of which events a run actually saw.
+PLAN_CACHE_KEYS = (
+    "hits",
+    "misses",
+    "revalidations",
+    "revalidation_failures",
+    "evictions",
+    "entries",
+)
+
+
+class PlanCacheStats:
+    """Counters of one cache's lifetime.
+
+    Attributes:
+        hits: lookups answered from the cache (pure hits plus
+            successful revalidations).
+        misses: lookups that fell through to fresh planning (absent
+            fingerprints plus failed revalidations).
+        revalidations: epoch-bumped entries re-audited against the
+            current policy (successful or not).
+        revalidation_failures: re-audits that found a now-forbidden
+            flow; the entry was evicted and the query replanned.
+        evictions: entries dropped by LRU pressure (revalidation
+            failures are counted separately).
+    """
+
+    __slots__ = (
+        "hits",
+        "misses",
+        "revalidations",
+        "revalidation_failures",
+        "evictions",
+    )
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.revalidations = 0
+        self.revalidation_failures = 0
+        self.evictions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCacheStats(hits={self.hits}, misses={self.misses}, "
+            f"revalidations={self.revalidations}, "
+            f"revalidation_failures={self.revalidation_failures}, "
+            f"evictions={self.evictions})"
+        )
+
+
+class PlanCacheEntry:
+    """One cached planning product.
+
+    Attributes:
+        tree: the minimized :class:`~repro.algebra.tree.QueryTreePlan`.
+        assignment: the safe executor assignment (treated as immutable
+            after planning — the execution layers only read it).
+        planner_trace: the Figure 7 trace of the original planning run.
+        validated_epoch: the policy epoch the assignment was last
+            proven safe at.
+    """
+
+    __slots__ = ("tree", "assignment", "planner_trace", "validated_epoch")
+
+    def __init__(self, tree, assignment, planner_trace, validated_epoch: int) -> None:
+        self.tree = tree
+        self.assignment = assignment
+        self.planner_trace = planner_trace
+        self.validated_epoch = validated_epoch
+
+
+def fingerprint_tree(tree: QueryTreePlan) -> Tuple[object, ...]:
+    """A canonical, hashable identity of an explicitly shaped plan.
+
+    Used for queries that bypass :class:`~repro.algebra.builder.QuerySpec`
+    (parenthesized/bushy SQL FROM clauses bind straight to a tree): the
+    fingerprint is the recursive structure of the tree — operator kinds,
+    relation names, sorted projection sets, sorted predicate atoms and
+    :meth:`~repro.algebra.joins.JoinPath.canonical_key` join paths.
+    """
+
+    def walk(node: PlanNode) -> Tuple[object, ...]:
+        if isinstance(node, LeafNode):
+            return ("leaf", node.relation.name)
+        if isinstance(node, UnaryNode):
+            if node.operator == PROJECT:
+                parameter: Tuple[object, ...] = tuple(sorted(node.parameter))
+            else:
+                parameter = tuple(sorted(str(c) for c in node.parameter.comparisons))
+            return (node.operator, parameter, walk(node.left))
+        if isinstance(node, JoinNode):
+            return (
+                "join",
+                node.path.canonical_key(),
+                walk(node.left),
+                walk(node.right),
+            )
+        raise PlanError(f"unknown node kind: {type(node).__name__}")  # pragma: no cover
+
+    return ("tree", walk(tree.root))
+
+
+class PlanCache:
+    """An LRU of safe assignments keyed on ``(fingerprint, epoch)``.
+
+    Args:
+        maxsize: entry cap; the least recently used entry is evicted
+            when a store overflows it.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError(f"plan cache maxsize must be >= 1, got {maxsize}")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[object, PlanCacheEntry]" = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    @property
+    def maxsize(self) -> int:
+        """The entry cap."""
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"PlanCache({len(self._entries)}/{self._maxsize} entries, {self.stats!r})"
+
+    def lookup(
+        self, fingerprint: object, policy: Policy, obs=None
+    ) -> Optional[PlanCacheEntry]:
+        """The cached entry for ``fingerprint``, revalidated if stale.
+
+        Returns ``None`` on a miss (absent, or present but no longer
+        safe under ``policy`` — the entry is then evicted).  Hits and
+        successful revalidations refresh the entry's LRU position.
+
+        Args:
+            fingerprint: a value from
+                :meth:`~repro.algebra.builder.QuerySpec.fingerprint` or
+                :func:`fingerprint_tree` (any hashable works).
+            policy: the policy currently in force; its
+                :attr:`~repro.core.authorization.Policy.epoch` decides
+                between a pure hit and a revalidation.
+            obs: optional :class:`~repro.obs.trace.TraceContext`;
+                lookups feed ``repro_plan_cache_*`` counters and emit
+                one ``plan_cache`` event per outcome.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.stats.misses += 1
+            self._observe(obs, "miss")
+            return None
+        epoch = policy.epoch
+        if entry.validated_epoch != epoch:
+            self.stats.revalidations += 1
+            if not self._still_safe(policy, entry.assignment, obs):
+                # The current policy forbids a flow this plan ships —
+                # the entry is unusable at any later epoch too (only a
+                # fresh plan can route around the revocation).
+                del self._entries[fingerprint]
+                self.stats.revalidation_failures += 1
+                self.stats.misses += 1
+                self._observe(obs, "revalidation_failed")
+                return None
+            entry.validated_epoch = epoch
+            self._observe(obs, "revalidated")
+        else:
+            self._observe(obs, "hit")
+        self._entries.move_to_end(fingerprint)
+        self.stats.hits += 1
+        return entry
+
+    def store(
+        self,
+        fingerprint: object,
+        policy: Policy,
+        tree,
+        assignment,
+        planner_trace,
+    ) -> PlanCacheEntry:
+        """Cache one freshly planned product, validated at ``policy``'s
+        current epoch (LRU-evicting on overflow)."""
+        entry = PlanCacheEntry(tree, assignment, planner_trace, policy.epoch)
+        self._entries[fingerprint] = entry
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept — they are lifetime counters)."""
+        self._entries.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-safe stats snapshot with every :data:`PLAN_CACHE_KEYS`
+        key present."""
+        stats = self.stats
+        return {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "revalidations": stats.revalidations,
+            "revalidation_failures": stats.revalidation_failures,
+            "evictions": stats.evictions,
+            "entries": len(self._entries),
+        }
+
+    @staticmethod
+    def _still_safe(policy: Policy, assignment, obs) -> bool:
+        """Re-audit every release flow of a cached assignment.
+
+        Runs the exact covering-authorization probe the runtime audit
+        layer uses (:class:`~repro.engine.audit.AuditLog`), so "the
+        cache revalidated the plan" and "the engine would have permitted
+        every shipment" are the same judgement by construction.
+        """
+        # Deferred import: the audit layer sits above core in the module
+        # layering, and only this cold revalidation path needs it.
+        from repro.core.safety import enumerate_assignment_flows
+        from repro.engine.audit import AuditLog
+
+        audit = AuditLog(policy, enforce=False, trace=obs)
+        for flow in enumerate_assignment_flows(assignment):
+            if not flow.is_release:
+                continue
+            allowed, _ = audit.authorize(flow.sender, flow.receiver, flow.profile)
+            if not allowed:
+                return False
+        return True
+
+    @staticmethod
+    def _observe(obs, outcome: str) -> None:
+        if obs is None:
+            return
+        obs.count(f"repro_plan_cache_{outcome}_total")
+        obs.event("plan_cache", "planner", outcome=outcome)

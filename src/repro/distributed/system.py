@@ -31,8 +31,9 @@ from repro.algebra.optimizer import enumerate_join_orders
 from repro.algebra.schema import Catalog
 from repro.algebra.tree import LeafNode, QueryTreePlan
 from repro.core.assignment import Assignment
-from repro.core.authorization import Policy
-from repro.core.closure import close_policy
+from repro.core.authorization import Authorization, Policy
+from repro.core.closure import close_policy, extend_closure
+from repro.core.plancache import PlanCache, fingerprint_tree
 from repro.core.planner import PlannerTrace, SafePlanner
 from repro.core.safety import verify_assignment
 from repro.core.thirdparty import ThirdPartyPlanner
@@ -71,6 +72,17 @@ class DistributedSystem:
             spans and metrics into it.  :meth:`plan` and
             :meth:`execute` also accept a per-call ``trace`` that
             overrides this one.
+        plan_cache: the policy-epoch plan cache (see
+            :mod:`repro.core.plancache`).  ``True`` (default) builds a
+            default-sized :class:`~repro.core.plancache.PlanCache`,
+            ``False`` disables caching entirely, and a pre-built
+            :class:`~repro.core.plancache.PlanCache` is used as given.
+            Repeated queries (including the copies inside
+            :meth:`simulate_concurrent`) then plan once; after a policy
+            mutation (:meth:`add_authorization`,
+            :meth:`revoke_authorization`) cached plans are cheaply
+            re-audited against the current policy before reuse, and
+            replanned only when no longer safe.
     """
 
     def __init__(
@@ -80,6 +92,7 @@ class DistributedSystem:
         apply_closure: bool = True,
         third_parties: Sequence[str] = (),
         trace=None,
+        plan_cache: Union[bool, PlanCache] = True,
     ) -> None:
         policy.validate_against(catalog)
         self._catalog = catalog
@@ -89,6 +102,16 @@ class DistributedSystem:
             close_policy(policy, catalog, obs=trace) if apply_closure else policy
         )
         self._third_parties = tuple(third_parties)
+        if plan_cache is True:
+            self._plan_cache: Optional[PlanCache] = PlanCache()
+        elif plan_cache is False or plan_cache is None:
+            self._plan_cache = None
+        else:
+            self._plan_cache = plan_cache
+        # SQL text -> bound form; parsing is policy-independent, so the
+        # memo never needs invalidation.  Only populated while the plan
+        # cache is on (it exists to make warm repeats parse-free).
+        self._parse_memo: Dict[str, Tuple[str, object]] = {}
         self._planner = self._make_planner()
         self._servers: Dict[str, Server] = {}
         for schema in catalog.relations():
@@ -142,6 +165,11 @@ class DistributedSystem:
         """The policy as specified, before closure."""
         return self._explicit_policy
 
+    @property
+    def plan_cache(self) -> Optional[PlanCache]:
+        """The policy-epoch plan cache (``None`` when disabled)."""
+        return self._plan_cache
+
     def server(self, name: str) -> Server:
         """A server by name."""
         if name not in self._servers:
@@ -151,6 +179,85 @@ class DistributedSystem:
     def servers(self) -> List[Server]:
         """All servers, sorted by name."""
         return [self._servers[name] for name in sorted(self._servers)]
+
+    # ------------------------------------------------------------------
+    # Policy mutation (epoch-bumping)
+    # ------------------------------------------------------------------
+
+    def add_authorization(self, authorization: Authorization, trace=None) -> int:
+        """Grant one rule to the live system.
+
+        The effective (closed) policy is maintained **incrementally**:
+        instead of rerunning the full chase, the fixpoint is extended by
+        chasing from the new rule's frontier alone
+        (:func:`~repro.core.closure.extend_closure`), which is sound and
+        complete because every new derivation must involve the new rule.
+        The policy epoch bumps, so cached plans are revalidated on their
+        next use — grants only widen the policy, so they revalidate
+        successfully and are reused without replanning.
+
+        Args:
+            authorization: the rule to grant (validated against the
+                catalog; an exact duplicate of an *explicit* rule
+                raises, while re-granting a derivable view merely
+                records it as explicit).
+            trace: optional per-call trace override for the incremental
+                chase's spans.
+
+        Returns:
+            The number of rules the effective policy actually gained
+            (the explicit rule plus its chase derivations; 0 when the
+            rule was already derivable).
+
+        Raises:
+            AuthorizationError: if the rule is malformed for the catalog.
+            PolicyError: if the exact rule is already explicitly granted,
+                or the incremental chase overflows its safety valve.
+        """
+        if trace is None:
+            trace = self._trace
+        authorization.validate_against(self._catalog)
+        self._explicit_policy.add(authorization)
+        if self._policy is self._explicit_policy:
+            # No closure in force: the explicit add above already bumped
+            # the (shared) effective policy's epoch.
+            return 1
+        return extend_closure(
+            self._policy, [authorization], self._catalog, obs=trace
+        )
+
+    def revoke_authorization(self, authorization: Authorization, trace=None) -> None:
+        """Withdraw one explicit rule from the live system.
+
+        Revocation has no incremental shortcut — removing a rule can
+        strand any number of chase derivations that depended on it — so
+        the effective policy is **fully recomputed** from the surviving
+        explicit rules (correctness first).  The new policy's epoch is
+        advanced past the old one's, so every cached plan is forced
+        through revalidation: a plan that relied on the revoked rule
+        fails the covering-authorization re-audit, is evicted, and the
+        query replans under the reduced policy.
+
+        Args:
+            authorization: the explicit rule to withdraw (derived rules
+                cannot be revoked directly — revoke the explicit rules
+                they chase from).
+            trace: optional per-call trace override for the recompute's
+                chase spans.
+
+        Raises:
+            PolicyError: if the rule is not explicitly granted.
+        """
+        if trace is None:
+            trace = self._trace
+        self._explicit_policy.remove(authorization)
+        if self._policy is self._explicit_policy:
+            return
+        old_epoch = self._policy.epoch
+        self._policy = close_policy(self._explicit_policy, self._catalog, obs=trace)
+        self._policy.advance_epoch(old_epoch + 1)
+        # The planner closed over the retired policy object; rebuild it.
+        self._planner = self._make_planner()
 
     # ------------------------------------------------------------------
     # Instances
@@ -194,6 +301,15 @@ class DistributedSystem:
     ) -> Tuple[QueryTreePlan, Assignment, PlannerTrace]:
         """Build a minimized plan and a safe executor assignment.
 
+        With the plan cache on (the default), repeats of a query —
+        same bound spec, or the same SQL text, or any text binding to
+        the same canonical fingerprint — return the cached
+        ``(tree, assignment, trace)`` without replanning, as long as the
+        cached assignment is still provably safe under the current
+        policy (see :mod:`repro.core.plancache` for the epoch /
+        revalidation semantics).  Cached objects are shared between
+        calls and must be treated as immutable.
+
         Args:
             query: SQL text or bound spec.
             search_join_orders: when the given order is infeasible, try
@@ -204,23 +320,74 @@ class DistributedSystem:
 
         Raises:
             InfeasiblePlanError: when no considered plan admits a safe
-                assignment.
+                assignment (infeasibility is never cached — a later
+                grant can unlock the query).
         """
         if trace is None or trace is self._trace:
             planner = self._planner
         else:
             planner = self._make_planner(obs=trace)
-        if isinstance(query, str):
-            from repro.sql import bind_plan, parse
+        cache = self._plan_cache
+        kind, payload = self._parsed(query, memoize=cache is not None)
+        if cache is None:
+            return self._plan_parsed(kind, payload, planner, search_join_orders)
+        obs = trace if trace is not None else self._trace
+        if kind == "tree":
+            # Explicitly shaped (bushy) queries never order-search, so
+            # the flag is not part of their identity.
+            fingerprint: object = fingerprint_tree(payload)
+        else:
+            fingerprint = (payload.fingerprint(), search_join_orders)
+        entry = cache.lookup(fingerprint, self._policy, obs=obs)
+        if entry is not None:
+            return entry.tree, entry.assignment, entry.planner_trace
+        tree, assignment, planner_trace = self._plan_parsed(
+            kind, payload, planner, search_join_orders
+        )
+        cache.store(fingerprint, self._policy, tree, assignment, planner_trace)
+        return tree, assignment, planner_trace
 
-            parsed = parse(query)
-            if not parsed.is_left_deep:
-                # Parenthesized (bushy) FROM: the shape is the user's
-                # explicit choice — plan it as written (no order search).
-                tree = bind_plan(parsed, self._catalog)
-                assignment, planner_trace = planner.plan(tree)
-                return tree, assignment, planner_trace
-        spec = self.parse(query)
+    def _parsed(self, query: Query, memoize: bool = False) -> Tuple[str, object]:
+        """Bind a query to its planning form, memoizing SQL texts.
+
+        Returns ``("spec", QuerySpec)`` for bound specs and left-deep
+        SQL, or ``("tree", QueryTreePlan)`` for parenthesized (bushy)
+        FROM clauses, whose shape is the user's explicit choice.
+        Parsing and binding are pure functions of ``(text, catalog)``,
+        so the memo (on by default only while the plan cache is enabled)
+        never needs invalidation.
+        """
+        if isinstance(query, QuerySpec):
+            return "spec", query
+        cached = self._parse_memo.get(query)
+        if cached is not None:
+            return cached
+        from repro.sql import bind_plan, parse, parse_query
+
+        parsed = parse(query)
+        if not parsed.is_left_deep:
+            result: Tuple[str, object] = ("tree", bind_plan(parsed, self._catalog))
+        else:
+            result = ("spec", parse_query(query, self._catalog))
+        if memoize and len(self._parse_memo) < 1024:
+            self._parse_memo[query] = result
+        return result
+
+    def _plan_parsed(
+        self,
+        kind: str,
+        payload: object,
+        planner: SafePlanner,
+        search_join_orders: bool,
+    ) -> Tuple[QueryTreePlan, Assignment, PlannerTrace]:
+        """Plan a bound query from scratch (the pre-cache hot path)."""
+        if kind == "tree":
+            # Parenthesized (bushy) FROM: plan it as written (no order
+            # search).
+            tree = payload
+            assignment, planner_trace = planner.plan(tree)
+            return tree, assignment, planner_trace
+        spec = payload
         tree = build_plan(self._catalog, spec)
         try:
             assignment, planner_trace = planner.plan(tree)
@@ -372,7 +539,11 @@ class DistributedSystem:
                 enforce=True,
                 trace=trace,
             )
-            return executor.run(recipient=recipient)
+            result = executor.run(recipient=recipient)
+            result.plan_cache = (
+                self._plan_cache.snapshot() if self._plan_cache is not None else None
+            )
+            return result
         journal: Optional[CheckpointJournal] = None
         if resume_from is not None:
             if trace is not None:
@@ -399,7 +570,7 @@ class DistributedSystem:
                 }
         if verify:
             verify_assignment(self._policy, assignment, recipient=recipient)
-        return self._execute_resilient(
+        result = self._execute_resilient(
             tree,
             assignment,
             recipient,
@@ -413,6 +584,10 @@ class DistributedSystem:
             reuse=reuse,
             trace=trace,
         )
+        result.plan_cache = (
+            self._plan_cache.snapshot() if self._plan_cache is not None else None
+        )
+        return result
 
     def _initial_assignment(
         self,

@@ -55,6 +55,9 @@ class ExecutionResult:
         checkpoint: the run's
             :class:`~repro.engine.checkpoint.CheckpointJournal` (``None``
             when journaling was off).
+        plan_cache: snapshot of the system's plan-cache counters at the
+            end of the run (:meth:`repro.core.plancache.PlanCache.snapshot`;
+            ``None`` when the cache is disabled).
     """
 
     __slots__ = (
@@ -68,6 +71,7 @@ class ExecutionResult:
         "resumed",
         "deadline",
         "checkpoint",
+        "plan_cache",
     )
 
     def __init__(
@@ -82,6 +86,7 @@ class ExecutionResult:
         resumed: int = 0,
         deadline=None,
         checkpoint=None,
+        plan_cache: Optional[dict] = None,
     ) -> None:
         self.table = table
         self.result_server = result_server
@@ -93,14 +98,16 @@ class ExecutionResult:
         self.resumed = resumed
         self.deadline = deadline
         self.checkpoint = checkpoint
+        self.plan_cache = plan_cache
 
     def summary_dict(self) -> dict:
         """Stable, flat JSON-safe summary of the run.
 
-        Every key is always present — breaker/deadline/checkpoint fields
-        are emitted with zero/``None`` values when the corresponding
-        feature was off — so downstream JSON consumers get one schema
-        regardless of which resilience features a run enabled.
+        Every key is always present — breaker/deadline/checkpoint and
+        plan-cache fields are emitted with zero/``None``/``False``
+        values when the corresponding feature was off — so downstream
+        JSON consumers get one schema regardless of which features a
+        run enabled.
         """
         return {
             "rows": len(self.table),
@@ -125,6 +132,21 @@ class ExecutionResult:
             ),
             "checkpointed": self.checkpointed,
             "resumed": self.resumed,
+            "plan_cache_enabled": self.plan_cache is not None,
+            "plan_cache_hits": (
+                self.plan_cache["hits"] if self.plan_cache is not None else 0
+            ),
+            "plan_cache_misses": (
+                self.plan_cache["misses"] if self.plan_cache is not None else 0
+            ),
+            "plan_cache_revalidations": (
+                self.plan_cache["revalidations"] if self.plan_cache is not None else 0
+            ),
+            "plan_cache_revalidation_failures": (
+                self.plan_cache["revalidation_failures"]
+                if self.plan_cache is not None
+                else 0
+            ),
         }
 
     def summary(self) -> str:

@@ -554,6 +554,11 @@ SUMMARY_KEYS = {
     "deadline_remaining",
     "checkpointed",
     "resumed",
+    "plan_cache_enabled",
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "plan_cache_revalidations",
+    "plan_cache_revalidation_failures",
 }
 
 
@@ -567,6 +572,26 @@ class TestSummarySchema:
         assert summary["breaker_trips"] == 0
         assert summary["checkpointed"] == 0
         assert json.dumps(summary)  # JSON-safe by construction
+
+    def test_plan_cache_keys_present_with_cache_off(self):
+        system = DistributedSystem(
+            medical_catalog(), medical_policy(), plan_cache=False
+        )
+        system.load_instances(generate_instances(seed=7))
+        summary = system.execute(MEDICAL_QUERY).summary_dict()
+        assert set(summary) == SUMMARY_KEYS
+        assert summary["plan_cache_enabled"] is False
+        assert summary["plan_cache_hits"] == 0
+        assert summary["plan_cache_misses"] == 0
+
+    def test_plan_cache_counters_surface_in_summary(self):
+        system = _medical_system()
+        system.execute(MEDICAL_QUERY)
+        summary = system.execute(MEDICAL_QUERY).summary_dict()
+        assert summary["plan_cache_enabled"] is True
+        assert summary["plan_cache_misses"] == 1
+        assert summary["plan_cache_hits"] == 1
+        assert summary["plan_cache_revalidation_failures"] == 0
 
     def test_same_keys_with_features_on(self):
         system = _medical_system()

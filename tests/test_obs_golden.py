@@ -81,6 +81,15 @@ def test_chrome_export_matches_golden():
     _check_golden("obs_medical_chrome.json", document)
 
 
+def test_golden_run_records_the_plan_cache_event():
+    # The golden scenario plans a never-seen query, so its trace must
+    # carry exactly one plan_cache event — a cold miss.
+    events = [e for e in _golden_run().events if e.name == "plan_cache"]
+    assert len(events) == 1
+    assert events[0].category == "planner"
+    assert events[0].attrs == {"outcome": "miss"}
+
+
 def test_golden_run_is_reproducible_in_process():
     # Two fresh runs in the same process must export identical bytes —
     # catches hidden global state before it can flake the goldens.
