@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-health test-obs test-cache bench bench-kernel bench-health bench-obs bench-cache trace-demo examples verify clean
+.PHONY: install test test-faults test-health test-obs test-cache test-service bench bench-kernel bench-health bench-obs bench-cache bench-service trace-demo examples verify clean
 
 install:
 	pip install -e .
@@ -34,6 +34,12 @@ test-obs:
 test-cache:
 	$(PYTHON) -m pytest tests/test_plancache.py tests/test_plancache_diff.py
 
+# Serving suite: admission/tenants/single-flight unit tests, the
+# churn-races-admission regression tests, the scrape endpoint, and the
+# CLI serve smoke tests (including the SIGINT drain subprocess test).
+test-service:
+	$(PYTHON) -m pytest tests/test_service.py "tests/test_cli.py::TestServe" "tests/test_cli.py::TestServeSignals"
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -61,6 +67,13 @@ bench-obs:
 # revalidation machinery under policy churn; writes BENCH_ABL13.json.
 bench-cache:
 	$(PYTHON) -m pytest benchmarks/bench_abl13_plancache.py --benchmark-only -s
+
+# Serving ablation: 10k mixed workload with mid-stream policy churn —
+# gates the service at >=2x sequential-loop throughput with zero audit
+# violations, asserts deterministic capacity-zero shedding and
+# byte-identical coalesced plans; writes BENCH_ABL14.json.
+bench-service:
+	$(PYTHON) -m pytest benchmarks/bench_abl14_service.py --benchmark-only -s
 
 # Trace the Figure 1-5 medical query end-to-end and export every
 # format: Chrome trace (load trace_demo.json in Perfetto /

@@ -102,11 +102,35 @@ _PLAN_CACHE_KEYS = (
     "revalidations",
     "revalidation_failures",
     "evictions",
+    "coalesced",
     "entries",
 )
 
+#: The always-present keys of a bench file's ``"latency"`` section.
+#: Serving benches (ABL14 onward) report tail latency through one
+#: shared shape so dashboards can diff files without sniffing keys.
+_LATENCY_KEYS = ("p50", "p95", "p99")
 
-def write_bench_json(name, payload, directory=None, metrics=None, plan_cache=None):
+
+def latency_percentiles(samples):
+    """``{p50, p95, p99}`` of a latency sample list, zero-filled when
+    empty — the exact shape ``write_bench_json(latency=...)`` accepts.
+
+    Percentiles use the nearest-rank method on the sorted samples, so
+    tiny sample sets stay deterministic (no interpolation).
+    """
+    ordered = sorted(samples)
+    if not ordered:
+        return {key: 0.0 for key in _LATENCY_KEYS}
+    def rank(q):
+        index = max(0, min(len(ordered) - 1, int(round(q * len(ordered))) - 1))
+        return float(ordered[index])
+    return {"p50": rank(0.50), "p95": rank(0.95), "p99": rank(0.99)}
+
+
+def write_bench_json(
+    name, payload, directory=None, metrics=None, plan_cache=None, latency=None
+):
     """Merge one benchmark's results into ``BENCH_<NAME>.json``.
 
     Each bench test contributes a section keyed by its own name, so a
@@ -128,8 +152,14 @@ def write_bench_json(name, payload, directory=None, metrics=None, plan_cache=Non
             :class:`~repro.core.plancache.PlanCache`, a snapshot dict,
             or ``None`` — merged in as a ``"plan_cache"`` section whose
             keys (hits/misses/revalidations/revalidation_failures/
-            evictions/entries) are always all present, zero-filled when
-            absent from the input.
+            evictions/coalesced/entries) are always all present,
+            zero-filled when absent from the input.
+        latency: optional latency percentiles — a dict with any of
+            ``p50``/``p95``/``p99`` (e.g. from
+            :func:`latency_percentiles`) — merged in as a ``"latency"``
+            section whose three keys are always all present, zero-filled
+            when absent from the input.  ABL14 and future serving
+            benches share this one shape.
 
     Returns:
         The path written.
@@ -156,6 +186,10 @@ def write_bench_json(name, payload, directory=None, metrics=None, plan_cache=Non
         )
         data["plan_cache"] = {
             key: int(snapshot.get(key, 0)) for key in _PLAN_CACHE_KEYS
+        }
+    if latency is not None:
+        data["latency"] = {
+            key: float(latency.get(key, 0.0)) for key in _LATENCY_KEYS
         }
     data["schema"] = BENCH_SCHEMA_VERSION
     data["generated_by"] = BENCH_GENERATED_BY

@@ -13,6 +13,10 @@ JSON catalog/policy files, see :mod:`repro.io`):
   would unlock it (what-if analysis);
 * ``check``    — a single CanView question: may SERVER see these
   attributes under this join path?
+* ``serve``    — drive a JSON workload through the multi-tenant async
+  query service (admission control, load shedding, single-flight
+  planning; see :mod:`repro.service` and ``docs/serving.md``), with an
+  optional live Prometheus scrape endpoint.
 
 Examples::
 
@@ -23,6 +27,17 @@ Examples::
     python -m repro.cli suggest --sql "SELECT Physician, Treatment FROM \
         Disease_list JOIN Hospital ON Illness = Disease"
     python -m repro.cli check --server S_I --attributes Holder Plan
+    python -m repro.cli serve --workload requests.json --tenants tenants.json \
+        --port 0 --metrics-out metrics.prom
+
+``serve`` exit codes: 0 — every request resolved and the service
+drained cleanly (including after a single SIGINT, which stops new
+submissions, drains admitted work and still flushes ``--metrics-out`` /
+``--trace-out``); 1 — drained cleanly but some requests ``failed``
+with execution errors; 2 — configuration error (bad workload, tenants,
+catalog or instances file); 3 — aborted before all outcomes resolved
+(second SIGINT forces an immediate stop; queued requests resolve as
+shed, never partially executed).
 """
 
 from __future__ import annotations
@@ -195,6 +210,92 @@ def build_parser() -> argparse.ArgumentParser:
         "explain", help="explain every CanView decision of a query's planning"
     )
     explain_cmd.add_argument("--sql", required=True)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run a workload through the multi-tenant query service"
+    )
+    serve_cmd.add_argument(
+        "--workload",
+        required=True,
+        metavar="FILE",
+        help="JSON list of requests: {sql, tenant?, recipient?, repeat?}",
+    )
+    serve_cmd.add_argument(
+        "--tenants",
+        default=None,
+        metavar="FILE",
+        help="JSON list of tenant configs: {name, priority?, rate?, "
+        "burst?, deadline?}",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=4, help="worker coroutines (default 4)"
+    )
+    serve_cmd.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="queued-request bound; admission sheds beyond it (default 256)",
+    )
+    serve_cmd.add_argument(
+        "--capacity-bytes",
+        type=float,
+        default=None,
+        metavar="BYTES",
+        help="total estimated in-flight bytes admitted at once "
+        "(0 deterministically sheds everything; default: unlimited)",
+    )
+    serve_cmd.add_argument(
+        "--window",
+        type=int,
+        default=64,
+        help="max concurrent client submissions (0 = all at once, which "
+        "a bounded queue will shed; default 64)",
+    )
+    serve_cmd.add_argument(
+        "--pace",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep between submissions (keeps the service busy long "
+        "enough to scrape or interrupt; default 0)",
+    )
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose /metrics and /healthz on 127.0.0.1:PORT "
+        "(0 picks an ephemeral port, printed at startup; default: off)",
+    )
+    serve_cmd.add_argument(
+        "--search-orders",
+        action="store_true",
+        help="plan with join-order search while the service is healthy",
+    )
+    serve_cmd.add_argument(
+        "--instances", help="JSON instances file (relation -> rows)"
+    )
+    serve_cmd.add_argument("--seed", type=int, default=7)
+    serve_cmd.add_argument("--citizens", type=int, default=100)
+    serve_cmd.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the service run's trace to FILE (flushed even on SIGINT)",
+    )
+    serve_cmd.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="trace file format (jsonl or chrome)",
+    )
+    serve_cmd.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write final metrics in Prometheus text exposition to FILE "
+        "(flushed even on SIGINT)",
+    )
 
     check_cmd = commands.add_parser("check", help="one CanView question")
     check_cmd.add_argument("--server", required=True)
@@ -446,6 +547,235 @@ def _cmd_check(system: DistributedSystem, args, out) -> int:
     return 0 if allowed else 1
 
 
+def _load_json_list(path: str):
+    """Read a JSON array (workload / tenants files are lists, which
+    :func:`repro.io.load_json` deliberately rejects)."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _load_serve_workload(path: str, out) -> Optional[List[dict]]:
+    """Expand a JSON workload file into one request dict per submission
+    (``repeat`` unrolled); ``None`` means the file was bad (reported)."""
+    try:
+        data = _load_json_list(path)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read workload {path!r}: {error}", file=out)
+        return None
+    if not isinstance(data, list):
+        print(f"error: workload {path!r} must be a JSON list", file=out)
+        return None
+    requests: List[dict] = []
+    for index, record in enumerate(data):
+        if not isinstance(record, dict):
+            print(f"error: workload entry {index} is not an object", file=out)
+            return None
+        sql = record.get("sql", record.get("query"))
+        if not sql:
+            print(f"error: workload entry {index} needs 'sql'", file=out)
+            return None
+        repeat = int(record.get("repeat", 1))
+        if repeat < 1:
+            print(f"error: workload entry {index}: repeat must be >= 1", file=out)
+            return None
+        request = {
+            "query": sql,
+            "tenant": record.get("tenant", "default"),
+            "recipient": record.get("recipient"),
+        }
+        requests.extend([dict(request)] * repeat)
+    return requests
+
+
+def _cmd_serve(system: DistributedSystem, args, out) -> int:
+    import asyncio
+
+    from repro.service import TenantConfig, TenantConfigError
+
+    if args.instances:
+        system.load_instances(load_json(args.instances))
+    elif not args.catalog:
+        system.load_instances(
+            generate_instances(seed=args.seed, citizens=args.citizens)
+        )
+    else:
+        print("error: --instances is required for JSON workloads", file=out)
+        return 2
+    requests = _load_serve_workload(args.workload, out)
+    if requests is None:
+        return 2
+    tenants = []
+    if args.tenants:
+        try:
+            data = _load_json_list(args.tenants)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read tenants {args.tenants!r}: {error}", file=out)
+            return 2
+        if not isinstance(data, list):
+            print(f"error: tenants {args.tenants!r} must be a JSON list", file=out)
+            return 2
+        try:
+            tenants = [TenantConfig.from_dict(record) for record in data]
+        except (TenantConfigError, TypeError, ValueError) as error:
+            print(f"error: bad tenant config: {error}", file=out)
+            return 2
+    trace = None
+    if args.trace_out:
+        from repro.obs import TraceContext
+
+        trace = TraceContext()
+    return asyncio.run(_serve_async(system, requests, tenants, args, trace, out))
+
+
+async def _serve_async(system, requests, tenants, args, trace, out) -> int:
+    import asyncio
+    import signal
+
+    from repro.analysis.reporting import latency_percentiles
+    from repro.obs import write_metrics
+    from repro.service import FAILED, MetricsServer, QueryService
+
+    service = QueryService(
+        system,
+        tenants=tenants,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        capacity_bytes=args.capacity_bytes,
+        search_join_orders=args.search_orders,
+        trace=trace,
+    )
+    await service.start()
+    endpoint = None
+    if args.port is not None:
+        endpoint = MetricsServer(
+            service.metrics,
+            port=args.port,
+            health=lambda: {
+                "degrade_level": service.degrade_level(),
+                "queue_depth": service.snapshot()["queue_depth"],
+            },
+        )
+        port = await endpoint.start()
+        print(f"serving metrics at http://127.0.0.1:{port}/metrics", file=out)
+    stop_submitting = asyncio.Event()
+    abort = asyncio.Event()
+    interrupts = 0
+
+    def on_sigint() -> None:
+        nonlocal interrupts
+        interrupts += 1
+        if interrupts == 1:
+            stop_submitting.set()
+            print("interrupt: draining admitted work...", file=out, flush=True)
+        else:
+            abort.set()
+            print("interrupt: aborting", file=out, flush=True)
+
+    loop = asyncio.get_running_loop()
+    handled_signal = False
+    try:
+        loop.add_signal_handler(signal.SIGINT, on_sigint)
+        handled_signal = True
+    except (NotImplementedError, RuntimeError):  # pragma: no cover - non-unix
+        pass
+    semaphore = asyncio.Semaphore(args.window) if args.window > 0 else None
+
+    async def one(request: dict):
+        try:
+            return await service.submit(
+                request["query"],
+                tenant=request["tenant"],
+                recipient=request["recipient"],
+            )
+        finally:
+            if semaphore is not None:
+                semaphore.release()
+
+    tasks = []
+    try:
+        for request in requests:
+            if stop_submitting.is_set() or abort.is_set():
+                break
+            if semaphore is not None:
+                await semaphore.acquire()
+                if stop_submitting.is_set() or abort.is_set():
+                    semaphore.release()
+                    break
+            tasks.append(asyncio.create_task(one(request)))
+            if args.pace > 0:
+                try:
+                    await asyncio.wait_for(stop_submitting.wait(), args.pace)
+                    break
+                except TimeoutError:
+                    pass
+        outcomes = []
+        if tasks:
+            waiter = asyncio.gather(*tasks, return_exceptions=True)
+            abort_waiter = asyncio.create_task(abort.wait())
+            await asyncio.wait(
+                [waiter, abort_waiter], return_when=asyncio.FIRST_COMPLETED
+            )
+            if abort.is_set():
+                await service.stop(drain=False)
+            else:
+                abort_waiter.cancel()
+            outcomes = [
+                result
+                for result in await waiter
+                if result is not None and not isinstance(result, BaseException)
+            ]
+        await service.stop(drain=True)
+    finally:
+        if handled_signal:
+            loop.remove_signal_handler(signal.SIGINT)
+        if endpoint is not None:
+            await endpoint.stop()
+        # Flush observability on every exit path — an interrupted run's
+        # metrics are exactly what the operator wants to look at.
+        if trace is not None:
+            trace.close_all()
+            from repro.obs import write_trace
+
+            write_trace(trace, args.trace_out, fmt=args.trace_format)
+            print(f"trace: written to {args.trace_out}", file=out)
+        if args.metrics_out:
+            write_metrics(service.metrics, args.metrics_out)
+            print(f"metrics: written to {args.metrics_out}", file=out)
+    snapshot = service.snapshot()
+    print(
+        f"served: {snapshot['submitted']} submitted / "
+        f"{snapshot['admitted']} admitted / {snapshot['shed']} shed / "
+        f"{snapshot['ok']} ok / {snapshot['infeasible']} infeasible / "
+        f"{snapshot['failed']} failed "
+        f"({len(requests) - len(tasks)} never submitted)",
+        file=out,
+    )
+    latencies = [o.latency for o in outcomes if o.ok]
+    if latencies:
+        pct = latency_percentiles(latencies)
+        print(
+            f"latency: p50={pct['p50']:.4f}s p95={pct['p95']:.4f}s "
+            f"p99={pct['p99']:.4f}s over {len(latencies)} served",
+            file=out,
+        )
+    if snapshot["plan_cache"] is not None:
+        cache = snapshot["plan_cache"]
+        print(
+            f"plan cache: {cache['hits']} hits / {cache['misses']} misses / "
+            f"{cache['coalesced']} coalesced / "
+            f"{cache['revalidations']} revalidations",
+            file=out,
+        )
+    if abort.is_set():
+        print("aborted before all outcomes resolved", file=out)
+        return 3
+    if snapshot["failed"]:
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "describe": _cmd_describe,
     "plan": _cmd_plan,
@@ -453,6 +783,7 @@ _COMMANDS = {
     "suggest": _cmd_suggest,
     "explain": _cmd_explain,
     "check": _cmd_check,
+    "serve": _cmd_serve,
 }
 
 

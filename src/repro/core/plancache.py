@@ -34,6 +34,22 @@ The cache is a plain LRU (``maxsize`` entries, least-recently-used
 evicted first) and deliberately caches only *feasible* plans:
 infeasibility is policy-dependent in the unhelpful direction (a later
 grant can make it feasible), so negative answers are recomputed.
+
+**Interleaved access.**  The cache is used from asyncio services where
+many in-flight queries share it (:mod:`repro.service`).  Lookups and
+stores are synchronous and never await, so coroutines cannot observe a
+half-applied LRU mutation — but the revalidation path runs arbitrary
+audit/trace callbacks which may re-enter the cache (and future callers
+may probe from threads).  :meth:`PlanCache.lookup` therefore treats the
+revalidation window as a critical section per fingerprint: a re-entrant
+lookup of a fingerprint mid-revalidation reports a miss instead of
+recursing, and every mutation re-checks that the entry it is about to
+touch is still the one it resolved (a re-entrant ``store``/``clear``
+can swap or drop it).  Concurrent fills of the *same* fingerprint are
+expected to be coalesced one layer up (single-flight planning, see
+:class:`repro.service.singleflight.SingleFlight`); followers served by a
+leader's fill are counted in :attr:`PlanCacheStats.coalesced` via
+:meth:`PlanCache.record_coalesced`.
 """
 
 from __future__ import annotations
@@ -61,6 +77,7 @@ PLAN_CACHE_KEYS = (
     "revalidations",
     "revalidation_failures",
     "evictions",
+    "coalesced",
     "entries",
 )
 
@@ -79,6 +96,10 @@ class PlanCacheStats:
             flow; the entry was evicted and the query replanned.
         evictions: entries dropped by LRU pressure (revalidation
             failures are counted separately).
+        coalesced: concurrent requests served by another request's
+            in-flight cache fill instead of planning themselves
+            (single-flight followers; see
+            :meth:`PlanCache.record_coalesced`).
     """
 
     __slots__ = (
@@ -87,6 +108,7 @@ class PlanCacheStats:
         "revalidations",
         "revalidation_failures",
         "evictions",
+        "coalesced",
     )
 
     def __init__(self) -> None:
@@ -95,13 +117,14 @@ class PlanCacheStats:
         self.revalidations = 0
         self.revalidation_failures = 0
         self.evictions = 0
+        self.coalesced = 0
 
     def __repr__(self) -> str:
         return (
             f"PlanCacheStats(hits={self.hits}, misses={self.misses}, "
             f"revalidations={self.revalidations}, "
             f"revalidation_failures={self.revalidation_failures}, "
-            f"evictions={self.evictions})"
+            f"evictions={self.evictions}, coalesced={self.coalesced})"
         )
 
 
@@ -170,6 +193,11 @@ class PlanCache:
             raise ValueError(f"plan cache maxsize must be >= 1, got {maxsize}")
         self._maxsize = maxsize
         self._entries: "OrderedDict[object, PlanCacheEntry]" = OrderedDict()
+        # Fingerprints currently inside the revalidation critical
+        # section; a re-entrant lookup of one of these reports a miss
+        # instead of recursing into a second re-audit (see the module
+        # docstring's interleaved-access notes).
+        self._revalidating: set = set()
         self.stats = PlanCacheStats()
 
     @property
@@ -204,18 +232,30 @@ class PlanCache:
                 one ``plan_cache`` event per outcome.
         """
         entry = self._entries.get(fingerprint)
-        if entry is None:
+        if entry is None or fingerprint in self._revalidating:
+            # Mid-revalidation re-entry is answered as a miss: the outer
+            # frame owns the entry's fate, and recursing into a second
+            # re-audit of the same assignment could interleave its LRU
+            # mutations with ours.
             self.stats.misses += 1
             self._observe(obs, "miss")
             return None
         epoch = policy.epoch
         if entry.validated_epoch != epoch:
             self.stats.revalidations += 1
-            if not self._still_safe(policy, entry.assignment, obs):
+            self._revalidating.add(fingerprint)
+            try:
+                safe = self._still_safe(policy, entry.assignment, obs)
+            finally:
+                self._revalidating.discard(fingerprint)
+            if not safe:
                 # The current policy forbids a flow this plan ships —
                 # the entry is unusable at any later epoch too (only a
-                # fresh plan can route around the revocation).
-                del self._entries[fingerprint]
+                # fresh plan can route around the revocation).  The
+                # audit probe may have re-entered the cache, so only
+                # evict the entry we actually revalidated.
+                if self._entries.get(fingerprint) is entry:
+                    del self._entries[fingerprint]
                 self.stats.revalidation_failures += 1
                 self.stats.misses += 1
                 self._observe(obs, "revalidation_failed")
@@ -224,7 +264,8 @@ class PlanCache:
             self._observe(obs, "revalidated")
         else:
             self._observe(obs, "hit")
-        self._entries.move_to_end(fingerprint)
+        if self._entries.get(fingerprint) is entry:
+            self._entries.move_to_end(fingerprint)
         self.stats.hits += 1
         return entry
 
@@ -250,6 +291,20 @@ class PlanCache:
         """Drop every entry (stats are kept — they are lifetime counters)."""
         self._entries.clear()
 
+    def record_coalesced(self, count: int = 1, obs=None) -> None:
+        """Count ``count`` requests served by another request's
+        in-flight fill (single-flight followers).
+
+        The service layer calls this once per follower it parks on a
+        leader's planning future, so the counter prices exactly the
+        planner stampedes the single-flight layer absorbed.
+        """
+        if count < 0:
+            raise ValueError(f"coalesced count must be >= 0, got {count}")
+        self.stats.coalesced += count
+        if obs is not None and count:
+            obs.count("repro_plan_cache_coalesced_total", count)
+
     def snapshot(self) -> dict:
         """JSON-safe stats snapshot with every :data:`PLAN_CACHE_KEYS`
         key present."""
@@ -260,6 +315,7 @@ class PlanCache:
             "revalidations": stats.revalidations,
             "revalidation_failures": stats.revalidation_failures,
             "evictions": stats.evictions,
+            "coalesced": stats.coalesced,
             "entries": len(self._entries),
         }
 

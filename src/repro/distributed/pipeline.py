@@ -1,0 +1,516 @@
+"""The reusable per-query execution pipeline.
+
+One :class:`QueryPipeline` owns the whole lifecycle of a single query —
+plan (through the system's plan cache), verify, execute, and on
+fault-aware runs the retry / failover / checkpoint machinery — exactly
+the body that used to live inline in
+:meth:`~repro.distributed.system.DistributedSystem.execute`.  Extracting
+it buys two things:
+
+* **Reuse.**  The asyncio service layer (:mod:`repro.service`) runs
+  thousands of concurrent queries; each worker builds one pipeline per
+  admitted request, optionally injecting a plan product another request
+  already computed (single-flight coalescing, :meth:`QueryPipeline.use_plan`)
+  without re-entering the planner.
+* **Staging.**  Planning and execution are separately callable, so a
+  caller can plan early (admission-time cost estimation, coalescing) and
+  execute later — re-verifying against the *current* policy in between,
+  which is what makes mid-stream policy churn safe
+  (:meth:`QueryPipeline.run` always re-verifies before anything ships).
+
+The pipeline holds no mutable system state: policy, planner, plan cache
+and tables are read from the owning system at call time, so a policy
+mutation between :meth:`plan` and :meth:`run` is *seen* (the run
+re-verifies and, when the plan no longer holds, replans through the
+cache's epoch probe rather than shipping a stale transfer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.algebra.tree import LeafNode, QueryTreePlan
+from repro.core.assignment import Assignment
+from repro.core.safety import verify_assignment
+from repro.distributed.faults import FaultInjector
+from repro.distributed.health import HealthTracker, ObserveOnlyHealth
+from repro.engine.checkpoint import CheckpointJournal
+from repro.engine.data import Table
+from repro.engine.deadline import DeadlineBudget
+from repro.engine.executor import DistributedExecutor, ExecutionResult
+from repro.engine.resilience import RetryPolicy
+from repro.exceptions import (
+    DeadlineExceededError,
+    DegradedExecutionError,
+    InfeasiblePlanError,
+    PlanError,
+    ResilienceConfigError,
+    TransferFailedError,
+    UnsafeAssignmentError,
+)
+
+
+class QueryPipeline:
+    """Plan → verify → execute for one query against one system.
+
+    Args:
+        system: the owning
+            :class:`~repro.distributed.system.DistributedSystem`.
+        query: SQL text or bound :class:`~repro.algebra.builder.QuerySpec`.
+        recipient: optional final consumer of the result.
+        search_join_orders / verify / faults / retry / max_failovers /
+            deadline / health / checkpoint / resume_from / trace: exactly
+            the keyword surface of
+            :meth:`~repro.distributed.system.DistributedSystem.execute`,
+            which now merely builds a pipeline and calls :meth:`run`.
+
+    Raises:
+        ResilienceConfigError: resilience options given without a fault
+            injector (budgets and breakers live in the injector's
+            logical clock).
+    """
+
+    def __init__(
+        self,
+        system,
+        query,
+        recipient: Optional[str] = None,
+        search_join_orders: bool = False,
+        verify: bool = True,
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        max_failovers: int = 3,
+        deadline: Optional[Union[float, DeadlineBudget]] = None,
+        health: Optional[HealthTracker] = None,
+        checkpoint: bool = False,
+        resume_from: Optional[CheckpointJournal] = None,
+        trace=None,
+    ) -> None:
+        if faults is None and (
+            deadline is not None
+            or health is not None
+            or checkpoint
+            or resume_from is not None
+        ):
+            raise ResilienceConfigError(
+                "deadline, health, checkpoint and resume_from require a fault "
+                "injector: budgets and breakers are accounted in the "
+                "injector's logical clock"
+            )
+        if deadline is not None and not isinstance(deadline, DeadlineBudget):
+            deadline = DeadlineBudget(deadline)
+        self._system = system
+        self._query = query
+        self._recipient = recipient
+        self._search_join_orders = search_join_orders
+        self._verify = verify
+        self._faults = faults
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._max_failovers = max_failovers
+        self._deadline = deadline
+        self._health = health
+        self._checkpoint = checkpoint
+        self._resume_from = resume_from
+        self._trace = trace if trace is not None else system._trace
+        self._product: Optional[Tuple[QueryTreePlan, Assignment, object]] = None
+        self._coalesced = False
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    @property
+    def planned(self) -> bool:
+        """Whether a plan product is already attached."""
+        return self._product is not None
+
+    @property
+    def coalesced(self) -> bool:
+        """Whether the attached plan came from another request's fill."""
+        return self._coalesced
+
+    def plan(self) -> Tuple[QueryTreePlan, Assignment, object]:
+        """The query's ``(tree, assignment, planner trace)``, computed
+        through the system's plan cache on first call and memoized on
+        the pipeline afterwards.
+
+        Raises:
+            InfeasiblePlanError: when no safe assignment exists.
+        """
+        if self._product is None:
+            self._product = self._system.plan(
+                self._query,
+                search_join_orders=self._search_join_orders,
+                trace=self._trace,
+            )
+        return self._product
+
+    def use_plan(self, tree, assignment, planner_trace) -> None:
+        """Attach a plan product computed by another pipeline.
+
+        Single-flight coalescing: a follower request whose fingerprint
+        matched an in-flight leader adopts the leader's product instead
+        of planning.  :meth:`run` still re-verifies the assignment
+        against the *current* policy before anything ships, so adopting
+        a product can never relax safety — at worst a policy mutation
+        since the leader planned forces this pipeline to replan.
+
+        Raises:
+            PlanError: when this pipeline already planned.
+        """
+        if self._product is not None:
+            raise PlanError("pipeline already holds a plan product")
+        self._product = (tree, assignment, planner_trace)
+        self._coalesced = True
+
+    def _current_plan(self) -> Tuple[QueryTreePlan, Assignment, object]:
+        """The attached product, revalidated against the current policy.
+
+        An adopted (coalesced) product may predate a policy mutation;
+        the independent verifier decides, and on failure the pipeline
+        replans through the system's plan cache — whose epoch probe has
+        by then evicted the stale entry — instead of shipping a revoked
+        transfer.
+        """
+        tree, assignment, planner_trace = self.plan()
+        if self._coalesced:
+            try:
+                verify_assignment(
+                    self._system.policy, assignment, recipient=self._recipient
+                )
+            except UnsafeAssignmentError:
+                self._product = None
+                self._coalesced = False
+                tree, assignment, planner_trace = self.plan()
+        return tree, assignment, planner_trace
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> ExecutionResult:
+        """Execute end-to-end, audited (see
+        :meth:`~repro.distributed.system.DistributedSystem.execute` for
+        the full behavior and error contract)."""
+        system = self._system
+        trace = self._trace
+        faults = self._faults
+        if trace is not None and faults is not None:
+            # The injector's deterministic clock timestamps the whole
+            # run — unless the caller pinned an explicit clock already.
+            trace.maybe_use_clock(lambda: faults.clock)
+        if trace is not None and self._deadline is not None:
+            self._deadline.bind_trace(trace)
+        if trace is not None and self._health is not None:
+            self._health.bind_trace(trace)
+        tree, assignment, _ = self._current_plan()
+        if faults is None:
+            if self._verify:
+                verify_assignment(
+                    system.policy, assignment, recipient=self._recipient
+                )
+            executor = DistributedExecutor(
+                assignment,
+                system.tables(),
+                policy=system.policy,
+                enforce=True,
+                trace=trace,
+            )
+            result = executor.run(recipient=self._recipient)
+            return self._stamp(result)
+        journal: Optional[CheckpointJournal] = None
+        resume_from = self._resume_from
+        if resume_from is not None:
+            if trace is not None:
+                resume_from.bind_trace(trace)
+            # Re-audit before anything ships: a revoked authorization
+            # refuses the journal outright (CheckpointError).
+            resume_from.verify(system.policy, tree)
+            journal = resume_from
+        elif self._checkpoint or self._deadline is not None:
+            journal = CheckpointJournal.for_plan(tree)
+            if trace is not None:
+                journal.bind_trace(trace)
+        reuse: Dict[int, Table] = {}
+        if self._health is not None or resume_from is not None:
+            assignment = self._initial_assignment(
+                tree, assignment, faults, self._health, resume_from
+            )
+            if resume_from is not None:
+                materialized = set(assignment.materialized_nodes())
+                reuse = {
+                    entry.node_id: entry.table
+                    for entry in resume_from
+                    if entry.node_id in materialized
+                }
+        if self._verify:
+            verify_assignment(system.policy, assignment, recipient=self._recipient)
+        result = self._execute_resilient(
+            tree, assignment, journal=journal, reuse=reuse
+        )
+        return self._stamp(result)
+
+    def _stamp(self, result: ExecutionResult) -> ExecutionResult:
+        cache = self._system.plan_cache
+        result.plan_cache = cache.snapshot() if cache is not None else None
+        return result
+
+    # ------------------------------------------------------------------
+    # Fault-aware machinery (moved verbatim from DistributedSystem)
+    # ------------------------------------------------------------------
+
+    def _initial_assignment(
+        self,
+        tree: QueryTreePlan,
+        assignment: Assignment,
+        faults: FaultInjector,
+        health: Optional[HealthTracker],
+        journal: Optional[CheckpointJournal],
+    ) -> Assignment:
+        """Health- and checkpoint-aware refinement of the default plan.
+
+        Prefers assignments that route around quarantined (and already
+        crashed) servers and that pin checkpointed subtrees for reuse,
+        falling back toward the default assignment when the preferences
+        over-constrain the search.  Purely advisory: the weakest rung is
+        the default plan itself, so health state never makes a feasible
+        query infeasible.
+        """
+        avoid = set(faults.down_servers())
+        if health is not None:
+            avoid |= set(health.quarantined_servers())
+        pins = journal.pinned(excluded=avoid) if journal is not None else {}
+        attempts = []
+        if avoid and pins:
+            attempts.append((avoid, pins))
+        if pins:
+            attempts.append((set(), pins))
+        if avoid:
+            attempts.append((avoid, {}))
+        for excluded, pinned in attempts:
+            try:
+                planner = self._system._make_planner(
+                    excluded_servers=tuple(sorted(excluded)),
+                    pinned=pinned,
+                    obs=self._trace,
+                )
+                candidate, _ = planner.plan(tree)
+                return candidate
+            except InfeasiblePlanError:
+                continue
+        return assignment
+
+    @staticmethod
+    def _forced_through_quarantine(
+        assignment: Assignment, health: HealthTracker
+    ) -> bool:
+        """Whether the assignment routes over quarantined resources.
+
+        True when a quarantined server executes part of the plan, or a
+        quarantined directed link connects two involved servers — i.e.
+        the breakers would refuse shipments this plan needs.
+        """
+        used = set(assignment.servers_used())
+        if used & set(health.quarantined_servers()):
+            return True
+        return any(
+            sender in used and receiver in used
+            for sender, receiver in health.quarantined_links()
+        )
+
+    def _execute_resilient(
+        self,
+        tree: QueryTreePlan,
+        assignment: Assignment,
+        journal: Optional[CheckpointJournal] = None,
+        reuse: Optional[Dict[int, Table]] = None,
+    ) -> ExecutionResult:
+        """Run with retry + authorization-safe failover.
+
+        Each round executes the current assignment through the fault
+        layer.  On a failed shipment the query is re-planned restricted
+        to the surviving servers, pinning completed subtrees whose
+        results sit at live servers (re-execution resumes from the last
+        completed subtree); if pinning over-constrains the search the
+        round falls back to a full restricted re-plan.  Safety is never
+        relaxed: every re-planned assignment is independently verified
+        and audited, and exhausting all rounds raises
+        :class:`~repro.exceptions.DegradedExecutionError`.
+
+        With ``health``, failover also avoids quarantined servers
+        (advisory — see :meth:`_replan_restricted`); with ``deadline``,
+        an exhausted budget propagates as
+        :class:`~repro.exceptions.DeadlineExceededError` carrying
+        ``journal`` for resume.
+        """
+        system = self._system
+        trace = self._trace
+        faults = self._faults
+        health = self._health
+        reuse = dict(reuse) if reuse else {}
+        failovers = 0
+        while True:
+            gate = health
+            if health is not None and self._forced_through_quarantine(
+                assignment, health
+            ):
+                # No safe plan avoids the quarantined resources, so this
+                # round runs them anyway; the breakers keep observing
+                # but must not fail-fast the only viable route.
+                gate = ObserveOnlyHealth(health)
+            executor = DistributedExecutor(
+                assignment,
+                system.tables(),
+                policy=system.policy,
+                enforce=True,
+                faults=faults,
+                retry=self._retry,
+                reuse=reuse,
+                health=gate,
+                deadline=self._deadline,
+                checkpoint=journal,
+                trace=trace,
+            )
+            round_span = None
+            if trace is not None:
+                round_span = trace.begin(
+                    "execute_attempt", "engine", round=failovers,
+                    reused_subtrees=len(reuse),
+                )
+            try:
+                result = executor.run(recipient=self._recipient)
+                if round_span is not None:
+                    trace.end(round_span, delivered=True)
+                result.failovers = failovers
+                return result
+            except DeadlineExceededError as error:
+                if round_span is not None:
+                    trace.end(
+                        round_span, delivered=False, error="deadline-exceeded"
+                    )
+                # Hand the journal of completed, audited subtrees to the
+                # caller: resume picks up from here with a fresh budget.
+                error.checkpoint = journal
+                raise
+            except TransferFailedError as error:
+                if round_span is not None:
+                    trace.end(
+                        round_span, delivered=False, error="transfer-failed"
+                    )
+                failovers += 1
+                if trace is not None:
+                    trace.count("repro_failovers_total")
+                    trace.event(
+                        "failover", "engine", round=failovers,
+                        cause=str(error),
+                        down_servers=sorted(faults.down_servers()),
+                    )
+                if failovers > self._max_failovers:
+                    degraded = DegradedExecutionError(
+                        f"execution failed after {self._max_failovers} failover "
+                        f"rounds; last failure: {error}",
+                        excluded_servers=faults.down_servers(),
+                        failovers=failovers - 1,
+                    )
+                    degraded.checkpoint = journal
+                    raise degraded from error
+                excluded = set(faults.down_servers())
+                quarantined = (
+                    set(health.quarantined_servers()) if health is not None else set()
+                )
+                completed = executor.completed_subtrees()
+                completed.update(
+                    {
+                        node_id: (assignment.materialized_server(node_id), table)
+                        for node_id, table in reuse.items()
+                    }
+                )
+                if journal is not None:
+                    for entry in journal:
+                        completed.setdefault(
+                            entry.node_id, (entry.server, entry.table)
+                        )
+                pinned = {
+                    node_id: server
+                    for node_id, (server, _) in completed.items()
+                    if not isinstance(tree.node(node_id), LeafNode)
+                }
+                try:
+                    assignment, pinned = self._replan_restricted(
+                        tree, excluded, quarantined, pinned, error
+                    )
+                except DegradedExecutionError as degraded:
+                    degraded.checkpoint = journal
+                    raise
+                if self._verify:
+                    verify_assignment(
+                        system.policy, assignment, recipient=self._recipient
+                    )
+                reuse = {
+                    node_id: completed[node_id][1]
+                    for node_id in assignment.materialized_nodes()
+                    if node_id in completed
+                }
+
+    def _replan_restricted(
+        self,
+        tree: QueryTreePlan,
+        excluded: set,
+        quarantined: set,
+        pinned: Mapping[int, str],
+        cause: TransferFailedError,
+    ) -> Tuple[Assignment, Mapping[int, str]]:
+        """Re-plan on surviving servers, preferring subtree reuse.
+
+        The attempt ladder, most- to least-preferred:
+
+        1. avoid crashed *and* quarantined servers, pin completed
+           subtrees held by the remainder;
+        2. same avoidance, no pins (reuse over-constrained the search);
+        3. avoid only crashed servers, pin surviving subtrees;
+        4. avoid only crashed servers, no pins.
+
+        Quarantine is advisory — rungs 3 and 4 ignore it, so a breaker
+        can never degrade a query that still has a safe plan on the
+        actually-live servers.  Crashed servers are a hard exclusion on
+        every rung; raises
+        :class:`~repro.exceptions.DegradedExecutionError` when no rung
+        admits a safe assignment.
+        """
+        hard = set(excluded)
+        soft = set(quarantined) - hard
+        attempts = []
+        if soft:
+            avoid = hard | soft
+            pins_avoiding = {
+                node_id: server
+                for node_id, server in pinned.items()
+                if server not in avoid
+            }
+            if pins_avoiding:
+                attempts.append((avoid, pins_avoiding))
+            attempts.append((avoid, {}))
+        pins_surviving = {
+            node_id: server
+            for node_id, server in pinned.items()
+            if server not in hard
+        }
+        if pins_surviving:
+            attempts.append((hard, pins_surviving))
+        attempts.append((hard, {}))
+        last_error: Optional[InfeasiblePlanError] = None
+        for excl, pins in attempts:
+            try:
+                planner = self._system._make_planner(
+                    excluded_servers=tuple(sorted(excl)), pinned=pins,
+                    obs=self._trace,
+                )
+                assignment, _ = planner.plan(tree)
+                return assignment, pins
+            except InfeasiblePlanError as error:
+                last_error = error
+        raise DegradedExecutionError(
+            "no safe assignment survives the current faults "
+            f"(excluded: {sorted(hard)}); last failure: {cause}",
+            excluded_servers=hard,
+        ) from last_error

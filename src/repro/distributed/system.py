@@ -29,30 +29,22 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.algebra.builder import QuerySpec, build_plan
 from repro.algebra.optimizer import enumerate_join_orders
 from repro.algebra.schema import Catalog
-from repro.algebra.tree import LeafNode, QueryTreePlan
+from repro.algebra.tree import QueryTreePlan
 from repro.core.assignment import Assignment
 from repro.core.authorization import Authorization, Policy
 from repro.core.closure import close_policy, extend_closure
 from repro.core.plancache import PlanCache, fingerprint_tree
 from repro.core.planner import PlannerTrace, SafePlanner
-from repro.core.safety import verify_assignment
 from repro.core.thirdparty import ThirdPartyPlanner
 from repro.distributed.faults import FaultInjector
-from repro.distributed.health import HealthTracker, ObserveOnlyHealth
+from repro.distributed.health import HealthTracker
 from repro.distributed.server import Server
-from repro.engine.checkpoint import CheckpointJournal, plan_signature
+from repro.engine.checkpoint import CheckpointJournal
 from repro.engine.data import Table
 from repro.engine.deadline import DeadlineBudget
 from repro.engine.executor import DistributedExecutor, ExecutionResult
 from repro.engine.resilience import RetryPolicy
-from repro.exceptions import (
-    DeadlineExceededError,
-    DegradedExecutionError,
-    ExecutionError,
-    InfeasiblePlanError,
-    ResilienceConfigError,
-    TransferFailedError,
-)
+from repro.exceptions import ExecutionError, InfeasiblePlanError
 
 Query = Union[str, QuerySpec]
 
@@ -503,350 +495,39 @@ class DistributedSystem:
             ResilienceConfigError: health/deadline/checkpoint options
                 given without a fault injector, or a malformed budget.
         """
-        if faults is None and (
-            deadline is not None
-            or health is not None
-            or checkpoint
-            or resume_from is not None
-        ):
-            raise ResilienceConfigError(
-                "deadline, health, checkpoint and resume_from require a fault "
-                "injector: budgets and breakers are accounted in the "
-                "injector's logical clock"
-            )
-        if deadline is not None and not isinstance(deadline, DeadlineBudget):
-            deadline = DeadlineBudget(deadline)
-        if trace is None:
-            trace = self._trace
-        if trace is not None and faults is not None:
-            # The injector's deterministic clock timestamps the whole
-            # run — unless the caller pinned an explicit clock already.
-            trace.maybe_use_clock(lambda: faults.clock)
-        if trace is not None and deadline is not None:
-            deadline.bind_trace(trace)
-        if trace is not None and health is not None:
-            health.bind_trace(trace)
-        tree, assignment, _ = self.plan(
-            query, search_join_orders=search_join_orders, trace=trace
-        )
-        if faults is None:
-            if verify:
-                verify_assignment(self._policy, assignment, recipient=recipient)
-            executor = DistributedExecutor(
-                assignment,
-                self.tables(),
-                policy=self._policy,
-                enforce=True,
-                trace=trace,
-            )
-            result = executor.run(recipient=recipient)
-            result.plan_cache = (
-                self._plan_cache.snapshot() if self._plan_cache is not None else None
-            )
-            return result
-        journal: Optional[CheckpointJournal] = None
-        if resume_from is not None:
-            if trace is not None:
-                resume_from.bind_trace(trace)
-            # Re-audit before anything ships: a revoked authorization
-            # refuses the journal outright (CheckpointError).
-            resume_from.verify(self._policy, tree)
-            journal = resume_from
-        elif checkpoint or deadline is not None:
-            journal = CheckpointJournal.for_plan(tree)
-            if trace is not None:
-                journal.bind_trace(trace)
-        reuse: Dict[int, Table] = {}
-        if health is not None or resume_from is not None:
-            assignment = self._initial_assignment(
-                tree, assignment, faults, health, resume_from, trace=trace
-            )
-            if resume_from is not None:
-                materialized = set(assignment.materialized_nodes())
-                reuse = {
-                    entry.node_id: entry.table
-                    for entry in resume_from
-                    if entry.node_id in materialized
-                }
-        if verify:
-            verify_assignment(self._policy, assignment, recipient=recipient)
-        result = self._execute_resilient(
-            tree,
-            assignment,
-            recipient,
-            verify,
-            faults,
-            retry if retry is not None else RetryPolicy(),
-            max_failovers,
-            health=health,
+        return self.pipeline(
+            query,
+            recipient=recipient,
+            search_join_orders=search_join_orders,
+            verify=verify,
+            faults=faults,
+            retry=retry,
+            max_failovers=max_failovers,
             deadline=deadline,
-            journal=journal,
-            reuse=reuse,
+            health=health,
+            checkpoint=checkpoint,
+            resume_from=resume_from,
             trace=trace,
-        )
-        result.plan_cache = (
-            self._plan_cache.snapshot() if self._plan_cache is not None else None
-        )
-        return result
+        ).run()
 
-    def _initial_assignment(
-        self,
-        tree: QueryTreePlan,
-        assignment: Assignment,
-        faults: FaultInjector,
-        health: Optional[HealthTracker],
-        journal: Optional[CheckpointJournal],
-        trace=None,
-    ) -> Assignment:
-        """Health- and checkpoint-aware refinement of the default plan.
+    def pipeline(self, query: Query, **options) -> "QueryPipeline":
+        """A per-query :class:`~repro.distributed.pipeline.QueryPipeline`.
 
-        Prefers assignments that route around quarantined (and already
-        crashed) servers and that pin checkpointed subtrees for reuse,
-        falling back toward the default assignment when the preferences
-        over-constrain the search.  Purely advisory: the weakest rung is
-        the default plan itself, so health state never makes a feasible
-        query infeasible.
+        The pipeline is the reusable unit behind :meth:`execute`: it
+        plans (through the plan cache), verifies and executes exactly as
+        :meth:`execute` does, but the stages are separately callable —
+        the asyncio service layer (:mod:`repro.service`) plans at
+        admission time, coalesces identical in-flight fingerprints onto
+        one pipeline's fill, and re-verifies against the then-current
+        policy when the query finally runs.
+
+        Args:
+            query: SQL text or bound spec.
+            **options: the keyword surface of :meth:`execute`.
         """
-        avoid = set(faults.down_servers())
-        if health is not None:
-            avoid |= set(health.quarantined_servers())
-        pins = journal.pinned(excluded=avoid) if journal is not None else {}
-        attempts = []
-        if avoid and pins:
-            attempts.append((avoid, pins))
-        if pins:
-            attempts.append((set(), pins))
-        if avoid:
-            attempts.append((avoid, {}))
-        for excluded, pinned in attempts:
-            try:
-                planner = self._make_planner(
-                    excluded_servers=tuple(sorted(excluded)),
-                    pinned=pinned,
-                    obs=trace,
-                )
-                candidate, _ = planner.plan(tree)
-                return candidate
-            except InfeasiblePlanError:
-                continue
-        return assignment
+        from repro.distributed.pipeline import QueryPipeline
 
-    @staticmethod
-    def _forced_through_quarantine(
-        assignment: Assignment, health: HealthTracker
-    ) -> bool:
-        """Whether the assignment routes over quarantined resources.
-
-        True when a quarantined server executes part of the plan, or a
-        quarantined directed link connects two involved servers — i.e.
-        the breakers would refuse shipments this plan needs.
-        """
-        used = set(assignment.servers_used())
-        if used & set(health.quarantined_servers()):
-            return True
-        return any(
-            sender in used and receiver in used
-            for sender, receiver in health.quarantined_links()
-        )
-
-    def _execute_resilient(
-        self,
-        tree: QueryTreePlan,
-        assignment: Assignment,
-        recipient: Optional[str],
-        verify: bool,
-        faults: FaultInjector,
-        retry: RetryPolicy,
-        max_failovers: int,
-        health: Optional[HealthTracker] = None,
-        deadline: Optional[DeadlineBudget] = None,
-        journal: Optional[CheckpointJournal] = None,
-        reuse: Optional[Dict[int, Table]] = None,
-        trace=None,
-    ) -> ExecutionResult:
-        """Run with retry + authorization-safe failover.
-
-        Each round executes the current assignment through the fault
-        layer.  On a failed shipment the query is re-planned restricted
-        to the surviving servers, pinning completed subtrees whose
-        results sit at live servers (re-execution resumes from the last
-        completed subtree); if pinning over-constrains the search the
-        round falls back to a full restricted re-plan.  Safety is never
-        relaxed: every re-planned assignment is independently verified
-        and audited, and exhausting all rounds raises
-        :class:`~repro.exceptions.DegradedExecutionError`.
-
-        With ``health``, failover also avoids quarantined servers
-        (advisory — see :meth:`_replan_restricted`); with ``deadline``,
-        an exhausted budget propagates as
-        :class:`~repro.exceptions.DeadlineExceededError` carrying
-        ``journal`` for resume.
-        """
-        reuse = dict(reuse) if reuse else {}
-        failovers = 0
-        while True:
-            gate = health
-            if health is not None and self._forced_through_quarantine(
-                assignment, health
-            ):
-                # No safe plan avoids the quarantined resources, so this
-                # round runs them anyway; the breakers keep observing
-                # but must not fail-fast the only viable route.
-                gate = ObserveOnlyHealth(health)
-            executor = DistributedExecutor(
-                assignment,
-                self.tables(),
-                policy=self._policy,
-                enforce=True,
-                faults=faults,
-                retry=retry,
-                reuse=reuse,
-                health=gate,
-                deadline=deadline,
-                checkpoint=journal,
-                trace=trace,
-            )
-            round_span = None
-            if trace is not None:
-                round_span = trace.begin(
-                    "execute_attempt", "engine", round=failovers,
-                    reused_subtrees=len(reuse),
-                )
-            try:
-                result = executor.run(recipient=recipient)
-                if round_span is not None:
-                    trace.end(round_span, delivered=True)
-                result.failovers = failovers
-                return result
-            except DeadlineExceededError as error:
-                if round_span is not None:
-                    trace.end(
-                        round_span, delivered=False, error="deadline-exceeded"
-                    )
-                # Hand the journal of completed, audited subtrees to the
-                # caller: resume picks up from here with a fresh budget.
-                error.checkpoint = journal
-                raise
-            except TransferFailedError as error:
-                if round_span is not None:
-                    trace.end(
-                        round_span, delivered=False, error="transfer-failed"
-                    )
-                failovers += 1
-                if trace is not None:
-                    trace.count("repro_failovers_total")
-                    trace.event(
-                        "failover", "engine", round=failovers,
-                        cause=str(error),
-                        down_servers=sorted(faults.down_servers()),
-                    )
-                if failovers > max_failovers:
-                    degraded = DegradedExecutionError(
-                        f"execution failed after {max_failovers} failover "
-                        f"rounds; last failure: {error}",
-                        excluded_servers=faults.down_servers(),
-                        failovers=failovers - 1,
-                    )
-                    degraded.checkpoint = journal
-                    raise degraded from error
-                excluded = set(faults.down_servers())
-                quarantined = (
-                    set(health.quarantined_servers()) if health is not None else set()
-                )
-                completed = executor.completed_subtrees()
-                completed.update(
-                    {
-                        node_id: (assignment.materialized_server(node_id), table)
-                        for node_id, table in reuse.items()
-                    }
-                )
-                if journal is not None:
-                    for entry in journal:
-                        completed.setdefault(
-                            entry.node_id, (entry.server, entry.table)
-                        )
-                pinned = {
-                    node_id: server
-                    for node_id, (server, _) in completed.items()
-                    if not isinstance(tree.node(node_id), LeafNode)
-                }
-                try:
-                    assignment, pinned = self._replan_restricted(
-                        tree, excluded, quarantined, pinned, error, trace=trace
-                    )
-                except DegradedExecutionError as degraded:
-                    degraded.checkpoint = journal
-                    raise
-                if verify:
-                    verify_assignment(self._policy, assignment, recipient=recipient)
-                reuse = {
-                    node_id: completed[node_id][1]
-                    for node_id in assignment.materialized_nodes()
-                    if node_id in completed
-                }
-
-    def _replan_restricted(
-        self,
-        tree: QueryTreePlan,
-        excluded: set,
-        quarantined: set,
-        pinned: Mapping[int, str],
-        cause: TransferFailedError,
-        trace=None,
-    ) -> Tuple[Assignment, Mapping[int, str]]:
-        """Re-plan on surviving servers, preferring subtree reuse.
-
-        The attempt ladder, most- to least-preferred:
-
-        1. avoid crashed *and* quarantined servers, pin completed
-           subtrees held by the remainder;
-        2. same avoidance, no pins (reuse over-constrained the search);
-        3. avoid only crashed servers, pin surviving subtrees;
-        4. avoid only crashed servers, no pins.
-
-        Quarantine is advisory — rungs 3 and 4 ignore it, so a breaker
-        can never degrade a query that still has a safe plan on the
-        actually-live servers.  Crashed servers are a hard exclusion on
-        every rung; raises
-        :class:`~repro.exceptions.DegradedExecutionError` when no rung
-        admits a safe assignment.
-        """
-        hard = set(excluded)
-        soft = set(quarantined) - hard
-        attempts = []
-        if soft:
-            avoid = hard | soft
-            pins_avoiding = {
-                node_id: server
-                for node_id, server in pinned.items()
-                if server not in avoid
-            }
-            if pins_avoiding:
-                attempts.append((avoid, pins_avoiding))
-            attempts.append((avoid, {}))
-        pins_surviving = {
-            node_id: server
-            for node_id, server in pinned.items()
-            if server not in hard
-        }
-        if pins_surviving:
-            attempts.append((hard, pins_surviving))
-        attempts.append((hard, {}))
-        last_error: Optional[InfeasiblePlanError] = None
-        for excl, pins in attempts:
-            try:
-                planner = self._make_planner(
-                    excluded_servers=tuple(sorted(excl)), pinned=pins, obs=trace
-                )
-                assignment, _ = planner.plan(tree)
-                return assignment, pins
-            except InfeasiblePlanError as error:
-                last_error = error
-        raise DegradedExecutionError(
-            "no safe assignment survives the current faults "
-            f"(excluded: {sorted(hard)}); last failure: {cause}",
-            excluded_servers=hard,
-        ) from last_error
+        return QueryPipeline(self, query, **options)
 
     def simulate_concurrent(
         self,

@@ -147,6 +147,11 @@ class ExecutionResult:
                 if self.plan_cache is not None
                 else 0
             ),
+            "plan_cache_coalesced": (
+                self.plan_cache.get("coalesced", 0)
+                if self.plan_cache is not None
+                else 0
+            ),
         }
 
     def summary(self) -> str:

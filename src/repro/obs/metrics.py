@@ -265,6 +265,11 @@ class MetricsRegistry:
         """Prometheus text exposition (version 0.0.4) of every family."""
         lines: List[str] = []
         for family in self.families():
+            # A family declared but never observed has no samples; a
+            # TYPE line with nothing under it is invalid exposition
+            # (parse_prometheus_text rejects it), so skip it entirely.
+            if not family.labelsets():
+                continue
             if family.help:
                 lines.append(f"# HELP {family.name} {family.help}")
             lines.append(f"# TYPE {family.name} {family.kind}")

@@ -1,0 +1,144 @@
+"""A real Prometheus scrape endpoint for the query service.
+
+:class:`MetricsServer` is a tiny asyncio HTTP/1.1 server (stdlib only —
+``asyncio.start_server``, no web framework) exposing:
+
+* ``GET /metrics`` — the service registry's text exposition
+  (:meth:`~repro.obs.metrics.MetricsRegistry.prometheus_text`,
+  ``text/plain; version=0.0.4``), scrape-ready;
+* ``GET /healthz`` — a JSON liveness probe carrying the service's
+  degrade level and queue depth, so an orchestrator can see overload
+  before it becomes unavailability.
+
+Binding to port 0 picks an ephemeral port (reported by
+:attr:`MetricsServer.port`), which is what the CLI's ``serve``
+subcommand and the smoke tests use to avoid collisions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Optional
+
+#: Max request head we will buffer before answering 400.
+_MAX_REQUEST = 8192
+
+
+class MetricsServer:
+    """Serve ``/metrics`` and ``/healthz`` for one metrics registry.
+
+    Args:
+        registry: the :class:`~repro.obs.metrics.MetricsRegistry` to
+            expose.
+        host: bind address (default loopback).
+        port: bind port; 0 picks an ephemeral one.
+        health: optional zero-argument callable returning a JSON-safe
+            dict merged into the ``/healthz`` body (the service passes
+            its ``snapshot``-lite: degrade level and queue depth).
+    """
+
+    def __init__(
+        self,
+        registry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health: Optional[Callable[[], dict]] = None,
+    ) -> None:
+        self._registry = registry
+        self._host = host
+        self._requested_port = port
+        self._health = health
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.requests = 0
+
+    @property
+    def port(self) -> int:
+        """The bound port (0 until started)."""
+        if self._server is None or not self._server.sockets:
+            return 0
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def running(self) -> bool:
+        """Whether the listener is up."""
+        return self._server is not None
+
+    async def start(self) -> int:
+        """Bind and listen; returns the bound port."""
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._handle, self._host, self._requested_port
+            )
+        return self.port
+
+    async def stop(self) -> None:
+        """Close the listener and wait for it to go away."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            head = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            writer.close()
+            return
+        self.requests += 1
+        parts = head.decode("latin-1").split()
+        method = parts[0] if parts else ""
+        path = parts[1].split("?", 1)[0] if len(parts) > 1 else ""
+        # Drain the header block (bounded) so keep-alive clients that
+        # pipeline a body do not confuse the next accept.
+        drained = len(head)
+        while drained < _MAX_REQUEST:
+            try:
+                line = await reader.readuntil(b"\r\n")
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+                break
+            drained += len(line)
+            if line == b"\r\n":
+                break
+        if method != "GET":
+            self._respond(writer, 405, "text/plain", b"method not allowed\n")
+        elif path == "/metrics":
+            body = self._registry.prometheus_text().encode("utf-8")
+            self._respond(
+                writer, 200, "text/plain; version=0.0.4; charset=utf-8", body
+            )
+        elif path == "/healthz":
+            payload = {"status": "ok"}
+            if self._health is not None:
+                payload.update(self._health())
+            self._respond(
+                writer, 200, "application/json",
+                (json.dumps(payload) + "\n").encode("utf-8"),
+            )
+        else:
+            self._respond(writer, 404, "text/plain", b"not found\n")
+        try:
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        writer.close()
+
+    @staticmethod
+    def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: bytes,
+    ) -> None:
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}.get(
+            status, "Error"
+        )
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)

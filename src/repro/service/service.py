@@ -1,0 +1,785 @@
+"""The asyncio multi-tenant query service over one
+:class:`~repro.distributed.system.DistributedSystem`.
+
+:class:`QueryService` is the serving front-end the ROADMAP's north star
+asks for: thousands of concurrent requests from many tenants, one
+shared policy-epoch plan cache, and load control that never relaxes the
+paper's controlled-information-sharing guarantees.  The moving parts:
+
+* **admission** — every ``submit`` passes the
+  :class:`~repro.service.admission.AdmissionController` gate (token
+  buckets, bounded queue, cost-aware shedding) *before* queueing;
+  refusals come back as structured ``shed`` outcomes, never hangs;
+* **single-flight planning** — concurrent requests whose queries share
+  a canonical planning fingerprint coalesce onto one plan-cache fill
+  (:class:`~repro.service.singleflight.SingleFlight`); followers adopt
+  the leader's product and are counted in the plan cache's
+  ``coalesced`` stat;
+* **single-flight execution** — identical in-flight requests (same
+  planning fingerprint, same recipient, same policy epoch) share one
+  fully audited execution; the engine is deterministic over an
+  immutable instance store, so sharers receive the byte-identical
+  result the leader's run produced, at a fraction of the work;
+* **graceful degradation** — a queue-occupancy ladder (normal →
+  degraded planning → priority shedding) plus per-tenant circuit
+  breakers reusing the PR 3
+  :class:`~repro.distributed.health.CircuitBreaker`, and per-tenant
+  deadline budgets charged for queue wait through the PR 3
+  :class:`~repro.engine.deadline.DeadlineBudget`;
+* **live policy churn** — :meth:`add_authorization` /
+  :meth:`revoke_authorization` mutate the underlying system mid-stream;
+  every in-flight request re-verifies its plan against the
+  then-current policy before anything ships (the plan cache's epoch
+  probe evicts stale entries, the pipeline's adopted-plan re-verify
+  catches the single-flight window, and the runtime audit is the final
+  backstop), so a revoked transfer can never ride a queued admission.
+
+Execution itself is the synchronous, audited
+:class:`~repro.distributed.pipeline.QueryPipeline` — the service adds
+concurrency *between* queries (cooperative interleaving at await
+points), not inside one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.plancache import fingerprint_tree
+from repro.distributed.health import CircuitBreaker
+from repro.engine.deadline import DeadlineBudget
+from repro.exceptions import (
+    DeadlineExceededError,
+    InfeasiblePlanError,
+    ReproError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.service.admission import (
+    DEGRADE_NORMAL,
+    DEGRADE_PLANNING,
+    DEGRADE_SHED,
+    REJECT_BREAKER,
+    REJECT_DEADLINE,
+    REJECT_SHUTDOWN,
+    AdmissionController,
+    CostEstimator,
+    Rejection,
+)
+from repro.service.singleflight import SingleFlight
+from repro.service.tenants import TenantConfig, tenant_map
+
+#: Latency histogram bucket bounds (seconds) — sub-millisecond planning
+#: hits up to multi-second degraded executions.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: Outcome statuses.
+OK = "ok"
+SHED = "shed"
+INFEASIBLE = "infeasible"
+FAILED = "failed"
+
+
+class ServiceError(ReproError):
+    """Misuse of the service lifecycle (submit before start, ...)."""
+
+
+class QueryOutcome:
+    """The service's answer to one submitted request.
+
+    Attributes:
+        status: ``ok`` (executed, audited), ``shed`` (structured
+            rejection — see :attr:`rejection`), ``infeasible`` (no safe
+            assignment under the current policy) or ``failed``
+            (execution error; see :attr:`error`).
+        tenant: the submitting tenant's name.
+        result: the audited
+            :class:`~repro.engine.executor.ExecutionResult` (``ok``
+            only).
+        rejection: the structured
+            :class:`~repro.service.admission.Rejection` (``shed`` only).
+        error: stringified error (``infeasible`` / ``failed`` only).
+        latency: submit-to-outcome clock units.
+        coalesced: whether the plan was adopted from another request's
+            single-flight fill.
+        degrade_level: the service's degrade level when the request was
+            admitted (or refused).
+    """
+
+    __slots__ = (
+        "status", "tenant", "result", "rejection", "error", "latency",
+        "coalesced", "degrade_level",
+    )
+
+    def __init__(
+        self,
+        status: str,
+        tenant: str,
+        result=None,
+        rejection: Optional[Rejection] = None,
+        error: Optional[str] = None,
+        latency: float = 0.0,
+        coalesced: bool = False,
+        degrade_level: int = DEGRADE_NORMAL,
+    ) -> None:
+        self.status = status
+        self.tenant = tenant
+        self.result = result
+        self.rejection = rejection
+        self.error = error
+        self.latency = latency
+        self.coalesced = coalesced
+        self.degrade_level = degrade_level
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query executed and was delivered."""
+        return self.status == OK
+
+    def to_dict(self) -> dict:
+        """Flat JSON-safe rendering (one schema for every status)."""
+        return {
+            "status": self.status,
+            "tenant": self.tenant,
+            "rows": len(self.result.table) if self.result is not None else 0,
+            "violations": (
+                len(self.result.audit.violations)
+                if self.result is not None and self.result.audit is not None
+                else 0
+            ),
+            "rejection": (
+                self.rejection.to_dict() if self.rejection is not None else None
+            ),
+            "error": self.error,
+            "latency": self.latency,
+            "coalesced": self.coalesced,
+            "degrade_level": self.degrade_level,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryOutcome({self.status}, tenant={self.tenant!r}, "
+            f"latency={self.latency:.4f}, coalesced={self.coalesced})"
+        )
+
+
+class _WorkItem:
+    """One admitted request waiting for a worker."""
+
+    __slots__ = ("query", "recipient", "ticket", "future", "submitted_at")
+
+    def __init__(self, query, recipient, ticket, future, submitted_at) -> None:
+        self.query = query
+        self.recipient = recipient
+        self.ticket = ticket
+        self.future = future
+        self.submitted_at = submitted_at
+
+    def __lt__(self, other: "_WorkItem") -> bool:  # pragma: no cover
+        # PriorityQueue tie-breaker only; ordering is fully decided by
+        # the (priority, seq) tuple the queue entries carry.
+        return False
+
+
+class QueryService:
+    """Serve many tenants' queries over one distributed system.
+
+    Args:
+        system: the :class:`~repro.distributed.system.DistributedSystem`
+            to serve (its plan cache, policy and instances are shared
+            by every request).
+        tenants: per-tenant contracts
+            (:class:`~repro.service.tenants.TenantConfig`); requests
+            from unconfigured tenants run under ``default_tenant``'s
+            shape with their own rate bucket.
+        default_tenant: fallback contract (default: unlimited rate,
+            priority 0, no deadline).
+        workers: concurrent worker coroutines draining the queue.
+        max_queue: bound on queued requests (admission refuses beyond
+            it).
+        capacity_bytes: total estimated in-flight bytes admitted at
+            once; ``None`` disables cost-aware shedding, ``0``
+            deterministically sheds every request.
+        shed_priority_floor: minimum tenant priority admitted while the
+            service is at the shedding degrade level.
+        degrade_soft / degrade_hard: queue-occupancy fractions at which
+            the degrade ladder moves to degraded planning / priority
+            shedding.
+        breaker_threshold: consecutive *failed* (not infeasible)
+            executions that open a tenant's circuit breaker; ``None``
+            disables tenant breakers.
+        breaker_cooldown: clock units an open tenant breaker refuses
+            requests before probing again.
+        search_join_orders: plan with join-order search while the
+            service is healthy (degrade level 1+ turns it off — the
+            first rung of graceful degradation).
+        metrics: a :class:`~repro.obs.metrics.MetricsRegistry` to
+            instrument (default: the trace's registry, else a fresh
+            one — exposed at :attr:`metrics` for the scrape endpoint).
+        trace: optional :class:`~repro.obs.trace.TraceContext` threaded
+            into planning and execution.
+        clock: zero-argument monotonic clock (default
+            ``time.monotonic``; benches and tests inject deterministic
+            counters).
+    """
+
+    def __init__(
+        self,
+        system,
+        tenants: Sequence[TenantConfig] = (),
+        default_tenant: Optional[TenantConfig] = None,
+        workers: int = 4,
+        max_queue: int = 256,
+        capacity_bytes: Optional[float] = None,
+        shed_priority_floor: int = 1,
+        degrade_soft: float = 0.5,
+        degrade_hard: float = 0.85,
+        breaker_threshold: Optional[int] = 5,
+        breaker_cooldown: float = 1.0,
+        search_join_orders: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        trace=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if not 0.0 < degrade_soft <= degrade_hard <= 1.0:
+            raise ServiceError(
+                "degrade watermarks must satisfy 0 < soft <= hard <= 1, "
+                f"got soft={degrade_soft}, hard={degrade_hard}"
+            )
+        self._system = system
+        self._admission = AdmissionController(
+            tenant_map(tenants),
+            default_tenant=default_tenant,
+            max_queue=max_queue,
+            capacity_bytes=capacity_bytes,
+            shed_priority_floor=shed_priority_floor,
+        )
+        self._estimator = CostEstimator(system)
+        self._singleflight = SingleFlight()
+        self._resultflight = SingleFlight()
+        self._degrade_soft = degrade_soft
+        self._degrade_hard = degrade_hard
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._search_join_orders = search_join_orders
+        self._trace = trace
+        if metrics is not None:
+            self.metrics = metrics
+        elif trace is not None:
+            self.metrics = trace.metrics
+        else:
+            self.metrics = MetricsRegistry()
+        self._clock = clock
+        self._worker_count = workers
+        self._queue: Optional[asyncio.PriorityQueue] = None
+        self._workers: List["asyncio.Task"] = []
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._seq = 0
+        self._running = False
+        self._draining = False
+        self._counts = {
+            "submitted": 0, "admitted": 0, "shed": 0,
+            OK: 0, INFEASIBLE: 0, FAILED: 0, "coalesced": 0,
+            "executions": 0, "result_coalesced": 0,
+        }
+        # Pre-declare the latency family so the custom buckets win over
+        # a lazy default-bucket creation.
+        self.metrics.histogram(
+            "repro_service_latency_seconds",
+            "submit-to-outcome latency per tenant",
+            buckets=LATENCY_BUCKETS,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether workers are up."""
+        return self._running
+
+    @property
+    def system(self):
+        """The served distributed system."""
+        return self._system
+
+    async def start(self) -> None:
+        """Spin up the worker pool (idempotent)."""
+        if self._running:
+            return
+        self._queue = asyncio.PriorityQueue()
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"repro-service-worker-{i}")
+            for i in range(self._worker_count)
+        ]
+        self._running = True
+        self._draining = False
+
+    async def drain(self) -> None:
+        """Wait until every queued request has an outcome."""
+        if self._queue is not None:
+            await self._queue.join()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Shut down: optionally drain, then cancel the workers.
+
+        With ``drain=True`` (the default) every already-admitted
+        request completes and new submissions shed with a structured
+        ``shutting-down`` rejection; with ``drain=False`` queued
+        requests resolve as shed too (no partial executions — a worker
+        is never cancelled mid-query).
+        """
+        if not self._running:
+            return
+        self._draining = True
+        if drain:
+            await self.drain()
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        # Resolve whatever the cancelled workers left behind.
+        if self._queue is not None:
+            while not self._queue.empty():
+                _, _, item = self._queue.get_nowait()
+                self._finish_shed(
+                    item,
+                    Rejection(
+                        REJECT_SHUTDOWN,
+                        item.ticket.tenant.name,
+                        detail="service stopped before the request ran",
+                        queue_depth=self._queue.qsize(),
+                    ),
+                )
+                self._queue.task_done()
+        self._workers = []
+        self._running = False
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Degradation ladder
+    # ------------------------------------------------------------------
+
+    def degrade_level(self) -> int:
+        """The current ladder rung, from queue occupancy."""
+        if self._queue is None:
+            return DEGRADE_NORMAL
+        occupancy = self._queue.qsize() / self._admission.max_queue
+        if occupancy >= self._degrade_hard:
+            return DEGRADE_SHED
+        if occupancy >= self._degrade_soft:
+            return DEGRADE_PLANNING
+        return DEGRADE_NORMAL
+
+    def _breaker(self, tenant: str) -> Optional[CircuitBreaker]:
+        if self._breaker_threshold is None:
+            return None
+        breaker = self._breakers.get(tenant)
+        if breaker is None:
+            breaker = self._breakers[tenant] = CircuitBreaker(
+                failure_threshold=self._breaker_threshold,
+                cooldown=self._breaker_cooldown,
+            )
+        return breaker
+
+    # ------------------------------------------------------------------
+    # Policy churn (safe mid-stream)
+    # ------------------------------------------------------------------
+
+    def add_authorization(self, authorization) -> int:
+        """Grant a rule to the live system (see
+        :meth:`~repro.distributed.system.DistributedSystem.add_authorization`).
+        In-flight requests see the widened policy on their next epoch
+        probe."""
+        added = self._system.add_authorization(authorization, trace=self._trace)
+        self.metrics.inc("repro_service_policy_churn_total", kind="grant")
+        return added
+
+    def revoke_authorization(self, authorization) -> None:
+        """Withdraw a rule from the live system (see
+        :meth:`~repro.distributed.system.DistributedSystem.revoke_authorization`).
+        Every queued or coalesced request re-verifies before shipping,
+        so the revocation takes effect for work admitted *before* it
+        landed."""
+        self._system.revoke_authorization(authorization, trace=self._trace)
+        self.metrics.inc("repro_service_policy_churn_total", kind="revoke")
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    async def submit(
+        self,
+        query,
+        tenant: str = "default",
+        recipient: Optional[str] = None,
+    ) -> QueryOutcome:
+        """Admit, queue, execute — or shed — one request.
+
+        Always returns a :class:`QueryOutcome`; admission refusals and
+        execution failures are statuses, not exceptions, so a client
+        driving thousands of concurrent submissions never needs
+        per-request exception plumbing.
+
+        Raises:
+            ServiceError: when the service was never started.
+        """
+        if not self._running:
+            raise ServiceError("service is not running; call start() first")
+        now = self._clock()
+        self._counts["submitted"] += 1
+        self.metrics.inc("repro_service_requests_total", tenant=tenant)
+        level = self.degrade_level()
+        self.metrics.set_gauge("repro_service_degrade_level", level)
+        if self._draining:
+            return self._shed_outcome(
+                tenant,
+                Rejection(
+                    REJECT_SHUTDOWN, tenant,
+                    detail="service is draining for shutdown",
+                    degrade_level=level,
+                    queue_depth=self._queue.qsize(),
+                ),
+                now,
+            )
+        breaker = self._breaker(tenant)
+        if breaker is not None and not breaker.allow(now):
+            return self._shed_outcome(
+                tenant,
+                Rejection(
+                    REJECT_BREAKER, tenant,
+                    retry_after=self._breaker_cooldown,
+                    detail=f"tenant breaker {breaker.state(now)} after "
+                    "repeated failures",
+                    degrade_level=level,
+                    queue_depth=self._queue.qsize(),
+                ),
+                now,
+            )
+        cost = 0.0
+        if self._admission.capacity_bytes is not None:
+            try:
+                cost = self._estimator.estimate(query)
+            except ReproError as error:
+                return QueryOutcome(
+                    FAILED, tenant, error=f"unparseable query: {error}",
+                    latency=self._clock() - now, degrade_level=level,
+                )
+        decision = self._admission.admit(
+            tenant,
+            now,
+            queue_depth=self._queue.qsize(),
+            cost_estimate=cost,
+            degrade_level=level,
+            policy_epoch=self._system.policy.epoch,
+        )
+        if isinstance(decision, Rejection):
+            return self._shed_outcome(tenant, decision, now)
+        self._counts["admitted"] += 1
+        self.metrics.inc("repro_service_admitted_total", tenant=tenant)
+        self.metrics.set_gauge(
+            "repro_service_inflight_bytes", self._admission.inflight_bytes
+        )
+        future = asyncio.get_running_loop().create_future()
+        item = _WorkItem(query, recipient, decision, future, now)
+        self._seq += 1
+        # Higher priority first; FIFO within a priority class.
+        self._queue.put_nowait((-decision.tenant.priority, self._seq, item))
+        self.metrics.set_gauge("repro_service_queue_depth", self._queue.qsize())
+        return await future
+
+    async def serve_all(
+        self,
+        requests: Sequence[dict],
+        window: Optional[int] = None,
+    ) -> List[QueryOutcome]:
+        """Submit many requests concurrently, preserving input order in
+        the result list.
+
+        Args:
+            requests: dicts with ``query`` (or ``sql``), optional
+                ``tenant`` and ``recipient``.
+            window: max concurrent submissions (client-side pacing);
+                ``None`` submits everything at once — with a bounded
+                queue that *will* shed the overflow, which is the
+                point.
+        """
+        semaphore = asyncio.Semaphore(window) if window is not None else None
+
+        async def one(request: dict) -> QueryOutcome:
+            query = request.get("query", request.get("sql"))
+            if query is None:
+                raise ServiceError(f"request needs 'query' or 'sql': {request!r}")
+            tenant = request.get("tenant", "default")
+            recipient = request.get("recipient")
+            if semaphore is None:
+                return await self.submit(query, tenant=tenant, recipient=recipient)
+            async with semaphore:
+                return await self.submit(query, tenant=tenant, recipient=recipient)
+
+        return list(
+            await asyncio.gather(*(one(request) for request in requests))
+        )
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            _, _, item = await self._queue.get()
+            try:
+                await self._process(item)
+            except asyncio.CancelledError:
+                # stop(drain=False) cancelled us while this item was in
+                # hand — it can only land at a pre-execution await, so
+                # resolve the submitter with a shed (never a partial
+                # execution) before going down.
+                self._finish_shed(
+                    item,
+                    Rejection(
+                        REJECT_SHUTDOWN,
+                        item.ticket.tenant.name,
+                        detail="service stopped before the request ran",
+                        queue_depth=self._queue.qsize(),
+                    ),
+                )
+                raise
+            except BaseException as error:  # noqa: BLE001 - never kill the pool
+                self._finish(
+                    item,
+                    QueryOutcome(
+                        FAILED,
+                        item.ticket.tenant.name,
+                        error=f"worker error: {error!r}",
+                        latency=self._clock() - item.submitted_at,
+                        degrade_level=item.ticket.degrade_level,
+                    ),
+                )
+            finally:
+                self._queue.task_done()
+                self.metrics.set_gauge(
+                    "repro_service_queue_depth", self._queue.qsize()
+                )
+
+    async def _process(self, item: _WorkItem) -> None:
+        ticket = item.ticket
+        tenant = ticket.tenant
+        now = self._clock()
+        deadline = tenant.deadline
+        if deadline is not None and ticket.degrade_level >= DEGRADE_PLANNING:
+            # Degraded service honors half the contract deadline: better
+            # to shed early than to serve answers nobody is waiting for.
+            deadline = deadline / 2.0
+        if deadline is not None:
+            budget = DeadlineBudget(deadline)
+            try:
+                budget.charge(now - ticket.admitted_at, "queue-wait")
+            except DeadlineExceededError:
+                self._finish_shed(
+                    item,
+                    Rejection(
+                        REJECT_DEADLINE,
+                        tenant.name,
+                        detail=(
+                            f"queued {now - ticket.admitted_at:.3f} beyond the "
+                            f"{deadline:.3f} deadline budget"
+                        ),
+                        degrade_level=ticket.degrade_level,
+                        queue_depth=self._queue.qsize(),
+                    ),
+                )
+                return
+        search = self._search_join_orders and (
+            ticket.degrade_level < DEGRADE_PLANNING
+        )
+        pipeline = self._system.pipeline(
+            item.query,
+            recipient=item.recipient,
+            search_join_orders=search,
+            trace=self._trace,
+        )
+        try:
+            key = self._plan_key(item.query, search)
+        except ReproError as error:
+            self._finish_failure(item, INFEASIBLE, f"unbindable query: {error}")
+            return
+
+        async def compute():
+            # Yield once so concurrent identical requests reach the
+            # single-flight gate and park as followers before the
+            # leader does the (synchronous) planning work.
+            await asyncio.sleep(0)
+            return self._system.plan(
+                item.query, search_join_orders=search, trace=self._trace
+            )
+
+        try:
+            product, coalesced = await self._singleflight.run(key, compute)
+        except InfeasiblePlanError as error:
+            self._finish_failure(item, INFEASIBLE, str(error))
+            return
+        except ReproError as error:
+            self._finish_failure(item, FAILED, str(error))
+            return
+        if coalesced:
+            self._counts["coalesced"] += 1
+            self.metrics.inc("repro_service_coalesced_total")
+            cache = self._system.plan_cache
+            if cache is not None:
+                cache.record_coalesced(1, obs=self._trace)
+        # Identical in-flight requests share one execution: the engine
+        # is deterministic and the instance store immutable mid-run, so
+        # byte-identical inputs produce byte-identical (immutable)
+        # results.  The key pins the policy epoch — a request arriving
+        # after a grant/revoke never shares a result computed under the
+        # older policy, and within one epoch the leader's run is fully
+        # audited, so every sharer receives an authorized result.  The
+        # recipient is part of the key because the final delivery hop
+        # is itself an authorized transfer.
+        exec_key = (key, item.recipient, self._system.policy.epoch)
+
+        async def run_shared():
+            # Yield once so identical requests park as result followers
+            # before the leader enters the synchronous execute section.
+            await asyncio.sleep(0)
+            # Leader adopts the product: the pipeline re-verifies an
+            # adopted plan against the then-current policy before
+            # anything ships, which is what makes the
+            # admission-to-execution window safe under policy churn.
+            pipeline.use_plan(*product)
+            self._counts["executions"] += 1
+            return pipeline.run()
+
+        try:
+            result, result_shared = await self._resultflight.run(
+                exec_key, run_shared
+            )
+        except InfeasiblePlanError as error:
+            # Churn between planning and execution withdrew the route
+            # and no alternative exists under the reduced policy.
+            self._finish_failure(item, INFEASIBLE, str(error))
+            return
+        except ReproError as error:
+            self._finish_failure(item, FAILED, str(error))
+            return
+        if result_shared:
+            self._counts["result_coalesced"] += 1
+            self.metrics.inc("repro_service_result_coalesced_total")
+        latency = self._clock() - item.submitted_at
+        breaker = self._breaker(tenant.name)
+        if breaker is not None:
+            breaker.record_success(self._clock())
+        self._finish(
+            item,
+            QueryOutcome(
+                OK,
+                tenant.name,
+                result=result,
+                latency=latency,
+                coalesced=coalesced,
+                degrade_level=ticket.degrade_level,
+            ),
+        )
+
+    def _plan_key(self, query, search: bool) -> object:
+        """The single-flight key: the exact identity the plan cache
+        fingerprints on, so "would share a cache entry" and "coalesce"
+        agree."""
+        kind, payload = self._system._parsed(
+            query, memoize=self._system.plan_cache is not None
+        )
+        if kind == "tree":
+            return fingerprint_tree(payload)
+        return (payload.fingerprint(), search)
+
+    # ------------------------------------------------------------------
+    # Outcome plumbing
+    # ------------------------------------------------------------------
+
+    def _shed_outcome(
+        self, tenant: str, rejection: Rejection, submitted_at: float
+    ) -> QueryOutcome:
+        self._counts["shed"] += 1
+        self.metrics.inc(
+            "repro_service_shed_total", tenant=tenant, reason=rejection.reason
+        )
+        return QueryOutcome(
+            SHED,
+            tenant,
+            rejection=rejection,
+            latency=self._clock() - submitted_at,
+            degrade_level=rejection.degrade_level,
+        )
+
+    def _finish(self, item: _WorkItem, outcome: QueryOutcome) -> None:
+        self._admission.release(item.ticket)
+        self.metrics.set_gauge(
+            "repro_service_inflight_bytes", self._admission.inflight_bytes
+        )
+        if outcome.status in (OK, INFEASIBLE, FAILED):
+            self._counts[outcome.status] += 1
+            self.metrics.inc(
+                "repro_service_completed_total",
+                tenant=outcome.tenant,
+                status=outcome.status,
+            )
+            self.metrics.observe(
+                "repro_service_latency_seconds",
+                outcome.latency,
+                tenant=outcome.tenant,
+            )
+        if not item.future.done():
+            item.future.set_result(outcome)
+
+    def _finish_shed(self, item: _WorkItem, rejection: Rejection) -> None:
+        self._admission.release(item.ticket)
+        outcome = self._shed_outcome(
+            rejection.tenant, rejection, item.submitted_at
+        )
+        if not item.future.done():
+            item.future.set_result(outcome)
+
+    def _finish_failure(self, item: _WorkItem, status: str, error: str) -> None:
+        breaker = self._breaker(item.ticket.tenant.name)
+        if breaker is not None and status == FAILED:
+            breaker.record_failure(self._clock())
+        self._finish(
+            item,
+            QueryOutcome(
+                status,
+                item.ticket.tenant.name,
+                error=error,
+                latency=self._clock() - item.submitted_at,
+                degrade_level=item.ticket.degrade_level,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe service counters (plus admission and plan-cache
+        state) for benches, the CLI summary and tests."""
+        cache = self._system.plan_cache
+        return {
+            "submitted": self._counts["submitted"],
+            "admitted": self._counts["admitted"],
+            "shed": self._counts["shed"],
+            "ok": self._counts[OK],
+            "infeasible": self._counts[INFEASIBLE],
+            "failed": self._counts[FAILED],
+            "coalesced": self._counts["coalesced"],
+            "executions": self._counts["executions"],
+            "result_coalesced": self._counts["result_coalesced"],
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "degrade_level": self.degrade_level(),
+            "admission": self._admission.snapshot(),
+            "plan_cache": cache.snapshot() if cache is not None else None,
+        }

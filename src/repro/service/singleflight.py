@@ -1,0 +1,87 @@
+"""Single-flight coalescing of concurrent identical plan-cache fills.
+
+Under a thundering herd, N concurrent requests for the same query
+fingerprint would all miss the plan cache and all run the planner —
+N - 1 of them pointlessly.  :class:`SingleFlight` turns the herd into
+one *leader* (who computes) and N - 1 *followers* (who await the
+leader's future and adopt its product).  Keys are caller-chosen; the
+service keys on the query's canonical planning fingerprint, so two
+textually different but semantically identical queries coalesce exactly
+when the plan cache would have unified them anyway.
+
+Safety note: coalescing shares *plan products*, never authorization
+decisions.  A follower re-verifies the adopted assignment against the
+then-current policy before anything ships
+(:meth:`repro.distributed.pipeline.QueryPipeline.use_plan` documents
+the contract), so a policy mutation that lands between the leader's
+fill and a follower's execution forces the follower through the plan
+cache's epoch probe rather than onto a stale plan.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Tuple
+
+
+class SingleFlight:
+    """Per-key coalescing of concurrent async computations."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[object, "asyncio.Future"] = {}
+        self._leads = 0
+        self._followers = 0
+
+    @property
+    def inflight(self) -> int:
+        """Keys currently being computed."""
+        return len(self._inflight)
+
+    @property
+    def leads(self) -> int:
+        """Computations actually run (leaders)."""
+        return self._leads
+
+    @property
+    def followers(self) -> int:
+        """Requests served by another request's computation."""
+        return self._followers
+
+    async def run(
+        self, key: object, compute: Callable[[], Awaitable[object]]
+    ) -> Tuple[object, bool]:
+        """``(result, coalesced)`` for ``key``.
+
+        The first caller for a key becomes the leader and awaits
+        ``compute()``; concurrent callers for the same key park on the
+        leader's future and receive the same result (or the same
+        exception) with ``coalesced=True``.  The key is released once
+        the leader resolves, so later calls compute afresh — the plan
+        cache, not this class, is the long-term memo.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self._followers += 1
+            result = await asyncio.shield(existing)
+            return result, True
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._inflight[key] = future
+        self._leads += 1
+        try:
+            result = await compute()
+        except BaseException as error:  # noqa: BLE001 - propagated to waiters
+            if not future.done():
+                future.set_exception(error)
+            # A future whose exception is never retrieved warns at GC;
+            # every follower retrieves it, but with zero followers we
+            # must mark it retrieved ourselves.
+            future.exception()
+            raise
+        else:
+            if not future.done():
+                future.set_result(result)
+            return result, False
+        finally:
+            if self._inflight.get(key) is future:
+                del self._inflight[key]

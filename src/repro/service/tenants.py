@@ -1,0 +1,170 @@
+"""Tenant configuration and per-tenant token buckets.
+
+A *tenant* is one requesting party of the multi-tenant query service —
+a coalition member, an application, a user group.  Each tenant carries
+its own rate limit (token bucket), a scheduling priority (higher is
+served first and shed last) and an optional per-query deadline budget
+charged for queue wait (reusing the PR 3
+:class:`~repro.engine.deadline.DeadlineBudget` accounting).
+
+Everything is clock-agnostic: buckets take ``now`` as an argument, so
+the service can drive them from ``time.monotonic`` in production and
+from a deterministic counter in tests and benches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+from repro.exceptions import ReproError
+
+
+class TenantConfigError(ReproError, ValueError):
+    """A tenant was configured with nonsense numbers."""
+
+
+class TenantConfig:
+    """Service-level contract of one tenant.
+
+    Args:
+        name: tenant identifier (used on metrics labels and audit
+            trails).
+        priority: scheduling weight; higher-priority tenants dequeue
+            first and are shed last when the service degrades.  Any
+            integer; ties break by admission order (FIFO).
+        rate: sustained queries per second the tenant may submit
+            (token-bucket refill rate).  ``None`` disables rate
+            limiting for the tenant.
+        burst: bucket capacity — how many queries may arrive back to
+            back before the rate gate engages (default: ``rate``
+            rounded up, minimum 1).
+        deadline: optional per-query time allowance (clock units,
+            usually seconds).  A request still queued when its
+            allowance runs out is shed instead of executed — stale
+            answers are worse than honest rejections.
+    """
+
+    __slots__ = ("name", "priority", "rate", "burst", "deadline")
+
+    def __init__(
+        self,
+        name: str,
+        priority: int = 0,
+        rate: Optional[float] = None,
+        burst: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> None:
+        if not name:
+            raise TenantConfigError("tenant name must be non-empty")
+        if rate is not None and (not math.isfinite(rate) or rate <= 0):
+            raise TenantConfigError(
+                f"tenant {name!r}: rate must be positive and finite, got {rate!r}"
+            )
+        if burst is not None and burst < 1:
+            raise TenantConfigError(
+                f"tenant {name!r}: burst must be >= 1, got {burst!r}"
+            )
+        if deadline is not None and (not math.isfinite(deadline) or deadline <= 0):
+            raise TenantConfigError(
+                f"tenant {name!r}: deadline must be positive and finite, "
+                f"got {deadline!r}"
+            )
+        self.name = name
+        self.priority = int(priority)
+        self.rate = float(rate) if rate is not None else None
+        if burst is not None:
+            self.burst = int(burst)
+        elif rate is not None:
+            self.burst = max(1, int(math.ceil(rate)))
+        else:
+            self.burst = 1
+        self.deadline = float(deadline) if deadline is not None else None
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TenantConfig":
+        """Build from a JSON-ish dict (the CLI's ``--tenants`` file)."""
+        known = {"name", "priority", "rate", "burst", "deadline"}
+        unknown = set(data) - known
+        if unknown:
+            raise TenantConfigError(
+                f"unknown tenant config keys: {sorted(unknown)}"
+            )
+        if "name" not in data:
+            raise TenantConfigError("tenant config needs a 'name'")
+        return cls(
+            str(data["name"]),
+            priority=int(data.get("priority", 0)),
+            rate=data.get("rate"),
+            burst=data.get("burst"),
+            deadline=data.get("deadline"),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TenantConfig({self.name!r}, priority={self.priority}, "
+            f"rate={self.rate}, burst={self.burst}, deadline={self.deadline})"
+        )
+
+
+class TokenBucket:
+    """A classic token bucket over an external clock.
+
+    Args:
+        rate: tokens added per clock unit.
+        burst: bucket capacity (also the initial fill, so a fresh
+            tenant may burst immediately).
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_updated")
+
+    def __init__(self, rate: float, burst: int) -> None:
+        if not math.isfinite(rate) or rate <= 0:
+            raise TenantConfigError(f"bucket rate must be positive, got {rate!r}")
+        if burst < 1:
+            raise TenantConfigError(f"bucket burst must be >= 1, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._tokens = float(burst)
+        self._updated: Optional[float] = None
+
+    def _refill(self, now: float) -> None:
+        if self._updated is None:
+            self._updated = now
+            return
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently in the bucket (as of the last refill)."""
+        return self._tokens
+
+    def try_take(self, now: float) -> bool:
+        """Take one token if available; ``False`` means rate-limited."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self, now: float) -> float:
+        """Clock units until the next token exists (0 when one does)."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+    def __repr__(self) -> str:
+        return f"TokenBucket(rate={self.rate}, burst={self.burst}, tokens={self._tokens:.2f})"
+
+
+def tenant_map(configs: Iterable[TenantConfig]) -> Dict[str, TenantConfig]:
+    """``name -> config`` with duplicate names rejected."""
+    out: Dict[str, TenantConfig] = {}
+    for config in configs:
+        if config.name in out:
+            raise TenantConfigError(f"duplicate tenant name: {config.name!r}")
+        out[config.name] = config
+    return out

@@ -559,6 +559,7 @@ SUMMARY_KEYS = {
     "plan_cache_misses",
     "plan_cache_revalidations",
     "plan_cache_revalidation_failures",
+    "plan_cache_coalesced",
 }
 
 
@@ -635,6 +636,42 @@ class TestBenchJsonStamp:
         path = write_bench_json("STAMP", {}, directory=tmp_path, metrics=registry)
         data = json.loads(open(path).read())
         assert data["metrics"]["repro_x_total"]["series"]['{link="A->B"}'] == 4
+
+
+class TestLatencySection:
+    def test_percentiles_nearest_rank(self):
+        from repro.analysis.reporting import latency_percentiles
+
+        samples = [float(i) for i in range(1, 101)]  # 1.0 .. 100.0
+        pct = latency_percentiles(samples)
+        assert pct == {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+
+    def test_percentiles_tiny_sample_is_deterministic(self):
+        from repro.analysis.reporting import latency_percentiles
+
+        pct = latency_percentiles([3.0, 1.0])
+        # nearest-rank on 2 samples: p50 -> first, p95/p99 -> second
+        assert pct == {"p50": 1.0, "p95": 3.0, "p99": 3.0}
+        assert latency_percentiles([7.5]) == {
+            "p50": 7.5, "p95": 7.5, "p99": 7.5,
+        }
+
+    def test_percentiles_empty_is_zero_filled(self):
+        from repro.analysis.reporting import latency_percentiles
+
+        assert latency_percentiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_latency_section_always_has_all_keys(self, tmp_path):
+        path = write_bench_json(
+            "STAMP", {}, directory=tmp_path, latency={"p50": 0.125}
+        )
+        data = json.loads(open(path).read())
+        assert data["latency"] == {"p50": 0.125, "p95": 0.0, "p99": 0.0}
+
+    def test_latency_section_absent_when_not_passed(self, tmp_path):
+        path = write_bench_json("STAMP", {"a": 1}, directory=tmp_path)
+        data = json.loads(open(path).read())
+        assert "latency" not in data
 
 
 # ----------------------------------------------------------------------

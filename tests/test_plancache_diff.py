@@ -38,6 +38,7 @@ from repro.core.plancache import fingerprint_tree
 from repro.core.safety import verify_assignment
 from repro.distributed.system import DistributedSystem
 from repro.exceptions import InfeasiblePlanError, PolicyError
+from repro.obs import TraceContext
 from repro.testing import grant, quick_catalog
 
 # ---------------------------------------------------------------------------
@@ -227,3 +228,119 @@ def test_epoch_is_monotone_under_churn(churn):
             assert system.policy.epoch > last_epoch
         assert system.policy.epoch >= last_epoch
         last_epoch = system.policy.epoch
+
+
+# ---------------------------------------------------------------------------
+# Interleaved concurrent access (the asyncio service's usage pattern)
+# ---------------------------------------------------------------------------
+
+
+class _ReentrantProbe(TraceContext):
+    """A trace context that re-enters the cache mid-revalidation.
+
+    The revalidation path runs audit/trace callbacks; this hook plays
+    the worst case — a callback that looks the same fingerprint up
+    again while the outer frame is still deciding its fate — and
+    records what the re-entrant lookup saw.
+    """
+
+    def __init__(self, cache, fingerprint, policy):
+        super().__init__()
+        self.cache = cache
+        self.fingerprint = fingerprint
+        self.policy = policy
+        self.reentrant_results = []
+
+    def covering_for(self, server, profile):
+        # Called once per release flow inside the revalidation critical
+        # section — the re-entrant window the cache must survive.
+        self.reentrant_results.append(
+            self.cache.lookup(self.fingerprint, self.policy)
+        )
+        return super().covering_for(server, profile)
+
+
+def test_reentrant_lookup_during_revalidation_is_a_miss():
+    """A lookup re-entering the cache while its fingerprint is mid-
+    revalidation must answer miss — never recurse into a second
+    re-audit or double-evict."""
+    pivot_base = grant("S0", "a1 b1")
+    system = DistributedSystem(
+        make_catalog(), Policy(list(BASE_RULES) + [pivot_base])
+    )
+    query = QUERIES[0]
+    system.plan(query)  # fill the cache
+    cache = system.plan_cache
+    fingerprint = (system.parse(query).fingerprint(), False)
+    assert cache.lookup(fingerprint, system.policy) is not None
+    # Withdraw the linchpin: the next lookup revalidates and fails,
+    # firing the denial hook mid-critical-section.
+    system.revoke_authorization(pivot_base)
+    probe = _ReentrantProbe(cache, fingerprint, system.policy)
+    misses_before = cache.stats.misses
+    outer = cache.lookup(fingerprint, system.policy, obs=probe)
+    assert outer is None
+    assert probe.reentrant_results, "covering probe never fired"
+    assert all(entry is None for entry in probe.reentrant_results)
+    # Both the re-entrant probe(s) and the outer frame count as misses,
+    # and the entry was evicted exactly once.
+    assert cache.stats.misses == misses_before + len(probe.reentrant_results) + 1
+    assert cache.stats.revalidation_failures == 1
+    assert len(cache) == 0
+
+
+def test_interleaved_concurrent_plan_operations():
+    """Concurrent (asyncio-interleaved) planners racing policy churn:
+    after every mutation settles, cache-on planning still agrees with a
+    fresh cache-off system, and every served assignment verifies
+    against the then-current policy."""
+    import asyncio
+
+    system = DistributedSystem(make_catalog(), Policy(list(BASE_RULES)))
+    explicit = set(BASE_RULES)
+    served = []
+
+    async def planner(query):
+        for _ in range(4):
+            await asyncio.sleep(0)
+            try:
+                _, assignment, _ = system.plan(query)
+            except InfeasiblePlanError:
+                continue
+            # Whatever the cache served mid-churn must be provably safe
+            # under the policy in force at the moment it was served.
+            verify_assignment(system.policy, assignment)
+            served.append(assignment)
+
+    async def churner():
+        # Base-operand views are the feasibility linchpins (the chase
+        # derives join views from them): S0 seeing R1 unlocks Q0, S1
+        # seeing R2 unlocks Q1; the revocations take them back away.
+        script = [
+            ("add", RULE_POOL[1]),   # S0 may view a1 b1
+            ("add", RULE_POOL[8]),   # S1 may view a2 b2
+            ("revoke", RULE_POOL[1]),
+            ("add", RULE_POOL[2]),   # S0 may view a2 b2
+            ("revoke", RULE_POOL[8]),
+        ]
+        for kind, rule in script:
+            await asyncio.sleep(0)
+            if kind == "add" and rule not in explicit:
+                system.add_authorization(rule)
+                explicit.add(rule)
+            elif kind == "revoke" and rule in explicit:
+                system.revoke_authorization(rule)
+                explicit.discard(rule)
+            check_closure(system, explicit)
+
+    async def scenario():
+        await asyncio.gather(
+            *(planner(query) for query in QUERIES for _ in range(2)),
+            churner(),
+        )
+
+    asyncio.run(asyncio.wait_for(scenario(), timeout=30))
+    assert served, "no plan was ever served during the interleaving"
+    # The dust has settled: full differential check for every query.
+    for query in QUERIES:
+        check_plan(system, explicit, query)

@@ -1,0 +1,772 @@
+"""Tests for the multi-tenant async query service (repro.service).
+
+Covers the admission primitives (token buckets, cost-aware capacity,
+priority shedding), single-flight coalescing, the degradation ladder,
+deterministic overload behavior, graceful shutdown, the Prometheus
+scrape endpoint — and the load-bearing safety property: policy churn
+landing between admission and execution can never ship a transfer the
+then-current policy forbids (proven through the audit log).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.authorization import Policy
+from repro.distributed.system import DistributedSystem
+from repro.engine.audit import AuditLog
+from repro.exceptions import InfeasiblePlanError
+from repro.obs import TraceContext
+from repro.obs.export import parse_prometheus_text
+from repro.service import (
+    DEGRADE_SHED,
+    REJECT_BREAKER,
+    REJECT_COST,
+    REJECT_DEADLINE,
+    REJECT_PRIORITY,
+    REJECT_QUEUE_FULL,
+    REJECT_RATE,
+    REJECT_SHUTDOWN,
+    AdmissionController,
+    CostEstimator,
+    MetricsServer,
+    QueryService,
+    Rejection,
+    ServiceError,
+    SingleFlight,
+    TenantConfig,
+    TenantConfigError,
+    TokenBucket,
+    tenant_map,
+)
+from repro.testing import grant, quick_catalog
+
+# ---------------------------------------------------------------------------
+# Fixtures: the three-relation chain world from the plan-cache tests
+# ---------------------------------------------------------------------------
+
+
+def make_catalog():
+    return quick_catalog(
+        "R0(a0, b0) @ S0",
+        "R1(a1, b1) @ S1",
+        "R2(a2, b2) @ S2",
+        edges=["b0 = a1", "b1 = a2"],
+    )
+
+
+BASE_RULES = (
+    grant("S0", "a0 b0"),
+    grant("S1", "a1 b1"),
+    grant("S2", "a2 b2"),
+)
+
+#: Lets S0 master the R0 |x| R1 join: it must view the incoming base
+#: operand *and* the joined result (which the chase also derives from
+#: the two base views).  ``PIVOT_S0_BASE`` is the revocable linchpin
+#: the churn tests withdraw: without it S0 can neither receive R1 nor
+#: (post-closure-recompute) view the join.
+PIVOT_S0_BASE = grant("S0", "a1 b1")
+PIVOT_S0 = grant("S0", "a0 b0 a1 b1", "b0 = a1")
+S0_ROUTE = (PIVOT_S0_BASE, PIVOT_S0)
+#: The alternative route: S1 may master the same join.
+PIVOT_S1_BASE = grant("S1", "a0 b0")
+PIVOT_S1 = grant("S1", "a0 b0 a1 b1", "b0 = a1")
+S1_ROUTE = (PIVOT_S1_BASE, PIVOT_S1)
+
+PAIR_QUERY = "SELECT a0, b1 FROM R0 JOIN R1 ON b0 = a1"
+
+
+def chain_instances(n: int = 8):
+    return {
+        "R0": [{"a0": i, "b0": i} for i in range(n)],
+        "R1": [{"a1": i, "b1": i} for i in range(n)],
+        "R2": [{"a2": i, "b2": i} for i in range(n)],
+    }
+
+
+def chain_system(rules, **kwargs) -> DistributedSystem:
+    system = DistributedSystem(make_catalog(), Policy(list(rules)), **kwargs)
+    system.load_instances(chain_instances())
+    return system
+
+
+class FakeClock:
+    """A controllable monotonic clock for deterministic service tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, amount: float) -> None:
+        self.now += amount
+
+
+def run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=30))
+
+
+# ---------------------------------------------------------------------------
+# Tenants and token buckets
+# ---------------------------------------------------------------------------
+
+
+class TestTenantConfig:
+    def test_defaults(self):
+        tenant = TenantConfig("acme")
+        assert tenant.priority == 0
+        assert tenant.rate is None
+        assert tenant.deadline is None
+
+    def test_burst_defaults_to_ceiled_rate(self):
+        assert TenantConfig("t", rate=2.5).burst == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": 0.0},
+            {"rate": -1.0},
+            {"rate": float("inf")},
+            {"rate": 1.0, "burst": 0},
+            {"deadline": 0.0},
+            {"deadline": float("nan")},
+        ],
+    )
+    def test_rejects_nonsense(self, kwargs):
+        with pytest.raises(TenantConfigError):
+            TenantConfig("t", **kwargs)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(TenantConfigError, match="unknown"):
+            TenantConfig.from_dict({"name": "t", "quota": 4})
+
+    def test_from_dict_needs_name(self):
+        with pytest.raises(TenantConfigError, match="name"):
+            TenantConfig.from_dict({"priority": 1})
+
+    def test_tenant_map_rejects_duplicates(self):
+        with pytest.raises(TenantConfigError, match="duplicate"):
+            tenant_map([TenantConfig("t"), TenantConfig("t")])
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_limited(self):
+        bucket = TokenBucket(rate=1.0, burst=2)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        assert bucket.retry_after(0.0) == pytest.approx(1.0)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.1)
+        assert bucket.try_take(1.0)
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        bucket.try_take(0.0)
+        bucket.try_take(1000.0)
+        assert bucket.tokens <= 2.0
+
+
+# ---------------------------------------------------------------------------
+# Admission controller
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def make(self, **kwargs) -> AdmissionController:
+        tenants = tenant_map(
+            [
+                TenantConfig("gold", priority=2),
+                TenantConfig("bronze", priority=0, rate=1.0, burst=1),
+            ]
+        )
+        return AdmissionController(tenants, **kwargs)
+
+    def test_admits_and_releases_capacity(self):
+        controller = self.make(capacity_bytes=100.0)
+        ticket = controller.admit("gold", 0.0, queue_depth=0, cost_estimate=60.0)
+        assert not isinstance(ticket, Rejection)
+        assert controller.inflight_bytes == pytest.approx(60.0)
+        controller.release(ticket)
+        assert controller.inflight_bytes == pytest.approx(0.0)
+
+    def test_over_capacity_rejects_with_retry_after(self):
+        controller = self.make(capacity_bytes=100.0)
+        controller.admit("gold", 0.0, queue_depth=0, cost_estimate=80.0)
+        rejection = controller.admit(
+            "gold", 0.0, queue_depth=1, cost_estimate=40.0
+        )
+        assert isinstance(rejection, Rejection)
+        assert rejection.reason == REJECT_COST
+        assert rejection.retry_after > 0
+
+    def test_zero_capacity_sheds_everything(self):
+        controller = self.make(capacity_bytes=0.0)
+        for _ in range(10):
+            rejection = controller.admit(
+                "gold", 0.0, queue_depth=0, cost_estimate=0.0
+            )
+            assert isinstance(rejection, Rejection)
+            assert rejection.reason == REJECT_COST
+
+    def test_queue_bound(self):
+        controller = self.make(max_queue=2)
+        rejection = controller.admit("gold", 0.0, queue_depth=2)
+        assert isinstance(rejection, Rejection)
+        assert rejection.reason == REJECT_QUEUE_FULL
+
+    def test_rate_limit_with_retry_after(self):
+        controller = self.make()
+        assert not isinstance(
+            controller.admit("bronze", 0.0, queue_depth=0), Rejection
+        )
+        rejection = controller.admit("bronze", 0.0, queue_depth=0)
+        assert isinstance(rejection, Rejection)
+        assert rejection.reason == REJECT_RATE
+        assert rejection.retry_after == pytest.approx(1.0)
+
+    def test_priority_shed_under_degrade(self):
+        controller = self.make(shed_priority_floor=1)
+        rejection = controller.admit(
+            "bronze", 0.0, queue_depth=0, degrade_level=DEGRADE_SHED
+        )
+        assert isinstance(rejection, Rejection)
+        assert rejection.reason == REJECT_PRIORITY
+        # High-priority tenants stay admitted at the same level.
+        assert not isinstance(
+            controller.admit(
+                "gold", 0.0, queue_depth=0, degrade_level=DEGRADE_SHED
+            ),
+            Rejection,
+        )
+
+    def test_unknown_tenant_gets_default_shape_own_bucket(self):
+        controller = AdmissionController(
+            {}, default_tenant=TenantConfig("default", rate=1.0, burst=1)
+        )
+        assert not isinstance(
+            controller.admit("stranger-a", 0.0, queue_depth=0), Rejection
+        )
+        # Own bucket: a second stranger is not throttled by the first.
+        assert not isinstance(
+            controller.admit("stranger-b", 0.0, queue_depth=0), Rejection
+        )
+        rejection = controller.admit("stranger-a", 0.0, queue_depth=0)
+        assert isinstance(rejection, Rejection)
+
+    def test_rejection_to_dict_is_structured(self):
+        rejection = Rejection(REJECT_COST, "t", retry_after=1.5, detail="x")
+        data = rejection.to_dict()
+        assert data["reason"] == REJECT_COST
+        assert data["retry_after"] == 1.5
+        assert set(data) == {
+            "reason", "tenant", "retry_after", "detail",
+            "degrade_level", "queue_depth",
+        }
+
+
+class TestCostEstimator:
+    def test_estimates_sum_of_base_relations(self):
+        system = chain_system(BASE_RULES + S0_ROUTE)
+        estimator = CostEstimator(system)
+        single = estimator.relation_bytes("R0")
+        assert single > 0
+        assert estimator.estimate(PAIR_QUERY) == pytest.approx(
+            estimator.relation_bytes("R0") + estimator.relation_bytes("R1")
+        )
+
+    def test_memoizes_per_table_object(self):
+        system = chain_system(BASE_RULES)
+        estimator = CostEstimator(system)
+        first = estimator.estimate(PAIR_QUERY)
+        assert estimator.estimate(PAIR_QUERY) == first
+        # Reloading instances swaps the table object and invalidates.
+        system.load_instances(chain_instances(16))
+        assert estimator.estimate(PAIR_QUERY) > first
+
+
+# ---------------------------------------------------------------------------
+# Single-flight
+# ---------------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def test_concurrent_same_key_coalesces(self):
+        flight = SingleFlight()
+        calls = []
+
+        async def compute():
+            calls.append(1)
+            await asyncio.sleep(0)
+            return "product"
+
+        async def scenario():
+            results = await asyncio.gather(
+                *(flight.run("k", compute) for _ in range(5))
+            )
+            return results
+
+        results = run(scenario())
+        assert len(calls) == 1
+        assert [value for value, _ in results] == ["product"] * 5
+        assert sorted(coalesced for _, coalesced in results) == [
+            False, True, True, True, True,
+        ]
+        assert flight.leads == 1 and flight.followers == 4
+
+    def test_key_released_after_completion(self):
+        flight = SingleFlight()
+
+        async def scenario():
+            await flight.run("k", self._value(1))
+            return await flight.run("k", self._value(2))
+
+        value, coalesced = run(scenario())
+        assert value == 2 and not coalesced
+
+    @staticmethod
+    def _value(value):
+        async def compute():
+            return value
+
+        return compute
+
+    def test_leader_exception_propagates_to_followers(self):
+        flight = SingleFlight()
+
+        async def compute():
+            await asyncio.sleep(0)
+            raise InfeasiblePlanError("no safe plan")
+
+        async def scenario():
+            return await asyncio.gather(
+                flight.run("k", compute),
+                flight.run("k", compute),
+                return_exceptions=True,
+            )
+
+        results = run(scenario())
+        assert all(isinstance(r, InfeasiblePlanError) for r in results)
+
+
+# ---------------------------------------------------------------------------
+# The service: happy path, coalescing, degradation, overload, shutdown
+# ---------------------------------------------------------------------------
+
+
+class TestQueryService:
+    def test_submit_requires_start(self):
+        service = QueryService(chain_system(BASE_RULES + S0_ROUTE))
+        with pytest.raises(ServiceError):
+            run(service.submit(PAIR_QUERY))
+
+    def test_serves_and_coalesces_identical_queries(self):
+        system = chain_system(BASE_RULES + S0_ROUTE)
+
+        async def scenario():
+            service = QueryService(system, workers=4)
+            await service.start()
+            outcomes = await service.serve_all(
+                [{"query": PAIR_QUERY} for _ in range(12)]
+            )
+            await service.stop()
+            return service, outcomes
+
+        service, outcomes = run(scenario())
+        assert all(o.ok for o in outcomes)
+        # Identical requests produce identical (byte-identical) results.
+        rows = {tuple(sorted(o.result.table.rows)) for o in outcomes}
+        assert len(rows) == 1
+        snapshot = service.snapshot()
+        assert snapshot["ok"] == 12
+        assert snapshot["coalesced"] > 0
+        # One planner run filled the cache for the whole stampede.
+        assert snapshot["plan_cache"]["misses"] == 1
+        assert snapshot["plan_cache"]["coalesced"] == snapshot["coalesced"]
+
+    def test_zero_capacity_sheds_every_request_deterministically(self):
+        system = chain_system(BASE_RULES + S0_ROUTE)
+
+        async def scenario():
+            service = QueryService(system, workers=2, capacity_bytes=0.0)
+            await service.start()
+            outcomes = await service.serve_all(
+                [{"query": PAIR_QUERY} for _ in range(50)]
+            )
+            await service.stop()
+            return service, outcomes
+
+        service, outcomes = run(scenario())
+        assert len(outcomes) == 50
+        assert all(o.status == "shed" for o in outcomes)
+        assert {o.rejection.reason for o in outcomes} == {REJECT_COST}
+        assert all(o.rejection.retry_after > 0 for o in outcomes)
+        snapshot = service.snapshot()
+        assert snapshot["shed"] == 50
+        assert snapshot["admitted"] == 0 and snapshot["ok"] == 0
+
+    def test_rate_limited_tenant_sheds_with_retry_after(self):
+        system = chain_system(BASE_RULES + S0_ROUTE)
+        clock = FakeClock()
+
+        async def scenario():
+            service = QueryService(
+                system,
+                tenants=[TenantConfig("slow", rate=1.0, burst=1)],
+                workers=1,
+                clock=clock,
+            )
+            await service.start()
+            first = await service.submit(PAIR_QUERY, tenant="slow")
+            second = await service.submit(PAIR_QUERY, tenant="slow")
+            await service.stop()
+            return first, second
+
+        first, second = run(scenario())
+        assert first.ok
+        assert second.status == "shed"
+        assert second.rejection.reason == REJECT_RATE
+        assert second.rejection.retry_after == pytest.approx(1.0)
+
+    def test_queue_bound_sheds_overflow(self):
+        system = chain_system(BASE_RULES + S0_ROUTE)
+
+        async def scenario():
+            service = QueryService(
+                system, workers=1, max_queue=2, shed_priority_floor=0
+            )
+            await service.start()
+            outcomes = await service.serve_all(
+                [{"query": PAIR_QUERY} for _ in range(6)]
+            )
+            await service.stop()
+            return outcomes
+
+        outcomes = run(scenario())
+        shed = [o for o in outcomes if o.status == "shed"]
+        assert shed and all(
+            o.rejection.reason == REJECT_QUEUE_FULL for o in shed
+        )
+        assert any(o.ok for o in outcomes)
+
+    def test_degrade_ladder_sheds_low_priority_first(self):
+        system = chain_system(BASE_RULES + S0_ROUTE)
+
+        async def scenario():
+            service = QueryService(
+                system,
+                tenants=[
+                    TenantConfig("gold", priority=2),
+                    TenantConfig("bronze", priority=0),
+                ],
+                workers=1,
+                max_queue=4,
+                degrade_soft=0.25,
+                degrade_hard=0.5,
+            )
+            await service.start()
+            # All four submissions are created before any yield, so
+            # their admissions run back to back ahead of the workers:
+            # the fillers push occupancy to the hard watermark and the
+            # last two are admitted at DEGRADE_SHED.
+            filler = [
+                asyncio.ensure_future(service.submit(PAIR_QUERY, tenant="gold"))
+                for _ in range(2)
+            ]
+            bronze = asyncio.ensure_future(
+                service.submit(PAIR_QUERY, tenant="bronze")
+            )
+            gold = asyncio.ensure_future(
+                service.submit(PAIR_QUERY, tenant="gold")
+            )
+            results = await asyncio.gather(*filler, bronze, gold)
+            await service.stop()
+            return results
+
+        *filler, bronze, gold = run(scenario())
+        assert all(o.ok for o in filler)
+        assert bronze.status == "shed"
+        assert bronze.rejection.reason == REJECT_PRIORITY
+        assert gold.ok
+        assert gold.degrade_level == DEGRADE_SHED
+
+    def test_deadline_expired_in_queue_is_shed(self):
+        system = chain_system(BASE_RULES + S0_ROUTE)
+        clock = FakeClock()
+
+        async def scenario():
+            service = QueryService(
+                system,
+                tenants=[TenantConfig("t", deadline=0.5)],
+                workers=1,
+                clock=clock,
+            )
+            await service.start()
+            task = asyncio.ensure_future(service.submit(PAIR_QUERY, tenant="t"))
+            await asyncio.sleep(0)  # admission happened, worker has not run
+            clock.advance(1.0)  # the request goes stale in the queue
+            outcome = await task
+            await service.stop()
+            return outcome
+
+        outcome = run(scenario())
+        assert outcome.status == "shed"
+        assert outcome.rejection.reason == REJECT_DEADLINE
+
+    def test_breaker_opens_after_repeated_failures(self):
+        # No instances loaded: every execution fails, which must trip
+        # the tenant's circuit breaker and fast-shed the next request.
+        system = DistributedSystem(
+            make_catalog(), Policy(list(BASE_RULES + S0_ROUTE))
+        )
+        clock = FakeClock()
+
+        async def scenario():
+            service = QueryService(
+                system, workers=1, breaker_threshold=2, clock=clock
+            )
+            await service.start()
+            first = await service.submit(PAIR_QUERY)
+            second = await service.submit(PAIR_QUERY)
+            third = await service.submit(PAIR_QUERY)
+            await service.stop()
+            return first, second, third
+
+        first, second, third = run(scenario())
+        assert first.status == "failed"
+        assert second.status == "failed"
+        assert third.status == "shed"
+        assert third.rejection.reason == REJECT_BREAKER
+
+    def test_draining_service_sheds_new_submissions(self):
+        system = chain_system(BASE_RULES + S0_ROUTE)
+
+        async def scenario():
+            service = QueryService(system, workers=1)
+            await service.start()
+            stopper = asyncio.ensure_future(service.stop(drain=True))
+            await asyncio.sleep(0)
+            outcome = await service.submit(PAIR_QUERY)
+            await stopper
+            return outcome
+
+        outcome = run(scenario())
+        assert outcome.status == "shed"
+        assert outcome.rejection.reason == REJECT_SHUTDOWN
+
+    def test_stop_without_drain_resolves_queued_as_shed(self):
+        system = chain_system(BASE_RULES + S0_ROUTE)
+
+        async def scenario():
+            service = QueryService(system, workers=1)
+            await service.start()
+            tasks = [
+                asyncio.ensure_future(service.submit(PAIR_QUERY))
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0)  # all admitted and queued
+            await service.stop(drain=False)
+            return await asyncio.gather(*tasks)
+
+        outcomes = run(scenario())
+        # Every submitter got an outcome — no hangs, no partial
+        # executions: each is either fully served or cleanly shed.
+        assert all(
+            o.ok or (o.status == "shed" and o.rejection.reason == REJECT_SHUTDOWN)
+            for o in outcomes
+        )
+        assert any(o.status == "shed" for o in outcomes)
+
+    def test_metrics_exposed_on_registry(self):
+        system = chain_system(BASE_RULES + S0_ROUTE)
+
+        async def scenario():
+            service = QueryService(system, workers=2, capacity_bytes=0.0)
+            await service.start()
+            await service.serve_all([{"query": PAIR_QUERY} for _ in range(3)])
+            await service.stop()
+            return service
+
+        service = run(scenario())
+        series = parse_prometheus_text(service.metrics.prometheus_text())
+        assert "repro_service_requests_total" in series
+        assert "repro_service_shed_total" in series
+        shed = series["repro_service_shed_total"]
+        assert sum(shed.values()) == 3
+
+
+# ---------------------------------------------------------------------------
+# Policy churn racing admission: the regression the service must survive
+# ---------------------------------------------------------------------------
+
+
+class TestChurnRacesAdmission:
+    def test_revocation_between_admission_and_execution_no_reroute(self):
+        """Revoke the only viable rule after admission, before the
+        worker runs: the request must resolve infeasible — never ship
+        the revoked transfer."""
+        system = chain_system(BASE_RULES + S0_ROUTE)
+
+        async def scenario():
+            service = QueryService(system, workers=1)
+            await service.start()
+            task = asyncio.ensure_future(service.submit(PAIR_QUERY))
+            await asyncio.sleep(0)  # admitted + queued; worker not yet run
+            service.revoke_authorization(PIVOT_S0_BASE)
+            outcome = await task
+            await service.stop()
+            return outcome
+
+        outcome = run(scenario())
+        assert outcome.status == "infeasible"
+        assert outcome.result is None  # nothing executed, nothing shipped
+
+    def test_revocation_between_admission_and_execution_with_reroute(self):
+        """With an alternative route available, the same race must
+        reroute — and the audit log proves every shipped transfer is
+        authorized under the *post-revocation* policy."""
+        system = chain_system(BASE_RULES + S0_ROUTE + S1_ROUTE)
+        # Warm the cache so the race also covers the revalidation path.
+        tree, assignment, _ = system.plan(PAIR_QUERY)
+
+        async def scenario():
+            service = QueryService(system, workers=1)
+            await service.start()
+            task = asyncio.ensure_future(service.submit(PAIR_QUERY))
+            await asyncio.sleep(0)
+            service.revoke_authorization(PIVOT_S0_BASE)
+            outcome = await task
+            await service.stop()
+            return outcome
+
+        outcome = run(scenario())
+        assert outcome.ok
+        audit = outcome.result.audit
+        assert audit is not None
+        assert audit.all_authorized()
+        assert len(audit.violations) == 0
+        # Independent proof: re-authorize every audited transfer against
+        # the policy as it stands after the revocation.
+        probe = AuditLog(system.policy, enforce=False)
+        for transfer in audit.checked:
+            allowed, _ = probe.authorize(
+                transfer.sender, transfer.receiver, transfer.profile
+            )
+            assert allowed, (
+                f"transfer {transfer.sender}->{transfer.receiver} is not "
+                "covered by the post-revocation policy"
+            )
+
+    def test_churned_stampede_never_ships_unauthorized(self):
+        """A mixed stampede with a mid-stream revocation: every ok
+        outcome audits clean, every non-ok outcome is structured."""
+        system = chain_system(BASE_RULES + S0_ROUTE + S1_ROUTE)
+
+        async def scenario():
+            service = QueryService(system, workers=4)
+            await service.start()
+            first = [
+                asyncio.ensure_future(service.submit(PAIR_QUERY))
+                for _ in range(8)
+            ]
+            await asyncio.sleep(0)
+            service.revoke_authorization(PIVOT_S0_BASE)
+            second = [
+                asyncio.ensure_future(service.submit(PAIR_QUERY))
+                for _ in range(8)
+            ]
+            outcomes = await asyncio.gather(*first, *second)
+            await service.stop()
+            return outcomes
+
+        outcomes = run(scenario())
+        assert len(outcomes) == 16
+        for outcome in outcomes:
+            if outcome.ok:
+                assert outcome.result.audit.all_authorized()
+            else:
+                assert outcome.status in ("shed", "infeasible")
+        # The revocation did not wedge the service: requests submitted
+        # after it still complete (PIVOT_S1 keeps the query feasible).
+        assert sum(o.ok for o in outcomes[8:]) == 8
+
+    def test_grant_mid_stream_unlocks_queued_requests(self):
+        system = chain_system(BASE_RULES)
+
+        async def scenario():
+            service = QueryService(system, workers=1)
+            await service.start()
+            before = await service.submit(PAIR_QUERY)
+            service.add_authorization(PIVOT_S0_BASE)
+            after = await service.submit(PAIR_QUERY)
+            await service.stop()
+            return before, after
+
+        before, after = run(scenario())
+        assert before.status == "infeasible"
+        assert after.ok
+
+
+# ---------------------------------------------------------------------------
+# The scrape endpoint
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsServer:
+    @staticmethod
+    async def _get(port: int, path: str) -> tuple:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(f"GET {path} HTTP/1.1\r\nHost: x\r\n\r\n".encode())
+        data = await reader.read()
+        writer.close()
+        head, _, body = data.partition(b"\r\n\r\n")
+        status = int(head.split()[1])
+        return status, body.decode()
+
+    def test_metrics_and_healthz(self):
+        system = chain_system(BASE_RULES + S0_ROUTE)
+
+        async def scenario():
+            service = QueryService(system, workers=1)
+            await service.start()
+            await service.submit(PAIR_QUERY)
+            endpoint = MetricsServer(
+                service.metrics, health=lambda: {"queue_depth": 0}
+            )
+            port = await endpoint.start()
+            metrics = await self._get(port, "/metrics")
+            health = await self._get(port, "/healthz")
+            missing = await self._get(port, "/nope")
+            await endpoint.stop()
+            await service.stop()
+            return metrics, health, missing
+
+        metrics, health, missing = run(scenario())
+        assert metrics[0] == 200
+        series = parse_prometheus_text(metrics[1])
+        assert "repro_service_admitted_total" in series
+        assert health[0] == 200 and '"status": "ok"' in health[1]
+        assert missing[0] == 404
+
+    def test_non_get_is_rejected(self):
+        async def scenario():
+            endpoint = MetricsServer(
+                QueryService(chain_system(BASE_RULES)).metrics
+            )
+            port = await endpoint.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"POST /metrics HTTP/1.1\r\n\r\n")
+            data = await reader.read()
+            writer.close()
+            await endpoint.stop()
+            return data
+
+        data = run(scenario())
+        assert b"405" in data.split(b"\r\n")[0]
