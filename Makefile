@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-health test-obs test-cache test-service bench bench-kernel bench-health bench-obs bench-cache bench-service trace-demo examples verify clean
+.PHONY: install test test-faults test-health test-obs test-cache test-service test-vector bench bench-kernel bench-health bench-obs bench-cache bench-service bench-vector trace-demo examples verify clean
 
 install:
 	pip install -e .
@@ -40,6 +40,12 @@ test-cache:
 test-service:
 	$(PYTHON) -m pytest tests/test_service.py "tests/test_cli.py::TestServe" "tests/test_cli.py::TestServeSignals"
 
+# Batch-first core suite: columnar table + operator unit tests and the
+# Hypothesis differential harness (columnar vs the frozen row-at-a-time
+# oracle, batched vs scalar CanView at random batch sizes).
+test-vector:
+	$(PYTHON) -m pytest tests/test_vector.py tests/test_vector_diff.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -74,6 +80,12 @@ bench-cache:
 # byte-identical coalesced plans; writes BENCH_ABL14.json.
 bench-service:
 	$(PYTHON) -m pytest benchmarks/bench_abl14_service.py --benchmark-only -s
+
+# Batch-first ablation: gates the streamed 3-join pipeline at >=3x
+# rows/sec over the row-at-a-time seed evaluator, and sweeps batched
+# CanView probes/sec at batch sizes 1/64/4096; writes BENCH_ABL15.json.
+bench-vector:
+	$(PYTHON) -m pytest benchmarks/bench_abl15_vector.py --benchmark-only -s
 
 # Trace the Figure 1-5 medical query end-to-end and export every
 # format: Chrome trace (load trace_demo.json in Perfetto /

@@ -237,6 +237,24 @@ class AttributeUniverse:
             mask |= 1 << position
         return mask
 
+    def try_masks(self, name_sets: Iterable[Iterable[str]]) -> List[Optional[int]]:
+        """Bitmasks of several name sets in one pass, ``None`` where a
+        set contains an unknown name.
+
+        This is the gather step of the batched CanView kernel:
+        :class:`AttrSet` operands of this universe short-circuit to
+        their cached masks without touching the name table, so a batch
+        of N interned profiles costs N attribute lookups total, not N
+        set walks.
+        """
+        results: List[Optional[int]] = []
+        for names in name_sets:
+            if isinstance(names, AttrSet) and names.universe is self:
+                results.append(names.mask)
+            else:
+                results.append(self.try_mask(names))
+        return results
+
     def mask_of(self, names: Iterable[str]) -> int:
         """Bitmask of ``names``, interning unknown names on the fly."""
         positions = self._positions

@@ -18,7 +18,7 @@ Disease_list counterexample of Section 3.2.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro.core.authorization import Authorization, Policy
 from repro.core.profile import RelationProfile
@@ -51,6 +51,48 @@ def can_view(policy, profile: RelationProfile, server: str) -> bool:
     return any(
         authorization_covers(rule, profile) for rule in policy.rules_for(server)
     )
+
+
+def can_view_batch(
+    policy,
+    profiles: Iterable[RelationProfile],
+    server: str,
+    trace=None,
+) -> List[bool]:
+    """Batched ``CanView``: one answer per profile, in input order.
+
+    Semantically identical to ``[can_view(policy, p, server) for p in
+    profiles]`` — the Hypothesis differential suite asserts the
+    equivalence at random batch sizes — but a closed :class:`Policy`
+    answers the whole batch through
+    :meth:`~repro.core.authorization.Policy.can_view_batch`: misses are
+    grouped by join path, each distinct path costs one index probe, and
+    the per-profile work is integer mask arithmetic.  Duck-typed
+    ``permits`` policies and naive rule lists fall back to scalar checks
+    per profile.
+
+    With a :class:`~repro.obs.trace.TraceContext`, feeds the
+    ``repro_canview_batch_calls_total`` / ``repro_canview_batch_probes_total``
+    counters (metrics only — no spans or events).
+    """
+    profiles = list(profiles)
+    permits = getattr(policy, "permits", None)
+    if permits is not None:
+        answers = [bool(permits(profile, server)) for profile in profiles]
+    elif isinstance(policy, Policy):
+        answers = policy.can_view_batch(profiles, server)
+    else:
+        answers = [
+            any(
+                authorization_covers(rule, profile)
+                for rule in policy.rules_for(server)
+            )
+            for profile in profiles
+        ]
+    if trace is not None:
+        trace.count("repro_canview_batch_calls_total")
+        trace.count("repro_canview_batch_probes_total", len(profiles))
+    return answers
 
 
 def covering_authorizations(

@@ -383,6 +383,68 @@ class Policy:
         """How many :meth:`can_view` calls missed the memo cache."""
         return self._uncached_calls
 
+    def can_view_batch(self, profiles, server: str) -> List[bool]:
+        """Batched Definition 3.3: CanView for N profiles against one
+        server in one kernel pass.
+
+        Cached answers are served from the same memo the scalar path
+        uses; the remaining misses are grouped by join path so each
+        distinct path costs **one** bucket probe, then every miss runs
+        the integer kernel against that bucket's mask arrays (union-mask
+        fast reject, then per-rule superset test).  Answers — including
+        the misses computed here — land in the memo cache exactly as the
+        scalar path would have stored them, and every miss bumps
+        :attr:`uncached_can_view_calls` by one, so scalar and batched
+        probes are indistinguishable to cache-hit accounting.
+
+        Returns:
+            one boolean per profile, in input order — identical to
+            ``[self.can_view(p, server) for p in profiles]``.
+        """
+        profiles = list(profiles)
+        cache = self._can_view_cache
+        answers: List[Optional[bool]] = []
+        misses: Dict[JoinPath, List[int]] = {}
+        for position, profile in enumerate(profiles):
+            cached = cache.get((server, profile), _MISS)
+            if cached is not _MISS:
+                answers.append(cached)
+            else:
+                answers.append(None)
+                misses.setdefault(profile.join_path, []).append(position)
+        if not misses:
+            return answers  # type: ignore[return-value]
+        universe = self._universe
+        for join_path, positions in misses.items():
+            self._uncached_calls += len(positions)
+            bucket = self._by_server_path.get((server, join_path))
+            if bucket is None:
+                for position in positions:
+                    answers[position] = False
+            else:
+                union_mask = bucket.union_mask
+                masks = bucket.masks
+                exposed_masks = universe.try_masks(
+                    profiles[position].exposed_attributes for position in positions
+                )
+                for position, exposed_mask in zip(positions, exposed_masks):
+                    if exposed_mask is None or exposed_mask & ~union_mask:
+                        # Unknown attribute (never granted) or the union
+                        # of the bucket's grants doesn't cover it.
+                        answers[position] = False
+                        continue
+                    result = False
+                    for mask in masks:
+                        if not exposed_mask & ~mask:
+                            result = True
+                            break
+                    answers[position] = result
+            for position in positions:
+                if len(cache) >= _MAX_CAN_VIEW_CACHE:
+                    cache.clear()
+                cache[(server, profiles[position])] = answers[position]
+        return answers  # type: ignore[return-value]
+
     def _can_view_uncached(
         self, server: str, join_path: JoinPath, exposed: AttributeSet
     ) -> bool:

@@ -100,6 +100,12 @@ class CostAwareSafePlanner:
         obs: optional :class:`~repro.obs.trace.TraceContext`, forwarded
             to every :class:`~repro.core.planner.SafePlanner` the search
             constructs.
+        batch_canview: forwarded to every
+            :class:`~repro.core.planner.SafePlanner` the search
+            constructs (see its docstring) — join-order search issues
+            the same view checks across many orders, so the batched
+            kernel pays off most here.  Default ``None`` keeps the
+            planner's auto behaviour (batched untraced, scalar traced).
     """
 
     def __init__(
@@ -111,6 +117,7 @@ class CostAwareSafePlanner:
         search_join_orders: bool = True,
         health=None,
         obs=None,
+        batch_canview=None,
     ) -> None:
         if assignment_search not in (HEURISTIC, EXHAUSTIVE):
             raise PlanError(
@@ -125,7 +132,8 @@ class CostAwareSafePlanner:
         self._assignment_search = assignment_search
         self._search_join_orders = search_join_orders
         self._obs = obs
-        self._heuristic = SafePlanner(policy, obs=obs)
+        self._batch_canview = batch_canview
+        self._heuristic = SafePlanner(policy, obs=obs, batch_canview=batch_canview)
 
     def plan(self, catalog: Catalog, spec: QuerySpec) -> CostAwarePlan:
         """Find the cheapest safe strategy for ``spec``.
@@ -184,7 +192,10 @@ class CostAwareSafePlanner:
                 # quarantined servers, fall back to the full server set.
                 try:
                     restricted = SafePlanner(
-                        self._policy, excluded_servers=quarantined, obs=self._obs
+                        self._policy,
+                        excluded_servers=quarantined,
+                        obs=self._obs,
+                        batch_canview=self._batch_canview,
                     )
                     assignment, _ = restricted.plan(tree)
                     return assignment, None

@@ -5,9 +5,10 @@ assignment's execution must expose each server only to authorized views,
 and semi-joins must move fewer bytes than regular joins.  This package
 makes both claims executable:
 
-* :mod:`repro.engine.data` — immutable set-semantics tables and the
-  relational operators;
-* :mod:`repro.engine.operators` — centralized plan evaluation (the
+* :mod:`repro.engine.data` — immutable set-semantics tables, stored
+  columnar over a shared intern pool;
+* :mod:`repro.engine.operators` — the batch-first operator interface
+  (blocks, open/next-batch/close) and centralized plan evaluation (the
   correctness oracle);
 * :mod:`repro.engine.transfers` — transfer records and logs;
 * :mod:`repro.engine.audit` — runtime authorization enforcement on every
@@ -18,8 +19,19 @@ makes both claims executable:
   cost estimation.
 """
 
-from repro.engine.data import Table
-from repro.engine.operators import evaluate_plan
+from repro.engine.data import ColumnarTable, InternPool, Table, cell_width, shared_pool
+from repro.engine.operators import (
+    DEFAULT_BATCH_SIZE,
+    BatchOperator,
+    Block,
+    FilterOperator,
+    HashJoinOperator,
+    ProjectOperator,
+    TableScan,
+    compile_plan,
+    evaluate_plan,
+    materialize,
+)
 from repro.engine.transfers import Transfer, TransferLog
 from repro.engine.audit import AuditLog
 from repro.engine.executor import DistributedExecutor, ExecutionResult
@@ -50,7 +62,20 @@ __all__ = [
     "TimelineEvent",
     "simulate_timeline",
     "Table",
+    "ColumnarTable",
+    "InternPool",
+    "cell_width",
+    "shared_pool",
     "evaluate_plan",
+    "compile_plan",
+    "materialize",
+    "Block",
+    "BatchOperator",
+    "TableScan",
+    "ProjectOperator",
+    "FilterOperator",
+    "HashJoinOperator",
+    "DEFAULT_BATCH_SIZE",
     "Transfer",
     "TransferLog",
     "AuditLog",

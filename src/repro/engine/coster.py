@@ -27,7 +27,7 @@ from repro.algebra.tree import (
     UnaryNode,
 )
 from repro.core.assignment import Assignment
-from repro.engine.data import Table
+from repro.engine.data import Table, cell_width
 from repro.engine.transfers import TransferLog
 from repro.exceptions import ExecutionError
 
@@ -61,14 +61,32 @@ class TableStats:
 
     @classmethod
     def of_table(cls, table: Table) -> "TableStats":
-        """Exact statistics of a concrete table."""
+        """Exact statistics of a concrete table.
+
+        Widths use the **same canonical accounting** as
+        ``Table.byte_size`` (:func:`repro.engine.data.cell_width`), so
+        ``bytes_for(table.attributes)`` of an exact-stats table equals
+        the payload the executor measures for shipping it — the test
+        suite asserts this agreement.  On columnar tables the widths
+        come straight from the intern pool's cached per-value widths,
+        with no cell decoding or row-order materialization.
+        """
+        rows = len(table)
         distinct = {a: float(table.distinct_count(a)) for a in table.attributes}
         widths: Dict[str, float] = {}
-        if len(table):
-            for attribute in table.attributes:
-                values = table.column(attribute)
-                widths[attribute] = sum(len(str(v)) for v in values) / len(values)
-        return cls(float(len(table)), distinct, widths)
+        if rows:
+            column_ids = getattr(table, "column_ids", None)
+            if column_ids is not None:
+                pooled = table.pool._widths
+                for attribute in table.attributes:
+                    widths[attribute] = (
+                        sum(pooled[i] for i in column_ids(attribute)) / rows
+                    )
+            else:  # duck-typed row-shaped table (e.g. the frozen oracle)
+                for attribute in table.attributes:
+                    values = table.column(attribute)
+                    widths[attribute] = sum(cell_width(v) for v in values) / rows
+        return cls(float(rows), distinct, widths)
 
     def width_of(self, attribute: str) -> float:
         """Average width of one attribute."""

@@ -1,4 +1,4 @@
-"""Immutable in-memory tables with set semantics.
+"""Columnar, immutable in-memory tables with set semantics.
 
 The relational model of the paper (and of its reference [2]) is
 set-based: a relation is a *set* of tuples.  :class:`Table` therefore
@@ -10,6 +10,58 @@ relies on this.
 Row values must be hashable scalars (``str``, ``int``, ``float``,
 ``bool`` or ``None``); this keeps rows hashable for set semantics and
 byte accounting honest.
+
+Storage model
+-------------
+
+Since the batch-first refactor the engine is **columnar**: a
+:class:`ColumnarTable` holds one value array per attribute, where each
+cell is a small integer id interned in a process-wide
+:class:`InternPool`.  :class:`Table` is the thin public view over it —
+the constructor, equality, iteration, and every operator keep exactly
+the row-at-a-time semantics of the seed implementation (the frozen
+oracle in ``tests/_row_oracle.py`` documents them, and the Hypothesis
+differential suite asserts row-for-row identity), but the operators run
+on column arrays and selection masks:
+
+* ``select``/``semi_join_filter`` compute a boolean mask and compress
+  the columns — no re-validation, no re-deduplication, no re-sort;
+* ``project``/``union`` deduplicate on interned id keys;
+* ``equi_join``/``natural_join`` build hash buckets on interned key
+  columns and emit id rows directly (their outputs are duplicate-free
+  by construction, so no dedup pass runs at all);
+* the canonical row order the seed eagerly sorted into is materialized
+  **lazily** — intermediate pipeline results that are only joined,
+  filtered, counted or shipped never pay for a sort; the order is
+  computed (from per-value cached sort keys) the first time ``rows``,
+  ``column`` or iteration observes it, and is byte-identical to the
+  seed's.
+
+Interning notes
+---------------
+
+The pool assigns one id per *typed* value, and one **class id** per
+``==``-equivalence class (``1 == 1.0 == True`` share a class, mirroring
+Python set semantics the seed relied on).  Dedup, joins and distinct
+counts run on class ids — value-equal cells match across tables even
+when their types differ — while each table keeps the exact
+representative values it was built with, so rendering, canonical
+ordering and byte accounting are unchanged.  Two float zeros of
+opposite sign intern to one representative (they are ``==``-equal and
+the seed already collapsed them within any single table).
+
+Byte accounting
+---------------
+
+:func:`cell_width` is the **one canonical accounting** of a cell's
+payload contribution: the length of the cell's JSON token with strings
+unquoted — ``None`` costs ``len("null") == 4``, booleans cost
+``len("true")``/``len("false")``, and numbers and strings cost the
+length of their Python rendering (identical to their JSON token).
+``Table.byte_size`` and the static estimator
+(:meth:`repro.engine.coster.TableStats.of_table`) both use it, so the
+coster's exact-statistics estimate of a shipment equals the executor's
+measured bytes (a property the test suite asserts).
 """
 
 from __future__ import annotations
@@ -26,17 +78,98 @@ _SCALARS = (str, int, float, bool)
 Row = Tuple[object, ...]
 
 
-def _check_value(value: object) -> object:
-    if value is None or isinstance(value, _SCALARS):
-        return value
-    raise ExecutionError(
-        f"cell values must be scalars (str/int/float/bool/None), got "
-        f"{type(value).__name__}"
-    )
+def cell_width(value: object) -> int:
+    """Canonical payload width of one cell (characters of its JSON
+    token, strings unquoted): ``None`` -> ``len("null")``, everything
+    else -> ``len(str(value))`` (which equals the JSON rendering for
+    every allowed scalar, including booleans)."""
+    if value is None:
+        return 4  # len("null") — and, deliberately, len("None") too.
+    return len(str(value))
 
 
-class Table:
-    """An immutable relation instance.
+class InternPool:
+    """Process-wide value interner shared by every table.
+
+    Maps each distinct typed scalar to a stable integer id and caches,
+    per id: the value itself, its canonical sort key, its payload width
+    (:func:`cell_width`), and its ``==``-equivalence **class id** (the
+    id of the first interned value equal to it — ``1``, ``1.0`` and
+    ``True`` share one class).  Ids are append-only; the pool grows with
+    the number of distinct values a process touches, which is
+    workload-bounded in this simulator.
+    """
+
+    __slots__ = ("_typed_ids", "_class_ids", "_values", "_classes", "_sort_keys", "_widths", "has_aliases")
+
+    def __init__(self) -> None:
+        self._typed_ids: Dict[type, Dict[object, int]] = {}
+        self._class_ids: Dict[object, int] = {}
+        self._values: List[object] = []
+        self._classes: List[int] = []
+        self._sort_keys: List[Tuple[bool, str, str]] = []
+        self._widths: List[int] = []
+        #: Whether any two interned values of different ids compare
+        #: equal (e.g. ``1`` and ``True``).  While false, ids *are*
+        #: class ids and the per-cell class lookup is skipped.
+        self.has_aliases = False
+
+    def intern(self, value: object) -> int:
+        """Intern one cell value, validating it is an allowed scalar.
+
+        Raises:
+            ExecutionError: on non-scalar values.
+        """
+        by_value = self._typed_ids.get(value.__class__)
+        if by_value is not None:
+            interned = by_value.get(value)
+            if interned is not None:
+                return interned
+        if value is not None and not isinstance(value, _SCALARS):
+            raise ExecutionError(
+                f"cell values must be scalars (str/int/float/bool/None), got "
+                f"{type(value).__name__}"
+            )
+        if by_value is None:
+            by_value = self._typed_ids[value.__class__] = {}
+        interned = len(self._values)
+        by_value[value] = interned
+        self._values.append(value)
+        class_id = self._class_ids.get(value)
+        if class_id is None:
+            class_id = interned
+            self._class_ids[value] = interned
+        else:
+            self.has_aliases = True
+        self._classes.append(class_id)
+        self._sort_keys.append((value is None, str(type(value)), str(value)))
+        self._widths.append(cell_width(value))
+        return interned
+
+    def value(self, interned: int) -> object:
+        """The exact value behind an id."""
+        return self._values[interned]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"InternPool({len(self._values)} values)"
+
+
+#: The shared pool every table interns into.  One pool means interned
+#: ids are comparable across tables, which is what lets joins and
+#: semi-join filters match keys with integer equality.
+_POOL = InternPool()
+
+
+def shared_pool() -> InternPool:
+    """The process-wide :class:`InternPool` tables intern into."""
+    return _POOL
+
+
+class ColumnarTable:
+    """An immutable relation instance stored as per-attribute id arrays.
 
     Args:
         attributes: ordered column names.
@@ -44,9 +177,22 @@ class Table:
             use :meth:`from_rows` for dict-shaped input).  Duplicates are
             removed; row order is canonicalized, so two tables with the
             same content compare equal.
+
+    The public API is row-shaped (``rows``, iteration, ``row_dicts``)
+    and byte-identical to the seed engine; the storage and the
+    operators are columnar.  :class:`Table` is the public name.
     """
 
-    __slots__ = ("_attributes", "_index", "_rows")
+    __slots__ = (
+        "_attributes",
+        "_index",
+        "_pool",
+        "_columns",
+        "_length",
+        "_canonical",
+        "_rows_cache",
+        "_hash_cache",
+    )
 
     def __init__(self, attributes: Sequence[str], rows: Iterable[Row] = ()) -> None:
         attrs = tuple(attributes)
@@ -56,17 +202,110 @@ class Table:
             raise ExecutionError("a table needs at least one column")
         self._attributes = attrs
         self._index = {name: i for i, name in enumerate(attrs)}
-        unique = set()
+        pool = _POOL
+        self._pool = pool
+        arity = len(attrs)
+        intern = pool.intern
+        id_rows: List[Tuple[int, ...]] = []
         for row in rows:
-            row = tuple(_check_value(v) for v in row)
-            if len(row) != len(attrs):
+            id_row = tuple(intern(v) for v in row)
+            if len(id_row) != arity:
                 raise ExecutionError(
-                    f"row arity {len(row)} does not match schema arity {len(attrs)}"
+                    f"row arity {len(id_row)} does not match schema arity {arity}"
                 )
-            unique.add(row)
-        self._rows: Tuple[Row, ...] = tuple(
-            sorted(unique, key=lambda r: tuple((v is None, str(type(v)), str(v)) for v in r))
-        )
+            id_rows.append(id_row)
+        self._install_id_rows(_dedup_id_rows(id_rows, pool), canonical=False)
+
+    # ------------------------------------------------------------------
+    # Internal plumbing
+    # ------------------------------------------------------------------
+
+    def _install_id_rows(self, id_rows: List[Tuple[int, ...]], canonical: bool) -> None:
+        """Adopt deduplicated id rows as this table's columns."""
+        if id_rows:
+            self._columns = [list(col) for col in zip(*id_rows)]
+        else:
+            self._columns = [[] for _ in self._attributes]
+        self._length = len(id_rows)
+        self._canonical = canonical or not id_rows
+        self._rows_cache: Optional[Tuple[Row, ...]] = None
+        self._hash_cache: Optional[int] = None
+
+    @classmethod
+    def _from_id_rows(
+        cls,
+        attributes: Sequence[str],
+        id_rows: List[Tuple[int, ...]],
+        pool: InternPool,
+        deduped: bool = False,
+        canonical: bool = False,
+    ) -> "Table":
+        """Operator fast path: adopt already-interned rows unvalidated."""
+        self = object.__new__(Table)
+        attrs = tuple(attributes)
+        self._attributes = attrs
+        self._index = {name: i for i, name in enumerate(attrs)}
+        self._pool = pool
+        if not deduped:
+            id_rows = _dedup_id_rows(id_rows, pool)
+        self._install_id_rows(id_rows, canonical=canonical)
+        return self
+
+    @classmethod
+    def _from_columns(
+        cls,
+        attributes: Sequence[str],
+        columns: List[List[int]],
+        pool: InternPool,
+        deduped: bool = False,
+        canonical: bool = False,
+    ) -> "Table":
+        """Operator fast path: adopt id columns (all equal length)."""
+        self = object.__new__(Table)
+        attrs = tuple(attributes)
+        self._attributes = attrs
+        self._index = {name: i for i, name in enumerate(attrs)}
+        self._pool = pool
+        if not deduped:
+            id_rows = _dedup_id_rows(list(zip(*columns)) if columns and columns[0] else [], pool)
+            self._install_id_rows(id_rows, canonical=canonical)
+            return self
+        self._columns = columns
+        self._length = len(columns[0]) if columns else 0
+        self._canonical = canonical or not self._length
+        self._rows_cache = None
+        self._hash_cache = None
+        return self
+
+    def _class_view(self, column: List[int]) -> List[int]:
+        """The column's ids mapped to ``==``-equivalence class ids (a
+        no-op while the pool has no cross-type aliases)."""
+        pool = self._pool
+        if not pool.has_aliases:
+            return column
+        classes = pool._classes
+        return [classes[i] for i in column]
+
+    def _id_rows(self) -> List[Tuple[int, ...]]:
+        """Rows as interned id tuples, in current storage order."""
+        if not self._length:
+            return []
+        return list(zip(*self._columns))
+
+    def _ensure_canonical(self) -> None:
+        """Materialize the seed's canonical row order (lazy sort).
+
+        The sort key per cell is the seed's
+        ``(value is None, str(type(value)), str(value))`` tuple, cached
+        per interned value, so canonicalization costs index lookups
+        instead of string renderings.
+        """
+        if self._canonical:
+            return
+        sort_keys = self._pool._sort_keys
+        id_rows = self._id_rows()
+        id_rows.sort(key=lambda row: tuple(sort_keys[i] for i in row))
+        self._install_id_rows(id_rows, canonical=True)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -95,29 +334,52 @@ class Table:
         return self._attributes
 
     @property
+    def pool(self) -> InternPool:
+        """The intern pool this table's columns are encoded against."""
+        return self._pool
+
+    @property
     def rows(self) -> Tuple[Row, ...]:
         """Canonically ordered, deduplicated rows."""
-        return self._rows
+        if self._rows_cache is None:
+            self._ensure_canonical()
+            values = self._pool._values
+            self._rows_cache = tuple(
+                tuple(values[i] for i in id_row) for id_row in self._id_rows()
+            )
+        return self._rows_cache
 
     def row_dicts(self) -> List[Dict[str, object]]:
         """Rows as dictionaries (for predicates and display)."""
-        return [dict(zip(self._attributes, row)) for row in self._rows]
+        return [dict(zip(self._attributes, row)) for row in self.rows]
 
     def column(self, attribute: str) -> List[object]:
         """All values of one column, in row order."""
         index = self._column_index(attribute)
-        return [row[index] for row in self._rows]
+        self._ensure_canonical()
+        values = self._pool._values
+        return [values[i] for i in self._columns[index]]
+
+    def column_ids(self, attribute: str) -> List[int]:
+        """One column as interned ids, in current storage order.
+
+        Storage order is only guaranteed canonical after something
+        observed the row order; batch operators that don't care about
+        order read this directly."""
+        return self._columns[self._column_index(attribute)]
 
     def distinct_count(self, attribute: str) -> int:
         """Number of distinct values in a column."""
         index = self._column_index(attribute)
-        return len({row[index] for row in self._rows})
+        return len(set(self._class_view(self._columns[index])))
 
     def byte_size(self) -> int:
-        """Rough payload size: total characters of the string rendering
-        of every cell (deterministic and good enough for relative
-        communication-cost comparisons)."""
-        return sum(len(str(v)) for row in self._rows for v in row)
+        """Canonical payload size: the summed :func:`cell_width` of every
+        cell — deterministic, identical to the width the static coster
+        accounts, and good enough for relative communication-cost
+        comparisons."""
+        widths = self._pool._widths
+        return sum(sum(widths[i] for i in column) for column in self._columns)
 
     def _column_index(self, attribute: str) -> int:
         try:
@@ -128,53 +390,139 @@ class Table:
             ) from None
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._length
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return iter(self.rows)
 
     def __eq__(self, other: object) -> bool:
-        if not isinstance(other, Table):
+        if not isinstance(other, ColumnarTable):
             return NotImplemented
-        return (
-            frozenset(self._attributes) == frozenset(other._attributes)
-            and self._row_set() == other._row_set()
-        )
+        if frozenset(self._attributes) != frozenset(other._attributes):
+            return False
+        if self._length != other._length:
+            return False
+        if self._pool is other._pool:
+            # Interned fast path: align the other table's columns to this
+            # one's attribute order and compare class-id row sets.
+            mine = [self._class_view(c) for c in self._columns]
+            theirs = [
+                other._class_view(other._columns[other._index[a]])
+                for a in self._attributes
+            ]
+            return frozenset(zip(*mine)) == frozenset(zip(*theirs))
+        return self._row_set() == other._row_set()
 
     def _row_set(self) -> FrozenSet[FrozenSet[Tuple[str, object]]]:
         return frozenset(
-            frozenset(zip(self._attributes, row)) for row in self._rows
+            frozenset(zip(self._attributes, row)) for row in self.rows
         )
 
     def __hash__(self) -> int:
-        return hash((frozenset(self._attributes), self._row_set()))
+        if self._hash_cache is None:
+            self._hash_cache = hash((frozenset(self._attributes), self._row_set()))
+        return self._hash_cache
 
     def __repr__(self) -> str:
-        return f"Table({list(self._attributes)}, {len(self._rows)} rows)"
+        return f"Table({list(self._attributes)}, {self._length} rows)"
 
     # ------------------------------------------------------------------
     # Operators
     # ------------------------------------------------------------------
 
     def project(self, attributes: Iterable[str]) -> "Table":
-        """:math:`\\pi_X` with set semantics (duplicates collapse)."""
-        attrs = [a for a in self._attributes if a in set(attributes)]
-        missing = set(attributes) - set(self._attributes)
+        """:math:`\\pi_X` with set semantics (duplicates collapse).
+
+        Contract: the result's columns follow **this table's** attribute
+        order, not the requested order, and requesting the same column
+        twice is an error — the output of a set-semantics projection has
+        no meaningful duplicate columns, so a duplicated request is
+        always a caller bug.
+
+        Raises:
+            ExecutionError: on missing or duplicated requested columns.
+        """
+        requested = list(attributes)
+        requested_set = set(requested)
+        if len(requested_set) != len(requested):
+            seen: set = set()
+            duplicates = sorted({a for a in requested if a in seen or seen.add(a)})
+            raise ExecutionError(
+                f"cannot project on duplicated columns: {duplicates}"
+            )
+        missing = requested_set - set(self._attributes)
         if missing:
             raise ExecutionError(f"cannot project on missing columns: {sorted(missing)}")
-        indices = [self._index[a] for a in attrs]
-        return Table(attrs, (tuple(row[i] for i in indices) for row in self._rows))
+        attrs = [a for a in self._attributes if a in requested_set]
+        if len(attrs) == len(self._attributes):
+            # Full-width projection: rows are already deduplicated.
+            kept_all = [self._columns[self._index[a]] for a in attrs]
+            return Table._from_columns(
+                attrs, [list(c) for c in kept_all], self._pool,
+                deduped=True, canonical=self._canonical,
+            )
+        if self._pool.has_aliases:
+            # Dropping columns can collide value-equal rows whose cells
+            # differ only in type (1 vs True).  The seed deduplicated in
+            # canonical parent order (its rows were pre-sorted), so the
+            # surviving representative is the canonically-first one —
+            # reproduce that by sorting first.  Without aliases the
+            # colliding rows are bit-identical and order cannot matter.
+            self._ensure_canonical()
+        kept = [self._columns[self._index[a]] for a in attrs]
+        keys = zip(*[self._class_view(c) for c in kept]) if kept else iter(())
+        seen_keys: set = set()
+        mask: List[int] = []
+        for position, key in enumerate(keys):
+            if key not in seen_keys:
+                seen_keys.add(key)
+                mask.append(position)
+        columns = [[c[p] for p in mask] for c in kept]
+        return Table._from_columns(attrs, columns, self._pool, deduped=True)
 
     def select(self, predicate: Predicate) -> "Table":
         """:math:`\\sigma_C` — keep rows satisfying the predicate."""
-        kept = [
-            row
-            for row, as_dict in zip(self._rows, self.row_dicts())
-            if predicate.evaluate(as_dict)
+        if not self._length or predicate.is_true():
+            return self
+        mask = self._predicate_mask(predicate)
+        if all(mask):
+            return self
+        columns = [
+            [v for v, keep in zip(column, mask) if keep] for column in self._columns
         ]
-        return Table(self._attributes, kept)
+        # A filtered subset of deduplicated rows stays deduplicated, and
+        # an order-preserving subset of a sorted sequence stays sorted.
+        return Table._from_columns(
+            self._attributes, columns, self._pool,
+            deduped=True, canonical=self._canonical,
+        )
 
-    def equi_join(self, other: "Table", conditions: JoinPath) -> "Table":
+    def _predicate_mask(self, predicate: Predicate) -> List[bool]:
+        """Boolean selection mask, one entry per stored row.
+
+        Single-atom predicates over present attributes evaluate
+        column-at-a-time; anything else falls back to per-row dict
+        evaluation, preserving the seed's short-circuit and error
+        semantics exactly.
+        """
+        comparisons = predicate.comparisons
+        if len(comparisons) == 1:
+            comp = comparisons[0]
+            index = self._index.get(comp.attribute)
+            if index is not None and not comp.operand_is_attribute:
+                return _compare_column(
+                    self._columns[index], self._pool, comp
+                )
+        values = self._pool._values
+        attrs = self._attributes
+        evaluate = predicate.evaluate
+        mask = []
+        for id_row in zip(*self._columns):
+            row = {a: values[i] for a, i in zip(attrs, id_row)}
+            mask.append(evaluate(row))
+        return mask
+
+    def equi_join(self, other: "ColumnarTable", conditions: JoinPath) -> "Table":
         """Hash equi-join on a join path's conditions.
 
         Every condition must have one attribute in each table.  The
@@ -196,22 +544,33 @@ class Table:
                 f"equi-join operands share columns {sorted(overlap)}; use "
                 "natural_join for recombination joins"
             )
-        buckets: Dict[Tuple[object, ...], List[Row]] = {}
-        for row in other._rows:
-            key = tuple(row[j] for _, j in pairs)
-            if any(v is None for v in key):
+        none_class = _none_class(self._pool)
+        buckets: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
+        other_keys = zip(*[other._class_view(other._columns[j]) for _, j in pairs])
+        for row, key in zip(other._id_rows(), other_keys):
+            if none_class in key:
                 continue
-            buckets.setdefault(key, []).append(row)
-        joined = []
-        for row in self._rows:
-            key = tuple(row[i] for i, _ in pairs)
-            if any(v is None for v in key):
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [row]
+            else:
+                bucket.append(row)
+        joined: List[Tuple[int, ...]] = []
+        self_keys = zip(*[self._class_view(self._columns[i]) for i, _ in pairs])
+        for row, key in zip(self._id_rows(), self_keys):
+            if none_class in key:
                 continue
             for match in buckets.get(key, ()):
                 joined.append(row + match)
-        return Table(self._attributes + other._attributes, joined)
+        # Join outputs are duplicate-free by construction: both operands
+        # are deduplicated sets and every (left, right) pairing is
+        # emitted once, so two output rows value-equal everywhere would
+        # have to come from one pairing.
+        return Table._from_id_rows(
+            self._attributes + other._attributes, joined, self._pool, deduped=True
+        )
 
-    def natural_join(self, other: "Table") -> "Table":
+    def natural_join(self, other: "ColumnarTable") -> "Table":
         """Join on all shared column names (used by the semi-join's final
         recombination step, Figure 5 step 5).
 
@@ -223,45 +582,143 @@ class Table:
         if not shared:
             raise ExecutionError("natural join requires at least one shared column")
         other_extra = [a for a in other._attributes if a not in self._index]
-        self_idx = [self._index[a] for a in shared]
-        other_idx = [other._index[a] for a in shared]
+        none_class = _none_class(self._pool)
         extra_idx = [other._index[a] for a in other_extra]
-        buckets: Dict[Tuple[object, ...], List[Row]] = {}
-        for row in other._rows:
-            key = tuple(row[j] for j in other_idx)
-            if any(v is None for v in key):
+        buckets: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
+        other_keys = zip(
+            *[other._class_view(other._columns[other._index[a]]) for a in shared]
+        )
+        other_extras = (
+            list(zip(*[other._columns[j] for j in extra_idx]))
+            if extra_idx and other._length
+            else [()] * other._length
+        )
+        for extra, key in zip(other_extras, other_keys):
+            if none_class in key:
                 continue
-            buckets.setdefault(key, []).append(tuple(row[j] for j in extra_idx))
-        joined = []
-        for row in self._rows:
-            key = tuple(row[i] for i in self_idx)
-            if any(v is None for v in key):
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [extra]
+            else:
+                bucket.append(extra)
+        joined: List[Tuple[int, ...]] = []
+        self_keys = zip(*[self._class_view(self._columns[self._index[a]]) for a in shared])
+        for row, key in zip(self._id_rows(), self_keys):
+            if none_class in key:
                 continue
             for extra in buckets.get(key, ()):
                 joined.append(row + extra)
-        return Table(self._attributes + tuple(other_extra), joined)
+        # Duplicate-free by the same argument as ``equi_join``: the
+        # matched slave rows agree with the master row on every shared
+        # column, so they must differ in the extras.
+        return Table._from_id_rows(
+            self._attributes + tuple(other_extra), joined, self._pool, deduped=True
+        )
 
-    def semi_join_filter(self, probe: "Table") -> "Table":
+    def semi_join_filter(self, probe: "ColumnarTable") -> "Table":
         """Rows of this table matching the probe on its shared columns —
-        classic semi-join reduction (kept for cost experiments)."""
+        classic semi-join reduction (kept for cost experiments).
+
+        Rows whose shared-column key contains ``None`` never match, on
+        either side — the same null-key semantics as ``equi_join`` and
+        ``natural_join``.
+        """
         shared = [a for a in self._attributes if a in probe._index]
         if not shared:
             raise ExecutionError("semi-join filter requires shared columns")
+        none_class = _none_class(self._pool)
         probe_keys = {
-            tuple(row[probe._index[a]] for a in shared) for row in probe._rows
+            key
+            for key in zip(
+                *[probe._class_view(probe._columns[probe._index[a]]) for a in shared]
+            )
+            if none_class not in key
         }
-        self_idx = [self._index[a] for a in shared]
-        kept = [
-            row
-            for row in self._rows
-            if tuple(row[i] for i in self_idx) in probe_keys
+        self_keys = zip(*[self._class_view(self._columns[self._index[a]]) for a in shared])
+        mask = [key in probe_keys for key in self_keys]
+        columns = [
+            [v for v, keep in zip(column, mask) if keep] for column in self._columns
         ]
-        return Table(self._attributes, kept)
+        return Table._from_columns(
+            self._attributes, columns, self._pool,
+            deduped=True, canonical=self._canonical,
+        )
 
-    def union(self, other: "Table") -> "Table":
+    def union(self, other: "ColumnarTable") -> "Table":
         """Set union of two same-schema tables."""
         if frozenset(self._attributes) != frozenset(other._attributes):
             raise ExecutionError("union requires identical column sets")
-        indices = [other._index[a] for a in self._attributes]
-        aligned = tuple(tuple(row[i] for i in indices) for row in other._rows)
-        return Table(self._attributes, self._rows + aligned)
+        aligned = [other._columns[other._index[a]] for a in self._attributes]
+        columns = [list(mine) + list(theirs) for mine, theirs in zip(self._columns, aligned)]
+        return Table._from_columns(self._attributes, columns, self._pool)
+
+
+def _dedup_id_rows(id_rows: List[Tuple[int, ...]], pool: InternPool) -> List[Tuple[int, ...]]:
+    """Deduplicate id rows by value-equivalence, keeping each class's
+    first occurrence (the representative Python ``set`` semantics keep)."""
+    if not id_rows:
+        return id_rows
+    seen: set = set()
+    add = seen.add
+    kept: List[Tuple[int, ...]] = []
+    if not pool.has_aliases:
+        for row in id_rows:
+            if row not in seen:
+                add(row)
+                kept.append(row)
+        return kept
+    classes = pool._classes
+    for row in id_rows:
+        key = tuple(classes[i] for i in row)
+        if key not in seen:
+            add(key)
+            kept.append(row)
+    return kept
+
+
+def _none_class(pool: InternPool) -> int:
+    """The class id of ``None`` (interning it on first use)."""
+    return pool._classes[pool.intern(None)]
+
+
+def _compare_column(column: List[int], pool: InternPool, comp) -> List[bool]:
+    """Vectorized single-comparison mask with the seed's semantics:
+    ``None`` on either side is false, incomparable types raise."""
+    from repro.algebra.predicates import PredicateError  # local: avoid cycle risk
+    from repro.algebra.predicates import _OPERATORS
+
+    operand = comp.operand
+    values = pool._values
+    op = _OPERATORS[comp.op]
+    if operand is None:
+        return [False] * len(column)
+    mask: List[bool] = []
+    answers: Dict[int, bool] = {}
+    for interned in column:
+        answer = answers.get(interned)
+        if answer is None:
+            value = values[interned]
+            if value is None:
+                answer = False
+            else:
+                try:
+                    answer = bool(op(value, operand))
+                except TypeError as exc:
+                    raise PredicateError(
+                        f"cannot compare {value!r} {comp.op} {operand!r}"
+                    ) from exc
+            answers[interned] = answer
+        mask.append(answer)
+    return mask
+
+
+class Table(ColumnarTable):
+    """The public relation type: a thin view over :class:`ColumnarTable`.
+
+    Everything — constructor, equality, hashing, iteration, operators —
+    is inherited; the subclass exists so the columnar machinery has its
+    own name while every existing caller keeps constructing and
+    receiving ``Table``.
+    """
+
+    __slots__ = ()

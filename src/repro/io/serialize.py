@@ -210,6 +210,73 @@ def table_from_dict(data: Dict[str, Any]) -> Table:
     )
 
 
+def table_to_columns(table: Table) -> Dict[str, Any]:
+    """Encode a table as columnar, dictionary-compressed payloads.
+
+    This is the wire shape of the batch-first engine: per attribute a
+    ``values`` dictionary (distinct cell values in first-use order) and
+    a ``codes`` array (one index per row, rows in canonical order).
+    Repeated values ship once, so wide low-cardinality shipments
+    compress well while staying plain JSON.  Deterministic like every
+    other encoding in this module.
+    """
+    attributes = list(table.attributes)
+    columns: Dict[str, Any] = {}
+    for attribute in attributes:
+        dictionary: List[Any] = []
+        codes: List[int] = []
+        index: Dict[Any, int] = {}
+        for value in table.column(attribute):
+            # Typed key: 1, 1.0 and True are distinct dictionary entries
+            # even though they compare equal.
+            key = (value.__class__.__name__, str(value))
+            code = index.get(key)
+            if code is None:
+                code = len(dictionary)
+                index[key] = code
+                dictionary.append(value)
+            codes.append(code)
+        columns[attribute] = {"values": dictionary, "codes": codes}
+    return {"attributes": attributes, "columns": columns}
+
+
+def table_from_columns(data: Dict[str, Any]) -> Table:
+    """Decode a columnar table payload (inverse of
+    :func:`table_to_columns`).
+
+    Raises:
+        ReproError: on missing keys, a missing column, an out-of-range
+            code, or ragged column lengths.
+    """
+    if "attributes" not in data:
+        raise ReproError("columnar table dictionary lacks 'attributes'")
+    attributes = list(data["attributes"])
+    columns = data.get("columns", {})
+    decoded: List[List[Any]] = []
+    length = None
+    for attribute in attributes:
+        entry = columns.get(attribute)
+        if entry is None:
+            raise ReproError(f"columnar table payload lacks column {attribute!r}")
+        values = entry.get("values", [])
+        codes = entry.get("codes", [])
+        if length is None:
+            length = len(codes)
+        elif len(codes) != length:
+            raise ReproError(
+                f"columnar table payload is ragged: column {attribute!r} has "
+                f"{len(codes)} rows, expected {length}"
+            )
+        try:
+            decoded.append([values[code] for code in codes])
+        except (IndexError, TypeError) as exc:
+            raise ReproError(
+                f"columnar table payload has invalid codes for column {attribute!r}"
+            ) from exc
+    rows = list(zip(*decoded)) if decoded and decoded[0] else []
+    return Table(attributes, rows)
+
+
 def profile_to_dict(profile: RelationProfile) -> Dict[str, Any]:
     """Encode a Figure 4 relation profile ``[Rπ, R⋈, Rσ]``."""
     return {

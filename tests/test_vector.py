@@ -1,0 +1,304 @@
+"""Unit tests for the batch-first execution core.
+
+Covers the contracts the columnar refactor added or tightened:
+
+* null join keys never match, in all three key-matching operators
+  (``equi_join``, ``natural_join`` and the fixed ``semi_join_filter``);
+* the ``project`` contract (duplicates rejected, table-order result);
+* canonical byte accounting: ``byte_size()``, ``cell_width`` and the
+  coster agree on every value kind, including ``None``;
+* batch-size invariance: streamed evaluation and the distributed
+  executor produce byte-identical results at any block size;
+* columnar wire format round trips;
+* the batched ``CanView`` kernel and the batch-aware planner answer
+  exactly like their scalar counterparts.
+"""
+
+import pytest
+
+from repro.algebra.builder import build_plan
+from repro.algebra.joins import JoinPath
+from repro.algebra.predicates import Comparison, Predicate
+from repro.core.access import can_view, can_view_batch
+from repro.core.closure import close_policy
+from repro.core.planner import SafePlanner
+from repro.engine.coster import TableStats
+from repro.engine.data import Table, cell_width
+from repro.engine.executor import DistributedExecutor
+from repro.engine.operators import (
+    FilterOperator,
+    HashJoinOperator,
+    ProjectOperator,
+    TableScan,
+    evaluate_plan,
+    materialize,
+)
+from repro.exceptions import ExecutionError, InfeasiblePlanError
+from repro.io.serialize import table_from_columns, table_to_columns
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadConfig
+
+from tests._row_oracle import OracleTable
+
+
+class TestNullKeys:
+    """A ``None`` join key matches nothing — in every operator.
+
+    The seed's ``semi_join_filter`` let ``None`` probe keys match
+    ``None`` build keys through plain tuple equality, so a row with an
+    unknown key survived the reduction that the recombination join
+    would then drop.  All three operators now share one rule.
+    """
+
+    left = Table(("A", "K"), [("a1", "x"), ("a2", None), ("a3", "y")])
+    right = Table(("B", "L"), [("b1", "x"), ("b2", None)])
+
+    def test_equi_join_skips_none_keys(self):
+        joined = self.left.equi_join(self.right, JoinPath.of(("K", "L")))
+        assert set(joined.rows) == {("a1", "x", "b1", "x")}
+
+    def test_natural_join_skips_none_keys(self):
+        left = Table(("A", "K"), [("a1", "x"), ("a2", None)])
+        right = Table(("K", "B"), [("x", "b1"), (None, "b2")])
+        joined = left.natural_join(right)
+        assert set(joined.rows) == {("a1", "x", "b1")}
+
+    def test_semi_join_filter_skips_none_keys(self):
+        probe = Table(("K",), [("x",), (None,)])
+        filtered = self.left.project(["K", "A"]).semi_join_filter(probe)
+        # The None-keyed row must not survive, even though the probe
+        # also carries a None key (the seed bug kept it).
+        assert set(filtered.rows) == {("a1", "x")}
+
+    def test_semi_join_reduction_agrees_with_join(self):
+        # The regression that motivated the fix: the rows surviving the
+        # semi-join filter must be exactly the rows the recombination
+        # join keeps.
+        probe = self.right.project(["L"])
+        kept = self.left.semi_join_filter(
+            Table(("K",), [(v,) for v in probe.column("L")])
+        )
+        joined = self.left.equi_join(self.right, JoinPath.of(("K", "L")))
+        assert {r[:2] for r in joined.rows} == set(kept.rows)
+
+
+class TestProjectContract:
+    table = Table(("C", "A", "B"), [("c", "a", "b"), ("c2", "a", "b2")])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ExecutionError) as err:
+            self.table.project(["A", "B", "A"])
+        assert "cannot project on duplicated columns: ['A']" in str(err.value)
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(ExecutionError) as err:
+            self.table.project(["A", "Z"])
+        assert "cannot project on missing columns: ['Z']" in str(err.value)
+
+    def test_result_keeps_table_order(self):
+        # Output columns follow *table* attribute order, not request
+        # order — now documented, previously incidental.
+        assert self.table.project(["A", "C"]).attributes == ("C", "A")
+        assert self.table.project(["C", "A"]).attributes == ("C", "A")
+
+    def test_operator_matches_table(self):
+        with pytest.raises(ExecutionError) as err:
+            ProjectOperator(TableScan(self.table), ["A", "B", "A"])
+        assert "cannot project on duplicated columns: ['A']" in str(err.value)
+        projected = materialize(ProjectOperator(TableScan(self.table), ["A", "C"]))
+        assert projected == self.table.project(["A", "C"])
+        assert projected.attributes == ("C", "A")
+
+
+class TestByteAccounting:
+    rows = [
+        ("s", 1, 1.5, True, None),
+        ("longer", -12, 2.0, False, None),
+    ]
+    table = Table(("S", "I", "F", "B", "N"), rows)
+
+    def test_cell_width_matches_seed_rendering(self):
+        # One canonical accounting: cell_width(v) == len(str(v)) for
+        # every allowed scalar, None included (len("None") == 4).
+        for row in self.rows:
+            for value in row:
+                assert cell_width(value) == len(str(value))
+
+    def test_byte_size_is_sum_of_cell_widths(self):
+        expected = sum(cell_width(v) for row in self.rows for v in row)
+        assert self.table.byte_size() == expected
+
+    def test_oracle_agrees(self):
+        assert self.table.byte_size() == OracleTable(
+            self.table.attributes, self.rows
+        ).byte_size()
+
+    def test_coster_agrees_with_actual_bytes(self):
+        # The estimator's exact stats must reproduce the measured
+        # payload — for the columnar table and for a row-shaped
+        # duck-typed table alike.
+        for t in (self.table, OracleTable(self.table.attributes, self.rows)):
+            stats = TableStats.of_table(t)
+            assert stats.bytes_for(t.attributes) == pytest.approx(t.byte_size())
+
+
+class TestBatchInvariance:
+    @pytest.fixture()
+    def tables(self, instances, catalog):
+        return {
+            name: Table.from_rows(catalog.relation(name).attributes, rows)
+            for name, rows in instances.items()
+        }
+
+    def test_scan_roundtrip_any_batch_size(self):
+        table = Table(("A", "B"), [(f"a{i}", i % 5) for i in range(50)])
+        for size in (1, 3, 7, 64, 1000):
+            assert materialize(TableScan(table, size)) == table
+
+    def test_evaluate_plan_batch_size_invariant(self, plan, tables):
+        reference = evaluate_plan(plan, tables)
+        for size in (1, 17, 4096):
+            assert evaluate_plan(plan, tables, batch_size=size) == reference
+
+    def test_executor_batch_size_invariant(self, planner, plan, tables, policy):
+        assignment, _ = planner.plan(plan)
+        reference = DistributedExecutor(assignment, tables, policy=policy).run()
+        for size in (1, 13):
+            result = DistributedExecutor(
+                assignment, tables, policy=policy, batch_size=size
+            ).run()
+            assert result.table == reference.table
+            assert result.summary_dict() == reference.summary_dict()
+            assert [
+                (t.sender, t.receiver, t.row_count, t.byte_size)
+                for t in result.transfers
+            ] == [
+                (t.sender, t.receiver, t.row_count, t.byte_size)
+                for t in reference.transfers
+            ]
+
+    def test_filter_and_join_stream_match_table_ops(self):
+        left = Table(("A", "K"), [(f"a{i}", f"k{i % 7}") for i in range(40)])
+        right = Table(("L", "B"), [(f"k{i % 9}", f"b{i}") for i in range(30)])
+        predicate = Predicate([Comparison("K", "=", "k3")])
+        path = JoinPath.of(("K", "L"))
+        expected = left.select(predicate).equi_join(right, path)
+        for size in (1, 8, 100):
+            streamed = materialize(
+                HashJoinOperator(
+                    FilterOperator(TableScan(left, size), predicate),
+                    TableScan(right, size),
+                    path,
+                )
+            )
+            assert streamed == expected
+
+
+class TestColumnarWireFormat:
+    def test_roundtrip(self):
+        table = Table(
+            ("S", "I", "F", "B", "N"),
+            [("s", 1, 1.5, True, None), ("t", 1, 2.5, False, "x")],
+        )
+        assert table_from_columns(table_to_columns(table)) == table
+
+    def test_dictionary_is_shared_per_column(self):
+        table = Table(("A", "B"), [("x", i) for i in range(10)])
+        data = table_to_columns(table)
+        assert data["columns"]["A"]["values"] == ["x"]
+        assert data["columns"]["A"]["codes"] == [0] * 10
+
+
+class TestCanViewBatch:
+    @pytest.fixture()
+    def closed(self, policy, catalog):
+        return close_policy(policy, catalog)
+
+    @pytest.fixture()
+    def probes(self, planner, plan, policy, catalog):
+        closed = close_policy(policy, catalog)
+
+        class Recorder:
+            def __init__(self):
+                self.seen = []
+
+            def permits(self, profile, server):
+                self.seen.append((profile, server))
+                return closed.can_view(profile, server)
+
+        recorder = Recorder()
+        SafePlanner(recorder).plan(plan)
+        assert recorder.seen
+        return recorder.seen
+
+    def test_batch_matches_scalar(self, closed, probes):
+        by_server = {}
+        for profile, server in probes:
+            by_server.setdefault(server, []).append(profile)
+        for server, profiles in by_server.items():
+            assert closed.can_view_batch(profiles, server) == [
+                closed.can_view(p, server) for p in profiles
+            ]
+
+    def test_dispatch_matches_scalar_for_all_policy_kinds(self, closed, probes):
+        profiles = [p for p, _ in probes]
+        server = probes[0][1]
+
+        class Permits:
+            def permits(self, profile, target):
+                return closed.can_view(profile, target)
+
+        class NaiveRules:
+            def rules_for(self, target):
+                return closed.rules_for(target)
+
+        for policy in (closed, Permits(), NaiveRules()):
+            assert can_view_batch(policy, profiles, server) == [
+                can_view(policy, p, server) for p in profiles
+            ]
+
+    def test_batch_populates_the_same_memo_cache(self, closed, probes):
+        profiles = [p for p, _ in probes]
+        server = probes[0][1]
+        warmed = closed.can_view_batch(profiles, server)
+        before = closed.uncached_can_view_calls
+        # Every scalar re-ask must now be a pure cache hit.
+        assert [closed.can_view(p, server) for p in profiles] == warmed
+        assert closed.uncached_can_view_calls == before
+
+
+class TestPlannerBatchParity:
+    def _assert_same_assignment(self, policy, tree):
+        scalar, _ = SafePlanner(policy, batch_canview=False).plan(tree)
+        batched, _ = SafePlanner(policy, batch_canview=True).plan(tree)
+        assert scalar._executors == batched._executors
+        assert scalar._coordinators == batched._coordinators
+
+    def test_paper_plan(self, policy, plan):
+        self._assert_same_assignment(policy, plan)
+
+    def test_synthetic_workload(self):
+        workload = SyntheticWorkload(
+            seed=23,
+            config=WorkloadConfig(
+                servers=4,
+                relations=8,
+                grant_probability=0.6,
+                join_grant_probability=0.4,
+                extra_join_edges=2,
+            ),
+        )
+        closed = close_policy(workload.policy, workload.catalog, 50_000)
+        planned = 0
+        for _ in range(8):
+            try:
+                tree = build_plan(workload.catalog, workload.random_query(4))
+            except Exception:
+                continue
+            try:
+                self._assert_same_assignment(closed, tree)
+                planned += 1
+            except InfeasiblePlanError:
+                # Both lanes must agree on infeasibility too.
+                with pytest.raises(InfeasiblePlanError):
+                    SafePlanner(closed, batch_canview=False).plan(tree)
+        assert planned > 0
