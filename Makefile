@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-health test-obs test-cache test-service test-vector bench bench-kernel bench-health bench-obs bench-cache bench-service bench-vector trace-demo examples verify clean
+.PHONY: install test test-faults test-health test-obs test-cache test-service test-vector test-chaos bench bench-kernel bench-health bench-obs bench-cache bench-service bench-vector bench-chaos trace-demo examples verify clean
 
 install:
 	pip install -e .
@@ -46,6 +46,13 @@ test-service:
 test-vector:
 	$(PYTHON) -m pytest tests/test_vector.py tests/test_vector_diff.py
 
+# Chaos suite: the seeded schedule, the write-ahead service journal,
+# kill/restart recovery (in-process and across a process boundary),
+# the online invariant monitor, single-flight leader promotion, and
+# the chaos CLI (run + --replay).
+test-chaos:
+	$(PYTHON) -m pytest tests/test_chaos.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -86,6 +93,13 @@ bench-service:
 # CanView probes/sec at batch sizes 1/64/4096; writes BENCH_ABL15.json.
 bench-vector:
 	$(PYTHON) -m pytest benchmarks/bench_abl15_vector.py --benchmark-only -s
+
+# Chaos ablation: seeded 10k-request chaos run — gates recovery-on at
+# >=2x recovery-off completions with zero invariant/audit violations,
+# the invariant monitor at <5% overhead, and bit-exact seed replay;
+# writes BENCH_ABL16.json (CHAOS_SEED overrides the seed).
+bench-chaos:
+	$(PYTHON) -m pytest benchmarks/bench_abl16_chaos.py --benchmark-only -s
 
 # Trace the Figure 1-5 medical query end-to-end and export every
 # format: Chrome trace (load trace_demo.json in Perfetto /

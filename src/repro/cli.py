@@ -17,6 +17,12 @@ JSON catalog/policy files, see :mod:`repro.io`):
   query service (admission control, load shedding, single-flight
   planning; see :mod:`repro.service` and ``docs/serving.md``), with an
   optional live Prometheus scrape endpoint.
+* ``chaos``    — run a seeded chaos schedule (worker deaths, leader
+  crashes, admission stalls, policy storms, service kill/restart
+  cycles) through the service with crash-consistent recovery and the
+  online invariant monitor (see :mod:`repro.chaos` and
+  ``docs/chaos.md``); ``--replay ARTIFACT`` re-runs a recorded
+  violation artifact and verifies it reproduces bit-exactly.
 
 Examples::
 
@@ -29,6 +35,8 @@ Examples::
     python -m repro.cli check --server S_I --attributes Holder Plan
     python -m repro.cli serve --workload requests.json --tenants tenants.json \
         --port 0 --metrics-out metrics.prom
+    python -m repro.cli chaos --seed 16 --requests 1000 --kill-every 25
+    python -m repro.cli chaos --replay chaos_violations_seed16.json
 
 ``serve`` exit codes: 0 — every request resolved and the service
 drained cleanly (including after a single SIGINT, which stops new
@@ -297,6 +305,72 @@ def build_parser() -> argparse.ArgumentParser:
         "(flushed even on SIGINT)",
     )
 
+    chaos_cmd = commands.add_parser(
+        "chaos",
+        help="run a seeded chaos schedule against the query service "
+        "(or replay a recorded violation artifact)",
+    )
+    chaos_cmd.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="replay the chaos run a violation artifact recorded and "
+        "verify the digest reproduces bit-exactly (all other chaos "
+        "options are ignored — the artifact carries the full config)",
+    )
+    chaos_cmd.add_argument(
+        "--seed", type=int, default=16, help="chaos schedule seed"
+    )
+    chaos_cmd.add_argument(
+        "--requests", type=int, default=1000, help="requests to drive"
+    )
+    chaos_cmd.add_argument(
+        "--workers", type=int, default=8, help="service worker coroutines"
+    )
+    chaos_cmd.add_argument(
+        "--kill-every",
+        type=int,
+        default=25,
+        metavar="N",
+        help="kill/restart the service every N submissions "
+        "(0 = never; default 25)",
+    )
+    chaos_cmd.add_argument(
+        "--no-recovery",
+        dest="recovery",
+        action="store_false",
+        default=True,
+        help="drop the write-ahead journal: kills shed in-flight work "
+        "instead of recovering it",
+    )
+    chaos_cmd.add_argument(
+        "--cancel-rate", type=float, default=0.05, metavar="P",
+        help="worker-death probability per execution (default 0.05)",
+    )
+    chaos_cmd.add_argument(
+        "--leader-crash-rate", type=float, default=0.03, metavar="P",
+        help="single-flight leader crash probability (default 0.03)",
+    )
+    chaos_cmd.add_argument(
+        "--stall-rate", type=float, default=0.10, metavar="P",
+        help="admission stall probability (default 0.10)",
+    )
+    chaos_cmd.add_argument(
+        "--storm-rate", type=float, default=0.05, metavar="P",
+        help="policy grant/revoke storm probability (default 0.05)",
+    )
+    chaos_cmd.add_argument(
+        "--clock-jump-rate", type=float, default=0.05, metavar="P",
+        help="logical clock jump probability (default 0.05)",
+    )
+    chaos_cmd.add_argument(
+        "--artifact-out",
+        default=None,
+        metavar="FILE",
+        help="always write the replay artifact to FILE (default: only "
+        "on violation, as chaos_violations_seed<seed>.json)",
+    )
+
     check_cmd = commands.add_parser("check", help="one CanView question")
     check_cmd.add_argument("--server", required=True)
     check_cmd.add_argument("--attributes", nargs="+", required=True)
@@ -529,6 +603,90 @@ def _cmd_explain(system: DistributedSystem, args, out) -> int:
     print(render_explanation(system.policy, tree, explanations), file=out)
     print(f"\nfeasible: {feasible}", file=out)
     return 0 if feasible else 2
+
+
+def _cmd_chaos(system: DistributedSystem, args, out) -> int:
+    from repro.chaos import (
+        ChaosError,
+        ChaosRunConfig,
+        InvariantMonitor,
+        replay_artifact,
+        run_chaos,
+    )
+    from repro.chaos.replay import write_run_artifact
+
+    if args.replay:
+        try:
+            report, matched = replay_artifact(args.replay)
+        except (OSError, ValueError, ReproError) as error:
+            print(f"error: cannot replay {args.replay!r}: {error}", file=out)
+            return 2
+        print(
+            f"replayed seed {report.config.seed} "
+            f"({report.config.requests} requests): digest {report.digest()}",
+            file=out,
+        )
+        if matched:
+            print("replay matched the recorded digest", file=out)
+            return 0
+        print("replay DIVERGED from the recorded digest", file=out)
+        return 1
+
+    try:
+        config = ChaosRunConfig(
+            seed=args.seed,
+            requests=args.requests,
+            workers=args.workers,
+            recovery=args.recovery,
+            kill_every=args.kill_every or None,
+            cancel_probability=args.cancel_rate,
+            leader_crash_probability=args.leader_crash_rate,
+            stall_probability=args.stall_rate,
+            storm_probability=args.storm_rate,
+            clock_jump_probability=args.clock_jump_rate,
+            clock_jump=5.0 if args.clock_jump_rate else 0.0,
+            spins=1,
+        )
+    except ChaosError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    monitor = InvariantMonitor()
+    report = run_chaos(config, monitor=monitor)
+    counts = report.status_counts()
+    rendered = ", ".join(
+        f"{status}={count}" for status, count in sorted(counts.items())
+    )
+    print(
+        f"chaos seed {args.seed}: {report.ok_count}/{config.requests} ok "
+        f"({rendered})",
+        file=out,
+    )
+    print(
+        f"kills {report.kills}, recovered {report.recovered}, "
+        f"events {len(report.events)}, digest {report.digest()}",
+        file=out,
+    )
+    clean = not report.invariant_violations and not report.audit_violations
+    artifact = args.artifact_out
+    if artifact is None and not clean:
+        artifact = f"chaos_violations_seed{args.seed}.json"
+    if artifact:
+        write_run_artifact(report, artifact, monitor)
+        print(f"replay artifact written to {artifact}", file=out)
+    if clean:
+        print(
+            f"invariants clean ({report.monitor.get('checks', 0)} checks, "
+            "0 violations)",
+            file=out,
+        )
+        return 0
+    print(
+        f"VIOLATIONS: {report.invariant_violations} invariant, "
+        f"{report.audit_violations} audit — replay with: "
+        f"python -m repro.cli chaos --replay {artifact}",
+        file=out,
+    )
+    return 1
 
 
 def _cmd_check(system: DistributedSystem, args, out) -> int:
@@ -784,6 +942,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "check": _cmd_check,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -32,7 +32,7 @@ import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.distributed.network import NetworkModel
-from repro.exceptions import ExecutionError
+from repro.exceptions import ExecutionError, FaultConfigError
 
 #: Attempt statuses.
 STATUS_OK = "ok"
@@ -73,9 +73,9 @@ class _Window:
 
     def __init__(self, start: float, end: Optional[float]) -> None:
         if start < 0:
-            raise ExecutionError("fault window start cannot be negative")
+            raise FaultConfigError("fault window start cannot be negative")
         if end is not None and end <= start:
-            raise ExecutionError("fault window must end after it starts")
+            raise FaultConfigError("fault window must end after it starts")
         self.start = start
         self.end = end
 
@@ -122,8 +122,26 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     def crash(self, server: str, start: float = 0.0, end: Optional[float] = None) -> None:
-        """Take ``server`` down during ``[start, end)`` of logical time."""
-        self._crashes.setdefault(server, []).append(_Window(start, end))
+        """Take ``server`` down during ``[start, end)`` of logical time.
+
+        Raises:
+            FaultConfigError: on a negative or empty window, or when the
+                window overlaps an already-registered crash window for
+                the same server — overlapping windows always indicate a
+                schedule bug (a flap colliding with a standing crash),
+                and tolerating them silently makes downtime accounting
+                double-count.
+        """
+        window = _Window(start, end)
+        for existing in self._crashes.get(server, ()):
+            end_a = window.end if window.end is not None else float("inf")
+            end_b = existing.end if existing.end is not None else float("inf")
+            if window.start < end_b and existing.start < end_a:
+                raise FaultConfigError(
+                    f"crash window [{start}, {end}) for {server!r} overlaps "
+                    f"the existing window {existing.as_tuple()}"
+                )
+        self._crashes.setdefault(server, []).append(window)
 
     def flap(
         self,
@@ -140,8 +158,10 @@ class FaultInjector:
         Registered as plain downtime windows, so ``is_down`` and
         ``down_servers`` need no special casing.
         """
+        if start < 0:
+            raise FaultConfigError("flap start cannot be negative")
         if up <= 0 or down <= 0 or until <= start:
-            raise ExecutionError(
+            raise FaultConfigError(
                 "flap periods must be positive and until must follow start"
             )
         at = start + up
@@ -174,9 +194,16 @@ class FaultInjector:
             self._link_drop[(sender, receiver)] = probability
 
     def degrade_link(self, sender: str, receiver: str, factor: float) -> None:
-        """Multiply the duration of shipments over one directed link."""
+        """Multiply the duration of shipments over one directed link.
+
+        Raises:
+            FaultConfigError: for factors below 1 (negative factors and
+                "speedups" alike) — degradation only ever slows a link.
+        """
         if factor < 1.0:
-            raise ExecutionError("degradation factor must be >= 1")
+            raise FaultConfigError(
+                f"degradation factor must be >= 1, got {factor}"
+            )
         self._slowdown[(sender, receiver)] = factor
 
     # ------------------------------------------------------------------

@@ -40,6 +40,7 @@ from repro.engine.deadline import DeadlineBudget
 from repro.engine.executor import DistributedExecutor, ExecutionResult
 from repro.engine.resilience import RetryPolicy
 from repro.exceptions import (
+    ChaosInterrupt,
     DeadlineExceededError,
     DegradedExecutionError,
     InfeasiblePlanError,
@@ -85,6 +86,7 @@ class QueryPipeline:
         checkpoint: bool = False,
         resume_from: Optional[CheckpointJournal] = None,
         trace=None,
+        chaos=None,
     ) -> None:
         if faults is None and (
             deadline is not None
@@ -112,6 +114,7 @@ class QueryPipeline:
         self._checkpoint = checkpoint
         self._resume_from = resume_from
         self._trace = trace if trace is not None else system._trace
+        self._chaos = chaos
         self._product: Optional[Tuple[QueryTreePlan, Assignment, object]] = None
         self._coalesced = False
 
@@ -209,6 +212,7 @@ class QueryPipeline:
                 verify_assignment(
                     system.policy, assignment, recipient=self._recipient
                 )
+            self._fire_chaos("pre", None)
             executor = DistributedExecutor(
                 assignment,
                 system.tables(),
@@ -217,6 +221,7 @@ class QueryPipeline:
                 trace=trace,
             )
             result = executor.run(recipient=self._recipient)
+            self._fire_chaos("post", None)
             return self._stamp(result)
         journal: Optional[CheckpointJournal] = None
         resume_from = self._resume_from
@@ -245,10 +250,24 @@ class QueryPipeline:
                 }
         if self._verify:
             verify_assignment(system.policy, assignment, recipient=self._recipient)
+        self._fire_chaos("pre", journal)
         result = self._execute_resilient(
             tree, assignment, journal=journal, reuse=reuse
         )
+        # The "post" stage models the crash-consistency window: the run
+        # completed but its completion was never recorded, so a recovery
+        # must resume from the journal without double-shipping subtrees.
+        self._fire_chaos("post", journal)
         return self._stamp(result)
+
+    def _fire_chaos(self, stage: str, journal: Optional[CheckpointJournal]) -> None:
+        if self._chaos is None:
+            return
+        try:
+            self._chaos.fire("execute", stage=stage)
+        except ChaosInterrupt as interrupt:
+            interrupt.checkpoint = journal
+            raise
 
     def _stamp(self, result: ExecutionResult) -> ExecutionResult:
         cache = self._system.plan_cache

@@ -135,6 +135,17 @@ class ResilienceConfigError(ExecutionError, ValueError):
     """
 
 
+class FaultConfigError(ExecutionError, ValueError):
+    """A fault-injection schedule is misconfigured.
+
+    Negative durations, degradation factors below 1, flap periods that
+    never flap, or crash windows that overlap for the same server are
+    ordinary bad arguments: like :class:`ResilienceConfigError` this
+    subclasses :class:`ValueError` so callers outside the library catch
+    it as such, while existing ``ExecutionError`` handlers keep working.
+    """
+
+
 class FaultError(ExecutionError):
     """Base class for injected-fault runtime failures."""
 
@@ -195,6 +206,36 @@ class CheckpointError(ExecutionError):
     re-audits every entry against the *current* policy and refuses
     rather than replay a view the policy no longer grants.
     """
+
+
+class ChaosError(ReproError):
+    """A chaos schedule is misconfigured (bad probability, bad seed...)."""
+
+
+class ChaosInterrupt(ReproError):
+    """A seeded chaos event killed one request's execution mid-flight.
+
+    Raised by :class:`~repro.chaos.schedule.ChaosSchedule` at the
+    pipeline execution hook to model a worker dying mid-query.  The
+    service layer treats it as a crash of *that request only*: the
+    request either resumes from its journaled checkpoint subtrees
+    (recovery on) or fails with a structured outcome — the worker pool
+    itself survives.
+
+    Attributes:
+        point: the chaos hook that fired (``POINT_*`` constant).
+        stage: ``pre`` (before any subtree executed) or ``post`` (the
+            execution completed but its completion was never recorded —
+            the classic crash-consistency window).
+        checkpoint: filled by the pipeline when journaling was active —
+            the completed, audited subtrees at the moment of death.
+    """
+
+    def __init__(self, message: str, point: str = "", stage: str = "") -> None:
+        super().__init__(message)
+        self.point = point
+        self.stage = stage
+        self.checkpoint = None
 
 
 class DegradedExecutionError(FaultError):

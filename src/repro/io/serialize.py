@@ -341,6 +341,85 @@ def checkpoint_from_dict(data: Dict[str, Any]) -> CheckpointJournal:
 
 
 # ---------------------------------------------------------------------------
+# Service journals (chaos / crash-consistent recovery)
+# ---------------------------------------------------------------------------
+
+def service_journal_to_dict(journal) -> Dict[str, Any]:
+    """Encode a :class:`~repro.chaos.journal.ServiceJournal`.
+
+    Entries ride in admission order.  Queries serialize structurally
+    (SQL text as-is, bound specs via :func:`spec_to_dict`) and parked
+    checkpoint subtrees via :func:`checkpoint_to_dict` — everything a
+    restarted service needs to re-verify and resume, nothing transient
+    (futures never serialize).
+    """
+    entries = []
+    for entry in journal.entries():
+        if isinstance(entry.query, str):
+            query: Dict[str, Any] = {"sql": entry.query}
+        else:
+            query = {"spec": spec_to_dict(entry.query)}
+        entries.append(
+            {
+                "request_id": entry.request_id,
+                "tenant": entry.tenant,
+                "query": query,
+                "recipient": entry.recipient,
+                "admitted_epoch": entry.admitted_epoch,
+                "state": entry.state,
+                "outcome_status": entry.outcome_status,
+                "attempts": entry.attempts,
+                "checkpoint": (
+                    checkpoint_to_dict(entry.checkpoint)
+                    if entry.checkpoint is not None
+                    else None
+                ),
+            }
+        )
+    return {"entries": entries}
+
+
+def service_journal_from_dict(data: Dict[str, Any]):
+    """Decode a :class:`~repro.chaos.journal.ServiceJournal`.
+
+    Decoding performs no authorization checks — recovery re-verifies
+    every incomplete entry against the current policy before anything
+    runs (see :meth:`repro.service.service.QueryService.recover`).
+    """
+    from repro.chaos.journal import JournalEntry, ServiceJournal
+
+    if "entries" not in data:
+        raise ReproError("service journal dictionary lacks 'entries'")
+    journal = ServiceJournal()
+    for raw in data["entries"]:
+        query_data = raw.get("query", {})
+        if "sql" in query_data:
+            query: Any = query_data["sql"]
+        elif "spec" in query_data:
+            query = spec_from_dict(query_data["spec"])
+        else:
+            raise ReproError(
+                "service journal entry query needs 'sql' or 'spec'"
+            )
+        entry = JournalEntry(
+            int(raw["request_id"]),
+            raw["tenant"],
+            query,
+            raw.get("recipient"),
+            int(raw.get("admitted_epoch", 0)),
+        )
+        entry.attempts = int(raw.get("attempts", 0))
+        checkpoint = raw.get("checkpoint")
+        if checkpoint is not None:
+            entry.checkpoint = checkpoint_from_dict(checkpoint)
+        if raw.get("state") == "completed":
+            entry.state = "completed"
+            entry.outcome_status = raw.get("outcome_status") or "ok"
+        journal.restore(entry)
+    return journal
+
+
+# ---------------------------------------------------------------------------
 # Files
 # ---------------------------------------------------------------------------
 

@@ -19,6 +19,7 @@ from repro.service.admission import (
     REJECT_PRIORITY,
     REJECT_QUEUE_FULL,
     REJECT_RATE,
+    REJECT_RECOVERY,
     REJECT_SHUTDOWN,
     AdmissionController,
     AdmissionError,
@@ -55,6 +56,7 @@ __all__ = [
     "REJECT_PRIORITY",
     "REJECT_QUEUE_FULL",
     "REJECT_RATE",
+    "REJECT_RECOVERY",
     "REJECT_SHUTDOWN",
     "AdmissionController",
     "AdmissionError",

@@ -50,6 +50,7 @@ REJECT_PRIORITY = "shed-priority"
 REJECT_DEADLINE = "deadline-expired"
 REJECT_SHUTDOWN = "shutting-down"
 REJECT_BREAKER = "tenant-breaker-open"
+REJECT_RECOVERY = "recovery-rejected"
 
 
 class Rejection:

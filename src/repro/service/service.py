@@ -47,9 +47,12 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.plancache import fingerprint_tree
+from repro.distributed.faults import fault_free
 from repro.distributed.health import CircuitBreaker
 from repro.engine.deadline import DeadlineBudget
 from repro.exceptions import (
+    ChaosInterrupt,
+    CheckpointError,
     DeadlineExceededError,
     InfeasiblePlanError,
     ReproError,
@@ -61,6 +64,7 @@ from repro.service.admission import (
     DEGRADE_SHED,
     REJECT_BREAKER,
     REJECT_DEADLINE,
+    REJECT_RECOVERY,
     REJECT_SHUTDOWN,
     AdmissionController,
     CostEstimator,
@@ -169,14 +173,22 @@ class QueryOutcome:
 class _WorkItem:
     """One admitted request waiting for a worker."""
 
-    __slots__ = ("query", "recipient", "ticket", "future", "submitted_at")
+    __slots__ = (
+        "query", "recipient", "ticket", "future", "submitted_at",
+        "request_id", "retries",
+    )
 
-    def __init__(self, query, recipient, ticket, future, submitted_at) -> None:
+    def __init__(
+        self, query, recipient, ticket, future, submitted_at,
+        request_id=None,
+    ) -> None:
         self.query = query
         self.recipient = recipient
         self.ticket = ticket
         self.future = future
         self.submitted_at = submitted_at
+        self.request_id = request_id
+        self.retries = 0
 
     def __lt__(self, other: "_WorkItem") -> bool:  # pragma: no cover
         # PriorityQueue tie-breaker only; ordering is fully decided by
@@ -224,6 +236,20 @@ class QueryService:
         clock: zero-argument monotonic clock (default
             ``time.monotonic``; benches and tests inject deterministic
             counters).
+        chaos: optional :class:`~repro.chaos.ChaosSchedule`; when set
+            the service fires its chaos points (submit, worker, leader,
+            execute), runs pipelines on the schedule's fault injector,
+            and — unless an explicit ``clock`` was given — lives in the
+            schedule's logical clock so seeded runs replay exactly.
+        journal: optional :class:`~repro.chaos.ServiceJournal` — the
+            write-ahead log enabling :meth:`kill` / :meth:`recover`
+            crash consistency; one journal is threaded through every
+            service instance of a lineage.
+        monitor: optional :class:`~repro.chaos.InvariantMonitor`;
+            receives every lifecycle hook.  ``None`` (the default) is
+            structurally zero-cost — call sites guard, no dispatch.
+        max_chaos_retries: chaos-interrupted attempts per request
+            before the service gives up with a ``failed`` outcome.
     """
 
     def __init__(
@@ -243,9 +269,17 @@ class QueryService:
         metrics: Optional[MetricsRegistry] = None,
         trace=None,
         clock: Callable[[], float] = time.monotonic,
+        chaos=None,
+        journal=None,
+        monitor=None,
+        max_chaos_retries: int = 3,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
+        if max_chaos_retries < 0:
+            raise ServiceError(
+                f"max_chaos_retries cannot be negative, got {max_chaos_retries}"
+            )
         if not 0.0 < degrade_soft <= degrade_hard <= 1.0:
             raise ServiceError(
                 "degrade watermarks must satisfy 0 < soft <= hard <= 1, "
@@ -260,8 +294,18 @@ class QueryService:
             shed_priority_floor=shed_priority_floor,
         )
         self._estimator = CostEstimator(system)
-        self._singleflight = SingleFlight()
-        self._resultflight = SingleFlight()
+        self._chaos = chaos
+        self._journal = journal
+        self._monitor = monitor
+        self._max_chaos_retries = max_chaos_retries
+        if monitor is not None and chaos is not None:
+            monitor.bind_chaos(chaos)
+        if chaos is not None and clock is time.monotonic:
+            # Under chaos the service lives in the schedule's logical
+            # clock, which is what makes seeded runs replayable.
+            clock = lambda: chaos.clock  # noqa: E731
+        self._singleflight = SingleFlight(observer=monitor)
+        self._resultflight = SingleFlight(observer=monitor)
         self._degrade_soft = degrade_soft
         self._degrade_hard = degrade_hard
         self._breaker_threshold = breaker_threshold
@@ -280,12 +324,15 @@ class QueryService:
         self._workers: List["asyncio.Task"] = []
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._seq = 0
+        self._request_seq = 0
         self._running = False
         self._draining = False
+        self._killing = False
+        self._last_degrade = DEGRADE_NORMAL
         self._counts = {
             "submitted": 0, "admitted": 0, "shed": 0,
             OK: 0, INFEASIBLE: 0, FAILED: 0, "coalesced": 0,
-            "executions": 0, "result_coalesced": 0,
+            "executions": 0, "result_coalesced": 0, "recovered": 0,
         }
         # Pre-declare the latency family so the custom buckets win over
         # a lazy default-bucket creation.
@@ -362,6 +409,165 @@ class QueryService:
         self._draining = False
 
     # ------------------------------------------------------------------
+    # Crash / recovery (the chaos harness surface)
+    # ------------------------------------------------------------------
+
+    async def kill(self) -> None:
+        """Crash the service abruptly: cancel the workers mid-flight,
+        no drain, no goodbye.
+
+        With a :class:`~repro.chaos.ServiceJournal` attached this is
+        crash-consistent: in-hand and queued requests keep their
+        futures *pending* — the write-ahead journal owns them, and a
+        successor service constructed over the same journal resolves
+        every one via :meth:`recover` (resume or structured rejection,
+        never a hang).  Without a journal, queued requests resolve as
+        shed, exactly like ``stop(drain=False)``.
+        """
+        if not self._running:
+            return
+        self._killing = True
+        try:
+            for task in self._workers:
+                task.cancel()
+            await asyncio.gather(*self._workers, return_exceptions=True)
+            if self._queue is not None:
+                while not self._queue.empty():
+                    _, _, item = self._queue.get_nowait()
+                    if self._journal is None:
+                        self._finish_shed(
+                            item,
+                            Rejection(
+                                REJECT_SHUTDOWN,
+                                item.ticket.tenant.name,
+                                detail="service killed before the request ran",
+                                queue_depth=self._queue.qsize(),
+                            ),
+                        )
+                    self._queue.task_done()
+            self._workers = []
+            self._running = False
+            self.metrics.inc("repro_service_kills_total")
+        finally:
+            self._killing = False
+
+    async def recover(self) -> List[QueryOutcome]:
+        """Resolve every journaled-but-incomplete request, in admission
+        order: resume it under the *current* policy epoch or reject it
+        structurally (``recovery-rejected``).
+
+        Each incomplete entry replans through the live plan cache — a
+        policy mutated since the crash replans differently or refuses —
+        and, when the crashed execution parked checkpoint subtrees,
+        resumes from them after
+        :meth:`~repro.engine.checkpoint.CheckpointJournal.verify`
+        re-audits every parked table against the current policy.  A
+        checkpoint the policy no longer covers rejects the request
+        rather than replaying it unaudited.  Entries journaled complete
+        are never re-executed.
+
+        Returns the recovery outcomes (also delivered to any pending
+        submitter futures attached to the journal entries).
+
+        Raises:
+            ServiceError: without a journal, or before :meth:`start`.
+        """
+        if self._journal is None:
+            raise ServiceError("recover() requires a service journal")
+        if not self._running:
+            raise ServiceError(
+                "recover() requires a running service; call start() first"
+            )
+        outcomes: List[QueryOutcome] = []
+        for entry in self._journal.incomplete():
+            outcome = await self._recover_entry(entry)
+            self._journal.record_completed(entry.request_id, outcome.status)
+            if self._monitor is not None:
+                self._monitor.on_outcome(entry.request_id, outcome.status)
+                if outcome.ok:
+                    self._monitor.on_result(entry.request_id, outcome.result)
+            self._counts["recovered"] += 1
+            self._counts[SHED if outcome.status == SHED else outcome.status] += 1
+            self.metrics.inc(
+                "repro_service_recovered_total", disposition=outcome.status
+            )
+            if entry.future is not None and not entry.future.done():
+                entry.future.set_result(outcome)
+            outcomes.append(outcome)
+            await asyncio.sleep(0)
+        return outcomes
+
+    async def _recover_entry(self, entry) -> QueryOutcome:
+        started = self._clock()
+        epoch = self._system.policy.epoch
+        if self._monitor is not None:
+            self._monitor.adopt(entry.request_id, entry.tenant)
+        try:
+            key = self._plan_key(entry.query, False)
+        except ReproError as error:
+            return self._recovery_rejection(
+                entry, started, f"unbindable at recovery: {error}"
+            )
+        faults = self._chaos
+        if faults is None and entry.checkpoint is not None:
+            # resume_from needs an injector clock; recovery without a
+            # chaos schedule runs on a quiet one.
+            faults = fault_free()
+        # Note: no ``chaos=`` — recovery itself is fenced from injected
+        # worker deaths, as a real recovery pass would be.
+        pipeline = self._system.pipeline(
+            entry.query,
+            recipient=entry.recipient,
+            search_join_orders=False,
+            trace=self._trace,
+            faults=faults,
+            resume_from=entry.checkpoint,
+        )
+        exec_key = (key, entry.recipient, epoch)
+        if self._monitor is not None:
+            self._monitor.on_execution_start(exec_key)
+        try:
+            self._counts["executions"] += 1
+            result = pipeline.run()
+        except CheckpointError as error:
+            return self._recovery_rejection(
+                entry, started,
+                f"checkpoint no longer verifies at epoch {epoch}: {error}",
+            )
+        except InfeasiblePlanError as error:
+            return QueryOutcome(
+                INFEASIBLE, entry.tenant, error=str(error),
+                latency=self._clock() - started,
+            )
+        except ReproError as error:
+            return QueryOutcome(
+                FAILED, entry.tenant, error=str(error),
+                latency=self._clock() - started,
+            )
+        finally:
+            if self._monitor is not None:
+                self._monitor.on_execution_end(exec_key)
+        return QueryOutcome(
+            OK, entry.tenant, result=result,
+            latency=self._clock() - started,
+        )
+
+    def _recovery_rejection(
+        self, entry, started: float, detail: str
+    ) -> QueryOutcome:
+        self.metrics.inc(
+            "repro_service_shed_total",
+            tenant=entry.tenant,
+            reason=REJECT_RECOVERY,
+        )
+        return QueryOutcome(
+            SHED,
+            entry.tenant,
+            rejection=Rejection(REJECT_RECOVERY, entry.tenant, detail=detail),
+            latency=self._clock() - started,
+        )
+
+    # ------------------------------------------------------------------
     # Degradation ladder
     # ------------------------------------------------------------------
 
@@ -385,6 +591,13 @@ class QueryService:
                 failure_threshold=self._breaker_threshold,
                 cooldown=self._breaker_cooldown,
             )
+            if self._monitor is not None:
+                monitor = self._monitor
+                breaker.set_transition_observer(
+                    lambda old, new, at, _tenant=tenant: monitor.on_breaker(
+                        _tenant, old, new
+                    )
+                )
         return breaker
 
     # ------------------------------------------------------------------
@@ -396,8 +609,11 @@ class QueryService:
         :meth:`~repro.distributed.system.DistributedSystem.add_authorization`).
         In-flight requests see the widened policy on their next epoch
         probe."""
+        before = self._system.policy.epoch
         added = self._system.add_authorization(authorization, trace=self._trace)
         self.metrics.inc("repro_service_policy_churn_total", kind="grant")
+        if self._monitor is not None:
+            self._monitor.on_epoch(before, self._system.policy.epoch)
         return added
 
     def revoke_authorization(self, authorization) -> None:
@@ -406,8 +622,11 @@ class QueryService:
         Every queued or coalesced request re-verifies before shipping,
         so the revocation takes effect for work admitted *before* it
         landed."""
+        before = self._system.policy.epoch
         self._system.revoke_authorization(authorization, trace=self._trace)
         self.metrics.inc("repro_service_policy_churn_total", kind="revoke")
+        if self._monitor is not None:
+            self._monitor.on_epoch(before, self._system.policy.epoch)
 
     # ------------------------------------------------------------------
     # Submission
@@ -431,11 +650,22 @@ class QueryService:
         """
         if not self._running:
             raise ServiceError("service is not running; call start() first")
+        if self._chaos is not None:
+            # Policy grant/revoke storms and clock jumps land at the
+            # submit boundary, before admission reads the epoch.
+            for op, rule in self._chaos.fire("submit").get("storm", ()):
+                if op == "grant":
+                    self.add_authorization(rule)
+                else:
+                    self.revoke_authorization(rule)
         now = self._clock()
         self._counts["submitted"] += 1
         self.metrics.inc("repro_service_requests_total", tenant=tenant)
         level = self.degrade_level()
         self.metrics.set_gauge("repro_service_degrade_level", level)
+        if self._monitor is not None and level != self._last_degrade:
+            self._monitor.on_degrade(self._last_degrade, level)
+            self._last_degrade = level
         if self._draining:
             return self._shed_outcome(
                 tenant,
@@ -486,7 +716,25 @@ class QueryService:
             "repro_service_inflight_bytes", self._admission.inflight_bytes
         )
         future = asyncio.get_running_loop().create_future()
-        item = _WorkItem(query, recipient, decision, future, now)
+        if self._journal is not None:
+            # Write-ahead: the admission is journaled *before* the
+            # request can queue, so a crash between here and the
+            # outcome leaves a recoverable record, never a lost future.
+            request_id = self._journal.record_admitted(
+                tenant, query, recipient, self._system.policy.epoch, future
+            )
+        elif self._monitor is not None:
+            # Monitor-issued ids stay unique across kill/restart cycles
+            # that share one monitor (a local counter would collide).
+            request_id = self._monitor.issue_id()
+        else:
+            self._request_seq += 1
+            request_id = self._request_seq
+        if self._monitor is not None:
+            self._monitor.on_admitted(request_id, tenant)
+        item = _WorkItem(
+            query, recipient, decision, future, now, request_id=request_id
+        )
         self._seq += 1
         # Higher priority first; FIFO within a priority class.
         self._queue.put_nowait((-decision.tenant.priority, self._seq, item))
@@ -534,8 +782,19 @@ class QueryService:
         while True:
             _, _, item = await self._queue.get()
             try:
+                if self._chaos is not None:
+                    # Admission-queue stall: the worker yields the event
+                    # loop N times before touching its item.
+                    stall = self._chaos.fire("worker").get("stall", 0)
+                    for _ in range(int(stall)):
+                        await asyncio.sleep(0)
                 await self._process(item)
             except asyncio.CancelledError:
+                if self._killing and self._journal is not None:
+                    # kill(): crash semantics — leave the future
+                    # pending; the journal owns this request now and a
+                    # successor's recover() resolves it.
+                    raise
                 # stop(drain=False) cancelled us while this item was in
                 # hand — it can only land at a pre-execution await, so
                 # resolve the submitter with a shed (never a partial
@@ -598,11 +857,18 @@ class QueryService:
         search = self._search_join_orders and (
             ticket.degrade_level < DEGRADE_PLANNING
         )
+        resume = None
+        if self._journal is not None and item.request_id is not None:
+            resume = self._journal.get(item.request_id).checkpoint
         pipeline = self._system.pipeline(
             item.query,
             recipient=item.recipient,
             search_join_orders=search,
             trace=self._trace,
+            faults=self._chaos,
+            checkpoint=self._chaos is not None and self._journal is not None,
+            resume_from=resume,
+            chaos=self._chaos,
         )
         try:
             key = self._plan_key(item.query, search)
@@ -615,12 +881,23 @@ class QueryService:
             # single-flight gate and park as followers before the
             # leader does the (synchronous) planning work.
             await asyncio.sleep(0)
+            if self._chaos is not None:
+                self._chaos.fire("leader")
             return self._system.plan(
                 item.query, search_join_orders=search, trace=self._trace
             )
 
         try:
             product, coalesced = await self._singleflight.run(key, compute)
+        except asyncio.CancelledError as error:
+            if getattr(error, "chaos", None) is None:
+                raise
+            # Injected leader crash: a waiting follower was promoted to
+            # rerun the flight; this request goes back in the queue.
+            self._requeue_after_chaos(
+                item, "single-flight leader crashed mid-plan"
+            )
+            return
         except InfeasiblePlanError as error:
             self._finish_failure(item, INFEASIBLE, str(error))
             return
@@ -648,18 +925,48 @@ class QueryService:
             # Yield once so identical requests park as result followers
             # before the leader enters the synchronous execute section.
             await asyncio.sleep(0)
+            if self._chaos is not None:
+                self._chaos.fire("leader")
             # Leader adopts the product: the pipeline re-verifies an
             # adopted plan against the then-current policy before
             # anything ships, which is what makes the
             # admission-to-execution window safe under policy churn.
             pipeline.use_plan(*product)
             self._counts["executions"] += 1
-            return pipeline.run()
+            if self._monitor is not None:
+                self._monitor.on_execution_start(exec_key)
+            try:
+                return pipeline.run()
+            finally:
+                if self._monitor is not None:
+                    self._monitor.on_execution_end(exec_key)
 
         try:
             result, result_shared = await self._resultflight.run(
                 exec_key, run_shared
             )
+        except asyncio.CancelledError as error:
+            if getattr(error, "chaos", None) is None:
+                raise
+            self._requeue_after_chaos(
+                item, "single-flight leader crashed mid-execution"
+            )
+            return
+        except ChaosInterrupt as error:
+            # The worker "died" mid-query.  Park whatever completed,
+            # audited subtrees the run checkpointed and retry.
+            self._requeue_after_chaos(
+                item, str(error), checkpoint=error.checkpoint
+            )
+            return
+        except CheckpointError as error:
+            # A parked checkpoint no longer verifies (policy churn
+            # revoked a subtree, or the replan changed shape): drop it
+            # and retry from scratch rather than replaying stale state.
+            if self._journal is not None and item.request_id is not None:
+                self._journal.get(item.request_id).checkpoint = None
+            self._requeue_after_chaos(item, f"checkpoint refused: {error}")
+            return
         except InfeasiblePlanError as error:
             # Churn between planning and execution withdrew the route
             # and no alternative exists under the reduced policy.
@@ -698,6 +1005,28 @@ class QueryService:
             return fingerprint_tree(payload)
         return (payload.fingerprint(), search)
 
+    def _requeue_after_chaos(
+        self, item: _WorkItem, reason: str, checkpoint=None
+    ) -> None:
+        """Put a chaos-interrupted request back in the queue (bounded
+        attempts), journaling any parked checkpoint first."""
+        item.retries += 1
+        attempts = item.retries
+        if self._journal is not None and item.request_id is not None:
+            self._journal.record_checkpoint(item.request_id, checkpoint)
+            attempts = self._journal.record_attempt(item.request_id)
+        if attempts > self._max_chaos_retries:
+            self._finish_failure(
+                item,
+                FAILED,
+                f"chaos: gave up after {attempts} interrupted attempts: "
+                f"{reason}",
+            )
+            return
+        self.metrics.inc("repro_service_chaos_requeues_total")
+        self._seq += 1
+        self._queue.put_nowait((-item.ticket.tenant.priority, self._seq, item))
+
     # ------------------------------------------------------------------
     # Outcome plumbing
     # ------------------------------------------------------------------
@@ -734,6 +1063,7 @@ class QueryService:
                 outcome.latency,
                 tenant=outcome.tenant,
             )
+        self._record_terminal(item, outcome)
         if not item.future.done():
             item.future.set_result(outcome)
 
@@ -742,8 +1072,20 @@ class QueryService:
         outcome = self._shed_outcome(
             rejection.tenant, rejection, item.submitted_at
         )
+        self._record_terminal(item, outcome)
         if not item.future.done():
             item.future.set_result(outcome)
+
+    def _record_terminal(self, item: _WorkItem, outcome: QueryOutcome) -> None:
+        """Journal + monitor bookkeeping for one terminal outcome."""
+        if item.request_id is None:
+            return
+        if self._journal is not None:
+            self._journal.record_completed(item.request_id, outcome.status)
+        if self._monitor is not None:
+            self._monitor.on_outcome(item.request_id, outcome.status)
+            if outcome.status == OK:
+                self._monitor.on_result(item.request_id, outcome.result)
 
     def _finish_failure(self, item: _WorkItem, status: str, error: str) -> None:
         breaker = self._breaker(item.ticket.tenant.name)
@@ -778,8 +1120,15 @@ class QueryService:
             "coalesced": self._counts["coalesced"],
             "executions": self._counts["executions"],
             "result_coalesced": self._counts["result_coalesced"],
+            "recovered": self._counts["recovered"],
+            "plan_promotions": self._singleflight.promotions,
+            "result_promotions": self._resultflight.promotions,
             "queue_depth": self._queue.qsize() if self._queue is not None else 0,
             "degrade_level": self.degrade_level(),
             "admission": self._admission.snapshot(),
             "plan_cache": cache.snapshot() if cache is not None else None,
+            "journal": (
+                self._journal.counts() if self._journal is not None else None
+            ),
+            "chaos": self._chaos.summary() if self._chaos is not None else None,
         }

@@ -16,6 +16,13 @@ then-current policy before anything ships
 the contract), so a policy mutation that lands between the leader's
 fill and a follower's execution forces the follower through the plan
 cache's epoch probe rather than onto a stale plan.
+
+Leader cancellation: a leader whose ``compute`` is cancelled (a client
+disconnect, a chaos-injected crash) does *not* fail its followers.
+The cancellation is the leader's private fate; the first waiting
+follower is promoted to re-run the flight and the rest keep waiting on
+the promoted leader.  Only a non-cancellation error propagates to every
+waiter — those are properties of the computation, not of the caller.
 """
 
 from __future__ import annotations
@@ -23,14 +30,31 @@ from __future__ import annotations
 import asyncio
 from typing import Awaitable, Callable, Dict, Tuple
 
+#: Sentinel resolved into a cancelled leader's future: waiting
+#: followers interpret it as "the leader died without an answer —
+#: promote yourself and re-run the flight".
+_RERUN = object()
+
 
 class SingleFlight:
-    """Per-key coalescing of concurrent async computations."""
+    """Per-key coalescing of concurrent async computations.
 
-    def __init__(self) -> None:
+    Args:
+        observer: optional duck-typed listener (e.g. the chaos
+            :class:`~repro.chaos.invariants.InvariantMonitor`); when
+            set, ``flight_started(key)`` / ``flight_finished(key)``
+            bracket every leader computation and
+            ``flight_promoted(key)`` fires when a follower takes over a
+            cancelled leader's flight.  ``None`` (the default) keeps
+            the hot path free of any observer dispatch.
+    """
+
+    def __init__(self, observer=None) -> None:
         self._inflight: Dict[object, "asyncio.Future"] = {}
+        self._observer = observer
         self._leads = 0
         self._followers = 0
+        self._promotions = 0
 
     @property
     def inflight(self) -> int:
@@ -47,6 +71,11 @@ class SingleFlight:
         """Requests served by another request's computation."""
         return self._followers
 
+    @property
+    def promotions(self) -> int:
+        """Followers promoted to leader after a leader cancellation."""
+        return self._promotions
+
     async def run(
         self, key: object, compute: Callable[[], Awaitable[object]]
     ) -> Tuple[object, bool]:
@@ -58,30 +87,62 @@ class SingleFlight:
         exception) with ``coalesced=True``.  The key is released once
         the leader resolves, so later calls compute afresh — the plan
         cache, not this class, is the long-term memo.
+
+        A *cancelled* leader promotes a waiting follower instead of
+        failing the herd: the follower re-runs ``compute`` (its own
+        ``compute`` — computations for one key are interchangeable by
+        construction) and the remaining waiters follow the new leader.
+        The cancellation still propagates to the original leader.
         """
-        existing = self._inflight.get(key)
-        if existing is not None:
-            self._followers += 1
-            result = await asyncio.shield(existing)
-            return result, True
-        loop = asyncio.get_running_loop()
-        future: "asyncio.Future" = loop.create_future()
-        self._inflight[key] = future
-        self._leads += 1
-        try:
-            result = await compute()
-        except BaseException as error:  # noqa: BLE001 - propagated to waiters
-            if not future.done():
-                future.set_exception(error)
-            # A future whose exception is never retrieved warns at GC;
-            # every follower retrieves it, but with zero followers we
-            # must mark it retrieved ourselves.
-            future.exception()
-            raise
-        else:
-            if not future.done():
-                future.set_result(result)
-            return result, False
-        finally:
-            if self._inflight.get(key) is future:
-                del self._inflight[key]
+        promoted = False
+        while True:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self._followers += 1
+                result = await asyncio.shield(existing)
+                if result is _RERUN:
+                    # The leader was cancelled mid-flight.  Its future
+                    # resolved every waiter with the sentinel; whichever
+                    # waiter wakes first re-enters the loop, finds the
+                    # key free and leads — the rest park behind it.
+                    self._followers -= 1
+                    promoted = True
+                    continue
+                return result, True
+            loop = asyncio.get_running_loop()
+            future: "asyncio.Future" = loop.create_future()
+            self._inflight[key] = future
+            self._leads += 1
+            if promoted:
+                self._promotions += 1
+                if self._observer is not None:
+                    self._observer.flight_promoted(key)
+            if self._observer is not None:
+                self._observer.flight_started(key)
+            try:
+                result = await compute()
+            except asyncio.CancelledError:
+                # The leader's cancellation is not the followers'
+                # problem: hand the flight to the first waiter instead
+                # of failing the herd, then let the cancellation keep
+                # propagating to this (former) leader's caller.
+                if not future.done():
+                    future.set_result(_RERUN)
+                raise
+            except BaseException as error:  # noqa: BLE001 - propagated to waiters
+                if not future.done():
+                    future.set_exception(error)
+                # A future whose exception is never retrieved warns at GC;
+                # every follower retrieves it, but with zero followers we
+                # must mark it retrieved ourselves.
+                future.exception()
+                raise
+            else:
+                if not future.done():
+                    future.set_result(result)
+                return result, False
+            finally:
+                if self._inflight.get(key) is future:
+                    del self._inflight[key]
+                if self._observer is not None:
+                    self._observer.flight_finished(key)
