@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-health test-obs test-cache test-service test-vector test-chaos bench bench-kernel bench-health bench-obs bench-cache bench-service bench-vector bench-chaos trace-demo examples verify clean
+.PHONY: install test test-faults test-health test-obs test-cache test-service test-vector test-chaos test-profiling bench bench-kernel bench-health bench-obs bench-cache bench-service bench-vector bench-chaos bench-profiling trace-demo examples verify clean
 
 install:
 	pip install -e .
@@ -53,6 +53,12 @@ test-vector:
 test-chaos:
 	$(PYTHON) -m pytest tests/test_chaos.py
 
+# Profiling suite: profiler/StatsStore unit tests, the exact
+# estimate-vs-actual regression lock, serialization round-trips, the
+# stats-fed replan, and the byte-stable EXPLAIN ANALYZE goldens.
+test-profiling:
+	$(PYTHON) -m pytest tests/test_profiling.py tests/test_profiling_golden.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -100,6 +106,13 @@ bench-vector:
 # writes BENCH_ABL16.json (CHAOS_SEED overrides the seed).
 bench-chaos:
 	$(PYTHON) -m pytest benchmarks/bench_abl16_chaos.py --benchmark-only -s
+
+# Profiling ablation: skewed workload where harvested runtime stats
+# replan to >=1.3x fewer shipped bytes (byte-identical results, zero
+# violations) and the profiler-off path stays within 5% of the
+# pre-profiling transcription; writes BENCH_ABL17.json.
+bench-profiling:
+	$(PYTHON) -m pytest benchmarks/bench_abl17_profiling.py --benchmark-only -s
 
 # Trace the Figure 1-5 medical query end-to-end and export every
 # format: Chrome trace (load trace_demo.json in Perfetto /

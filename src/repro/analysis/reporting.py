@@ -86,6 +86,100 @@ def render_policy_table(policy: Policy) -> str:
     return ascii_table(["#", "Attributes", "Join Path", "Server"], rows)
 
 
+def render_profile_report(profile) -> str:
+    """EXPLAIN ANALYZE rendering of one
+    :class:`~repro.profiling.QueryProfile`: estimated vs actual side by
+    side, with misestimation flags.
+
+    Two tables — the operator tree (estimated vs observed cardinality,
+    observed join selectivity, per-operator time on the run's clock) and
+    the transfers (estimated vs shipped bytes with the actual/estimate
+    ratio) — followed by block-throughput and summary footer lines.
+    Transfers whose actual bytes overshot the estimate by the profile's
+    misestimate factor are flagged ``!!``; operators whose cardinality
+    did the same are flagged ``!``.  Deterministic under a pinned clock
+    (the CLI's ``analyze`` output is golden-file tested).
+    """
+    operator_rows = []
+    for op in profile.sorted_operators():
+        kind = f"{op.kind} {op.relation}" if op.relation else op.kind
+        est = "" if op.est_rows is None else f"{op.est_rows:.1f}"
+        sel = "" if op.selectivity is None else f"{op.selectivity:.4f}"
+        flag = ""
+        if op.est_rows is not None and op.rows > profile.misestimate_factor * max(
+            op.est_rows, 1.0
+        ):
+            flag = "!"
+        operator_rows.append(
+            [
+                f"n{op.node_id}",
+                kind,
+                op.server,
+                est,
+                op.rows,
+                sel,
+                f"{op.elapsed:.3f}",
+                flag,
+            ]
+        )
+    flagged = {
+        (f["node_id"], f["sender"], f["receiver"], f["actual_bytes"])
+        for f in profile.misestimates
+    }
+    transfer_rows = []
+    for t in profile.transfers:
+        est = "" if t.est_bytes is None else f"{t.est_bytes:.1f}"
+        ratio = (
+            "" if t.est_bytes is None else f"{t.bytes / max(t.est_bytes, 1.0):.2f}x"
+        )
+        flag = "!!" if (t.node_id, t.sender, t.receiver, t.bytes) in flagged else ""
+        transfer_rows.append(
+            [
+                f"n{t.node_id}",
+                f"{t.sender}->{t.receiver}",
+                t.kind,
+                est,
+                f"{t.bytes:.1f}",
+                t.rows,
+                ratio,
+                flag,
+            ]
+        )
+    lines = [
+        "operators",
+        ascii_table(
+            ["Node", "Op", "Server", "Est rows", "Rows", "Selectivity", "Time", ""],
+            operator_rows,
+        ),
+        "",
+        "transfers",
+    ]
+    if transfer_rows:
+        lines.append(
+            ascii_table(
+                ["Node", "Link", "Kind", "Est B", "Actual B", "Rows", "Ratio", ""],
+                transfer_rows,
+            )
+        )
+    else:
+        lines.append("(all flows local — nothing shipped)")
+    if profile.block_counts:
+        blocks = " ".join(
+            f"{kind}={counts[0]}/{counts[1]}"
+            for kind, counts in sorted(profile.block_counts.items())
+        )
+        lines.append("")
+        lines.append(f"blocks (batches/rows): {blocks}")
+    lines.append(
+        f"summary: estimated {profile.estimated_bytes:.1f} B, "
+        f"actual {profile.actual_bytes:.1f} B (plan flows) | "
+        f"{profile.canview_probes} canview probes | "
+        f"{len(profile.misestimates)} misestimates | "
+        f"elapsed {profile.elapsed:.3f}"
+    )
+    return "\n".join(lines)
+
+
 #: Version of the ``BENCH_*.json`` layout; bump when sections change
 #: shape incompatibly.  Consumers select on it instead of sniffing keys.
 BENCH_SCHEMA_VERSION = 1
@@ -117,20 +211,35 @@ _LATENCY_KEYS = ("p50", "p95", "p99")
 #: zero-filled when a size was not measured.
 _BATCH_SWEEP_KEYS = ("1", "64", "4096")
 
+#: The always-present keys of a bench file's ``"profile"`` section
+#: (mirrors :meth:`repro.profiling.QueryProfile.summary_dict`).  Count
+#: keys are integers, byte/elapsed keys floats; ABL17 and future
+#: profiled benches share this one shape.
+_PROFILE_INT_KEYS = ("operators", "transfers", "canview_probes", "misestimates")
+_PROFILE_FLOAT_KEYS = ("estimated_bytes", "actual_bytes", "elapsed")
+
 
 def latency_percentiles(samples):
     """``{p50, p95, p99}`` of a latency sample list, zero-filled when
     empty — the exact shape ``write_bench_json(latency=...)`` accepts.
 
-    Percentiles use the nearest-rank method on the sorted samples, so
-    tiny sample sets stay deterministic (no interpolation).
+    Percentiles use the true nearest-rank method on the sorted samples
+    (rank ``⌈q·N⌉``, 1-based), so tiny sample sets stay deterministic —
+    no interpolation, a single sample reports itself at every
+    percentile, and the p50 of an odd-length series is its median.  The
+    earlier ``round()``-based rank suffered banker's rounding: p50 of
+    five samples picked the *second* element instead of the third.
     """
+    import math
+
     ordered = sorted(samples)
     if not ordered:
         return {key: 0.0 for key in _LATENCY_KEYS}
+
     def rank(q):
-        index = max(0, min(len(ordered) - 1, int(round(q * len(ordered))) - 1))
+        index = min(len(ordered), max(1, math.ceil(q * len(ordered)))) - 1
         return float(ordered[index])
+
     return {"p50": rank(0.50), "p95": rank(0.95), "p99": rank(0.99)}
 
 
@@ -142,6 +251,7 @@ def write_bench_json(
     plan_cache=None,
     latency=None,
     batch_sweep=None,
+    profile=None,
 ):
     """Merge one benchmark's results into ``BENCH_<NAME>.json``.
 
@@ -178,6 +288,14 @@ def write_bench_json(
             (``"1"``/``"64"``/``"4096"``) are always all present,
             zero-filled when absent from the input.  ABL15 and future
             vectorized benches share this one shape.
+        profile: optional query-profile summary — a
+            :class:`~repro.profiling.QueryProfile`, its
+            ``summary_dict()``, or ``None`` — merged in as a
+            ``"profile"`` section whose keys (operators/transfers/
+            canview_probes/misestimates as ints, estimated_bytes/
+            actual_bytes/elapsed as floats) are always all present,
+            zero-filled when absent from the input.  ABL17 and future
+            profiled benches share this one shape.
 
     Returns:
         The path written.
@@ -214,6 +332,17 @@ def write_bench_json(
         data["batch_sweep"] = {
             key: float(normalized.get(key, 0.0)) for key in _BATCH_SWEEP_KEYS
         }
+    if profile is not None:
+        summary = (
+            profile.summary_dict()
+            if hasattr(profile, "summary_dict")
+            else dict(profile)
+        )
+        section = {key: int(summary.get(key, 0)) for key in _PROFILE_INT_KEYS}
+        section.update(
+            {key: float(summary.get(key, 0.0)) for key in _PROFILE_FLOAT_KEYS}
+        )
+        data["profile"] = section
     data["schema"] = BENCH_SCHEMA_VERSION
     data["generated_by"] = BENCH_GENERATED_BY
     with open(path, "w", encoding="utf-8") as handle:

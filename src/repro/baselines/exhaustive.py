@@ -150,16 +150,21 @@ def optimal_safe_assignment(
     plan: QueryTreePlan,
     base_stats: Mapping[str, TableStats],
     cost_model: Optional[CostModel] = None,
+    selectivities=None,
 ) -> Optional[Tuple[Assignment, float]]:
     """The cheapest safe assignment by estimated communication cost.
 
     Returns ``(assignment, cost)``, or ``None`` when the plan is
     infeasible.  Ties break toward the assignment enumerated first, which
-    makes results deterministic.
+    makes results deterministic.  ``selectivities`` optionally refines
+    join cardinalities with observed per-path values (see
+    :func:`~repro.engine.coster.estimate_assignment_cost`).
     """
     best: Optional[Tuple[Assignment, float]] = None
     for assignment in enumerate_safe_assignments(policy, plan):
-        cost = estimate_assignment_cost(assignment, base_stats, cost_model)
+        cost = estimate_assignment_cost(
+            assignment, base_stats, cost_model, selectivities
+        )
         if best is None or cost < best[1]:
             best = (assignment, cost)
     return best

@@ -9,6 +9,12 @@ JSON catalog/policy files, see :mod:`repro.io`):
 * ``execute``  — run the query tuple-level and report every audited
   transfer (medical workload generates instances; JSON workloads take
   ``--instances``);
+* ``analyze``  — EXPLAIN ANALYZE: run the query under the profiler and
+  render estimated vs actual cardinalities and bytes side by side with
+  misestimation flags; ``--stats FILE`` keeps a statistics store warm
+  across invocations (harvested profiles written back), closing the
+  plan-quality feedback loop (see :mod:`repro.profiling` and
+  ``docs/profiling.md``);
 * ``suggest``  — for an infeasible query, the smallest grants that
   would unlock it (what-if analysis);
 * ``check``    — a single CanView question: may SERVER see these
@@ -207,6 +213,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write the run's metrics in Prometheus text exposition to FILE",
+    )
+
+    analyze_cmd = commands.add_parser(
+        "analyze",
+        help="EXPLAIN ANALYZE: run a query under the profiler and render "
+        "estimated vs actual",
+    )
+    analyze_cmd.add_argument("--sql", required=True)
+    analyze_cmd.add_argument("--recipient", help="deliver the result to this party")
+    analyze_cmd.add_argument(
+        "--instances", help="JSON instances file (relation -> rows)"
+    )
+    analyze_cmd.add_argument("--seed", type=int, default=7)
+    analyze_cmd.add_argument("--citizens", type=int, default=100)
+    analyze_cmd.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        help="profiled executions; each harvests into the stats store, and "
+        "the last one is rendered (default 1)",
+    )
+    analyze_cmd.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault-free injector supplying the deterministic "
+        "logical clock (profiles are byte-stable per seed)",
+    )
+    analyze_cmd.add_argument(
+        "--misestimate-factor",
+        type=float,
+        default=2.0,
+        metavar="F",
+        help="flag a transfer when actual bytes exceed F x estimate "
+        "(default 2.0); any flag makes the command exit 1",
+    )
+    analyze_cmd.add_argument(
+        "--stats",
+        default=None,
+        metavar="FILE",
+        help="statistics store JSON: loaded when it exists, written back "
+        "with this run's harvest (keeps estimates warm across invocations)",
+    )
+    analyze_cmd.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help="write the rendered run's profile artifact JSON to FILE",
     )
 
     suggest_cmd = commands.add_parser(
@@ -577,6 +631,76 @@ def _build_injector(args, out):
     return faults
 
 
+def _cmd_analyze(system: DistributedSystem, args, out) -> int:
+    import os
+
+    from repro.analysis.reporting import render_profile_report
+    from repro.io.serialize import (
+        query_profile_to_dict,
+        stats_store_from_dict,
+        stats_store_to_dict,
+    )
+    from repro.profiling import QueryProfiler, StatsStore
+
+    if args.instances:
+        system.load_instances(load_json(args.instances))
+    elif not args.catalog:
+        system.load_instances(
+            generate_instances(seed=args.seed, citizens=args.citizens)
+        )
+    else:
+        print("error: --instances is required for JSON workloads", file=out)
+        return 2
+    store = StatsStore()
+    if args.stats and os.path.exists(args.stats):
+        try:
+            store = stats_store_from_dict(load_json(args.stats))
+        except (ReproError, ValueError, OSError) as error:
+            print(f"error: bad stats file {args.stats!r}: {error}", file=out)
+            return 2
+        print(
+            f"stats: loaded {len(store)} observations "
+            f"({store.harvests} harvests) from {args.stats}",
+            file=out,
+        )
+    profile = None
+    result = None
+    applied = 0
+    for _ in range(max(1, args.runs)):
+        profiler = QueryProfiler(
+            selectivities=store,
+            misestimate_factor=args.misestimate_factor,
+        )
+        faults = FaultInjector(seed=args.fault_seed)
+        try:
+            result = system.execute(
+                args.sql,
+                recipient=args.recipient,
+                faults=faults,
+                profiler=profiler,
+            )
+        except InfeasiblePlanError as error:
+            print(f"infeasible: {error}", file=out)
+            return 2
+        profile = result.profile
+        applied = store.harvest(profile)
+    print(render_profile_report(profile), file=out)
+    print(file=out)
+    print(f"result: {result.summary()}", file=out)
+    print(
+        f"harvested: {applied} observations; store holds {len(store)} "
+        f"after {store.harvests} harvests",
+        file=out,
+    )
+    if args.stats:
+        save_json(stats_store_to_dict(store), args.stats)
+        print(f"stats: written to {args.stats}", file=out)
+    if args.profile_out:
+        save_json(query_profile_to_dict(profile), args.profile_out)
+        print(f"profile: written to {args.profile_out}", file=out)
+    return 1 if profile.misestimates else 0
+
+
 def _cmd_suggest(system: DistributedSystem, args, out) -> int:
     spec = parse_query(args.sql, system.catalog)
     tree = build_plan(system.catalog, spec)
@@ -938,6 +1062,7 @@ _COMMANDS = {
     "describe": _cmd_describe,
     "plan": _cmd_plan,
     "execute": _cmd_execute,
+    "analyze": _cmd_analyze,
     "suggest": _cmd_suggest,
     "explain": _cmd_explain,
     "check": _cmd_check,

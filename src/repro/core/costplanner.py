@@ -25,12 +25,54 @@ from repro.algebra.schema import Catalog
 from repro.algebra.tree import QueryTreePlan
 from repro.core.assignment import Assignment
 from repro.core.planner import SafePlanner
-from repro.engine.coster import HealthAwareCostModel, estimate_assignment_cost
+from repro.engine.coster import (
+    CostModel,
+    HealthAwareCostModel,
+    estimate_assignment_cost,
+)
 from repro.exceptions import InfeasiblePlanError, PlanError
 
 #: Assignment-search strategies.
 HEURISTIC = "heuristic"
 EXHAUSTIVE = "exhaustive"
+
+
+class StatsAwareCostModel(CostModel):
+    """A cost model fed by harvested runtime statistics.
+
+    Bundles a :class:`~repro.profiling.StatsStore` with a base
+    :class:`~repro.engine.coster.CostModel`.  Pricing delegates to the
+    base model unchanged — what the store changes is the *input* to the
+    estimator: :meth:`effective_stats` overlays observed row counts,
+    NDVs and widths onto the static catalog statistics, and
+    :meth:`selectivity` exposes observed per-join-path selectivities
+    that replace the System-R independence guess.  The
+    :class:`CostAwareSafePlanner` applies both on every ``plan()`` call,
+    so a store warmed by harvested profiles immediately re-ranks
+    candidate strategies — the plan-quality feedback loop of ROADMAP
+    item #1.
+
+    Args:
+        store: the statistics store (anything with ``table_stats`` and
+            ``selectivity``; in practice a `StatsStore`).
+        base: the underlying cost model (default: uniform bytes).
+    """
+
+    def __init__(self, store, base: "CostModel" = None) -> None:
+        super().__init__(None)
+        self.store = store
+        self._base = base or CostModel()
+
+    def transfer_cost(self, sender: str, receiver: str, byte_size: float) -> float:
+        return self._base.transfer_cost(sender, receiver, byte_size)
+
+    def effective_stats(self, static):
+        """Static base stats overlaid with the store's observations."""
+        return self.store.table_stats(static)
+
+    def selectivity(self, path_key: str):
+        """Observed selectivity of one join path (``None`` if unseen)."""
+        return self.store.selectivity(path_key)
 
 
 class CostAwarePlan:
@@ -106,6 +148,13 @@ class CostAwareSafePlanner:
             the same view checks across many orders, so the batched
             kernel pays off most here.  Default ``None`` keeps the
             planner's auto behaviour (batched untraced, scalar traced).
+        stats_store: optional :class:`~repro.profiling.StatsStore` of
+            harvested runtime statistics.  Shorthand for passing a
+            :class:`StatsAwareCostModel` as ``cost_model``: on every
+            ``plan()`` call the store's observations overlay
+            ``base_stats`` and observed join selectivities replace the
+            System-R guesses, for both the heuristic pricing and the
+            exhaustive per-order search.
     """
 
     def __init__(
@@ -118,6 +167,7 @@ class CostAwareSafePlanner:
         health=None,
         obs=None,
         batch_canview=None,
+        stats_store=None,
     ) -> None:
         if assignment_search not in (HEURISTIC, EXHAUSTIVE):
             raise PlanError(
@@ -126,6 +176,11 @@ class CostAwareSafePlanner:
         self._policy = policy
         self._base_stats = base_stats
         self._health = health
+        if isinstance(cost_model, StatsAwareCostModel) and stats_store is None:
+            stats_store = cost_model.store
+        elif stats_store is not None:
+            cost_model = StatsAwareCostModel(stats_store, base=cost_model)
+        self._stats_store = stats_store
         if health is not None:
             cost_model = HealthAwareCostModel(health, base=cost_model)
         self._cost_model = cost_model
@@ -147,6 +202,13 @@ class CostAwareSafePlanner:
         # and (via the reused planner) one memoized CanView cache, so
         # view checks repeated across orders are answered once.
         catalog.universe
+        # Resolve the effective statistics once per planning call: a
+        # stats store warmed between calls immediately re-ranks orders.
+        stats = self._base_stats
+        selectivities = None
+        if self._stats_store is not None:
+            stats = self._stats_store.table_stats(stats)
+            selectivities = self._stats_store
         if self._search_join_orders:
             candidates = enumerate_join_orders(catalog, spec)
         else:
@@ -160,14 +222,14 @@ class CostAwareSafePlanner:
                 tree = build_plan(catalog, candidate)
             except PlanError:
                 continue
-            found = self._best_assignment_for(tree)
+            found = self._best_assignment_for(tree, stats, selectivities)
             if found is None:
                 continue
             feasible += 1
             assignment, cost = found
             if cost is None:
                 cost = estimate_assignment_cost(
-                    assignment, self._base_stats, self._cost_model
+                    assignment, stats, self._cost_model, selectivities
                 )
             if best is None or cost < best[2]:
                 best = (tree, assignment, cost)
@@ -179,8 +241,10 @@ class CostAwareSafePlanner:
         return CostAwarePlan(best[0], best[1], best[2], considered, feasible)
 
     def _best_assignment_for(
-        self, tree: QueryTreePlan
+        self, tree: QueryTreePlan, stats=None, selectivities=None
     ) -> Optional[Tuple[Assignment, Optional[float]]]:
+        if stats is None:
+            stats = self._base_stats
         if self._assignment_search == HEURISTIC:
             quarantined = (
                 tuple(sorted(self._health.quarantined_servers()))
@@ -209,7 +273,7 @@ class CostAwareSafePlanner:
         from repro.baselines.exhaustive import optimal_safe_assignment
 
         best = optimal_safe_assignment(
-            self._policy, tree, self._base_stats, self._cost_model
+            self._policy, tree, stats, self._cost_model, selectivities
         )
         if best is None:
             return None

@@ -60,10 +60,19 @@ class QueryPipeline:
         query: SQL text or bound :class:`~repro.algebra.builder.QuerySpec`.
         recipient: optional final consumer of the result.
         search_join_orders / verify / faults / retry / max_failovers /
-            deadline / health / checkpoint / resume_from / trace: exactly
-            the keyword surface of
+            deadline / health / checkpoint / resume_from / trace /
+            profiler: exactly the keyword surface of
             :meth:`~repro.distributed.system.DistributedSystem.execute`,
             which now merely builds a pipeline and calls :meth:`run`.
+            With a :class:`~repro.profiling.QueryProfiler` attached,
+            every run opens a profile (estimates from exact table
+            statistics unless the profiler carries its own
+            ``base_stats``), records the executed operators and
+            transfers, and stamps the finished
+            :class:`~repro.profiling.QueryProfile` onto
+            ``result.profile`` — emitting ``repro_profile_*`` metrics, a
+            ``profile`` span and ``plan_misestimate`` events when a
+            trace is also installed.
 
     Raises:
         ResilienceConfigError: resilience options given without a fault
@@ -87,6 +96,7 @@ class QueryPipeline:
         resume_from: Optional[CheckpointJournal] = None,
         trace=None,
         chaos=None,
+        profiler=None,
     ) -> None:
         if faults is None and (
             deadline is not None
@@ -115,6 +125,8 @@ class QueryPipeline:
         self._resume_from = resume_from
         self._trace = trace if trace is not None else system._trace
         self._chaos = chaos
+        self._profiler = profiler
+        self._profile_span = None
         self._product: Optional[Tuple[QueryTreePlan, Assignment, object]] = None
         self._coalesced = False
 
@@ -202,6 +214,10 @@ class QueryPipeline:
             # The injector's deterministic clock timestamps the whole
             # run — unless the caller pinned an explicit clock already.
             trace.maybe_use_clock(lambda: faults.clock)
+        if self._profiler is not None and faults is not None:
+            # Same determinism for profiles: a pinned-clock run yields a
+            # byte-stable profile artifact.
+            self._profiler.maybe_use_clock(lambda: faults.clock)
         if trace is not None and self._deadline is not None:
             self._deadline.bind_trace(trace)
         if trace is not None and self._health is not None:
@@ -213,16 +229,18 @@ class QueryPipeline:
                     system.policy, assignment, recipient=self._recipient
                 )
             self._fire_chaos("pre", None)
+            self._begin_profile(assignment)
             executor = DistributedExecutor(
                 assignment,
                 system.tables(),
                 policy=system.policy,
                 enforce=True,
                 trace=trace,
+                profiler=self._profiler,
             )
             result = executor.run(recipient=self._recipient)
             self._fire_chaos("post", None)
-            return self._stamp(result)
+            return self._stamp(self._finish_profile(result))
         journal: Optional[CheckpointJournal] = None
         resume_from = self._resume_from
         if resume_from is not None:
@@ -251,6 +269,7 @@ class QueryPipeline:
         if self._verify:
             verify_assignment(system.policy, assignment, recipient=self._recipient)
         self._fire_chaos("pre", journal)
+        self._begin_profile(assignment)
         result = self._execute_resilient(
             tree, assignment, journal=journal, reuse=reuse
         )
@@ -258,7 +277,7 @@ class QueryPipeline:
         # completed but its completion was never recorded, so a recovery
         # must resume from the journal without double-shipping subtrees.
         self._fire_chaos("post", journal)
-        return self._stamp(result)
+        return self._stamp(self._finish_profile(result))
 
     def _fire_chaos(self, stage: str, journal: Optional[CheckpointJournal]) -> None:
         if self._chaos is None:
@@ -272,6 +291,70 @@ class QueryPipeline:
     def _stamp(self, result: ExecutionResult) -> ExecutionResult:
         cache = self._system.plan_cache
         result.plan_cache = cache.snapshot() if cache is not None else None
+        return result
+
+    # ------------------------------------------------------------------
+    # Profiling (no-ops without an attached profiler)
+    # ------------------------------------------------------------------
+
+    def _begin_profile(self, assignment: Assignment) -> None:
+        profiler = self._profiler
+        if profiler is None:
+            return
+        from repro.engine.coster import TableStats, estimate_assignment_detail
+
+        base = profiler.base_stats
+        if base is None:
+            # Exact statistics of the live instances: the estimate then
+            # isolates the coster's *model* error (System-R selectivity
+            # assumptions), not stale-input error.
+            base = {
+                name: TableStats.of_table(table)
+                for name, table in self._system.tables().items()
+            }
+        estimate = estimate_assignment_detail(
+            assignment, base, selectivities=profiler.selectivities
+        )
+        query = self._query if isinstance(self._query, str) else str(self._query)
+        profiler.start(query, estimate)
+        trace = self._trace
+        if trace is not None:
+            self._profile_span = trace.begin(
+                "profile",
+                "profiler",
+                estimated_bytes=estimate.total_bytes,
+            )
+
+    def _finish_profile(self, result: ExecutionResult) -> ExecutionResult:
+        profiler = self._profiler
+        if profiler is None:
+            return result
+        profile = profiler.finish()
+        result.profile = profile
+        trace = self._trace
+        if trace is not None:
+            span = self._profile_span
+            if span is not None:
+                span.attrs["actual_bytes"] = profile.actual_bytes
+                span.attrs["canview_probes"] = profile.canview_probes
+                span.attrs["misestimates"] = len(profile.misestimates)
+                trace.end(span)
+                self._profile_span = None
+            trace.count("repro_profile_runs_total")
+            trace.count("repro_profile_operators_total", len(profile.operators))
+            trace.count("repro_profile_transfers_total", len(profile.transfers))
+            for flag in profile.misestimates:
+                trace.count("repro_plan_misestimate_total")
+                trace.event(
+                    "plan_misestimate",
+                    "profiler",
+                    node=f"n{flag['node_id']}",
+                    link=f"{flag['sender']}->{flag['receiver']}",
+                    kind=flag["kind"],
+                    estimated_bytes=flag["estimated_bytes"],
+                    actual_bytes=flag["actual_bytes"],
+                    ratio=flag["ratio"],
+                )
         return result
 
     # ------------------------------------------------------------------
@@ -389,6 +472,7 @@ class QueryPipeline:
                 deadline=self._deadline,
                 checkpoint=journal,
                 trace=trace,
+                profiler=self._profiler,
             )
             round_span = None
             if trace is not None:

@@ -423,6 +423,7 @@ class DistributedSystem:
         checkpoint: bool = False,
         resume_from: Optional[CheckpointJournal] = None,
         trace=None,
+        profiler=None,
     ) -> ExecutionResult:
         """Plan and run a query end-to-end, audited.
 
@@ -479,6 +480,10 @@ class DistributedSystem:
                 trace clock is bound to the injector's logical clock
                 (unless the caller pinned an explicit clock), making
                 exported timelines deterministic.
+            profiler: optional :class:`~repro.profiling.QueryProfiler`;
+                the run then records a full operator/transfer profile
+                with estimated-vs-actual byte accounting, stamped onto
+                ``result.profile`` (see :mod:`repro.profiling`).
 
         Raises:
             InfeasiblePlanError: when no safe assignment exists.
@@ -508,6 +513,7 @@ class DistributedSystem:
             checkpoint=checkpoint,
             resume_from=resume_from,
             trace=trace,
+            profiler=profiler,
         ).run()
 
     def pipeline(self, query: Query, **options) -> "QueryPipeline":

@@ -38,6 +38,17 @@ DEFAULT_SELECTIVITY = 0.1
 DEFAULT_WIDTH = 8.0
 
 
+def join_path_key(path) -> str:
+    """Stable string key of a join path, for observed-selectivity lookup.
+
+    Built from :meth:`~repro.algebra.joins.JoinPath.canonical_key`, so
+    equivalent paths (same conditions, any order or attribute flip) map
+    to the same key — the `StatsStore` files observed selectivities
+    under it.
+    """
+    return "&".join(f"{a}={b}" for a, b in path.canonical_key())
+
+
 class TableStats:
     """Cardinality statistics of one (base or derived) relation.
 
@@ -163,16 +174,25 @@ class HealthAwareCostModel(CostModel):
 
 
 def _node_stats(
-    node: PlanNode, base_stats: Mapping[str, TableStats]
+    node: PlanNode,
+    base_stats: Mapping[str, TableStats],
+    selectivities=None,
 ) -> TableStats:
-    """Estimated statistics of one plan node's output."""
+    """Estimated statistics of one plan node's output.
+
+    ``selectivities`` is an optional object exposing
+    ``selectivity(path_key) -> Optional[float]`` (duck-typed; in
+    practice a :class:`repro.profiling.StatsStore`).  When it yields an
+    observed selectivity for a join's :func:`join_path_key`, that
+    replaces the System-R ``1 / max(V(L,a), V(R,b))`` estimate.
+    """
     if isinstance(node, LeafNode):
         name = node.relation.name
         if name not in base_stats:
             raise ExecutionError(f"no statistics provided for relation {name!r}")
         return base_stats[name]
     if isinstance(node, UnaryNode):
-        child = _node_stats(node.left, base_stats)
+        child = _node_stats(node.left, base_stats, selectivities)
         if node.operator == PROJECT:
             kept = node.projection_attributes
             return TableStats(
@@ -189,16 +209,24 @@ def _node_stats(
             child.widths,
         )
     if isinstance(node, JoinNode):
-        left = _node_stats(node.left, base_stats)
-        right = _node_stats(node.right, base_stats)
-        rows = left.rows * right.rows
-        for condition in node.path:
-            if condition.first in left.distinct or condition.second in left.distinct:
-                left_attr = condition.first if condition.first in left.distinct else condition.second
-                right_attr = condition.other(left_attr)
-            else:
-                left_attr, right_attr = condition.first, condition.second
-            rows /= max(left.distinct_of(left_attr), right.distinct_of(right_attr))
+        left = _node_stats(node.left, base_stats, selectivities)
+        right = _node_stats(node.right, base_stats, selectivities)
+        observed = (
+            selectivities.selectivity(join_path_key(node.path))
+            if selectivities is not None
+            else None
+        )
+        if observed is not None:
+            rows = left.rows * right.rows * observed
+        else:
+            rows = left.rows * right.rows
+            for condition in node.path:
+                if condition.first in left.distinct or condition.second in left.distinct:
+                    left_attr = condition.first if condition.first in left.distinct else condition.second
+                    right_attr = condition.other(left_attr)
+                else:
+                    left_attr, right_attr = condition.first, condition.second
+                rows /= max(left.distinct_of(left_attr), right.distinct_of(right_attr))
         rows = max(1.0, rows)
         distinct = {a: min(d, rows) for a, d in {**left.distinct, **right.distinct}.items()}
         widths = {**left.widths, **right.widths}
@@ -206,53 +234,120 @@ def _node_stats(
     raise ExecutionError(f"unknown node kind: {type(node).__name__}")
 
 
-def estimate_assignment_cost(
+class AssignmentEstimate:
+    """Per-node, per-flow breakdown of an assignment's cost estimate.
+
+    Attributes:
+        total_cost: priced cost of every flow (through the cost model).
+        total_bytes: raw predicted bytes on the wire (model-independent).
+        node_rows: node id -> estimated output cardinality.
+        node_bytes: join node id -> raw predicted bytes its flows ship.
+        flows: ``(node_id, sender, receiver)`` -> list of
+            ``(bytes, kind)`` predicted flows on that link, in pricing
+            order; ``kind`` is one of ``"regular"``, ``"probe"``,
+            ``"back"``, ``"coordinator"``.  The profiler matches actual
+            transfers against this map to pair estimate with outcome.
+    """
+
+    __slots__ = ("total_cost", "total_bytes", "node_rows", "node_bytes", "flows")
+
+    def __init__(self) -> None:
+        self.total_cost = 0.0
+        self.total_bytes = 0.0
+        self.node_rows: Dict[int, float] = {}
+        self.node_bytes: Dict[int, float] = {}
+        self.flows: Dict[Tuple[int, str, str], list] = {}
+
+    def _add_flow(
+        self,
+        model: CostModel,
+        node_id: int,
+        sender: str,
+        receiver: str,
+        byte_size: float,
+        kind: str,
+    ) -> None:
+        self.total_cost += model.transfer_cost(sender, receiver, byte_size)
+        self.total_bytes += byte_size
+        self.node_bytes[node_id] = self.node_bytes.get(node_id, 0.0) + byte_size
+        self.flows.setdefault((node_id, sender, receiver), []).append(
+            (byte_size, kind)
+        )
+
+
+def estimate_assignment_detail(
     assignment: Assignment,
     base_stats: Mapping[str, TableStats],
     cost_model: Optional[CostModel] = None,
-) -> float:
-    """Predicted communication cost of executing ``assignment``.
+    selectivities=None,
+) -> AssignmentEstimate:
+    """Predicted communication of executing ``assignment``, per flow.
 
     Walks the plan estimating each node's output statistics, then prices
     every flow the assignment entails: full-operand shipments for regular
     joins, probe + reduced-result shipments for semi-joins, and two
     operand shipments for coordinator joins.  Local flows cost nothing.
+    ``selectivities`` optionally refines join cardinalities with
+    observed per-path selectivities (see :func:`_node_stats`).
     """
     model = cost_model or CostModel()
     plan = assignment.plan
+    estimate = AssignmentEstimate()
     stats: Dict[int, TableStats] = {}
     for node in plan:
-        stats[node.node_id] = _node_stats(node, base_stats)
-    total = 0.0
+        node_stats = _node_stats(node, base_stats, selectivities)
+        stats[node.node_id] = node_stats
+        estimate.node_rows[node.node_id] = node_stats.rows
     for node in plan:
         if not isinstance(node, JoinNode):
             continue
+        node_id = node.node_id
         left_id = node.left.node_id
         right_id = node.right.node_id
         left_server = assignment.master(left_id)
         right_server = assignment.master(right_id)
-        executor = assignment.executor(node.node_id)
+        executor = assignment.executor(node_id)
         left_stats, right_stats = stats[left_id], stats[right_id]
         left_attrs = assignment.profile(left_id).attributes
         right_attrs = assignment.profile(right_id).attributes
 
-        coordinator = assignment.coordinator(node.node_id)
+        coordinator = assignment.coordinator(node_id)
         if coordinator is not None:
-            total += model.transfer_cost(
-                left_server, coordinator, left_stats.bytes_for(left_attrs)
+            estimate._add_flow(
+                model,
+                node_id,
+                left_server,
+                coordinator,
+                left_stats.bytes_for(left_attrs),
+                "coordinator",
             )
-            total += model.transfer_cost(
-                right_server, coordinator, right_stats.bytes_for(right_attrs)
+            estimate._add_flow(
+                model,
+                node_id,
+                right_server,
+                coordinator,
+                right_stats.bytes_for(right_attrs),
+                "coordinator",
             )
             continue
         if executor.slave is None:
             if executor.master == left_server:
-                total += model.transfer_cost(
-                    right_server, left_server, right_stats.bytes_for(right_attrs)
+                estimate._add_flow(
+                    model,
+                    node_id,
+                    right_server,
+                    left_server,
+                    right_stats.bytes_for(right_attrs),
+                    "regular",
                 )
             else:
-                total += model.transfer_cost(
-                    left_server, right_server, left_stats.bytes_for(left_attrs)
+                estimate._add_flow(
+                    model,
+                    node_id,
+                    left_server,
+                    right_server,
+                    left_stats.bytes_for(left_attrs),
+                    "regular",
                 )
             continue
         # Semi-join: probe with the master operand's join attributes,
@@ -269,10 +364,27 @@ def estimate_assignment_cost(
             max(master_stats.distinct_of(a) for a in join_attrs) if join_attrs else master_stats.rows,
         )
         probe_bytes = probe_rows * master_stats.row_width(join_attrs)
-        total += model.transfer_cost(executor.master, executor.slave, probe_bytes)
-        back_stats = stats[node.node_id]
+        estimate._add_flow(
+            model, node_id, executor.master, executor.slave, probe_bytes, "probe"
+        )
+        back_stats = stats[node_id]
         back_bytes = back_stats.rows * (
             master_stats.row_width(join_attrs) + slave_stats.row_width(slave_attrs)
         )
-        total += model.transfer_cost(executor.slave, executor.master, back_bytes)
-    return total
+        estimate._add_flow(
+            model, node_id, executor.slave, executor.master, back_bytes, "back"
+        )
+    return estimate
+
+
+def estimate_assignment_cost(
+    assignment: Assignment,
+    base_stats: Mapping[str, TableStats],
+    cost_model: Optional[CostModel] = None,
+    selectivities=None,
+) -> float:
+    """Predicted communication cost of executing ``assignment`` — the
+    ``total_cost`` of :func:`estimate_assignment_detail`."""
+    return estimate_assignment_detail(
+        assignment, base_stats, cost_model, selectivities
+    ).total_cost

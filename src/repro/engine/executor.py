@@ -67,6 +67,9 @@ class ExecutionResult:
         plan_cache: snapshot of the system's plan-cache counters at the
             end of the run (:meth:`repro.core.plancache.PlanCache.snapshot`;
             ``None`` when the cache is disabled).
+        profile: the run's :class:`~repro.profiling.QueryProfile`
+            (``None`` unless a profiler was attached; stamped by the
+            pipeline after the run finishes).
     """
 
     __slots__ = (
@@ -81,6 +84,7 @@ class ExecutionResult:
         "deadline",
         "checkpoint",
         "plan_cache",
+        "profile",
     )
 
     def __init__(
@@ -96,6 +100,7 @@ class ExecutionResult:
         deadline=None,
         checkpoint=None,
         plan_cache: Optional[dict] = None,
+        profile=None,
     ) -> None:
         self.table = table
         self.result_server = result_server
@@ -108,6 +113,7 @@ class ExecutionResult:
         self.deadline = deadline
         self.checkpoint = checkpoint
         self.plan_cache = plan_cache
+        self.profile = profile
 
     def summary_dict(self) -> dict:
         """Stable, flat JSON-safe summary of the run.
@@ -241,6 +247,13 @@ class DistributedExecutor:
             projections, selections all stream blocks of this size).
             Purely a throughput knob — results, transfers, audit entries
             and spans are identical at any batch size.
+        profiler: optional :class:`~repro.profiling.QueryProfiler` with
+            an **active profile** (``start()`` called); every operator,
+            transfer, drained block and CanView probe is then recorded
+            into it.  The hooks are bound onto the instance only when a
+            profiler is attached — the same structural trick as the
+            tracer — so the unprofiled path stays byte-for-byte the
+            uninstrumented one.
     """
 
     def __init__(
@@ -257,6 +270,7 @@ class DistributedExecutor:
         checkpoint=None,
         trace=None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        profiler=None,
     ) -> None:
         assignment.validate_structure()
         self._assignment = assignment
@@ -276,6 +290,14 @@ class DistributedExecutor:
         self._checkpoint = checkpoint
         self._batch_size = batch_size
         self._completed: Dict[int, Tuple[str, Table]] = {}
+        self._profiler = profiler
+        if profiler is not None:
+            # Structural binding: shadow the hot methods on *this
+            # instance* only, so unprofiled executors never pay even an
+            # `if self._profiler` per node/shipment/block.
+            self._execute_node = self._profiled_execute_node
+            self._ship_once = self._profiled_ship_once
+            self._drain = self._profiled_drain
 
     def completed_subtrees(self) -> Dict[int, Tuple[str, Table]]:
         """Node results that materialized before a failure, keyed by node
@@ -378,6 +400,88 @@ class DistributedExecutor:
             trace.count("repro_exec_batch_rows_total", rows, op=kind)
 
         return materialize(operator, observer)
+
+    # ------------------------------------------------------------------
+    # Profiled variants, bound per-instance when a profiler is attached
+    # ------------------------------------------------------------------
+
+    def _profiled_execute_node(self, node: PlanNode) -> Table:
+        from repro.engine.coster import TableStats, join_path_key
+
+        profiler = self._profiler
+        started = profiler.now()
+        table = DistributedExecutor._execute_node(self, node)
+        finished = profiler.now()
+        node_id = node.node_id
+        server = self._assignment.master(node_id)
+        if isinstance(node, LeafNode):
+            stats = TableStats.of_table(table)
+            profiler.record_relation(
+                node.relation.name, stats.rows, stats.distinct, stats.widths
+            )
+            profiler.record_operator(
+                node_id, "scan", server, len(table), started, finished,
+                relation=node.relation.name,
+            )
+        elif isinstance(node, UnaryNode):
+            profiler.record_operator(
+                node_id, str(node.operator), server, len(table), started,
+                finished, left_id=node.left.node_id,
+            )
+        else:
+            executor = self._assignment.executor(node_id)
+            if self._assignment.coordinator(node_id) is not None:
+                kind = "coordinator_join"
+            elif executor.slave is None:
+                kind = "regular_join"
+            else:
+                kind = "semi_join"
+            profiler.record_operator(
+                node_id, kind, server, len(table), started, finished,
+                path_key=join_path_key(node.path),
+                left_id=node.left.node_id, right_id=node.right.node_id,
+            )
+        return table
+
+    def _profiled_drain(self, operator: BatchOperator, kind: str) -> Table:
+        profiler = self._profiler
+        trace = self._trace
+        if trace is None:
+
+            def observer(blocks: int, rows: int) -> None:
+                profiler.record_blocks(kind, blocks, rows)
+
+        else:
+
+            def observer(blocks: int, rows: int) -> None:
+                profiler.record_blocks(kind, blocks, rows)
+                trace.count("repro_exec_batch_blocks_total", blocks, op=kind)
+                trace.count("repro_exec_batch_rows_total", rows, op=kind)
+
+        return materialize(operator, observer)
+
+    def _profiled_ship_once(
+        self,
+        table: Table,
+        profile: RelationProfile,
+        sender: str,
+        receiver: str,
+        description: str,
+        node_id: int,
+        span,
+    ) -> Table:
+        result = DistributedExecutor._ship_once(
+            self, table, profile, sender, receiver, description, node_id, span
+        )
+        # Only delivered shipments are recorded (a fault raises above);
+        # the audit probe count mirrors the audit log one-to-one.
+        profiler = self._profiler
+        if self._audit is not None:
+            profiler.record_probe()
+        profiler.record_transfer(
+            node_id, sender, receiver, len(table), table.byte_size(), description
+        )
+        return result
 
     def _join_tables(self, left: Table, right: Table, path) -> Table:
         """Stream an equi-join of two local tables (left = probe side)."""

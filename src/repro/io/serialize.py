@@ -420,6 +420,189 @@ def service_journal_from_dict(data: Dict[str, Any]):
 
 
 # ---------------------------------------------------------------------------
+# Query profiles and the runtime stats store (EXPLAIN ANALYZE artifacts)
+# ---------------------------------------------------------------------------
+
+def _optional_float(value: Any) -> Any:
+    return None if value is None else float(value)
+
+
+def _optional_int(value: Any) -> Any:
+    return None if value is None else int(value)
+
+
+def query_profile_to_dict(profile) -> Dict[str, Any]:
+    """Encode a :class:`~repro.profiling.QueryProfile`.
+
+    Deterministic: operators sorted by node id, transfers in shipment
+    order, relations and block counts sorted by key — so profile
+    artifacts written via :func:`save_json` are byte-stable under a
+    pinned clock.
+    """
+    return {
+        "query": profile.query,
+        "started": float(profile.started),
+        "finished": float(profile.finished),
+        "estimated_bytes": float(profile.estimated_bytes),
+        "estimated_cost": float(profile.estimated_cost),
+        "canview_probes": int(profile.canview_probes),
+        "misestimate_factor": float(profile.misestimate_factor),
+        "operators": [
+            {
+                "node_id": op.node_id,
+                "kind": op.kind,
+                "server": op.server,
+                "rows": op.rows,
+                "est_rows": _optional_float(op.est_rows),
+                "left_rows": _optional_int(op.left_rows),
+                "right_rows": _optional_int(op.right_rows),
+                "selectivity": _optional_float(op.selectivity),
+                "path_key": op.path_key,
+                "relation": op.relation,
+                "started": float(op.started),
+                "finished": float(op.finished),
+            }
+            for op in profile.sorted_operators()
+        ],
+        "transfers": [
+            {
+                "node_id": t.node_id,
+                "sender": t.sender,
+                "receiver": t.receiver,
+                "rows": t.rows,
+                "bytes": float(t.bytes),
+                "est_bytes": _optional_float(t.est_bytes),
+                "kind": t.kind,
+                "description": t.description,
+            }
+            for t in profile.transfers
+        ],
+        "relations": {
+            name: {
+                "rows": float(obs.rows),
+                "distinct": dict(sorted(obs.distinct.items())),
+                "widths": dict(sorted(obs.widths.items())),
+            }
+            for name, obs in sorted(profile.relations.items())
+        },
+        "block_counts": {
+            kind: [int(counts[0]), int(counts[1])]
+            for kind, counts in sorted(profile.block_counts.items())
+        },
+        "misestimates": [dict(flag) for flag in profile.misestimates],
+    }
+
+
+def query_profile_from_dict(data: Dict[str, Any]):
+    """Decode a query profile (inverse of :func:`query_profile_to_dict`).
+
+    Raises:
+        ReproError: on missing keys.
+    """
+    from repro.profiling.profile import (
+        OperatorProfile,
+        QueryProfile,
+        RelationObservation,
+        TransferProfile,
+    )
+
+    for key in ("operators", "transfers"):
+        if key not in data:
+            raise ReproError(f"query profile dictionary lacks {key!r}")
+    profile = QueryProfile(
+        data.get("query", ""),
+        float(data.get("misestimate_factor", 2.0)),
+    )
+    profile.started = float(data.get("started", 0.0))
+    profile.finished = float(data.get("finished", 0.0))
+    profile.estimated_bytes = float(data.get("estimated_bytes", 0.0))
+    profile.estimated_cost = float(data.get("estimated_cost", 0.0))
+    profile.canview_probes = int(data.get("canview_probes", 0))
+    for entry in data["operators"]:
+        record = OperatorProfile(
+            int(entry["node_id"]),
+            entry["kind"],
+            entry["server"],
+            int(entry["rows"]),
+            est_rows=_optional_float(entry.get("est_rows")),
+            left_rows=_optional_int(entry.get("left_rows")),
+            right_rows=_optional_int(entry.get("right_rows")),
+            selectivity=_optional_float(entry.get("selectivity")),
+            path_key=entry.get("path_key"),
+            relation=entry.get("relation"),
+            started=float(entry.get("started", 0.0)),
+            finished=float(entry.get("finished", 0.0)),
+        )
+        profile.operators[record.node_id] = record
+    for entry in data["transfers"]:
+        profile.transfers.append(
+            TransferProfile(
+                int(entry["node_id"]),
+                entry["sender"],
+                entry["receiver"],
+                int(entry["rows"]),
+                float(entry["bytes"]),
+                est_bytes=_optional_float(entry.get("est_bytes")),
+                kind=entry.get("kind", "unplanned"),
+                description=entry.get("description", ""),
+            )
+        )
+    for name, entry in data.get("relations", {}).items():
+        profile.relations[name] = RelationObservation(
+            name,
+            float(entry["rows"]),
+            entry.get("distinct", {}),
+            entry.get("widths", {}),
+        )
+    for kind, counts in data.get("block_counts", {}).items():
+        profile.block_counts[kind] = [int(counts[0]), int(counts[1])]
+    profile.misestimates = [dict(flag) for flag in data.get("misestimates", [])]
+    return profile
+
+
+def stats_store_to_dict(store) -> Dict[str, Any]:
+    """Encode a :class:`~repro.profiling.StatsStore` (its deterministic
+    :meth:`~repro.profiling.StatsStore.snapshot` shape)."""
+    return store.snapshot()
+
+
+def stats_store_from_dict(data: Dict[str, Any]):
+    """Decode a stats store.
+
+    The decayed state is restored verbatim (the snapshot *is* the
+    state): observed relations and selectivities are replayed at decay
+    1.0 into a store configured with the serialized decay, so blending
+    behavior continues exactly where it left off.
+
+    Raises:
+        ReproError: on missing keys.
+    """
+    from repro.profiling.stats import StatsStore
+
+    if "relations" not in data or "selectivities" not in data:
+        raise ReproError(
+            "stats store dictionary lacks 'relations' or 'selectivities'"
+        )
+    store = StatsStore(decay=float(data.get("decay", 0.5)))
+    # Direct state restore: bypass blending so the serialized averages
+    # come back bit-exact.
+    for name, entry in data["relations"].items():
+        store._rows[name] = float(entry["rows"])
+        store._distinct[name] = {
+            attribute: float(value)
+            for attribute, value in entry.get("distinct", {}).items()
+        }
+        store._widths[name] = {
+            attribute: float(value)
+            for attribute, value in entry.get("widths", {}).items()
+        }
+    for path_key, value in data["selectivities"].items():
+        store._selectivities[path_key] = float(value)
+    store.harvests = int(data.get("harvests", 0))
+    return store
+
+
+# ---------------------------------------------------------------------------
 # Files
 # ---------------------------------------------------------------------------
 

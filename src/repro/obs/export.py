@@ -251,9 +251,66 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict[str, float]]:
                     raise ValueError(
                         f"histogram {name} missing {name + suffix} samples"
                     )
+            _validate_histogram(name, samples)
         elif name not in samples:
             raise ValueError(f"TYPE declared for {name} but no samples follow")
     return samples
+
+
+def _validate_histogram(name: str, samples: Dict[str, Dict[str, float]]) -> None:
+    """Cumulative-bucket semantics of one exposed histogram family.
+
+    Per base label set: every ``_bucket`` sample carries a numeric (or
+    ``+Inf``) ``le`` label, bucket counts are non-decreasing in ``le``
+    order, the ``+Inf`` bucket exists and equals the ``_count`` sample,
+    and a ``_sum`` sample is present.  Raises ``ValueError`` on the
+    first violation.
+    """
+    counts = samples[name + "_count"]
+    sums = samples[name + "_sum"]
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for rendered, value in samples[name + "_bucket"].items():
+        le: Optional[float] = None
+        rest: List[str] = []
+        for part in _split_labels(rendered[1:-1]) if rendered else []:
+            if part.startswith('le="') and part.endswith('"'):
+                raw = part[len('le="'):-1]
+                try:
+                    le = float("inf") if raw == "+Inf" else float(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"histogram {name}: non-numeric le label {raw!r}"
+                    )
+            else:
+                rest.append(part)
+        if le is None:
+            raise ValueError(
+                f"histogram {name}: _bucket sample {rendered or '{}'} "
+                "has no le label"
+            )
+        base = "{" + ",".join(rest) + "}" if rest else ""
+        series.setdefault(base, []).append((le, value))
+    for base, pairs in sorted(series.items()):
+        pairs.sort(key=lambda pair: pair[0])
+        previous = None
+        for le, value in pairs:
+            if previous is not None and value < previous:
+                raise ValueError(
+                    f"histogram {name}{base}: bucket counts decrease at "
+                    f"le={le}"
+                )
+            previous = value
+        if pairs[-1][0] != float("inf"):
+            raise ValueError(f"histogram {name}{base}: missing +Inf bucket")
+        if base not in counts:
+            raise ValueError(f"histogram {name}{base}: missing _count sample")
+        if pairs[-1][1] != counts[base]:
+            raise ValueError(
+                f"histogram {name}{base}: +Inf bucket {pairs[-1][1]} != "
+                f"_count {counts[base]}"
+            )
+        if base not in sums:
+            raise ValueError(f"histogram {name}{base}: missing _sum sample")
 
 
 def _split_labels(labels: str) -> List[str]:

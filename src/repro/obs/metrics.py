@@ -17,6 +17,7 @@ never needs to pre-declare its label universe.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Default histogram bucket upper bounds (bytes/latency friendly).
@@ -160,6 +161,30 @@ class Histogram:
     def sum(self, **labels: object) -> float:
         """Sum of observations for one series."""
         return self._sums.get(_labelset(labels), 0.0)
+
+    def quantile(self, q: float, **labels: object) -> Optional[float]:
+        """Nearest-rank quantile estimate from the cumulative buckets.
+
+        Returns the upper bound of the first bucket whose cumulative
+        count reaches rank ``ceil(q * count)`` — the standard Prometheus
+        ``histogram_quantile`` resolution, conservative to one bucket
+        width.  ``None`` for a series with no observations; the largest
+        finite bound when the rank lands in the ``+Inf`` bucket (there
+        is no finite upper estimate beyond it).
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1] (got {q!r})")
+        key = _labelset(labels)
+        total = self._totals.get(key, 0)
+        if total == 0:
+            return None
+        rank = max(1, math.ceil(q * total))
+        cumulative = 0
+        for bound, count in zip(self.buckets, self._counts[key]):
+            cumulative += count
+            if cumulative >= rank:
+                return bound
+        return self.buckets[-1]
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         out: Dict[str, Dict[str, float]] = {}

@@ -250,6 +250,15 @@ class QueryService:
             structurally zero-cost — call sites guard, no dispatch.
         max_chaos_retries: chaos-interrupted attempts per request
             before the service gives up with a ``failed`` outcome.
+        stats_store: optional :class:`~repro.profiling.StatsStore`.
+            Executions of tenants with ``profile=True`` run under a
+            :class:`~repro.profiling.QueryProfiler` whose estimates use
+            the store's observed selectivities, and every completed
+            profile is harvested back — the service's long-running
+            loop is exactly where the plan-quality feedback pays off.
+            Profiled tenants also export tenant-labeled
+            ``repro_service_profile_*`` metrics regardless of whether
+            a store is configured.
     """
 
     def __init__(
@@ -273,6 +282,7 @@ class QueryService:
         journal=None,
         monitor=None,
         max_chaos_retries: int = 3,
+        stats_store=None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -297,6 +307,7 @@ class QueryService:
         self._chaos = chaos
         self._journal = journal
         self._monitor = monitor
+        self._stats_store = stats_store
         self._max_chaos_retries = max_chaos_retries
         if monitor is not None and chaos is not None:
             monitor.bind_chaos(chaos)
@@ -860,6 +871,11 @@ class QueryService:
         resume = None
         if self._journal is not None and item.request_id is not None:
             resume = self._journal.get(item.request_id).checkpoint
+        profiler = None
+        if tenant.profile:
+            from repro.profiling import QueryProfiler
+
+            profiler = QueryProfiler(selectivities=self._stats_store)
         pipeline = self._system.pipeline(
             item.query,
             recipient=item.recipient,
@@ -869,6 +885,7 @@ class QueryService:
             checkpoint=self._chaos is not None and self._journal is not None,
             resume_from=resume,
             chaos=self._chaos,
+            profiler=profiler,
         )
         try:
             key = self._plan_key(item.query, search)
@@ -936,10 +953,15 @@ class QueryService:
             if self._monitor is not None:
                 self._monitor.on_execution_start(exec_key)
             try:
-                return pipeline.run()
+                result = pipeline.run()
             finally:
                 if self._monitor is not None:
                     self._monitor.on_execution_end(exec_key)
+            if profiler is not None:
+                # Leader-only: followers share the leader's result (and
+                # its profile) without double-harvesting.
+                self._harvest_profile(tenant.name, result)
+            return result
 
         try:
             result, result_shared = await self._resultflight.run(
@@ -993,6 +1015,28 @@ class QueryService:
                 degrade_level=ticket.degrade_level,
             ),
         )
+
+    def _harvest_profile(self, tenant_name: str, result) -> None:
+        """Fold one profiled execution back into the feedback loop:
+        harvest observed statistics into the store (when configured)
+        and export tenant-labeled profile metrics."""
+        profile = getattr(result, "profile", None)
+        if profile is None:
+            return
+        if self._stats_store is not None:
+            self._stats_store.harvest(profile)
+        self.metrics.inc("repro_service_profile_runs_total", tenant=tenant_name)
+        self.metrics.observe(
+            "repro_service_profile_shipped_bytes",
+            profile.actual_bytes,
+            tenant=tenant_name,
+        )
+        if profile.misestimates:
+            self.metrics.inc(
+                "repro_service_profile_misestimates_total",
+                len(profile.misestimates),
+                tenant=tenant_name,
+            )
 
     def _plan_key(self, query, search: bool) -> object:
         """The single-flight key: the exact identity the plan cache
@@ -1131,4 +1175,12 @@ class QueryService:
                 self._journal.counts() if self._journal is not None else None
             ),
             "chaos": self._chaos.summary() if self._chaos is not None else None,
+            "stats_store": (
+                {
+                    "observations": len(self._stats_store),
+                    "harvests": self._stats_store.harvests,
+                }
+                if self._stats_store is not None
+                else None
+            ),
         }

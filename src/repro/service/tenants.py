@@ -43,9 +43,15 @@ class TenantConfig:
             usually seconds).  A request still queued when its
             allowance runs out is shed instead of executed — stale
             answers are worse than honest rejections.
+        profile: when true the tenant's executions run under a
+            :class:`~repro.profiling.QueryProfiler` — the service
+            harvests each profile into its statistics store (when one
+            is configured) and exports tenant-labeled
+            ``repro_service_profile_*`` metrics.  Off by default: the
+            profiler's per-operator bookkeeping is opt-in per tenant.
     """
 
-    __slots__ = ("name", "priority", "rate", "burst", "deadline")
+    __slots__ = ("name", "priority", "rate", "burst", "deadline", "profile")
 
     def __init__(
         self,
@@ -54,6 +60,7 @@ class TenantConfig:
         rate: Optional[float] = None,
         burst: Optional[int] = None,
         deadline: Optional[float] = None,
+        profile: bool = False,
     ) -> None:
         if not name:
             raise TenantConfigError("tenant name must be non-empty")
@@ -80,11 +87,12 @@ class TenantConfig:
         else:
             self.burst = 1
         self.deadline = float(deadline) if deadline is not None else None
+        self.profile = bool(profile)
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "TenantConfig":
         """Build from a JSON-ish dict (the CLI's ``--tenants`` file)."""
-        known = {"name", "priority", "rate", "burst", "deadline"}
+        known = {"name", "priority", "rate", "burst", "deadline", "profile"}
         unknown = set(data) - known
         if unknown:
             raise TenantConfigError(
@@ -98,12 +106,14 @@ class TenantConfig:
             rate=data.get("rate"),
             burst=data.get("burst"),
             deadline=data.get("deadline"),
+            profile=bool(data.get("profile", False)),
         )
 
     def __repr__(self) -> str:
         return (
             f"TenantConfig({self.name!r}, priority={self.priority}, "
-            f"rate={self.rate}, burst={self.burst}, deadline={self.deadline})"
+            f"rate={self.rate}, burst={self.burst}, deadline={self.deadline}, "
+            f"profile={self.profile})"
         )
 
 

@@ -1,0 +1,55 @@
+"""Golden-file test for the ``analyze`` (EXPLAIN ANALYZE) CLI output.
+
+The medical workload, a seeded fault-free injector (supplying the
+deterministic logical clock) and the pure-python renderer make the
+report byte-stable; any drift in operator accounting, byte estimates or
+table formatting shows up as a golden diff.  Regenerate deliberately
+with::
+
+    UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_profiling_golden.py
+"""
+
+import io
+import os
+
+from repro.cli import main
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+MEDICAL_QUERY = (
+    "SELECT Patient, Physician, Plan, HealthAid FROM Insurance "
+    "JOIN Nat_registry ON Holder = Citizen "
+    "JOIN Hospital ON Citizen = Patient"
+)
+
+
+def _check_golden(name: str, produced: str) -> None:
+    path = os.path.join(GOLDEN_DIR, name)
+    if os.environ.get("UPDATE_GOLDENS"):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(produced)
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        expected = handle.read()
+    assert produced == expected, (
+        f"{name} drifted from the golden output; if the change is "
+        "intentional, regenerate with UPDATE_GOLDENS=1"
+    )
+
+
+def test_analyze_output_matches_golden():
+    out = io.StringIO()
+    code = main(["analyze", "--sql", MEDICAL_QUERY], out=out)
+    assert code == 0
+    _check_golden("analyze_medical.txt", out.getvalue())
+
+
+def test_analyze_profile_artifact_matches_golden(tmp_path):
+    artifact = tmp_path / "profile.json"
+    out = io.StringIO()
+    code = main(
+        ["analyze", "--sql", MEDICAL_QUERY, "--profile-out", str(artifact)],
+        out=out,
+    )
+    assert code == 0
+    _check_golden("analyze_medical_profile.json", artifact.read_text())
