@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-health test-obs test-cache test-service test-vector test-chaos test-profiling bench bench-kernel bench-health bench-obs bench-cache bench-service bench-vector bench-chaos bench-profiling trace-demo examples verify clean
+.PHONY: install test test-faults test-health test-obs test-cache test-service test-vector test-chaos test-profiling test-sharding bench bench-kernel bench-health bench-obs bench-cache bench-service bench-vector bench-chaos bench-profiling bench-sharding trace-demo examples verify clean
 
 install:
 	pip install -e .
@@ -59,6 +59,13 @@ test-chaos:
 test-profiling:
 	$(PYTHON) -m pytest tests/test_profiling.py tests/test_profiling_golden.py
 
+# Sharding suite: the Hypothesis differential harness (shard-parallel
+# vs single-copy byte identity, rejected schemes never partition), the
+# parallel-correctness checker's property tests, constructor-validation
+# negative paths, and the system/planner/service/CLI seams.
+test-sharding:
+	$(PYTHON) -m pytest tests/test_sharding_diff.py tests/test_sharding_checker.py tests/test_sharding_validation.py tests/test_sharding_integration.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -113,6 +120,13 @@ bench-chaos:
 # pre-profiling transcription; writes BENCH_ABL17.json.
 bench-profiling:
 	$(PYTHON) -m pytest benchmarks/bench_abl17_profiling.py --benchmark-only -s
+
+# Sharding ablation: large 3-join chain co-partitioned at 4 shards —
+# gates the partition-parallel makespan at >=2x single-copy wall time
+# with byte-identical results and zero violations, and measures the
+# rejection gate's overhead; writes BENCH_ABL18.json.
+bench-sharding:
+	$(PYTHON) -m pytest benchmarks/bench_abl18_sharding.py --benchmark-only -s
 
 # Trace the Figure 1-5 medical query end-to-end and export every
 # format: Chrome trace (load trace_demo.json in Perfetto /

@@ -1,0 +1,208 @@
+"""ABL18 — partition-parallel execution, measured.
+
+The sharding subsystem claims that a certified distribution policy buys
+real parallelism: with every relation of a join chain co-partitioned on
+its join key, each shard runs a plan over ~1/k of the data and the
+query's *makespan* (the slowest shard — the parallel completion time)
+drops accordingly, while the merged result stays byte-identical to
+single-copy execution with zero audit violations.
+
+This bench builds a large 3-join chain (four relations, near-unique
+keys), certifies a 4-shard hash co-partitioning, proves parity before
+timing anything, and then **asserts the headline number**: the
+partition-parallel makespan must beat the single-copy wall time by at
+least 2x.  Results land in ``BENCH_ABL18.json``.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core.authorization import Policy
+from repro.core.closure import close_policy
+from repro.distributed.system import DistributedSystem
+from repro.sharding import (
+    EXEC_PARTITIONED,
+    HashPartitionScheme,
+    PartitionGroup,
+)
+from repro.analysis.reporting import write_bench_json
+from repro.testing import grant, quick_catalog
+
+#: the acceptance floor for the partition-parallel makespan speedup.
+MIN_MAKESPAN_SPEEDUP = 2.0
+
+SHARDS = 4
+
+SERVERS = ("S1", "S2", "S3", "S4", "G1", "G2", "G3", "G4")
+
+QUERY = (
+    "SELECT a, b, d, f, h FROM R JOIN T ON a = c "
+    "JOIN U ON c = e JOIN V ON e = g"
+)
+
+RELATION_ATTRS = {
+    "R": ("a", "b"),
+    "T": ("c", "d"),
+    "U": ("e", "f"),
+    "V": ("g", "h"),
+}
+
+JOIN_KEY = {"R": "a", "T": "c", "U": "e", "V": "g"}
+
+
+def _world():
+    catalog = quick_catalog(
+        "R(a, b) @ S1",
+        "T(c, d) @ S2",
+        "U(e, f) @ S3",
+        "V(g, h) @ S4",
+        edges=["a = c", "c = e", "e = g"],
+    )
+    policy = Policy()
+    for server in SERVERS:
+        for name, attrs in RELATION_ATTRS.items():
+            policy.add(grant(server, " ".join(attrs)))
+        policy.add(grant(server, "a b c d", "a = c"))
+        policy.add(grant(server, "c d e f", "c = e"))
+        policy.add(grant(server, "e f g h", "e = g"))
+        policy.add(grant(server, "a b c d e f", "a = c, c = e"))
+        policy.add(grant(server, "a b c d e f g h", "a = c, c = e, e = g"))
+    return catalog, close_policy(policy, catalog)
+
+
+def _instances(rows_per_table=4000, seed=18):
+    """Near-unique keys so the 3-join output stays O(rows); a sprinkle
+    of misses keeps every hash join's probe path honest."""
+    rng = random.Random(seed)
+    domain = rows_per_table * 2
+    instances = {}
+    for name, (key_attr, payload_attr) in RELATION_ATTRS.items():
+        rows = []
+        for i in range(rows_per_table):
+            rows.append(
+                {key_attr: rng.randrange(domain), payload_attr: f"{name}{i}"}
+            )
+        instances[name] = rows
+    return instances
+
+
+def _schemes():
+    group = PartitionGroup("bench", ["G1", "G2", "G3", "G4"])
+    return {
+        name: HashPartitionScheme(name, [JOIN_KEY[name]], SHARDS, group)
+        for name in RELATION_ATTRS
+    }
+
+
+def _time_best(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_abl18_makespan_speedup(benchmark):
+    catalog, closed = _world()
+    system = DistributedSystem(catalog, closed, apply_closure=False)
+    system.load_instances(_instances())
+    schemes = _schemes()
+
+    certificate = system.certify_sharding(QUERY, schemes)
+    assert certificate.certified, certificate.reason
+    assert certificate.mode == "hypercube"
+
+    # Parity before timing: identical relation, no violations, really
+    # partitioned (not a silent fallback).
+    sharded = system.execute_sharded(QUERY, schemes)
+    single = system.execute(QUERY)
+    assert sharded.mode == EXEC_PARTITIONED
+    assert not sharded.fallback_reason
+    assert sharded.table == single.table
+    assert not sharded.audit.violations
+    assert not single.audit.violations
+    out_rows = len(sharded.table)
+    assert out_rows > 0, "degenerate workload: no output rows"
+
+    def sharded_lane():
+        return system.execute_sharded(QUERY, schemes)
+
+    def single_lane():
+        return system.execute(QUERY)
+
+    benchmark(sharded_lane)
+    # The speedup is a ratio of identical hand-rolled timings: the
+    # single-copy lane's wall time over the sharded lane's *makespan*
+    # (slowest shard = parallel completion time), both best-of-5 on
+    # warm plan caches.
+    single_time = _time_best(single_lane)
+    best_makespan = float("inf")
+    for _ in range(5):
+        result = sharded_lane()
+        best_makespan = min(best_makespan, result.makespan)
+    speedup = single_time / best_makespan
+    print(
+        f"\n3-join chain, {out_rows} output rows at {SHARDS} shards: "
+        f"single-copy {single_time * 1e3:.1f}ms, "
+        f"parallel makespan {best_makespan * 1e3:.1f}ms -> {speedup:.1f}x"
+    )
+    write_bench_json(
+        "ABL18",
+        {
+            "makespan": {
+                "shards": SHARDS,
+                "input_rows_per_table": 4000,
+                "output_rows": out_rows,
+                "mode": sharded.mode,
+                "single_copy_seconds": round(single_time, 6),
+                "parallel_makespan_seconds": round(best_makespan, 6),
+                "total_shard_seconds": round(result.elapsed, 6),
+                "speedup": round(speedup, 2),
+                "acceptance_floor": MIN_MAKESPAN_SPEEDUP,
+                "violations": 0,
+            }
+        },
+    )
+    assert speedup >= MIN_MAKESPAN_SPEEDUP, (
+        f"partition-parallel makespan speedup {speedup:.2f}x below the "
+        f"{MIN_MAKESPAN_SPEEDUP}x acceptance floor at {SHARDS} shards"
+    )
+
+
+def test_abl18_rejection_overhead(benchmark):
+    """The gate itself must be cheap: certifying (and rejecting) an
+    incompatible distribution policy is pure structure checking — no
+    data touched — and the fallback still serves the query."""
+    catalog, closed = _world()
+    system = DistributedSystem(catalog, closed, apply_closure=False)
+    system.load_instances(_instances(rows_per_table=500))
+    group = PartitionGroup("bench", ["G1", "G2", "G3", "G4"])
+    bad = {
+        "R": HashPartitionScheme("R", ["a"], SHARDS, group, function="crc32"),
+        "T": HashPartitionScheme("T", ["c"], SHARDS, group, function="fnv"),
+    }
+
+    certificate = system.certify_sharding(QUERY, bad)
+    assert not certificate.certified
+
+    def certify_lane():
+        return system.certify_sharding(QUERY, bad)
+
+    benchmark(certify_lane)
+    certify_time = _time_best(certify_lane, repeats=20)
+    fallback = system.execute_sharded(QUERY, bad)
+    assert fallback.mode == "single_copy"
+    assert fallback.table == system.execute(QUERY).table
+    write_bench_json(
+        "ABL18",
+        {
+            "rejection": {
+                "certify_seconds": round(certify_time, 6),
+                "certified": False,
+                "fallback_mode": fallback.mode,
+            }
+        },
+    )

@@ -23,6 +23,11 @@ JSON catalog/policy files, see :mod:`repro.io`):
   query service (admission control, load shedding, single-flight
   planning; see :mod:`repro.service` and ``docs/serving.md``), with an
   optional live Prometheus scrape endpoint.
+* ``shard``    — certify a horizontal partition scheme with the
+  parallel-correctness checker and (unless ``--certify-only``) run the
+  query partition-parallel, with optional ``--diff`` verification
+  against single-copy execution (see :mod:`repro.sharding` and
+  ``docs/sharding.md``);
 * ``chaos``    — run a seeded chaos schedule (worker deaths, leader
   crashes, admission stalls, policy storms, service kill/restart
   cycles) through the service with crash-consistent recovery and the
@@ -423,6 +428,49 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="always write the replay artifact to FILE (default: only "
         "on violation, as chaos_violations_seed<seed>.json)",
+    )
+
+    shard_cmd = commands.add_parser(
+        "shard",
+        help="certify a partition scheme and run a query partition-parallel",
+    )
+    shard_cmd.add_argument("--sql", required=True)
+    shard_cmd.add_argument(
+        "--scheme",
+        action="append",
+        required=True,
+        metavar="SPEC",
+        help="partition spec, repeatable: REL:hash:ATTR[,ATTR...]:SHARDS "
+        "or REL:range:ATTR:B1[,B2...] (boundaries split strictly "
+        "increasing ranges)",
+    )
+    shard_cmd.add_argument(
+        "--group",
+        nargs="+",
+        required=True,
+        metavar="SERVER",
+        help="server group hosting the shards (round-robin placement)",
+    )
+    shard_cmd.add_argument("--recipient", help="deliver the result to this party")
+    shard_cmd.add_argument(
+        "--instances", help="JSON instances file (relation -> rows)"
+    )
+    shard_cmd.add_argument("--seed", type=int, default=7)
+    shard_cmd.add_argument("--citizens", type=int, default=100)
+    shard_cmd.add_argument(
+        "--certify-only",
+        action="store_true",
+        help="run the parallel-correctness checker and stop",
+    )
+    shard_cmd.add_argument(
+        "--no-multiround",
+        action="store_true",
+        help="disable the multi-round fallback (hypercube or single-copy)",
+    )
+    shard_cmd.add_argument(
+        "--diff",
+        action="store_true",
+        help="also run single-copy and verify the results are identical",
     )
 
     check_cmd = commands.add_parser("check", help="one CanView question")
@@ -1058,6 +1106,111 @@ async def _serve_async(system, requests, tenants, args, trace, out) -> int:
     return 0
 
 
+def _parse_boundary(token: str):
+    """Range boundary: int if it parses, then float, else the string."""
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _parse_schemes(specs, group_servers, out):
+    """``--scheme`` specs to a ``relation -> PartitionScheme`` mapping
+    (``None`` and a message on a malformed spec)."""
+    from repro.sharding import (
+        HashPartitionScheme,
+        PartitionGroup,
+        RangePartitionScheme,
+    )
+
+    group = PartitionGroup("cli-group", group_servers)
+    schemes = {}
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 4:
+            print(
+                f"error: bad --scheme {spec!r} "
+                "(want REL:hash:ATTRS:SHARDS or REL:range:ATTR:BOUNDARIES)",
+                file=out,
+            )
+            return None
+        relation, kind, attrs, tail = parts
+        if kind == "hash":
+            try:
+                shards = int(tail)
+            except ValueError:
+                print(f"error: bad shard count in --scheme {spec!r}", file=out)
+                return None
+            schemes[relation] = HashPartitionScheme(
+                relation, attrs.split(","), shards, group
+            )
+        elif kind == "range":
+            boundaries = [_parse_boundary(b) for b in tail.split(",")]
+            schemes[relation] = RangePartitionScheme(
+                relation, attrs, boundaries, group
+            )
+        else:
+            print(
+                f"error: unknown partition kind {kind!r} in --scheme {spec!r}",
+                file=out,
+            )
+            return None
+    return schemes
+
+
+def _cmd_shard(system: DistributedSystem, args, out) -> int:
+    if args.instances:
+        system.load_instances(load_json(args.instances))
+    elif not args.catalog:
+        system.load_instances(
+            generate_instances(seed=args.seed, citizens=args.citizens)
+        )
+    else:
+        print("error: --instances is required for JSON workloads", file=out)
+        return 2
+    schemes = _parse_schemes(args.scheme, args.group, out)
+    if schemes is None:
+        return 2
+    certificate = system.certify_sharding(args.sql, schemes)
+    for name, scheme in sorted(schemes.items()):
+        print(f"scheme: {name} -> {scheme.describe()}", file=out)
+    verdict = "certified" if certificate.certified else "REJECTED"
+    print(f"certificate: {verdict} mode={certificate.mode}", file=out)
+    if certificate.reason:
+        print(f"  reason: {certificate.reason}", file=out)
+    if args.certify_only:
+        return 0 if certificate.certified else 3
+    result = system.execute_sharded(
+        args.sql,
+        schemes,
+        recipient=args.recipient,
+        allow_multiround=not args.no_multiround,
+    )
+    summary = result.summary_dict()
+    print(
+        f"result: mode={summary['mode']} rows={summary['rows']} "
+        f"shards={summary['shards']} rounds={summary['rounds']} "
+        f"transfers={summary['transfers']} violations={summary['violations']} "
+        f"makespan={summary['makespan']:.4f}",
+        file=out,
+    )
+    if summary["fallback_reason"]:
+        print(f"  fallback: {summary['fallback_reason']}", file=out)
+    if args.diff:
+        single = system.execute(args.sql, recipient=args.recipient)
+        identical = result.table == single.table
+        print(
+            f"differential: {'identical' if identical else 'MISMATCH'} "
+            f"({len(single.table)} rows single-copy)",
+            file=out,
+        )
+        if not identical:
+            return 1
+    return 0
+
+
 _COMMANDS = {
     "describe": _cmd_describe,
     "plan": _cmd_plan,
@@ -1067,6 +1220,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "check": _cmd_check,
     "serve": _cmd_serve,
+    "shard": _cmd_shard,
     "chaos": _cmd_chaos,
 }
 

@@ -535,6 +535,78 @@ class DistributedSystem:
 
         return QueryPipeline(self, query, **options)
 
+    # ------------------------------------------------------------------
+    # Sharded execution
+    # ------------------------------------------------------------------
+
+    def certify_sharding(self, query: Query, schemes, trace=None):
+        """Run the parallel-correctness checker for ``schemes`` alone.
+
+        Returns the :class:`~repro.sharding.ShardCertificate` without
+        executing anything — callers inspect ``certificate.certified``
+        and ``certificate.mode`` to learn whether a partitioned run is
+        provably equivalent to single-copy execution.
+        """
+        from repro.sharding import ShardedExecutor
+
+        coordinator = ShardedExecutor(
+            self, schemes, trace=trace if trace is not None else self._trace
+        )
+        return coordinator.certify(query)
+
+    def execute_sharded(
+        self,
+        query: Query,
+        schemes,
+        recipient: Optional[str] = None,
+        trace=None,
+        allow_multiround: bool = True,
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        health: Optional[HealthTracker] = None,
+        batch_size: Optional[int] = None,
+    ):
+        """Run ``query`` partition-parallel under ``schemes``, gated.
+
+        The distribution policy is certified by the
+        :class:`~repro.sharding.ParallelCorrectnessChecker` first; only
+        certified schemes execute partitioned (HyperCube-style
+        single-round when co-partitioned, the audited multi-round
+        fallback when merely hash-compatible), and anything the checker
+        cannot prove equivalent to single-copy execution falls back to
+        plain :meth:`execute` — the result is *always* produced.
+
+        Args:
+            query: SQL text or bound spec (left-deep joins only).
+            schemes: mapping of relation name to
+                :class:`~repro.sharding.PartitionScheme`.
+            recipient: optional final consumer; audited per shard.
+            trace: optional trace context (overrides the system trace).
+            allow_multiround: permit the multi-round fallback mode
+                (disable to force hypercube-or-single-copy).
+            faults: optional fault injector, applied per shard run.
+            retry: retry policy for fault-aware shard runs.
+            health: optional health tracker shared across shard runs.
+            batch_size: engine batch size for shard pipelines.
+
+        Returns:
+            a :class:`~repro.sharding.ShardedResult`.
+        """
+        from repro.engine.operators import DEFAULT_BATCH_SIZE
+        from repro.sharding import ShardedExecutor
+
+        coordinator = ShardedExecutor(
+            self,
+            schemes,
+            trace=trace if trace is not None else self._trace,
+            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
+            allow_multiround=allow_multiround,
+            faults=faults,
+            retry=retry,
+            health=health,
+        )
+        return coordinator.execute(query, recipient=recipient)
+
     def simulate_concurrent(
         self,
         queries: Sequence[Query],

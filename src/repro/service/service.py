@@ -259,6 +259,17 @@ class QueryService:
             Profiled tenants also export tenant-labeled
             ``repro_service_profile_*`` metrics regardless of whether
             a store is configured.
+        shard_schemes: optional ``relation name ->
+            :class:`~repro.sharding.PartitionScheme`` distribution
+            policy.  When set, requests route through the
+            partition-parallel coordinator: the parallel-correctness
+            checker certifies the schemes per query, certified queries
+            execute sharded, and everything else transparently falls
+            back to single-copy execution — outcomes carry a
+            :class:`~repro.sharding.ShardedResult` either way.  Chaos
+            and journaling stay on the single-copy path: a service
+            configured with both runs sharded only when no chaos
+            schedule is installed.
     """
 
     def __init__(
@@ -283,6 +294,7 @@ class QueryService:
         monitor=None,
         max_chaos_retries: int = 3,
         stats_store=None,
+        shard_schemes=None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -308,6 +320,7 @@ class QueryService:
         self._journal = journal
         self._monitor = monitor
         self._stats_store = stats_store
+        self._shard_schemes = dict(shard_schemes) if shard_schemes else None
         self._max_chaos_retries = max_chaos_retries
         if monitor is not None and chaos is not None:
             monitor.bind_chaos(chaos)
@@ -865,6 +878,11 @@ class QueryService:
                     ),
                 )
                 return
+        if self._shard_schemes is not None and self._chaos is None:
+            # Partition-parallel route: certification + execution live
+            # in the coordinator; chaos/journal runs stay single-copy.
+            await self._process_sharded(item)
+            return
         search = self._search_join_orders and (
             ticket.degrade_level < DEGRADE_PLANNING
         )
@@ -1013,6 +1031,64 @@ class QueryService:
                 latency=latency,
                 coalesced=coalesced,
                 degrade_level=ticket.degrade_level,
+            ),
+        )
+
+    async def _process_sharded(self, item: _WorkItem) -> None:
+        """Serve one request through the partition-parallel coordinator.
+
+        Identical in-flight requests still coalesce onto one execution
+        (the key pins the policy epoch and recipient exactly as the
+        single-copy path does); the coordinator's own certify-or-fall-
+        back ladder guarantees an uncertified scheme never runs
+        partitioned.
+        """
+        tenant = item.ticket.tenant
+        try:
+            key = self._plan_key(item.query, False)
+        except ReproError as error:
+            self._finish_failure(item, INFEASIBLE, f"unbindable query: {error}")
+            return
+        exec_key = (
+            "sharded", key, item.recipient, self._system.policy.epoch,
+        )
+
+        async def run_shared():
+            await asyncio.sleep(0)
+            self._counts["executions"] += 1
+            return self._system.execute_sharded(
+                item.query,
+                self._shard_schemes,
+                recipient=item.recipient,
+                trace=self._trace,
+            )
+
+        try:
+            result, result_shared = await self._resultflight.run(
+                exec_key, run_shared
+            )
+        except InfeasiblePlanError as error:
+            self._finish_failure(item, INFEASIBLE, str(error))
+            return
+        except ReproError as error:
+            self._finish_failure(item, FAILED, str(error))
+            return
+        if result_shared:
+            self._counts["result_coalesced"] += 1
+            self.metrics.inc("repro_service_result_coalesced_total")
+        self.metrics.inc("repro_service_sharded_total", mode=result.mode)
+        latency = self._clock() - item.submitted_at
+        breaker = self._breaker(tenant.name)
+        if breaker is not None:
+            breaker.record_success(self._clock())
+        self._finish(
+            item,
+            QueryOutcome(
+                OK,
+                tenant.name,
+                result=result,
+                latency=latency,
+                degrade_level=item.ticket.degrade_level,
             ),
         )
 

@@ -1,0 +1,166 @@
+"""Partition-aware cost estimation for sharded execution.
+
+Sizing a partitioned plan is a small extension of the single-copy
+estimator: under a certified scheme each shard sees ``rows / shards`` of
+every sharded relation (hash and range routing both aim for balance),
+plus a full copy of every broadcast relation, so the *makespan* driver
+is the per-shard working set rather than the total.  The estimates here
+are deliberately coarse — their job is mode selection (partitioned vs
+single-copy), not plan ranking, which stays with
+:class:`~repro.core.costplanner.CostAwareSafePlanner`.
+
+Row counts come from the PR 9 runtime-statistics feedback loop when
+available: pass anything with ``relation_rows(name)`` (in practice a
+:class:`~repro.profiling.StatsStore`) and harvested observations replace
+the static fallbacks, so a store warmed by profiles immediately re-ranks
+the partitioned-vs-single decision the same way it re-ranks join orders.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.algebra.builder import QuerySpec
+from repro.sharding.checker import MODE_HYPERCUBE, MODE_MULTIROUND, ShardCertificate
+from repro.sharding.scheme import PartitionScheme
+
+#: Assumed rows for a relation with no observed or provided statistics.
+DEFAULT_ROWS = 1000.0
+
+#: A partitioned run must beat single-copy by at least this factor of
+#: estimated per-shard work before :func:`choose_execution_mode`
+#: recommends it — below the threshold the shuffle and coordination
+#: overhead eats the win.
+MIN_SPEEDUP = 1.2
+
+
+class ShardCostEstimate:
+    """Coarse cost picture of one certified partitioned execution.
+
+    Attributes:
+        mode: the certificate mode the estimate was built for.
+        shards: the shard count of the partitioned grid.
+        total_rows: estimated input rows across all relations.
+        per_shard_rows: estimated input rows the busiest shard scans
+            (sharded relations contribute ``rows / shards``, broadcast
+            relations contribute their full size).
+        shuffle_rows: estimated rows crossing the network beyond the
+            single-copy baseline (broadcast fan-out plus multiround
+            repartitions).
+        speedup: ``total_rows / per_shard_rows`` — the idealized
+            makespan improvement over single-copy execution.
+    """
+
+    __slots__ = ("mode", "shards", "total_rows", "per_shard_rows", "shuffle_rows", "speedup")
+
+    def __init__(
+        self,
+        mode: str,
+        shards: int,
+        total_rows: float,
+        per_shard_rows: float,
+        shuffle_rows: float,
+    ) -> None:
+        self.mode = mode
+        self.shards = shards
+        self.total_rows = total_rows
+        self.per_shard_rows = per_shard_rows
+        self.shuffle_rows = shuffle_rows
+        self.speedup = total_rows / per_shard_rows if per_shard_rows > 0 else 1.0
+
+    def summary_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "shards": self.shards,
+            "total_rows": self.total_rows,
+            "per_shard_rows": self.per_shard_rows,
+            "shuffle_rows": self.shuffle_rows,
+            "speedup": self.speedup,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardCostEstimate({self.mode} x{self.shards}, "
+            f"speedup={self.speedup:.2f})"
+        )
+
+
+def _relation_rows(name: str, stats, tables) -> float:
+    """Best available row count for ``name``: observed, actual, default."""
+    if stats is not None:
+        observed = stats.relation_rows(name)
+        if observed is not None and observed > 0:
+            return float(observed)
+    if tables is not None:
+        table = tables.get(name)
+        if table is not None:
+            return float(len(table))
+    return DEFAULT_ROWS
+
+
+def estimate_sharded_cost(
+    spec: QuerySpec,
+    schemes: Mapping[str, PartitionScheme],
+    certificate: ShardCertificate,
+    stats=None,
+    tables=None,
+) -> ShardCostEstimate:
+    """Estimate the per-shard working set of a certified execution.
+
+    Args:
+        spec: the parsed query.
+        schemes: partition schemes by relation name.
+        certificate: the checker's verdict (its ``sharded`` tuple decides
+            which relations count as partitioned).
+        stats: optional statistics source with ``relation_rows(name)``
+            (e.g. a :class:`~repro.profiling.StatsStore`).
+        tables: optional mapping of relation name to
+            :class:`~repro.engine.data.Table`, used when ``stats`` has
+            no observation for a relation.
+    """
+    sharded = set(certificate.sharded)
+    shard_counts = [schemes[name].shards for name in certificate.sharded if name in schemes]
+    shards = shard_counts[0] if shard_counts else 1
+    total = 0.0
+    per_shard = 0.0
+    shuffle = 0.0
+    for name in spec.relations:
+        rows = _relation_rows(name, stats, tables)
+        total += rows
+        if name in sharded:
+            per_shard += rows / max(shards, 1)
+            if certificate.mode == MODE_MULTIROUND and name != spec.relations[0]:
+                # Each later sharded join forces a repartition of the
+                # accumulated intermediate; approximate it by the
+                # incoming relation's size (the intermediate is at least
+                # key-compatible with it).
+                shuffle += rows
+        else:
+            # Broadcast: every shard receives the full relation.
+            per_shard += rows
+            shuffle += rows * max(shards - 1, 0)
+    return ShardCostEstimate(certificate.mode, shards, total, per_shard, shuffle)
+
+
+def choose_execution_mode(
+    spec: QuerySpec,
+    schemes: Mapping[str, PartitionScheme],
+    certificate: ShardCertificate,
+    stats=None,
+    tables=None,
+    min_speedup: float = MIN_SPEEDUP,
+) -> str:
+    """Recommend ``"partitioned"``, ``"multiround"`` or ``"single_copy"``.
+
+    Uncertified schemes always map to single-copy — cost never overrides
+    the correctness checker.  Certified schemes are recommended only
+    when the estimated makespan speedup clears ``min_speedup``.
+    """
+    if not certificate.certified or not certificate.sharded:
+        return "single_copy"
+    estimate = estimate_sharded_cost(spec, schemes, certificate, stats=stats, tables=tables)
+    if estimate.speedup < min_speedup:
+        return "single_copy"
+    if certificate.mode == MODE_HYPERCUBE:
+        return "partitioned"
+    return "multiround"

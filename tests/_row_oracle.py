@@ -240,3 +240,69 @@ class OracleTable:
         indices = [other._index[a] for a in self._attributes]
         aligned = tuple(tuple(row[i] for i in indices) for row in other._rows)
         return OracleTable(self._attributes, self._rows + aligned)
+
+
+# ---------------------------------------------------------------------------
+# Shard / merge reference (PR: sharded relations)
+# ---------------------------------------------------------------------------
+#
+# Row-at-a-time reference for horizontal partitioning.  Routing
+# canonicalizes each key value to its equality-class representative
+# *independently* of the library's implementation: Python equality makes
+# ``1 == 1.0 == True`` one class (and ``-0.0 == 0``), so two rows whose
+# keys would compare equal in a join must never route to different
+# shards, whatever surface representation they carry.  The differential
+# suite drives both this reference and ``repro.sharding`` through the
+# same ``shard_of`` and asserts identical placement and identical
+# shard-merge round trips on exactly those alias corners.
+
+
+def oracle_canonical_key(value: object) -> object:
+    """Equality-class representative of one key value."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        # Covers -0.0 -> 0 as well: (-0.0).is_integer() is True and
+        # int(-0.0) == 0.
+        return int(value)
+    return value
+
+
+def oracle_shard(
+    table: OracleTable,
+    key_attributes: Sequence[str],
+    shards: int,
+    shard_of,
+) -> List[OracleTable]:
+    """Route every (deduped, canonical-order) row of ``table`` by its
+    canonicalized key through ``shard_of``.
+
+    ``shard_of`` is the routing function under test (e.g. a
+    ``PartitionScheme.shard_of`` bound method): the oracle exercises the
+    *plumbing* — dedup before routing, canonicalization, exhaustive and
+    disjoint placement — not the hash function itself.
+    """
+    indices = [table._column_index(a) for a in key_attributes]
+    routed: List[List[Row]] = [[] for _ in range(shards)]
+    for row in table.rows:
+        key = tuple(oracle_canonical_key(row[i]) for i in indices)
+        target = shard_of(key)
+        if not 0 <= target < shards:
+            raise ExecutionError(
+                f"shard_of returned {target} outside [0, {shards})"
+            )
+        routed[target].append(row)
+    return [OracleTable(table.attributes, rows) for rows in routed]
+
+
+def oracle_merge(tables: Sequence[OracleTable]) -> OracleTable:
+    """Union-fold of shards back into one table (dedup + canonical
+    order come from the ``OracleTable`` constructor)."""
+    if not tables:
+        raise ExecutionError("cannot merge zero shards")
+    merged = tables[0]
+    for table in tables[1:]:
+        merged = merged.union(table)
+    return merged

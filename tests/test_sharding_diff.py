@@ -1,0 +1,380 @@
+"""Differential suite: sharded execution vs single-copy execution.
+
+The core claim of the sharding subsystem is *semantic transparency*:
+for any partition scheme the checker certifies, partition-parallel
+execution returns a result **byte-identical** (same canonical row
+order, same byte accounting) to plain single-copy execution, with zero
+audit violations — and any scheme the checker rejects **never executes
+partitioned** (asserted on the trace: no shard spans, no parallel
+commit event, an explicit fallback event instead).
+
+Hypothesis drives the whole space: hash and range schemes, 2–8 shards,
+one- and two-join pipelines, key domains that deliberately include the
+intern-pool alias corners (``1 == 1.0 == True``, ``0 == 0.0 == -0.0``)
+where a representation-sensitive router would split an equality class
+across shards and silently drop join matches.
+
+The shard/merge plumbing is additionally pinned against the frozen
+row-at-a-time oracle (:mod:`tests._row_oracle`): routing and merging
+through ``repro.sharding`` must agree with the reference implementation
+row for row on exactly those corners.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.authorization import Policy
+from repro.core.closure import close_policy
+from repro.distributed.system import DistributedSystem
+from repro.engine.data import Table
+from repro.obs import TraceContext
+from repro.sharding import (
+    EXEC_SINGLE_COPY,
+    HashPartitionScheme,
+    PartitionGroup,
+    RangePartitionScheme,
+    ShardedExecutor,
+    merge_shards,
+)
+from repro.testing import grant, quick_catalog
+from tests._row_oracle import OracleTable, oracle_merge, oracle_shard
+
+# ---------------------------------------------------------------------------
+# Shared world: R(a,b) -> T(c,d) -> U(e,f), broad policy, shard group G1/G2
+# ---------------------------------------------------------------------------
+
+SERVERS = ("S1", "S2", "S3", "G1", "G2")
+
+
+def _catalog():
+    return quick_catalog(
+        "R(a, b) @ S1",
+        "T(c, d) @ S2",
+        "U(e, f) @ S3",
+        edges=["a = c", "d = e"],
+    )
+
+
+def _policy():
+    policy = Policy()
+    for server in SERVERS:
+        policy.add(grant(server, "a b"))
+        policy.add(grant(server, "c d"))
+        policy.add(grant(server, "e f"))
+        policy.add(grant(server, "a b c d", "a = c"))
+        policy.add(grant(server, "c d e f", "d = e"))
+        policy.add(grant(server, "a b c d e f", "a = c, d = e"))
+    return policy
+
+
+CATALOG = _catalog()
+CLOSED_POLICY = close_policy(_policy(), CATALOG)
+GROUP = PartitionGroup("g", ["G1", "G2"])
+
+ONE_JOIN = "SELECT a, b, d FROM R JOIN T ON a = c"
+TWO_JOIN = "SELECT a, b, d, f FROM R JOIN T ON a = c JOIN U ON d = e"
+
+#: Join-key domains.  ``alias`` mixes every representation of the
+#: equality classes 0 and 1 with ordinary values; ``numeric`` is safe
+#: for range boundaries (total order required).
+ALIAS_KEYS = [0, 1, 2, 3, True, False, 1.0, 0.0, -0.0, 2.0, "x", "y", None]
+NUMERIC_KEYS = [0, 1, 2, 3, 4, True, 1.0, 0.0, -0.0, 2.0, 3.0, None]
+
+PAYLOADS = ["p", "q", "rr", "", 7, 0.5, None, True]
+
+#: Oracle-parity domains drop every zero-valued float (``0.0`` *and*
+#: ``-0.0``): the columnar intern pool is process-wide and typed, so
+#: whichever of the two was interned first anywhere in the test run
+#: becomes the rendered representative for both — while the frozen
+#: oracle always keeps the literal it was given.  A documented seed
+#: deviation (``test_vector_diff`` excludes ``-0.0`` for the same
+#: reason); routing itself still covers both in the corner test below.
+ORACLE_KEYS = [k for k in ALIAS_KEYS if not (isinstance(k, float) and k == 0)]
+ORACLE_NUMERIC = [k for k in NUMERIC_KEYS if not (isinstance(k, float) and k == 0)]
+
+
+def _system():
+    """A fresh system over the shared catalog and pre-closed policy."""
+    return DistributedSystem(CATALOG, CLOSED_POLICY, apply_closure=False)
+
+
+def _load(system, r_rows, t_rows, u_rows):
+    system.load_instances(
+        {
+            "R": [{"a": k, "b": p} for k, p in r_rows],
+            "T": [{"c": k, "d": p} for k, p in t_rows],
+            "U": [{"e": k, "f": p} for k, p in u_rows],
+        }
+    )
+
+
+def canonical_bytes(table: Table) -> bytes:
+    """One canonical serialization of a table's *information content*.
+
+    Column order is assignment-dependent (the single-copy executor may
+    evaluate ``T JOIN R`` where a shard plan evaluates ``R JOIN T``), and
+    the repo's ``Table.__eq__`` is deliberately column-order-insensitive.
+    Byte-identity is therefore asserted on sorted-attribute row
+    renderings: equal serializations mean equal attribute sets, equal
+    deduped rows, and equal canonical row multiplicity — everything but
+    the incidental column permutation."""
+    order = sorted(table.attributes)
+    rendered = sorted(
+        repr(tuple((a, row[a]) for a in order)) for row in table.row_dicts()
+    )
+    return "\n".join([repr(order)] + rendered).encode("utf-8")
+
+
+def _assert_byte_identical(sharded: Table, single: Table) -> None:
+    """Identical information content, canonical serialization and byte
+    accounting (``byte_size`` is column-order-independent)."""
+    assert frozenset(sharded.attributes) == frozenset(single.attributes)
+    assert canonical_bytes(sharded) == canonical_bytes(single)
+    assert sharded.byte_size() == single.byte_size()
+    assert sharded == single
+
+
+def _assert_gating(trace: TraceContext, result) -> None:
+    """Rejected schemes provably never execute partitioned."""
+    event_names = [event.name for event in trace.events]
+    if not result.certificate.certified:
+        assert result.mode == EXEC_SINGLE_COPY
+        assert result.fallback_reason
+        assert "shard_parallel_commit" not in event_names
+        assert not trace.spans_named("shard")
+        assert "shard_fallback" in event_names
+        assert "shard_rejected" in event_names
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+def _rows(keys, min_rows=0, max_rows=10):
+    return st.lists(
+        st.tuples(st.sampled_from(keys), st.sampled_from(PAYLOADS)),
+        min_size=min_rows,
+        max_size=max_rows,
+    )
+
+
+@st.composite
+def sharded_worlds(draw):
+    """A query, instances, and a scheme map drawn over the full space.
+
+    Returns ``(query, r_rows, t_rows, u_rows, schemes)`` where
+    ``schemes`` may be certifiable (co-partitioned on join keys),
+    merely compatible (multiround), or flatly rejectable — the
+    differential property must hold for all of them.
+    """
+    query = draw(st.sampled_from([ONE_JOIN, TWO_JOIN]))
+    shards = draw(st.integers(min_value=2, max_value=8))
+    kinds = draw(
+        st.lists(
+            st.sampled_from(["hash-key", "hash-off", "range", "none"]),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    # Range routing needs a totally ordered key domain.
+    keys = NUMERIC_KEYS if "range" in kinds else ALIAS_KEYS
+    r_rows = draw(_rows(keys))
+    t_rows = draw(_rows(keys))
+    u_rows = draw(_rows(keys))
+
+    join_attr = {"R": "a", "T": "c", "U": "e"}
+    off_attr = {"R": "b", "T": "d", "U": "f"}
+    schemes = {}
+    for kind, name in zip(kinds, ("R", "T", "U")):
+        if kind == "none":
+            continue
+        if kind == "range":
+            # Strictly increasing numeric boundaries; shard count is
+            # boundaries + 1 and need not match the hash shard count —
+            # mixed signatures are part of the space under test.
+            cuts = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=4),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                )
+            )
+            schemes[name] = RangePartitionScheme(
+                name, join_attr[name], sorted(cuts), GROUP
+            )
+        else:
+            attr = join_attr[name] if kind == "hash-key" else off_attr[name]
+            function = draw(st.sampled_from(["crc32", "adler32"]))
+            schemes[name] = HashPartitionScheme(
+                name, [attr], shards, GROUP, function=function
+            )
+    return query, r_rows, t_rows, u_rows, schemes
+
+
+# ---------------------------------------------------------------------------
+# The differential property
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=250, deadline=None)
+@given(world=sharded_worlds())
+def test_sharded_matches_single_copy(world):
+    """For every drawn scheme map — certified or not — the sharded
+    coordinator's answer is byte-identical to single-copy execution,
+    audits clean, and rejected schemes never run partitioned."""
+    query, r_rows, t_rows, u_rows, schemes = world
+    system = _system()
+    _load(system, r_rows, t_rows, u_rows)
+    single = system.execute(query)
+    trace = TraceContext()
+    executor = ShardedExecutor(system, schemes, trace=trace)
+    result = executor.execute(query)
+    _assert_byte_identical(result.table, single.table)
+    assert result.violations() == 0
+    assert len(single.audit.violations) == 0
+    _assert_gating(trace, result)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    r_rows=_rows(ALIAS_KEYS, max_rows=12),
+    t_rows=_rows(ALIAS_KEYS, max_rows=12),
+    shards=st.integers(min_value=2, max_value=8),
+)
+def test_copartitioned_hash_is_partitioned_and_identical(r_rows, t_rows, shards):
+    """The happy path pinned explicitly: co-partitioned hash schemes on
+    the full join key always certify as hypercube, execute partitioned,
+    and match single-copy byte for byte over the alias-corner domain."""
+    system = _system()
+    _load(system, r_rows, t_rows, [])
+    schemes = {
+        "R": HashPartitionScheme("R", ["a"], shards, GROUP),
+        "T": HashPartitionScheme("T", ["c"], shards, GROUP),
+    }
+    trace = TraceContext()
+    executor = ShardedExecutor(system, schemes, trace=trace)
+    certificate = executor.certify(ONE_JOIN)
+    assert certificate.certified
+    assert certificate.mode == "hypercube"
+    result = executor.execute(ONE_JOIN)
+    assert result.mode == "partitioned"
+    assert result.shards == shards
+    single = system.execute(ONE_JOIN)
+    _assert_byte_identical(result.table, single.table)
+    assert result.violations() == 0
+    assert [e.name for e in trace.events].count("shard_parallel_commit") == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    r_rows=_rows(ALIAS_KEYS, max_rows=12),
+    t_rows=_rows(ALIAS_KEYS, max_rows=12),
+    shards=st.integers(min_value=2, max_value=6),
+)
+def test_multiround_fallback_is_identical(r_rows, t_rows, shards):
+    """Compatible-but-unaligned hash schemes (R sharded off the join
+    key) certify as multiround; the engine-level repartition fallback
+    still matches single-copy byte for byte."""
+    system = _system()
+    _load(system, r_rows, t_rows, [])
+    schemes = {
+        "R": HashPartitionScheme("R", ["b"], shards, GROUP),
+        "T": HashPartitionScheme("T", ["c"], shards, GROUP),
+    }
+    executor = ShardedExecutor(system, schemes)
+    certificate = executor.certify(ONE_JOIN)
+    assert certificate.certified
+    assert certificate.mode == "multiround"
+    result = executor.execute(ONE_JOIN)
+    assert result.mode == "multiround"
+    single = system.execute(ONE_JOIN)
+    _assert_byte_identical(result.table, single.table)
+    assert result.violations() == 0
+
+
+def test_rejected_scheme_never_partitions_even_when_forced():
+    """Belt and braces on the gate: incompatible hash families on the
+    join's two sides are rejected, the fallback event fires, and the
+    result still matches single-copy."""
+    system = _system()
+    _load(system, [(1, "p"), (2, "q")], [(1, "x"), (1.0, "y")], [])
+    schemes = {
+        "R": HashPartitionScheme("R", ["a"], 4, GROUP, function="crc32"),
+        "T": HashPartitionScheme("T", ["c"], 4, GROUP, function="fnv"),
+    }
+    trace = TraceContext()
+    executor = ShardedExecutor(system, schemes, trace=trace)
+    result = executor.execute(ONE_JOIN)
+    assert not result.certificate.certified
+    _assert_gating(trace, result)
+    _assert_byte_identical(result.table, system.execute(ONE_JOIN).table)
+
+
+# ---------------------------------------------------------------------------
+# Oracle parity on the intern-alias corners (satellite: _row_oracle)
+# ---------------------------------------------------------------------------
+
+
+def _assert_table_parity(table: Table, oracle: OracleTable) -> None:
+    assert table.attributes == oracle.attributes
+    assert table.rows == oracle.rows
+    assert table.byte_size() == oracle.byte_size()
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    rows=_rows(ORACLE_KEYS, max_rows=14),
+    shards=st.integers(min_value=2, max_value=8),
+    function=st.sampled_from(["crc32", "adler32"]),
+)
+def test_shard_merge_matches_row_oracle(rows, shards, function):
+    """`PartitionScheme.split` + `merge_shards` against the frozen
+    row-at-a-time reference: identical per-shard placement, identical
+    merge round trip, on a domain saturated with 1/1.0/True and
+    0/0.0/-0.0 aliases."""
+    scheme = HashPartitionScheme("R", ["a"], shards, GROUP, function=function)
+    table = Table(("a", "b"), rows)
+    oracle = OracleTable(("a", "b"), rows)
+    split = scheme.split(table)
+    reference = oracle_shard(oracle, ["a"], shards, scheme.shard_of)
+    assert len(split) == len(reference) == shards
+    for shard_table, shard_oracle in zip(split, reference):
+        _assert_table_parity(shard_table, shard_oracle)
+    merged = merge_shards(split)
+    _assert_table_parity(merged, oracle_merge(reference))
+    # Round trip: the merge recovers the deduped original exactly.
+    _assert_table_parity(merged, OracleTable(("a", "b"), rows))
+
+
+@pytest.mark.parametrize(
+    "left,right",
+    [(1, 1.0), (1, True), (1.0, True), (0, 0.0), (0, -0.0), (0.0, False)],
+)
+def test_alias_corner_rows_never_route_apart(left, right):
+    """Every representation of one equality class lands on one shard —
+    the exact property a repr-sensitive router breaks."""
+    for shards in (2, 3, 5, 8):
+        scheme = HashPartitionScheme("R", ["a"], shards, GROUP)
+        assert scheme.shard_of((left,)) == scheme.shard_of((right,))
+        range_scheme = RangePartitionScheme("R", "a", [1], GROUP)
+        assert range_scheme.shard_of((left,)) == range_scheme.shard_of((right,))
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=_rows(ORACLE_NUMERIC, max_rows=14))
+def test_range_split_matches_row_oracle(rows):
+    """Range routing agrees with the oracle too (numeric domain — range
+    schemes require a total order on keys)."""
+    scheme = RangePartitionScheme("R", "a", [1, 3], GROUP)
+    table = Table(("a", "b"), rows)
+    oracle = OracleTable(("a", "b"), rows)
+    split = scheme.split(table)
+    reference = oracle_shard(oracle, ["a"], scheme.shards, scheme.shard_of)
+    for shard_table, shard_oracle in zip(split, reference):
+        _assert_table_parity(shard_table, shard_oracle)
+    _assert_table_parity(merge_shards(split), oracle_merge(reference))

@@ -1,0 +1,295 @@
+"""Integration seams of the sharding subsystem.
+
+The differential suite proves the semantics; these tests prove the
+*wiring* — every layer the coordinator threads through:
+
+* ``DistributedSystem.certify_sharding`` / ``execute_sharded`` (the
+  public entry points),
+* ``CostAwareSafePlanner.shard_estimate`` / ``recommend_execution_mode``
+  (cost advice fed by the same statistics store as join-order search),
+* ``QueryService(shard_schemes=...)`` (partition-parallel serving with
+  single-flight coalescing and the sharded-outcome metric),
+* the ``shard`` CLI subcommand against the paper's medical workload
+  (certify-only gating, execution summary, built-in differential).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+
+from repro.cli import main
+from repro.core.authorization import Policy
+from repro.core.closure import close_policy
+from repro.core.costplanner import CostAwareSafePlanner
+from repro.distributed.system import DistributedSystem
+from repro.engine.coster import TableStats
+from repro.obs import TraceContext
+from repro.sharding import (
+    EXEC_PARTITIONED,
+    EXEC_SINGLE_COPY,
+    HashPartitionScheme,
+    PartitionGroup,
+)
+from repro.service import QueryService
+from repro.testing import grant, quick_catalog
+
+# ---------------------------------------------------------------------------
+# World: the R -> T chain with a two-server shard group
+# ---------------------------------------------------------------------------
+
+SERVERS = ("S1", "S2", "G1", "G2")
+
+
+def _catalog():
+    return quick_catalog("R(a, b) @ S1", "T(c, d) @ S2", edges=["a = c"])
+
+
+def _policy():
+    policy = Policy()
+    for server in SERVERS:
+        policy.add(grant(server, "a b"))
+        policy.add(grant(server, "c d"))
+        policy.add(grant(server, "a b c d", "a = c"))
+    return policy
+
+
+INSTANCES = {
+    "R": [{"a": i % 7, "b": f"r{i}"} for i in range(40)],
+    "T": [{"c": i % 7, "d": f"t{i}"} for i in range(40)],
+}
+
+QUERY = "SELECT a, b, d FROM R JOIN T ON a = c"
+
+GROUP = PartitionGroup("g", ["G1", "G2"])
+
+
+def _system(trace=None):
+    catalog = _catalog()
+    system = DistributedSystem(
+        catalog, close_policy(_policy(), catalog), apply_closure=False, trace=trace
+    )
+    system.load_instances(INSTANCES)
+    return system
+
+
+def _good_schemes(shards=4):
+    return {
+        "R": HashPartitionScheme("R", ["a"], shards, GROUP),
+        "T": HashPartitionScheme("T", ["c"], shards, GROUP),
+    }
+
+
+def _bad_schemes(shards=4):
+    return {
+        "R": HashPartitionScheme("R", ["a"], shards, GROUP, function="crc32"),
+        "T": HashPartitionScheme("T", ["c"], shards, GROUP, function="fnv"),
+    }
+
+
+def run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=30))
+
+
+# ---------------------------------------------------------------------------
+# DistributedSystem seam
+# ---------------------------------------------------------------------------
+
+
+class TestSystemSeam:
+    def test_certify_then_execute_partitioned(self):
+        system = _system()
+        certificate = system.certify_sharding(QUERY, _good_schemes())
+        assert certificate.certified
+        result = system.execute_sharded(QUERY, _good_schemes())
+        assert result.mode == EXEC_PARTITIONED
+        assert result.table == system.execute(QUERY).table
+        assert not result.audit.violations
+
+    def test_rejected_schemes_fall_back_to_single_copy(self):
+        system = _system()
+        certificate = system.certify_sharding(QUERY, _bad_schemes())
+        assert not certificate.certified
+        result = system.execute_sharded(QUERY, _bad_schemes())
+        assert result.mode == EXEC_SINGLE_COPY
+        assert result.fallback_reason
+        assert result.table == system.execute(QUERY).table
+
+    def test_trace_carries_shard_metrics_and_spans(self):
+        trace = TraceContext()
+        system = _system(trace=trace)
+        system.execute_sharded(QUERY, _good_schemes(), trace=trace)
+        snapshot = trace.metrics.snapshot()
+        assert "repro_shard_certify_total" in snapshot
+        assert "repro_shard_queries_total" in snapshot
+        assert trace.spans_named("shard")  # one per shard execution
+        names = [event.name for event in trace.events]
+        assert "shard_certified" in names
+        assert "shard_parallel_commit" in names
+
+
+# ---------------------------------------------------------------------------
+# Cost-planner seam
+# ---------------------------------------------------------------------------
+
+
+class TestCostPlannerSeam:
+    def _planner(self):
+        stats = {
+            "R": TableStats(4000, {"a": 7, "b": 4000}),
+            "T": TableStats(4000, {"c": 7, "d": 4000}),
+        }
+        catalog = _catalog()
+        return CostAwareSafePlanner(close_policy(_policy(), catalog), stats)
+
+    def test_estimate_and_recommendation(self):
+        system = _system()
+        planner = self._planner()
+        spec = system.parse(QUERY)
+        schemes = _good_schemes()
+        certificate = system.certify_sharding(QUERY, schemes)
+        estimate = planner.shard_estimate(spec, schemes, certificate)
+        assert estimate.shards == 4
+        assert estimate.speedup > 1.0
+        summary = estimate.summary_dict()
+        assert summary["mode"] == certificate.mode
+        mode = planner.recommend_execution_mode(spec, schemes, certificate)
+        assert mode == "partitioned"
+
+    def test_uncertified_always_maps_to_single_copy(self):
+        system = _system()
+        planner = self._planner()
+        spec = system.parse(QUERY)
+        schemes = _bad_schemes()
+        certificate = system.certify_sharding(QUERY, schemes)
+        assert (
+            planner.recommend_execution_mode(spec, schemes, certificate)
+            == "single_copy"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Service seam
+# ---------------------------------------------------------------------------
+
+
+class TestServiceSeam:
+    def test_sharded_service_serves_and_coalesces(self):
+        system = _system()
+        expected = system.execute(QUERY).table
+
+        async def scenario():
+            service = QueryService(
+                system, workers=4, shard_schemes=_good_schemes()
+            )
+            await service.start()
+            outcomes = await service.serve_all(
+                [{"query": QUERY} for _ in range(8)]
+            )
+            await service.stop()
+            return service, outcomes
+
+        service, outcomes = run(scenario())
+        assert all(outcome.ok for outcome in outcomes)
+        for outcome in outcomes:
+            assert outcome.result.mode == EXEC_PARTITIONED
+            assert outcome.result.table == expected
+        snapshot = service.snapshot()
+        assert snapshot["ok"] == 8
+        # Identical in-flight requests coalesced onto one execution.
+        assert snapshot["executions"] < 8
+        metrics = service.metrics.snapshot()
+        assert "repro_service_sharded_total" in metrics
+
+    def test_rejected_schemes_still_serve_via_fallback(self):
+        system = _system()
+
+        async def scenario():
+            service = QueryService(
+                system, workers=2, shard_schemes=_bad_schemes()
+            )
+            await service.start()
+            outcomes = await service.serve_all([{"query": QUERY}])
+            await service.stop()
+            return outcomes[0]
+
+        outcome = run(scenario())
+        assert outcome.ok
+        assert outcome.result.mode == EXEC_SINGLE_COPY
+        assert outcome.result.table == system.execute(QUERY).table
+
+
+# ---------------------------------------------------------------------------
+# CLI seam (paper's medical workload)
+# ---------------------------------------------------------------------------
+
+MEDICAL_SQL = (
+    "SELECT Plan, HealthAid FROM Insurance "
+    "JOIN Nat_registry ON Holder = Citizen"
+)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCliShard:
+    def test_certify_only_accepts_granted_group(self):
+        # Rule 10 of the paper's policy grants S_N the base view of
+        # Insurance; Nat_registry's home server is exempt by definition.
+        code, text = run_cli(
+            "shard",
+            "--sql", MEDICAL_SQL,
+            "--scheme", "Insurance:hash:Holder:2",
+            "--group", "S_N",
+            "--certify-only",
+            "--citizens", "30",
+            "--seed", "3",
+        )
+        assert code == 0, text
+        assert "certified" in text
+        assert "hash[crc32](Holder) x2" in text
+
+    def test_certify_only_rejects_ungranted_group(self):
+        # S_D has no view of Insurance at all: placing a shard there
+        # would widen visibility, so certification must fail (exit 3).
+        code, text = run_cli(
+            "shard",
+            "--sql", MEDICAL_SQL,
+            "--scheme", "Insurance:hash:Holder:2",
+            "--group", "S_D",
+            "--certify-only",
+            "--citizens", "30",
+            "--seed", "3",
+        )
+        assert code == 3
+        assert "REJECTED" in text
+        assert "widen" in text
+
+    def test_execute_with_builtin_differential(self):
+        code, text = run_cli(
+            "shard",
+            "--sql", MEDICAL_SQL,
+            "--scheme", "Insurance:hash:Holder:2",
+            "--group", "S_N",
+            "--diff",
+            "--citizens", "30",
+            "--seed", "3",
+        )
+        assert code == 0, text
+        assert "result: mode=partitioned" in text
+        assert "violations=0" in text
+        assert "differential: identical" in text
+
+    def test_malformed_scheme_spec_is_usage_error(self):
+        code, text = run_cli(
+            "shard",
+            "--sql", MEDICAL_SQL,
+            "--scheme", "Insurance:hash:Holder",  # missing shard count
+            "--group", "S_N",
+            "--certify-only",
+        )
+        assert code == 2
+        assert "bad --scheme" in text
